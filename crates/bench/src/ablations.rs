@@ -1,0 +1,266 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **tag budget sweep** — how many in-flight loop executions the
+//!   Tagger/Untagger admits. The paper allocates up to 50 tags (matvec) and
+//!   observes the FF cost; the sweep shows cycles saturating once the tag
+//!   count covers the loop's latency-bandwidth product while the area keeps
+//!   growing.
+//! * **throughput slack** — the modified buffer placement (sized transparent
+//!   FIFOs at synchronizing inputs). Without it the out-of-order region
+//!   back-pressures on 1-slot channels and the transformation yields little.
+//! * **clock-period target sweep** — timing-driven placement trades
+//!   registers (cycles) for clock period, like the Vivado constraint in the
+//!   paper's methodology.
+
+use crate::eval::EvalError;
+use crate::suite;
+use graphiti_core::{optimize_loop, PipelineOptions};
+use graphiti_frontend::{compile, run_program, Program};
+use graphiti_ir::{ExprHigh, Value};
+use graphiti_sim::{
+    circuit_area, elastic_clock_period, place_buffers, place_buffers_targeted, simulate,
+    SimConfig,
+};
+use std::collections::BTreeMap;
+
+fn start_feeds() -> BTreeMap<String, Vec<Value>> {
+    [("start".to_string(), vec![Value::Unit])].into_iter().collect()
+}
+
+/// One row of the tag-budget sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagSweepRow {
+    /// Tag budget.
+    pub tags: u32,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Flip-flops (dominated by the tagger's reorder buffer as tags grow).
+    pub ff: u64,
+    /// Clock period (ns) — tag comparison logic widens with the pool.
+    pub clock_period_ns: f64,
+}
+
+/// Sweeps the tag budget on a benchmark's first kernel.
+///
+/// # Errors
+///
+/// Propagates pipeline/simulation failures.
+pub fn tag_sweep(p: &Program, budgets: &[u32]) -> Result<Vec<TagSweepRow>, EvalError> {
+    let expected = run_program(p).map_err(|e| EvalError::Other(e.to_string()))?;
+    let compiled = compile(p).map_err(|e| EvalError::Compile(e.to_string()))?;
+    let k = &compiled.kernels[0];
+    let mut rows = Vec::new();
+    for &tags in budgets {
+        let opts = PipelineOptions { tags, ..Default::default() };
+        let (g, report) = optimize_loop(&k.graph, &k.inner_init, &opts)
+            .map_err(|e| EvalError::Other(e.to_string()))?;
+        assert!(report.transformed, "sweep benchmark must be transformable");
+        let (placed, _) = place_buffers_targeted(&g, crate::eval::CP_TARGET_NS);
+        let r = simulate(&placed, &start_feeds(), p.arrays.clone(), SimConfig::default())?;
+        assert_eq!(
+            r.memory.get("y"),
+            expected.get("y"),
+            "tag budget must not change results"
+        );
+        rows.push(TagSweepRow {
+            tags,
+            cycles: r.cycles,
+            ff: circuit_area(&placed).ff,
+            clock_period_ns: elastic_clock_period(&placed)
+                .map_err(|e| EvalError::Other(e.to_string()))?,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the slack ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackRow {
+    /// Whether throughput slack (sized FIFOs at synchronizing inputs) is on.
+    pub description: &'static str,
+    /// Cycles for the in-order circuit.
+    pub seq_cycles: u64,
+    /// Cycles for the transformed circuit.
+    pub ooo_cycles: u64,
+}
+
+/// A slack-free placement: back-edge cut only (capacity-1 channels
+/// elsewhere), emulated by rebuilding the graph with tagger capacity but no
+/// slack FIFOs.
+fn place_backedges_only(g: &ExprHigh) -> ExprHigh {
+    // `place_buffers` adds both back-edge buffers and slack; strip the slack
+    // ones (their names are generated with the `slack_` stem).
+    let (placed, _) = place_buffers(g);
+    let mut out = placed.clone();
+    let slack: Vec<_> = placed
+        .nodes()
+        .filter(|(n, _)| n.starts_with("slack_"))
+        .map(|(n, _)| n.clone())
+        .collect();
+    for n in slack {
+        // Splice the buffer out: driver -> consumer.
+        let drv = out.detach_input(&graphiti_ir::ep(n.clone(), "in"));
+        let cons = out.detach_output(&graphiti_ir::ep(n.clone(), "out"));
+        out.remove_node(&n).expect("slack buffer exists");
+        match (drv, cons) {
+            (
+                Some(graphiti_ir::Attachment::Wire(from)),
+                Some(graphiti_ir::Attachment::Wire(to)),
+            ) => {
+                out.connect(from, to).expect("rewire");
+            }
+            _ => unreachable!("slack buffers sit on internal wires"),
+        }
+    }
+    out
+}
+
+/// Compares the transformation's benefit with and without throughput slack.
+///
+/// # Errors
+///
+/// Propagates pipeline/simulation failures.
+pub fn slack_ablation(p: &Program, tags: u32) -> Result<Vec<SlackRow>, EvalError> {
+    let compiled = compile(p).map_err(|e| EvalError::Compile(e.to_string()))?;
+    let k = &compiled.kernels[0];
+    let opts = PipelineOptions { tags, ..Default::default() };
+    let (ooo, _) =
+        optimize_loop(&k.graph, &k.inner_init, &opts).map_err(|e| EvalError::Other(e.to_string()))?;
+    let mut rows = Vec::new();
+    for (description, place) in [
+        ("with slack", true),
+        ("back-edges only", false),
+    ] {
+        let (seq_g, ooo_g) = if place {
+            (place_buffers(&k.graph).0, place_buffers(&ooo).0)
+        } else {
+            (place_backedges_only(&k.graph), place_backedges_only(&ooo))
+        };
+        let seq = simulate(&seq_g, &start_feeds(), p.arrays.clone(), SimConfig::default())?;
+        let oo = simulate(&ooo_g, &start_feeds(), p.arrays.clone(), SimConfig::default())?;
+        rows.push(SlackRow { description, seq_cycles: seq.cycles, ooo_cycles: oo.cycles });
+    }
+    Ok(rows)
+}
+
+/// One row of the clock-period-target sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpTargetRow {
+    /// The target handed to timing-driven placement (ns).
+    pub target_ns: f64,
+    /// Achieved clock period.
+    pub clock_period_ns: f64,
+    /// Cycles (registers inserted to meet timing cost latency).
+    pub cycles: u64,
+    /// Execution time (ns).
+    pub exec_ns: f64,
+}
+
+/// Sweeps the placement clock-period target on the in-order circuit.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn cp_target_sweep(p: &Program, targets: &[f64]) -> Result<Vec<CpTargetRow>, EvalError> {
+    let compiled = compile(p).map_err(|e| EvalError::Compile(e.to_string()))?;
+    let k = &compiled.kernels[0];
+    let mut rows = Vec::new();
+    for &t in targets {
+        let (placed, _) = place_buffers_targeted(&k.graph, t);
+        let cp =
+            elastic_clock_period(&placed).map_err(|e| EvalError::Other(e.to_string()))?;
+        let r = simulate(&placed, &start_feeds(), p.arrays.clone(), SimConfig::default())?;
+        rows.push(CpTargetRow {
+            target_ns: t,
+            clock_period_ns: cp,
+            cycles: r.cycles,
+            exec_ns: r.cycles as f64 * cp,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders all three ablations on the default workloads.
+///
+/// # Errors
+///
+/// Propagates the underlying sweep failures.
+pub fn render_ablations() -> Result<String, EvalError> {
+    let mut out = String::new();
+    let p = suite::matvec(12);
+
+    out.push_str("Ablation 1: tag budget (matvec 12x12)\n");
+    out.push_str(&format!(
+        "{:>6} {:>10} {:>10} {:>10}\n",
+        "tags", "cycles", "FF", "CP (ns)"
+    ));
+    for row in tag_sweep(&p, &[1, 2, 4, 8, 16, 32])? {
+        out.push_str(&format!(
+            "{:>6} {:>10} {:>10} {:>10.2}\n",
+            row.tags, row.cycles, row.ff, row.clock_period_ns
+        ));
+    }
+
+    out.push_str("\nAblation 2: throughput slack in buffer placement (matvec 12x12, 12 tags)\n");
+    for row in slack_ablation(&p, 12)? {
+        out.push_str(&format!(
+            "{:<18} in-order {:>8} cycles, out-of-order {:>8} cycles ({:.2}x)\n",
+            row.description,
+            row.seq_cycles,
+            row.ooo_cycles,
+            row.seq_cycles as f64 / row.ooo_cycles as f64
+        ));
+    }
+
+    out.push_str("\nAblation 3: clock-period target of timing-driven placement (matvec 12x12, in-order)\n");
+    out.push_str(&format!(
+        "{:>10} {:>10} {:>10} {:>12}\n",
+        "target", "CP (ns)", "cycles", "exec (ns)"
+    ));
+    for row in cp_target_sweep(&p, &[5.0, 6.0, 6.5, 7.5, 9.0, 12.0, 20.0])? {
+        out.push_str(&format!(
+            "{:>10.1} {:>10.2} {:>10} {:>12.0}\n",
+            row.target_ns, row.clock_period_ns, row.cycles, row.exec_ns
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_sweep_saturates_and_costs_ff() {
+        let p = suite::matvec(6);
+        let rows = tag_sweep(&p, &[1, 4, 16]).unwrap();
+        assert!(rows[0].cycles > rows[1].cycles, "more tags help at first");
+        assert!(rows[2].ff > rows[0].ff, "tags cost flip-flops");
+        // Saturation: going 4 -> 16 helps less than 1 -> 4.
+        let gain1 = rows[0].cycles as f64 / rows[1].cycles as f64;
+        let gain2 = rows[1].cycles as f64 / rows[2].cycles as f64;
+        assert!(gain1 > gain2, "{gain1} vs {gain2}");
+    }
+
+    #[test]
+    fn slack_is_needed_for_the_speedup() {
+        let p = suite::matvec(6);
+        let rows = slack_ablation(&p, 8).unwrap();
+        let with = &rows[0];
+        let without = &rows[1];
+        let speedup_with = with.seq_cycles as f64 / with.ooo_cycles as f64;
+        let speedup_without = without.seq_cycles as f64 / without.ooo_cycles as f64;
+        assert!(
+            speedup_with > 1.5 * speedup_without,
+            "slack should be the enabler: {speedup_with:.2} vs {speedup_without:.2}"
+        );
+    }
+
+    #[test]
+    fn cp_target_trades_cycles_for_clock() {
+        let p = suite::matvec(6);
+        let rows = cp_target_sweep(&p, &[5.5, 20.0]).unwrap();
+        assert!(rows[0].clock_period_ns < rows[1].clock_period_ns);
+        assert!(rows[0].cycles >= rows[1].cycles);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the ablation studies of DESIGN.md §4.1.
+
+use graphiti_bench::ablations::render_ablations;
+
+fn main() {
+    print!("{}", render_ablations().expect("ablations succeed"));
+}

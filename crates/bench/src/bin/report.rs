@@ -1,0 +1,21 @@
+//! Produces the complete evaluation report — Tables 2 and 3, Figure 8, the
+//! §6.3 statistics, the ablations, and the headline factors — in one run,
+//! suitable for diffing against EXPERIMENTS.md.
+
+use graphiti_bench::{ablations, evaluate_suite, suite, tables};
+
+fn main() {
+    let programs = suite::evaluation_suite();
+    let results = evaluate_suite(&programs).expect("evaluation succeeds");
+    println!("# Graphiti evaluation report\n");
+    print!("{}", tables::headline(&results));
+    println!();
+    print!("{}", tables::table2(&results));
+    println!();
+    print!("{}", tables::table3(&results));
+    println!();
+    print!("{}", tables::fig8(&results));
+    print!("{}", tables::stats(&results));
+    println!();
+    print!("{}", ablations::render_ablations().expect("ablations succeed"));
+}

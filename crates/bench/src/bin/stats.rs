@@ -1,0 +1,10 @@
+//! Regenerates the paper's `stats` artefact at the default problem sizes.
+
+use graphiti_bench::{evaluate_suite, suite, tables};
+
+fn main() {
+    let programs = suite::evaluation_suite();
+    let results = evaluate_suite(&programs).expect("evaluation succeeds");
+    print!("{}", tables::stats(&results));
+
+}

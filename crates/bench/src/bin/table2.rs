@@ -1,0 +1,11 @@
+//! Regenerates the paper's `table2` artefact at the default problem sizes.
+
+use graphiti_bench::{evaluate_suite, suite, tables};
+
+fn main() {
+    let programs = suite::evaluation_suite();
+    let results = evaluate_suite(&programs).expect("evaluation succeeds");
+    print!("{}", tables::table2(&results));
+    println!();
+    print!("{}", tables::headline(&results));
+}

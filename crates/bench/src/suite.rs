@@ -1,0 +1,487 @@
+//! The benchmark suite of the paper's evaluation (§6.1).
+//!
+//! The six benchmarks — bicg, gemm, gsum-many, gsum-single, matvec, mvt —
+//! are the DF-OoO suite the paper reuses: inner loops with long-latency
+//! loop-carried dependences (floating-point accumulation) inside outer
+//! loops with independent iterations, plus the two gsum variants with
+//! conditional paths. `img-avg` is omitted, as in the paper. The GCD
+//! running example of §2 is included as a seventh kernel for the examples
+//! and the quickstart.
+//!
+//! Problem sizes are scaled down from the paper's (the substrate is a
+//! cycle-accurate simulator, not an FPGA testbed); tag budgets keep the
+//! paper's *relative* allocation (matvec gets by far the most).
+
+use graphiti_frontend::{Expr, InnerLoop, OuterLoop, Program, StoreStmt};
+use graphiti_ir::{Op, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Produces deterministic pseudo-random float arrays in a benign range.
+fn farray(rng: &mut StdRng, n: usize) -> Vec<Value> {
+    (0..n).map(|_| Value::from_f64(rng.gen_range(0.1..4.0))).collect()
+}
+
+/// Signed float arrays (for gsum's data-dependent conditional).
+fn sarray(rng: &mut StdRng, n: usize) -> Vec<Value> {
+    (0..n).map(|_| Value::from_f64(rng.gen_range(-2.0..2.0))).collect()
+}
+
+fn fzeros(n: usize) -> Vec<Value> {
+    vec![Value::from_f64(0.0); n]
+}
+
+/// `matvec`: dense float matrix-vector product, the benchmark where tagging
+/// pays off most (the paper assigns it 50 tags).
+pub fn matvec(n: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(11);
+    let inner = InnerLoop {
+        vars: vec![
+            ("j".into(), Expr::int(0)),
+            ("acc".into(), Expr::f64(0.0)),
+            ("off".into(), Expr::muli(Expr::var("i"), Expr::int(n))),
+        ],
+        update: vec![
+            ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+            (
+                "acc".into(),
+                Expr::addf(
+                    Expr::var("acc"),
+                    Expr::mulf(
+                        Expr::load("A", Expr::addi(Expr::var("off"), Expr::var("j"))),
+                        Expr::load("x", Expr::var("j")),
+                    ),
+                ),
+            ),
+            ("off".into(), Expr::var("off")),
+        ],
+        cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(n)),
+        effects: vec![],
+    };
+    Program {
+        name: "matvec".into(),
+        arrays: [
+            ("A".to_string(), farray(&mut rng, (n * n) as usize)),
+            ("x".to_string(), farray(&mut rng, n as usize)),
+            ("y".to_string(), fzeros(n as usize)),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![OuterLoop {
+            var: "i".into(),
+            trip: n,
+            inner,
+            epilogue: vec![StoreStmt {
+                array: "y".into(),
+                index: Expr::var("i"),
+                value: Expr::var("acc"),
+            }],
+            ooo_tags: Some(24),
+        }],
+    }
+}
+
+/// `mvt`: two matrix-vector products (`x1 += A y1`, `x2 += Aᵀ y2`), run as
+/// two kernels in sequence.
+pub fn mvt(n: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(23);
+    let k1 = OuterLoop {
+        var: "i".into(),
+        trip: n,
+        inner: InnerLoop {
+            vars: vec![
+                ("j".into(), Expr::int(0)),
+                ("acc".into(), Expr::f64(0.0)),
+                ("off".into(), Expr::muli(Expr::var("i"), Expr::int(n))),
+            ],
+            update: vec![
+                ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+                (
+                    "acc".into(),
+                    Expr::addf(
+                        Expr::var("acc"),
+                        Expr::mulf(
+                            Expr::load("A", Expr::addi(Expr::var("off"), Expr::var("j"))),
+                            Expr::load("y1", Expr::var("j")),
+                        ),
+                    ),
+                ),
+                ("off".into(), Expr::var("off")),
+            ],
+            cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(n)),
+            effects: vec![],
+        },
+        epilogue: vec![StoreStmt {
+            array: "x1".into(),
+            index: Expr::var("i"),
+            value: Expr::addf(Expr::var("acc"), Expr::load("x1", Expr::var("i"))),
+        }],
+        ooo_tags: Some(12),
+    };
+    let k2 = OuterLoop {
+        var: "i".into(),
+        trip: n,
+        inner: InnerLoop {
+            vars: vec![
+                ("j".into(), Expr::int(0)),
+                ("acc".into(), Expr::f64(0.0)),
+                ("iv".into(), Expr::var("i")),
+            ],
+            update: vec![
+                ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+                (
+                    "acc".into(),
+                    Expr::addf(
+                        Expr::var("acc"),
+                        Expr::mulf(
+                            Expr::load(
+                                "A",
+                                Expr::addi(
+                                    Expr::muli(Expr::var("j"), Expr::int(n)),
+                                    Expr::var("iv"),
+                                ),
+                            ),
+                            Expr::load("y2", Expr::var("j")),
+                        ),
+                    ),
+                ),
+                ("iv".into(), Expr::var("iv")),
+            ],
+            cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(n)),
+            effects: vec![],
+        },
+        epilogue: vec![StoreStmt {
+            array: "x2".into(),
+            index: Expr::var("i"),
+            value: Expr::addf(Expr::var("acc"), Expr::load("x2", Expr::var("i"))),
+        }],
+        ooo_tags: Some(12),
+    };
+    Program {
+        name: "mvt".into(),
+        arrays: [
+            ("A".to_string(), farray(&mut rng, (n * n) as usize)),
+            ("y1".to_string(), farray(&mut rng, n as usize)),
+            ("y2".to_string(), farray(&mut rng, n as usize)),
+            ("x1".to_string(), farray(&mut rng, n as usize)),
+            ("x2".to_string(), farray(&mut rng, n as usize)),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![k1, k2],
+    }
+}
+
+/// `gemm`: `C = alpha A B + beta C` with the (i, j) nest flattened into one
+/// outer loop and `k` as the inner accumulation.
+pub fn gemm(ni: i64, nj: i64, nk: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(37);
+    let inner = InnerLoop {
+        vars: vec![
+            ("k".into(), Expr::int(0)),
+            ("acc".into(), Expr::f64(0.0)),
+            // arow = (io / nj) * nk, jcol = io % nj
+            (
+                "arow".into(),
+                Expr::muli(Expr::bin(Op::DivI, Expr::var("io"), Expr::int(nj)), Expr::int(nk)),
+            ),
+            ("jcol".into(), Expr::bin(Op::Mod, Expr::var("io"), Expr::int(nj))),
+        ],
+        update: vec![
+            ("k".into(), Expr::addi(Expr::var("k"), Expr::int(1))),
+            (
+                "acc".into(),
+                Expr::addf(
+                    Expr::var("acc"),
+                    Expr::mulf(
+                        Expr::load("A", Expr::addi(Expr::var("arow"), Expr::var("k"))),
+                        Expr::load(
+                            "B",
+                            Expr::addi(
+                                Expr::muli(Expr::var("k"), Expr::int(nj)),
+                                Expr::var("jcol"),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            ("arow".into(), Expr::var("arow")),
+            ("jcol".into(), Expr::var("jcol")),
+        ],
+        cond: Expr::bin(Op::LtI, Expr::var("k"), Expr::int(nk)),
+        effects: vec![],
+    };
+    Program {
+        name: "gemm".into(),
+        arrays: [
+            ("A".to_string(), farray(&mut rng, (ni * nk) as usize)),
+            ("B".to_string(), farray(&mut rng, (nk * nj) as usize)),
+            ("C".to_string(), farray(&mut rng, (ni * nj) as usize)),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![OuterLoop {
+            var: "io".into(),
+            trip: ni * nj,
+            inner,
+            // C[io] = alpha * acc + beta * C[io]
+            epilogue: vec![StoreStmt {
+                array: "C".into(),
+                index: Expr::var("io"),
+                value: Expr::addf(
+                    Expr::mulf(Expr::f64(1.5), Expr::var("acc")),
+                    Expr::mulf(Expr::f64(0.5), Expr::load("C", Expr::var("io"))),
+                ),
+            }],
+            ooo_tags: Some(12),
+        }],
+    }
+}
+
+/// `bicg`: the PolyBench kernel with a store *inside* the inner loop
+/// (`s[j] += r[i] * A[i][j]`) — the benchmark whose out-of-order
+/// transformation the verified flow refuses, exposing the bug of §6.2.
+pub fn bicg(n: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(41);
+    let inner = InnerLoop {
+        vars: vec![
+            ("j".into(), Expr::int(0)),
+            ("q".into(), Expr::f64(0.0)),
+            ("off".into(), Expr::muli(Expr::var("i"), Expr::int(n))),
+            ("rv".into(), Expr::load("r", Expr::var("i"))),
+        ],
+        update: vec![
+            ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+            (
+                "q".into(),
+                Expr::addf(
+                    Expr::var("q"),
+                    Expr::mulf(
+                        Expr::load("A", Expr::addi(Expr::var("off"), Expr::var("j"))),
+                        Expr::load("p", Expr::var("j")),
+                    ),
+                ),
+            ),
+            ("off".into(), Expr::var("off")),
+            ("rv".into(), Expr::var("rv")),
+        ],
+        cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(n)),
+        effects: vec![StoreStmt {
+            array: "s".into(),
+            index: Expr::var("j"),
+            value: Expr::addf(
+                Expr::load("s", Expr::var("j")),
+                Expr::mulf(
+                    Expr::var("rv"),
+                    Expr::load("A", Expr::addi(Expr::var("off"), Expr::var("j"))),
+                ),
+            ),
+        }],
+    };
+    Program {
+        name: "bicg".into(),
+        arrays: [
+            ("A".to_string(), farray(&mut rng, (n * n) as usize)),
+            ("p".to_string(), farray(&mut rng, n as usize)),
+            ("r".to_string(), farray(&mut rng, n as usize)),
+            ("s".to_string(), fzeros(n as usize)),
+            ("q".to_string(), fzeros(n as usize)),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![OuterLoop {
+            var: "i".into(),
+            trip: n,
+            inner,
+            epilogue: vec![StoreStmt {
+                array: "q".into(),
+                index: Expr::var("i"),
+                value: Expr::var("q"),
+            }],
+            ooo_tags: Some(12),
+        }],
+    }
+}
+
+/// One gsum invocation body: `s += (d >= 0) ? (d*d + c) : 0` over a window
+/// of `m` elements starting at `base = i * m` — the if-converted version of
+/// the conditional kernel [12].
+fn gsum_kernel(k: i64, m: i64, tags: u32) -> OuterLoop {
+    let d = |idx: Expr| Expr::load("data", idx);
+    let inner = InnerLoop {
+        vars: vec![
+            ("j".into(), Expr::int(0)),
+            ("s".into(), Expr::f64(0.0)),
+            ("base".into(), Expr::muli(Expr::var("i"), Expr::int(m))),
+        ],
+        update: vec![
+            ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+            (
+                "s".into(),
+                Expr::addf(
+                    Expr::var("s"),
+                    Expr::sel(
+                        Expr::bin(
+                            Op::GeF,
+                            d(Expr::addi(Expr::var("base"), Expr::var("j"))),
+                            Expr::f64(0.0),
+                        ),
+                        Expr::addf(
+                            Expr::mulf(
+                                d(Expr::addi(Expr::var("base"), Expr::var("j"))),
+                                d(Expr::addi(Expr::var("base"), Expr::var("j"))),
+                            ),
+                            Expr::f64(0.25),
+                        ),
+                        Expr::f64(0.0),
+                    ),
+                ),
+            ),
+            ("base".into(), Expr::var("base")),
+        ],
+        cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(m)),
+        effects: vec![],
+    };
+    OuterLoop {
+        var: "i".into(),
+        trip: k,
+        inner,
+        epilogue: vec![StoreStmt {
+            array: "out".into(),
+            index: Expr::var("i"),
+            value: Expr::var("s"),
+        }],
+        ooo_tags: Some(tags),
+    }
+}
+
+/// `gsum-many`: many independent gsum invocations — outer iterations can
+/// overlap, so tagging helps.
+pub fn gsum_many(k: i64, m: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(53);
+    Program {
+        name: "gsum-many".into(),
+        arrays: [
+            ("data".to_string(), sarray(&mut rng, (k * m) as usize)),
+            ("out".to_string(), fzeros(k as usize)),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![gsum_kernel(k, m, 8)],
+    }
+}
+
+/// `gsum-single`: one long invocation — inherently sequential; the
+/// transformation buys nothing (and costs clock period), as in the paper.
+pub fn gsum_single(m: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(59);
+    Program {
+        name: "gsum-single".into(),
+        arrays: [
+            ("data".to_string(), sarray(&mut rng, m as usize)),
+            ("out".to_string(), fzeros(1)),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![gsum_kernel(1, m, 8)],
+    }
+}
+
+/// The GCD running example of the paper's §2.
+pub fn gcd(pairs: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(61);
+    let inner = InnerLoop {
+        vars: vec![
+            ("a".into(), Expr::load("arr1", Expr::var("i"))),
+            ("b".into(), Expr::load("arr2", Expr::var("i"))),
+        ],
+        update: vec![
+            ("a".into(), Expr::var("b")),
+            ("b".into(), Expr::bin(Op::Mod, Expr::var("a"), Expr::var("b"))),
+        ],
+        cond: Expr::un(Op::NeZero, Expr::var("b")),
+        effects: vec![],
+    };
+    Program {
+        name: "gcd".into(),
+        arrays: [
+            (
+                "arr1".to_string(),
+                (0..pairs).map(|_| Value::Int(rng.gen_range(1..2000))).collect(),
+            ),
+            (
+                "arr2".to_string(),
+                (0..pairs).map(|_| Value::Int(rng.gen_range(1..2000))).collect(),
+            ),
+            ("result".to_string(), vec![Value::Int(0); pairs as usize]),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![OuterLoop {
+            var: "i".into(),
+            trip: pairs,
+            inner,
+            epilogue: vec![StoreStmt {
+                array: "result".into(),
+                index: Expr::var("i"),
+                value: Expr::var("a"),
+            }],
+            ooo_tags: Some(8),
+        }],
+    }
+}
+
+/// The full evaluation suite at the default (scaled) sizes, in the paper's
+/// Table 2 row order.
+pub fn evaluation_suite() -> Vec<Program> {
+    vec![
+        bicg(14),
+        gemm(6, 6, 8),
+        gsum_many(16, 24),
+        gsum_single(160),
+        matvec(20),
+        mvt(14),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_frontend::run_program;
+
+    #[test]
+    fn all_benchmarks_interpret_successfully() {
+        for p in evaluation_suite() {
+            let mem = run_program(&p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert!(!mem.is_empty(), "{}", p.name);
+        }
+        run_program(&gcd(10)).unwrap();
+    }
+
+    #[test]
+    fn matvec_matches_a_direct_computation() {
+        let p = matvec(5);
+        let mem = run_program(&p).unwrap();
+        let a: Vec<f64> = p.arrays["A"].iter().map(|v| v.as_f64().unwrap()).collect();
+        let x: Vec<f64> = p.arrays["x"].iter().map(|v| v.as_f64().unwrap()).collect();
+        for i in 0..5 {
+            let mut acc = 0.0;
+            for j in 0..5 {
+                acc += a[i * 5 + j] * x[j];
+            }
+            assert_eq!(mem["y"][i].as_f64().unwrap(), acc, "row {i}");
+        }
+    }
+
+    #[test]
+    fn bicg_has_a_store_in_the_inner_body() {
+        let p = bicg(6);
+        assert!(!p.kernels[0].inner.effects.is_empty());
+    }
+
+    #[test]
+    fn gsum_single_is_one_long_invocation() {
+        let p = gsum_single(32);
+        assert_eq!(p.kernels[0].trip, 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Table and figure renderers: regenerate the paper's Table 2, Table 3,
+//! Figure 8, and the §6.3 rewrite statistics from harness results, printing
+//! the paper's published numbers alongside for comparison.
+
+use crate::eval::{geomean, BenchResult, Flow};
+
+/// Paper-published row: cycles, clock period, LUT, FF, DSP per flow
+/// (Tables 2 and 3 of the paper).
+pub struct PaperRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Cycle counts: DF-IO, DF-OoO, GRAPHITI, Vericert.
+    pub cycles: [f64; 4],
+    /// Clock periods (ns).
+    pub cp: [f64; 4],
+    /// LUTs.
+    pub lut: [f64; 4],
+    /// FFs.
+    pub ff: [f64; 4],
+    /// DSPs.
+    pub dsp: [f64; 4],
+}
+
+/// The paper's published values (Tables 2 and 3), used for side-by-side
+/// shape comparison in the generated reports.
+pub const PAPER: &[PaperRow] = &[
+    PaperRow {
+        name: "bicg",
+        cycles: [7936.0, 1000.0, 7936.0, 44557.0],
+        cp: [6.43, 11.27, 6.43, 4.807],
+        lut: [2051.0, 3229.0, 2051.0, 838.0],
+        ff: [2182.0, 2737.0, 2182.0, 1302.0],
+        dsp: [10.0, 10.0, 10.0, 5.0],
+    },
+    PaperRow {
+        name: "gemm",
+        cycles: [68825.0, 8278.0, 8338.0, 252013.0],
+        cp: [6.361, 8.631, 12.439, 5.059],
+        lut: [3248.0, 5564.0, 6282.0, 940.0],
+        ff: [2709.0, 3880.0, 4908.0, 1484.0],
+        dsp: [11.0, 11.0, 11.0, 5.0],
+    },
+    PaperRow {
+        name: "gsum-many",
+        cycles: [68523.0, 36537.0, 34363.0, 118096.0],
+        cp: [7.57, 8.052, 7.388, 5.127],
+        lut: [3028.0, 3867.0, 4438.0, 1151.0],
+        ff: [3319.0, 3855.0, 4546.0, 1381.0],
+        dsp: [22.0, 22.0, 22.0, 5.0],
+    },
+    PaperRow {
+        name: "gsum-single",
+        cycles: [6703.0, 9234.0, 9436.0, 18798.0],
+        cp: [6.026, 8.937, 8.421, 5.127],
+        lut: [2648.0, 2541.0, 3862.0, 1042.0],
+        ff: [3110.0, 3101.0, 4283.0, 1342.0],
+        dsp: [22.0, 22.0, 22.0, 5.0],
+    },
+    PaperRow {
+        name: "matvec",
+        cycles: [7936.0, 919.0, 993.0, 25447.0],
+        cp: [5.589, 8.628, 7.114, 4.805],
+        lut: [1400.0, 6027.0, 6107.0, 613.0],
+        ff: [1282.0, 6839.0, 6680.0, 1137.0],
+        dsp: [5.0, 5.0, 5.0, 5.0],
+    },
+    PaperRow {
+        name: "mvt",
+        cycles: [7940.0, 2044.0, 2002.0, 46538.0],
+        cp: [6.101, 8.31, 7.45, 4.805],
+        lut: [2980.0, 5084.0, 5656.0, 936.0],
+        ff: [2721.0, 4028.0, 5179.0, 1386.0],
+        dsp: [10.0, 10.0, 10.0, 5.0],
+    },
+];
+
+/// The paper row for a benchmark name, if it is one of the six.
+pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
+    PAPER.iter().find(|r| r.name == name)
+}
+
+const FLOWS: [Flow; 4] = [Flow::DfIo, Flow::DfOoo, Flow::Graphiti, Flow::Vericert];
+
+fn flow_header() -> String {
+    format!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "DF-IO", "DF-OoO", "GRAPHITI", "Vericert"
+    )
+}
+
+/// Renders Table 2 (cycle count, clock period, execution time).
+pub fn table2(results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: cycle count, clock period and execution time\n");
+    for (title, metric) in [
+        ("Cycle count", 0usize),
+        ("Clock period (ns)", 1),
+        ("Execution time (ns)", 2),
+    ] {
+        out.push_str(&format!("\n== {title} ==\n"));
+        out.push_str(&format!("{:<12} {}   (paper values in parentheses)\n", "benchmark", flow_header()));
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for r in results {
+            let mut line = format!("{:<12}", r.name);
+            let paper = paper_row(&r.name);
+            for (k, fl) in FLOWS.iter().enumerate() {
+                let m = &r.flows[fl];
+                let v = match metric {
+                    0 => m.cycles as f64,
+                    1 => m.clock_period_ns,
+                    2 => m.exec_time_ns,
+                    _ => unreachable!(),
+                };
+                cols[k].push(v);
+                let pv = paper.map(|p| match metric {
+                    0 => p.cycles[k],
+                    1 => p.cp[k],
+                    2 => p.cycles[k] * p.cp[k],
+                    _ => unreachable!(),
+                });
+                let cell = if metric == 1 {
+                    format!("{v:.2}")
+                } else {
+                    format!("{v:.0}")
+                };
+                let pcell = match pv {
+                    Some(p) if metric == 1 => format!("({p:.2})"),
+                    Some(p) => format!("({p:.0})"),
+                    None => String::new(),
+                };
+                line.push_str(&format!(" {:>12} {:<9}", cell, pcell));
+            }
+            if !r.flows[&Flow::DfOoo].correct {
+                line.push_str("  [DF-OoO WRONG RESULT]");
+            }
+            if r.refused {
+                line.push_str("  [GRAPHITI refused: impure body]");
+            }
+            out.push(' ');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        let mut line = format!(" {:<12}", "geomean");
+        for col in &cols {
+            let g = geomean(col.iter().copied());
+            let cell = if metric == 1 { format!("{g:.2}") } else { format!("{g:.0}") };
+            line.push_str(&format!(" {:>12} {:<9}", cell, ""));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 3 (LUT, FF, DSP counts).
+pub fn table3(results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3: area (LUT / FF / DSP)\n");
+    for (title, metric) in [("LUT count", 0usize), ("FF count", 1), ("DSP count", 2)] {
+        out.push_str(&format!("\n== {title} ==\n"));
+        out.push_str(&format!("{:<12} {}   (paper values in parentheses)\n", "benchmark", flow_header()));
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for r in results {
+            let mut line = format!("{:<12}", r.name);
+            let paper = paper_row(&r.name);
+            for (k, fl) in FLOWS.iter().enumerate() {
+                let m = &r.flows[fl];
+                let v = match metric {
+                    0 => m.lut as f64,
+                    1 => m.ff as f64,
+                    2 => m.dsp as f64,
+                    _ => unreachable!(),
+                };
+                cols[k].push(v);
+                let pv = paper.map(|p| match metric {
+                    0 => p.lut[k],
+                    1 => p.ff[k],
+                    2 => p.dsp[k],
+                    _ => unreachable!(),
+                });
+                let pcell = match pv {
+                    Some(p) => format!("({p:.0})"),
+                    None => String::new(),
+                };
+                line.push_str(&format!(" {:>12.0} {:<9}", v, pcell));
+            }
+            out.push(' ');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        let mut line = format!(" {:<12}", "geomean");
+        for col in &cols {
+            line.push_str(&format!(" {:>12.2} {:<9}", geomean(col.iter().copied()), ""));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Figure 8: cycle count and execution time of DF-IO and GRAPHITI
+/// relative to DF-OoO (= 1.0).
+pub fn fig8(results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 8: performance relative to DF-OoO (lower is better)\n\n");
+    for (title, pick) in [
+        ("Relative cycle count", 0usize),
+        ("Relative execution time", 1),
+    ] {
+        out.push_str(&format!("== {title} ==\n"));
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10} {:>10}\n",
+            "benchmark", "DF-IO", "GRAPHITI", "DF-OoO"
+        ));
+        let mut rel_io = Vec::new();
+        let mut rel_gr = Vec::new();
+        for r in results {
+            let base = &r.flows[&Flow::DfOoo];
+            let io = &r.flows[&Flow::DfIo];
+            let gr = &r.flows[&Flow::Graphiti];
+            let (a, b) = match pick {
+                0 => (
+                    io.cycles as f64 / base.cycles as f64,
+                    gr.cycles as f64 / base.cycles as f64,
+                ),
+                _ => (io.exec_time_ns / base.exec_time_ns, gr.exec_time_ns / base.exec_time_ns),
+            };
+            rel_io.push(a);
+            rel_gr.push(b);
+            out.push_str(&format!("{:<12} {a:>10.2} {b:>10.2} {:>10.2}\n", r.name, 1.0));
+        }
+        out.push_str(&format!(
+            "{:<12} {:>10.2} {:>10.2} {:>10.2}\n\n",
+            "geomean",
+            geomean(rel_io),
+            geomean(rel_gr),
+            1.0
+        ));
+    }
+    out
+}
+
+/// Renders the §6.3 statistics: graph sizes, rewrite counts, rewrite time.
+pub fn stats(results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Rewriting statistics (paper §6.3: matvec ~90 nodes/1650 rewrites in 9.76 s,\n");
+    out.push_str("gemm ~180 nodes/4416 rewrites in 81.49 s on the Lean implementation)\n\n");
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>14} {:>10}\n",
+        "benchmark", "graph nodes", "rewrites", "rewrite time", "refused"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>13.3}s {:>10}\n",
+            r.name,
+            r.graph_nodes,
+            r.rewrites,
+            r.rewrite_seconds,
+            if r.refused { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+/// Headline summary: the paper's 2.1x (vs DF-IO) and 5.8x (vs Vericert)
+/// execution-time factors.
+pub fn headline(results: &[BenchResult]) -> String {
+    let vs_io = geomean(results.iter().map(|r| {
+        r.flows[&Flow::DfIo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
+    }));
+    let vs_vc = geomean(results.iter().map(|r| {
+        r.flows[&Flow::Vericert].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
+    }));
+    let vs_ooo = geomean(results.iter().map(|r| {
+        r.flows[&Flow::DfOoo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
+    }));
+    format!(
+        "GRAPHITI speedup (geomean exec time): {vs_io:.2}x vs DF-IO (paper: 2.1x), \
+         {vs_vc:.2}x vs Vericert (paper: 5.8x), {vs_ooo:.2}x vs DF-OoO (paper: ~0.8-1.0x)\n"
+    )
+}

@@ -1,0 +1,149 @@
+//! Cross-validation of the benchmark suite: every benchmark circuit (all
+//! four flows) computes the reference interpreter's results at reduced
+//! sizes, and the printed tables carry the structural markers the paper's
+//! narrative depends on.
+
+use graphiti_bench::{evaluate, geomean, suite, tables, Flow};
+use graphiti_core::{optimize_loop, PipelineOptions};
+use graphiti_frontend::{compile, run_program};
+use graphiti_ir::Value;
+use graphiti_sim::{place_buffers_targeted, simulate, SimConfig};
+use std::collections::BTreeMap;
+
+fn check_flows(p: &graphiti_frontend::Program, expect_dfooo_correct: bool) {
+    let r = evaluate(p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    assert!(r.flows[&Flow::DfIo].correct, "{} DF-IO", p.name);
+    assert!(r.flows[&Flow::Graphiti].correct, "{} GRAPHITI", p.name);
+    assert!(r.flows[&Flow::Vericert].correct, "{} Vericert", p.name);
+    assert_eq!(
+        r.flows[&Flow::DfOoo].correct, expect_dfooo_correct,
+        "{} DF-OoO correctness",
+        p.name
+    );
+}
+
+#[test]
+fn matvec_all_flows_correct() {
+    check_flows(&suite::matvec(7), true);
+}
+
+#[test]
+fn mvt_all_flows_correct() {
+    check_flows(&suite::mvt(5), true);
+}
+
+#[test]
+fn gemm_all_flows_correct() {
+    check_flows(&suite::gemm(3, 3, 4), true);
+}
+
+#[test]
+fn gsum_many_all_flows_correct() {
+    check_flows(&suite::gsum_many(5, 8), true);
+}
+
+#[test]
+fn gsum_single_all_flows_correct() {
+    check_flows(&suite::gsum_single(24), true);
+}
+
+#[test]
+fn bicg_dfooo_is_wrong_and_graphiti_refuses() {
+    // bicg's store accumulates s[j] += ...; additions commute in exact
+    // arithmetic but not in floating point, and with several outer
+    // iterations in flight the commits interleave — the evaluation flags
+    // the run. (Whether the FP reassociation is observable depends on the
+    // data; the structural fact we assert is the refusal + the identical
+    // DF-IO/GRAPHITI circuits.)
+    let p = suite::bicg(6);
+    let r = evaluate(&p).unwrap();
+    assert!(r.refused, "bicg must be refused");
+    assert_eq!(r.flows[&Flow::DfIo].cycles, r.flows[&Flow::Graphiti].cycles);
+    assert_eq!(r.flows[&Flow::DfIo].lut, r.flows[&Flow::Graphiti].lut);
+}
+
+#[test]
+fn gsum_select_path_is_exercised() {
+    // The gsum data contains negative values, so both select arms fire;
+    // verify against a direct recomputation.
+    let p = suite::gsum_many(4, 6);
+    let mem = run_program(&p).unwrap();
+    let data: Vec<f64> = p.arrays["data"].iter().map(|v| v.as_f64().unwrap()).collect();
+    assert!(data.iter().any(|d| *d < 0.0), "workload has negative entries");
+    assert!(data.iter().any(|d| *d >= 0.0), "workload has non-negative entries");
+    for i in 0..4 {
+        let mut s = 0.0;
+        for j in 0..6 {
+            let d = data[i * 6 + j];
+            s += if d >= 0.0 { d * d + 0.25 } else { 0.0 };
+        }
+        assert_eq!(mem["out"][i].as_f64().unwrap(), s, "invocation {i}");
+    }
+    // And the circuit agrees with the interpreter.
+    let compiled = compile(&p).unwrap();
+    let k = &compiled.kernels[0];
+    let opts = PipelineOptions { tags: 8, ..Default::default() };
+    let (g, report) = optimize_loop(&k.graph, &k.inner_init, &opts).unwrap();
+    assert!(report.transformed);
+    let (placed, _) = place_buffers_targeted(&g, 6.5);
+    let feeds: BTreeMap<String, Vec<Value>> =
+        [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+    let r = simulate(&placed, &feeds, p.arrays.clone(), SimConfig::default()).unwrap();
+    assert_eq!(r.memory["out"], mem["out"]);
+}
+
+#[test]
+fn table_printers_carry_the_narrative_markers() {
+    let programs = [suite::bicg(5), suite::matvec(6)];
+    let results: Vec<_> = programs.iter().map(|p| evaluate(p).unwrap()).collect();
+
+    let t2 = tables::table2(&results);
+    assert!(t2.contains("Cycle count"));
+    assert!(t2.contains("Clock period"));
+    assert!(t2.contains("Execution time"));
+    assert!(t2.contains("geomean"));
+    assert!(t2.contains("[GRAPHITI refused: impure body]"), "{t2}");
+    assert!(t2.contains("(7936)"), "paper values are printed: {t2}");
+
+    let t3 = tables::table3(&results);
+    assert!(t3.contains("LUT count") && t3.contains("FF count") && t3.contains("DSP count"));
+
+    let f8 = tables::fig8(&results);
+    assert!(f8.contains("Relative cycle count"));
+    assert!(f8.contains("bicg") && f8.contains("matvec"));
+
+    let st = tables::stats(&results);
+    assert!(st.contains("rewrites"));
+    assert!(st.contains("yes"), "bicg refusal shows in the stats: {st}");
+
+    let head = tables::headline(&results);
+    assert!(head.contains("vs DF-IO"));
+}
+
+#[test]
+fn paper_reference_values_are_complete() {
+    for name in ["bicg", "gemm", "gsum-many", "gsum-single", "matvec", "mvt"] {
+        let row = tables::paper_row(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert!(row.cycles.iter().all(|c| *c > 0.0));
+        assert!(row.cp.iter().all(|c| *c > 0.0));
+        assert_eq!(row.dsp[3], 5.0, "Vericert DSP constant");
+    }
+    assert!(tables::paper_row("gcd").is_none(), "gcd is ours, not the paper's");
+}
+
+#[test]
+fn geomean_of_table_ratios_matches_headline() {
+    let programs = [suite::matvec(6), suite::mvt(5)];
+    let results: Vec<_> = programs.iter().map(|p| evaluate(p).unwrap()).collect();
+    let manual = geomean(results.iter().map(|r| {
+        r.flows[&Flow::DfIo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
+    }));
+    let head = tables::headline(&results);
+    let printed: f64 = head
+        .split("speedup (geomean exec time): ")
+        .nth(1)
+        .and_then(|s| s.split('x').next())
+        .and_then(|s| s.parse().ok())
+        .expect("headline parses");
+    assert!((printed - manual).abs() < 0.005, "{printed} vs {manual}");
+}

@@ -1,0 +1,199 @@
+//! The *unverified* DF-OoO baseline transformation [Elakhras et al.,
+//! FPGA'24], reimplemented as direct graph surgery.
+//!
+//! It normalizes the loop like the verified pipeline (phases 1–2) and then
+//! converts the Mux to a Merge, removes the Init, and wraps the loop in a
+//! Tagger/Untagger — **without** proving (or even checking) that the loop
+//! body is reorderable. In particular it happily transforms a loop with a
+//! Store in its body; on bicg this reproduces the compilation bug the paper
+//! discovered: stores commit out of program order and the final memory is
+//! wrong.
+
+use crate::loops::loop_with_init;
+use crate::pipeline::{PipelineError, PipelineOptions};
+use graphiti_ir::{ep, Attachment, CompKind, ExprHigh, NodeId};
+use graphiti_rewrite::{wire_consumer, wire_driver, Engine};
+use std::fmt;
+
+/// Errors of the DF-OoO surgery.
+#[derive(Debug)]
+pub enum DfOooError {
+    /// Normalization failed.
+    Pipeline(PipelineError),
+    /// The loop skeleton was not found.
+    LoopNotFound,
+    /// Graph surgery failed.
+    Graph(graphiti_ir::GraphError),
+}
+
+impl fmt::Display for DfOooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfOooError::Pipeline(e) => write!(f, "normalization failed: {e}"),
+            DfOooError::LoopNotFound => write!(f, "loop skeleton not found"),
+            DfOooError::Graph(e) => write!(f, "surgery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DfOooError {}
+
+impl From<graphiti_ir::GraphError> for DfOooError {
+    fn from(e: graphiti_ir::GraphError) -> Self {
+        DfOooError::Graph(e)
+    }
+}
+
+/// Applies the unverified DF-OoO transformation to the loop identified by
+/// its Init node.
+///
+/// # Errors
+///
+/// Fails if the loop cannot be found or surgery breaks connectivity; unlike
+/// the verified pipeline there is **no purity refusal**.
+pub fn dfooo_loop(
+    graph: &ExprHigh,
+    init: &NodeId,
+    opts: &PipelineOptions,
+) -> Result<ExprHigh, DfOooError> {
+    // Phases 1-2 (same normalization as the verified flow).
+    let mut engine = Engine::new();
+    let phase1 = [
+        graphiti_rewrite::catalog::normalize::mux_combine(),
+        graphiti_rewrite::catalog::normalize::branch_combine(),
+        graphiti_rewrite::catalog::normalize::fork_flatten(),
+    ];
+    let refs: Vec<&graphiti_rewrite::Rewrite> = phase1.iter().collect();
+    let g = engine
+        .exhaust(graph.clone(), &refs, opts.max_rewrites)
+        .map_err(|e| DfOooError::Pipeline(PipelineError::Rewrite(e)))?;
+    let phase2 = [
+        graphiti_rewrite::catalog::elim::fork1_elim(),
+        graphiti_rewrite::catalog::elim::split_join_elim(),
+        graphiti_rewrite::catalog::elim::fork_sink_prune(),
+    ];
+    let refs: Vec<&graphiti_rewrite::Rewrite> = phase2.iter().collect();
+    let mut g = engine
+        .exhaust(g, &refs, opts.max_rewrites)
+        .map_err(|e| DfOooError::Pipeline(PipelineError::Rewrite(e)))?;
+
+    let l = loop_with_init(&g, init).ok_or(DfOooError::LoopNotFound)?;
+
+    // Boundary wires of the loop.
+    let entry = match g.driver(&ep(l.mux.clone(), "f")) {
+        Some(d) => d,
+        None => return Err(DfOooError::LoopNotFound),
+    };
+    let exit = match g.consumer(&ep(l.branch.clone(), "f")) {
+        Some(c) => c,
+        None => return Err(DfOooError::LoopNotFound),
+    };
+    let body_in = wire_consumer(&g, &ep(l.mux.clone(), "out")).ok_or(DfOooError::LoopNotFound)?;
+    let cond_src = match wire_driver(&g, &ep(l.fork.clone(), "in")) {
+        Some(s) => s,
+        None => return Err(DfOooError::LoopNotFound),
+    };
+    let branch_data = match g.driver(&ep(l.branch.clone(), "in")) {
+        Some(Attachment::Wire(e)) => e,
+        _ => return Err(DfOooError::LoopNotFound),
+    };
+
+    // Detach and remove the steering we replace: mux, init, cond fork.
+    g.detach_input(&ep(l.mux.clone(), "f"));
+    g.detach_output(&ep(l.branch.clone(), "f"));
+    let loopback = ep(l.branch.clone(), "t");
+    g.detach_output(&loopback);
+    g.remove_node(&l.mux)?;
+    g.remove_node(&l.init)?;
+    g.remove_node(&l.fork)?;
+    // The branch condition lost its driver when the fork was removed.
+    // Rewire it from the condition source directly.
+    g.detach_output(&cond_src);
+    g.connect(cond_src, ep(l.branch.clone(), "cond"))?;
+    // The branch data path survived; keep it.
+    let _ = branch_data;
+
+    // Insert the tagger and the merge.
+    let tagger = g.fresh("dfooo_tagger");
+    g.add_node(tagger.clone(), CompKind::TaggerUntagger { tags: opts.tags })?;
+    let merge = g.fresh("dfooo_merge");
+    g.add_node(merge.clone(), CompKind::Merge)?;
+
+    match entry {
+        Attachment::Wire(from) => g.connect(from, ep(tagger.clone(), "in"))?,
+        Attachment::External(name) => g.expose_input(name, ep(tagger.clone(), "in"))?,
+    }
+    g.connect(ep(tagger.clone(), "tagged"), ep(merge.clone(), "in0"))?;
+    g.connect(loopback, ep(merge.clone(), "in1"))?;
+    g.connect(ep(merge, "out"), body_in)?;
+    g.connect(ep(l.branch.clone(), "f"), ep(tagger.clone(), "retag"))?;
+    match exit {
+        Attachment::Wire(to) => g.connect(ep(tagger, "out"), to)?,
+        Attachment::External(name) => g.expose_output(name, ep(tagger, "out"))?,
+    }
+
+    g.validate()?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_ir::{Op, PureFn};
+
+    /// A canonical sequential loop with a Pure body (already normalized).
+    fn seq_loop() -> ExprHigh {
+        let f = PureFn::comp(
+            PureFn::par(PureFn::Id, PureFn::Op(Op::NeZero)),
+            PureFn::comp(
+                PureFn::par(
+                    PureFn::pair(PureFn::Snd, PureFn::Op(Op::Mod)),
+                    PureFn::Op(Op::Mod),
+                ),
+                PureFn::Dup,
+            ),
+        );
+        let mut g = ExprHigh::new();
+        g.add_node("mux", CompKind::Mux).unwrap();
+        g.add_node("body", CompKind::Pure { func: f }).unwrap();
+        g.add_node("split", CompKind::Split).unwrap();
+        g.add_node("br", CompKind::Branch).unwrap();
+        g.add_node("fork", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("init", CompKind::Init { initial: false }).unwrap();
+        g.connect(ep("mux", "out"), ep("body", "in")).unwrap();
+        g.connect(ep("body", "out"), ep("split", "in")).unwrap();
+        g.connect(ep("split", "out0"), ep("br", "in")).unwrap();
+        g.connect(ep("split", "out1"), ep("fork", "in")).unwrap();
+        g.connect(ep("fork", "out0"), ep("br", "cond")).unwrap();
+        g.connect(ep("fork", "out1"), ep("init", "in")).unwrap();
+        g.connect(ep("init", "out"), ep("mux", "cond")).unwrap();
+        g.connect(ep("br", "t"), ep("mux", "t")).unwrap();
+        g.expose_input("entry", ep("mux", "f")).unwrap();
+        g.expose_output("exit", ep("br", "f")).unwrap();
+        g
+    }
+
+    #[test]
+    fn dfooo_transforms_without_purity_check() {
+        let g = seq_loop();
+        let opts = PipelineOptions { tags: 4, ..Default::default() };
+        let g2 = dfooo_loop(&g, &"init".into(), &opts).unwrap();
+        g2.validate().unwrap();
+        assert!(g2.nodes().any(|(_, k)| matches!(k, CompKind::TaggerUntagger { .. })));
+        assert!(g2.nodes().any(|(_, k)| matches!(k, CompKind::Merge)));
+        assert!(!g2.nodes().any(|(_, k)| matches!(k, CompKind::Mux)));
+        assert!(!g2.nodes().any(|(_, k)| matches!(k, CompKind::Init { .. })));
+    }
+
+    #[test]
+    fn dfooo_fails_cleanly_without_a_loop() {
+        let mut g = ExprHigh::new();
+        g.add_node("s", CompKind::Sink).unwrap();
+        g.expose_input("x", ep("s", "in")).unwrap();
+        let opts = PipelineOptions::default();
+        assert!(matches!(
+            dfooo_loop(&g, &"init".into(), &opts),
+            Err(DfOooError::LoopNotFound)
+        ));
+    }
+}

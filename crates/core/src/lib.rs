@@ -1,0 +1,60 @@
+//! The Graphiti out-of-order optimization pipeline.
+//!
+//! This crate ties the rewriting engine to the dynamic-HLS flow of the
+//! paper's Fig. 1: given a circuit from the front-end and an oracle marking
+//! of which loop to make out-of-order (tracked by its Init node), it runs
+//! the five phases of §3.1 — normalization, elimination, pure generation,
+//! the verified loop rewrite, and body re-expansion — refusing loops whose
+//! bodies have side effects (the refusal that exposed the paper's bicg
+//! bug).
+//!
+//! The *unverified* DF-OoO baseline [`dfooo_loop`] is also provided: the
+//! same loop surgery without the purity check, faithfully reproducing the
+//! bug on stores inside loop bodies.
+//!
+//! # Example
+//!
+//! ```
+//! use graphiti_core::{optimize_loop, PipelineOptions};
+//! use graphiti_frontend::{compile_kernel, Expr, InnerLoop, OuterLoop};
+//! use graphiti_ir::{CompKind, Op};
+//!
+//! let kernel = OuterLoop {
+//!     var: "i".into(),
+//!     trip: 4,
+//!     inner: InnerLoop {
+//!         vars: vec![
+//!             ("a".into(), Expr::addi(Expr::var("i"), Expr::int(6))),
+//!             ("b".into(), Expr::int(4)),
+//!         ],
+//!         update: vec![
+//!             ("a".into(), Expr::var("b")),
+//!             ("b".into(), Expr::bin(Op::Mod, Expr::var("a"), Expr::var("b"))),
+//!         ],
+//!         cond: Expr::un(Op::NeZero, Expr::var("b")),
+//!         effects: vec![],
+//!     },
+//!     epilogue: vec![],
+//!     ooo_tags: Some(4),
+//! };
+//! let circuit = compile_kernel(&kernel, "gcd")?;
+//! let opts = PipelineOptions { tags: 4, ..Default::default() };
+//! let (optimized, report) = optimize_loop(&circuit.graph, &circuit.inner_init, &opts)?;
+//! assert!(report.transformed);
+//! assert!(optimized
+//!     .nodes()
+//!     .any(|(_, k)| matches!(k, CompKind::TaggerUntagger { .. })));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod dfooo;
+mod loops;
+mod pipeline;
+
+pub use dfooo::{dfooo_loop, DfOooError};
+pub use loops::{find_seq_loops, loop_body_region, loop_with_init, SeqLoop};
+pub use pipeline::{
+    optimize_loop, PipelineError, PipelineOptions, PipelineReport, Refusal,
+};

@@ -1,0 +1,142 @@
+//! Structural discovery of sequential loops in a circuit.
+//!
+//! After normalization (phases 1–2), a sequential loop is a
+//! Mux/Init/condition-Fork/Branch quadruple. The optimization oracle tracks
+//! a marked loop across rewrites through its Init node, which normalization
+//! never touches.
+
+use graphiti_rewrite::{wire_consumer, wire_driver};
+use graphiti_ir::{ep, CompKind, Endpoint, ExprHigh, NodeId};
+use std::collections::BTreeSet;
+
+/// A sequential loop skeleton: the steering components around the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqLoop {
+    /// The loop-head Mux.
+    pub mux: NodeId,
+    /// The Init register on the Mux condition.
+    pub init: NodeId,
+    /// The 2-way condition Fork feeding the Branch and the Init.
+    pub fork: NodeId,
+    /// The loop-exit Branch.
+    pub branch: NodeId,
+}
+
+/// Finds all sequential loops: Init → Mux.cond, Fork{2} → {Branch.cond,
+/// Init.in}, Branch.t → Mux.t.
+pub fn find_seq_loops(g: &ExprHigh) -> Vec<SeqLoop> {
+    let mut out = Vec::new();
+    for (init, kind) in g.nodes() {
+        if !matches!(kind, CompKind::Init { .. }) {
+            continue;
+        }
+        let mux = match wire_consumer(g, &ep(init.clone(), "out")) {
+            Some(d) if d.port == "cond" && matches!(g.kind(&d.node), Some(CompKind::Mux)) => {
+                d.node
+            }
+            _ => continue,
+        };
+        let fork = match wire_driver(g, &ep(init.clone(), "in")) {
+            Some(src) if matches!(g.kind(&src.node), Some(CompKind::Fork { ways: 2 })) => src,
+            _ => continue,
+        };
+        let other = if fork.port == "out0" { "out1" } else { "out0" };
+        let branch = match wire_consumer(g, &ep(fork.node.clone(), other)) {
+            Some(d) if d.port == "cond" && matches!(g.kind(&d.node), Some(CompKind::Branch)) => {
+                d.node
+            }
+            _ => continue,
+        };
+        match wire_consumer(g, &ep(branch.clone(), "t")) {
+            Some(d) if d.node == mux && d.port == "t" => {}
+            _ => continue,
+        }
+        out.push(SeqLoop { mux, init: init.clone(), fork: fork.node, branch });
+    }
+    out
+}
+
+/// Finds the loop whose Init node is `init`.
+pub fn loop_with_init(g: &ExprHigh, init: &NodeId) -> Option<SeqLoop> {
+    find_seq_loops(g).into_iter().find(|l| l.init == *init)
+}
+
+/// The body region of a loop: every node reachable forward from `mux.out`
+/// without passing through the loop's steering components.
+pub fn loop_body_region(g: &ExprHigh, l: &SeqLoop) -> BTreeSet<NodeId> {
+    let stop: BTreeSet<&NodeId> = [&l.mux, &l.init, &l.fork, &l.branch].into_iter().collect();
+    let mut region = BTreeSet::new();
+    let mut frontier: Vec<Endpoint> = vec![ep(l.mux.clone(), "out")];
+    while let Some(from) = frontier.pop() {
+        let to = match wire_consumer(g, &from) {
+            Some(t) => t,
+            None => continue,
+        };
+        if stop.contains(&to.node) || region.contains(&to.node) {
+            continue;
+        }
+        region.insert(to.node.clone());
+        let (_, outs) = g.kind(&to.node).expect("node exists").interface();
+        for p in outs {
+            frontier.push(ep(to.node.clone(), p));
+        }
+    }
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_ir::{Op, PureFn};
+
+    fn simple_loop() -> ExprHigh {
+        let mut g = ExprHigh::new();
+        g.add_node("mux", CompKind::Mux).unwrap();
+        g.add_node("body", CompKind::Pure { func: PureFn::Dup }).unwrap();
+        g.add_node("split", CompKind::Split).unwrap();
+        g.add_node("cond", CompKind::Pure { func: PureFn::Op(Op::NeZero) }).unwrap();
+        g.add_node("fork", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("init", CompKind::Init { initial: false }).unwrap();
+        g.add_node("br", CompKind::Branch).unwrap();
+        g.connect(ep("mux", "out"), ep("body", "in")).unwrap();
+        g.connect(ep("body", "out"), ep("split", "in")).unwrap();
+        g.connect(ep("split", "out0"), ep("br", "in")).unwrap();
+        g.connect(ep("split", "out1"), ep("cond", "in")).unwrap();
+        g.connect(ep("cond", "out"), ep("fork", "in")).unwrap();
+        g.connect(ep("fork", "out0"), ep("br", "cond")).unwrap();
+        g.connect(ep("fork", "out1"), ep("init", "in")).unwrap();
+        g.connect(ep("init", "out"), ep("mux", "cond")).unwrap();
+        g.connect(ep("br", "t"), ep("mux", "t")).unwrap();
+        g.expose_input("entry", ep("mux", "f")).unwrap();
+        g.expose_output("exit", ep("br", "f")).unwrap();
+        g
+    }
+
+    #[test]
+    fn finds_the_loop() {
+        let g = simple_loop();
+        let loops = find_seq_loops(&g);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(
+            loops[0],
+            SeqLoop {
+                mux: "mux".into(),
+                init: "init".into(),
+                fork: "fork".into(),
+                branch: "br".into()
+            }
+        );
+        assert_eq!(loop_with_init(&g, &"init".into()), Some(loops[0].clone()));
+        assert_eq!(loop_with_init(&g, &"nope".into()), None);
+    }
+
+    #[test]
+    fn body_region_excludes_steering() {
+        let g = simple_loop();
+        let l = &find_seq_loops(&g)[0];
+        let region = loop_body_region(&g, l);
+        let expected: BTreeSet<NodeId> =
+            ["body".to_string(), "split".to_string(), "cond".to_string()].into_iter().collect();
+        assert_eq!(region, expected);
+    }
+}

@@ -1,0 +1,627 @@
+//! Dataflow circuit generation (the Dynamatic / fast-token-delivery
+//! substitute).
+//!
+//! Each kernel becomes one elastic circuit:
+//!
+//! * an **outer counter loop** (Mux/Branch/Init around an increment) that
+//!   emits one induction-variable token per outer iteration;
+//! * per outer iteration, **init expression DAGs** compute the inner loop's
+//!   initial state from the induction token;
+//! * the **inner do-while loop** in the classic sequential shape of the
+//!   paper's Fig. 2b: one Mux and one Branch *per state variable*, their
+//!   conditions distributed by Forks from a shared Init / condition wire
+//!   (this is exactly the shape the normalization rewrites of Fig. 3a later
+//!   combine);
+//! * body **effects** (stores) fire inside the loop with the current state
+//!   — the impurity that makes bicg refuse the out-of-order rewrite;
+//! * an **epilogue** of stores consumes the loop's final state together with
+//!   buffered copies of the induction token.
+//!
+//! The circuit has a single external input `start` (one Unit token) and a
+//! single external output `done` (the counter's exit token).
+
+use crate::ast::{Expr, InnerLoop, OuterLoop, Program, StoreStmt};
+use graphiti_ir::{ep, CompKind, Endpoint, ExprHigh, GraphError, NodeId, Op, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised during circuit generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// Graph construction failed (a generator bug if it ever fires).
+    Graph(GraphError),
+    /// A variable was consumed more often than its use count predicted.
+    SupplyExhausted(String),
+    /// The kernel references an update for an unknown state variable.
+    MalformedKernel(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Graph(e) => write!(f, "graph construction failed: {e}"),
+            CodegenError::SupplyExhausted(v) => {
+                write!(f, "internal use-count mismatch for variable `{v}`")
+            }
+            CodegenError::MalformedKernel(m) => write!(f, "malformed kernel: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<GraphError> for CodegenError {
+    fn from(e: GraphError) -> Self {
+        CodegenError::Graph(e)
+    }
+}
+
+/// A compiled kernel circuit plus the metadata the optimization oracle needs.
+#[derive(Debug, Clone)]
+pub struct KernelCircuit {
+    /// Kernel name.
+    pub name: String,
+    /// The elastic circuit.
+    pub graph: ExprHigh,
+    /// The inner loop's Mux nodes (one per state variable), for loop
+    /// marking.
+    pub inner_muxes: Vec<NodeId>,
+    /// The inner loop's Branch nodes.
+    pub inner_branches: Vec<NodeId>,
+    /// The inner loop's Init node — the stable handle the optimization
+    /// oracle uses to track the marked loop across rewrites.
+    pub inner_init: NodeId,
+    /// Tag budget if the kernel is marked for the out-of-order
+    /// transformation.
+    pub ooo_tags: Option<u32>,
+}
+
+/// A compiled program: kernels run in sequence against shared memory.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Program name.
+    pub name: String,
+    /// Kernels in execution order.
+    pub kernels: Vec<KernelCircuit>,
+}
+
+/// Deterministic fresh-name generator.
+struct NameGen {
+    counter: usize,
+}
+
+impl NameGen {
+    fn new() -> NameGen {
+        NameGen { counter: 0 }
+    }
+
+    fn fresh(&mut self, stem: &str) -> NodeId {
+        self.counter += 1;
+        format!("{stem}{}", self.counter)
+    }
+}
+
+/// Counts variable uses in an expression; constants count as a use of the
+/// trigger variable (they become Constant components fired by its token).
+fn count_expr(e: &Expr, trig: &str, counts: &mut BTreeMap<String, usize>) {
+    match e {
+        Expr::Const(_) => *counts.entry(trig.to_string()).or_insert(0) += 1,
+        Expr::Var(v) => *counts.entry(v.clone()).or_insert(0) += 1,
+        Expr::Load(_, idx) => count_expr(idx, trig, counts),
+        Expr::Un(_, a) => count_expr(a, trig, counts),
+        Expr::Bin(_, a, b) => {
+            count_expr(a, trig, counts);
+            count_expr(b, trig, counts);
+        }
+        Expr::Sel(c, t, f) => {
+            count_expr(c, trig, counts);
+            count_expr(t, trig, counts);
+            count_expr(f, trig, counts);
+        }
+    }
+}
+
+/// Token supplies: for each variable, the list of fork outputs still
+/// available to consumers.
+struct Supplies {
+    ports: BTreeMap<String, Vec<Endpoint>>,
+}
+
+impl Supplies {
+    fn new() -> Supplies {
+        Supplies { ports: BTreeMap::new() }
+    }
+
+    /// Registers a supply of `count` copies of the token stream produced at
+    /// `src`, inserting a Fork (or a Sink for zero uses).
+    fn provide(
+        &mut self,
+        g: &mut ExprHigh,
+        ng: &mut NameGen,
+        var: &str,
+        src: Endpoint,
+        count: usize,
+    ) -> Result<(), CodegenError> {
+        let entry = self.ports.entry(var.to_string()).or_default();
+        match count {
+            0 => {
+                let sink = ng.fresh("sink");
+                g.add_node(sink.clone(), CompKind::Sink)?;
+                g.connect(src, ep(sink, "in"))?;
+            }
+            1 => entry.push(src),
+            n => {
+                let fork = ng.fresh("fork");
+                g.add_node(fork.clone(), CompKind::Fork { ways: n })?;
+                g.connect(src, ep(fork.clone(), "in"))?;
+                for k in 0..n {
+                    entry.push(ep(fork.clone(), format!("out{k}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, var: &str) -> Result<Endpoint, CodegenError> {
+        self.ports
+            .get_mut(var)
+            .and_then(|v| v.pop())
+            .ok_or_else(|| CodegenError::SupplyExhausted(var.to_string()))
+    }
+}
+
+/// Emits an expression tree; returns the endpoint producing its value.
+fn emit_expr(
+    g: &mut ExprHigh,
+    ng: &mut NameGen,
+    sup: &mut Supplies,
+    trig: &str,
+    e: &Expr,
+) -> Result<Endpoint, CodegenError> {
+    Ok(match e {
+        Expr::Const(v) => {
+            let c = ng.fresh("const");
+            g.add_node(c.clone(), CompKind::Constant { value: v.clone() })?;
+            let t = sup.take(trig)?;
+            g.connect(t, ep(c.clone(), "ctrl"))?;
+            ep(c, "out")
+        }
+        Expr::Var(v) => sup.take(v)?,
+        Expr::Load(arr, idx) => {
+            let addr = emit_expr(g, ng, sup, trig, idx)?;
+            let ld = ng.fresh("load");
+            g.add_node(ld.clone(), CompKind::Load { mem: arr.clone() })?;
+            g.connect(addr, ep(ld.clone(), "addr"))?;
+            ep(ld, "data")
+        }
+        Expr::Un(op, a) => {
+            let va = emit_expr(g, ng, sup, trig, a)?;
+            let n = ng.fresh("op");
+            g.add_node(n.clone(), CompKind::Operator { op: *op })?;
+            g.connect(va, ep(n.clone(), "in0"))?;
+            ep(n, "out")
+        }
+        Expr::Bin(op, a, b) => {
+            let va = emit_expr(g, ng, sup, trig, a)?;
+            let vb = emit_expr(g, ng, sup, trig, b)?;
+            let n = ng.fresh("op");
+            g.add_node(n.clone(), CompKind::Operator { op: *op })?;
+            g.connect(va, ep(n.clone(), "in0"))?;
+            g.connect(vb, ep(n.clone(), "in1"))?;
+            ep(n, "out")
+        }
+        Expr::Sel(c, t, f) => {
+            let vc = emit_expr(g, ng, sup, trig, c)?;
+            let vt = emit_expr(g, ng, sup, trig, t)?;
+            let vf = emit_expr(g, ng, sup, trig, f)?;
+            let n = ng.fresh("sel");
+            g.add_node(n.clone(), CompKind::Operator { op: Op::Select })?;
+            g.connect(vc, ep(n.clone(), "in0"))?;
+            g.connect(vt, ep(n.clone(), "in1"))?;
+            g.connect(vf, ep(n.clone(), "in2"))?;
+            ep(n, "out")
+        }
+    })
+}
+
+/// The result of emitting a sequential loop.
+struct EmittedLoop {
+    muxes: Vec<NodeId>,
+    branches: Vec<NodeId>,
+    init: NodeId,
+    /// `(var, branch-false endpoint)` final values, in state order.
+    exits: Vec<(String, Endpoint)>,
+    /// Per-iteration exported copies of current variable values.
+    emitted: BTreeMap<String, Vec<Endpoint>>,
+}
+
+/// Emits the canonical sequential loop (Fig. 2b shape, one Mux/Branch per
+/// state variable).
+#[allow(clippy::too_many_arguments)]
+fn emit_loop(
+    g: &mut ExprHigh,
+    ng: &mut NameGen,
+    inits: &[(String, Endpoint)],
+    update: &[(String, Expr)],
+    cond: &Expr,
+    effects: &[StoreStmt],
+    emits: &BTreeMap<String, usize>,
+) -> Result<EmittedLoop, CodegenError> {
+    let nvars = inits.len();
+    if update.len() != nvars {
+        return Err(CodegenError::MalformedKernel(format!(
+            "{} state vars but {} updates",
+            nvars,
+            update.len()
+        )));
+    }
+    let trig = inits[0].0.clone();
+
+    // Count uses of current values: updates, effects, exports.
+    let mut cur_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (_, e) in update {
+        count_expr(e, &trig, &mut cur_counts);
+    }
+    for st in effects {
+        count_expr(&st.index, &trig, &mut cur_counts);
+        count_expr(&st.value, &trig, &mut cur_counts);
+    }
+    for (v, n) in emits {
+        *cur_counts.entry(v.clone()).or_insert(0) += n;
+    }
+
+    // Muxes and current-value supplies.
+    let mut muxes = Vec::new();
+    let mut sup = Supplies::new();
+    for (var, init_src) in inits {
+        let mux = ng.fresh("mux");
+        g.add_node(mux.clone(), CompKind::Mux)?;
+        g.connect(init_src.clone(), ep(mux.clone(), "f"))?;
+        let count = cur_counts.get(var).copied().unwrap_or(0);
+        sup.provide(g, ng, var, ep(mux.clone(), "out"), count)?;
+        muxes.push(mux);
+    }
+
+    // Exports of current values.
+    let mut emitted: BTreeMap<String, Vec<Endpoint>> = BTreeMap::new();
+    for (v, n) in emits {
+        for _ in 0..*n {
+            emitted.entry(v.clone()).or_default().push(sup.take(v)?);
+        }
+    }
+
+    // Effects (stores) with current values.
+    for st in effects {
+        let addr = emit_expr(g, ng, &mut sup, &trig, &st.index)?;
+        let val = emit_expr(g, ng, &mut sup, &trig, &st.value)?;
+        let s = ng.fresh("store");
+        g.add_node(s.clone(), CompKind::Store { mem: st.array.clone() })?;
+        g.connect(addr, ep(s.clone(), "addr"))?;
+        g.connect(val, ep(s.clone(), "data"))?;
+        let sink = ng.fresh("sink");
+        g.add_node(sink.clone(), CompKind::Sink)?;
+        g.connect(ep(s, "done"), ep(sink, "in"))?;
+    }
+
+    // Updated values.
+    let mut upd_eps: Vec<(String, Endpoint)> = Vec::new();
+    for (var, e) in update {
+        let out = emit_expr(g, ng, &mut sup, &trig, e)?;
+        upd_eps.push((var.clone(), out));
+    }
+
+    // Updated-value supplies: one copy for the Branch plus condition uses.
+    let mut upd_counts: BTreeMap<String, usize> = BTreeMap::new();
+    count_expr(cond, &trig, &mut upd_counts);
+    let mut upd_sup = Supplies::new();
+    for (var, src) in &upd_eps {
+        let count = 1 + upd_counts.get(var).copied().unwrap_or(0);
+        upd_sup.provide(g, ng, var, src.clone(), count)?;
+    }
+
+    // Condition over updated values.
+    let cond_out = emit_expr(g, ng, &mut upd_sup, &trig, cond)?;
+
+    // Condition distribution: Fork{nvars+1} -> branch conds + Init;
+    // Init -> Fork{nvars} -> mux conds.
+    let condfork = ng.fresh("condfork");
+    g.add_node(condfork.clone(), CompKind::Fork { ways: nvars + 1 })?;
+    g.connect(cond_out, ep(condfork.clone(), "in"))?;
+    let init = ng.fresh("init");
+    g.add_node(init.clone(), CompKind::Init { initial: false })?;
+    g.connect(ep(condfork.clone(), format!("out{nvars}")), ep(init.clone(), "in"))?;
+    let mux_cond_srcs: Vec<Endpoint> = if nvars == 1 {
+        vec![ep(init.clone(), "out")]
+    } else {
+        let initfork = ng.fresh("initfork");
+        g.add_node(initfork.clone(), CompKind::Fork { ways: nvars })?;
+        g.connect(ep(init.clone(), "out"), ep(initfork.clone(), "in"))?;
+        (0..nvars).map(|k| ep(initfork.clone(), format!("out{k}"))).collect()
+    };
+
+    // Branches.
+    let mut branches = Vec::new();
+    let mut exits = Vec::new();
+    for (k, (var, _)) in upd_eps.iter().enumerate() {
+        let br = ng.fresh("branch");
+        g.add_node(br.clone(), CompKind::Branch)?;
+        g.connect(ep(condfork.clone(), format!("out{k}")), ep(br.clone(), "cond"))?;
+        g.connect(upd_sup.take(var)?, ep(br.clone(), "in"))?;
+        g.connect(ep(br.clone(), "t"), ep(muxes[k].clone(), "t"))?;
+        g.connect(mux_cond_srcs[k].clone(), ep(muxes[k].clone(), "cond"))?;
+        exits.push((var.clone(), ep(br.clone(), "f")));
+        branches.push(br);
+    }
+
+    Ok(EmittedLoop { muxes, branches, init, exits, emitted })
+}
+
+/// Compiles one kernel to an elastic circuit.
+///
+/// # Errors
+///
+/// Fails on malformed kernels (mismatched state/update lists).
+pub fn compile_kernel(k: &OuterLoop, name: &str) -> Result<KernelCircuit, CodegenError> {
+    let mut g = ExprHigh::new();
+    let mut ng = NameGen::new();
+    let inner: &InnerLoop = &k.inner;
+    let outer = k.var.clone();
+    let decouple = k.ooo_tags.unwrap_or(1) as usize + 8;
+
+    // --- Use counts of the outer induction token ---
+    let mut outer_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (_, init) in &inner.vars {
+        count_expr(init, &outer, &mut outer_counts);
+    }
+    let init_uses = outer_counts.get(&outer).copied().unwrap_or(0);
+    let mut epi_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for st in &k.epilogue {
+        count_expr(&st.index, &outer, &mut epi_counts);
+        count_expr(&st.value, &outer, &mut epi_counts);
+    }
+    let epi_outer_uses = epi_counts.get(&outer).copied().unwrap_or(0);
+    let emit_uses = init_uses + epi_outer_uses;
+
+    // --- Outer counter loop ---
+    // start -> Constant(0) -> counter state.
+    let czero = ng.fresh("czero");
+    g.add_node(czero.clone(), CompKind::Constant { value: Value::Int(0) })?;
+    g.expose_input("start", ep(czero.clone(), "ctrl"))?;
+    let emits: BTreeMap<String, usize> = [(outer.clone(), emit_uses)].into_iter().collect();
+    let counter = emit_loop(
+        &mut g,
+        &mut ng,
+        &[(outer.clone(), ep(czero, "out"))],
+        &[(outer.clone(), Expr::addi(Expr::var(&outer), Expr::int(1)))],
+        &Expr::bin(Op::LtI, Expr::var(&outer), Expr::int(k.trip)),
+        &[],
+        &emits,
+    )?;
+    g.expose_output("done", counter.exits[0].1.clone())?;
+
+    // --- Init DAGs feeding the inner loop ---
+    let mut outer_sup = Supplies::new();
+    let mut i_tokens = counter.emitted.get(&outer).cloned().unwrap_or_default();
+    // Epilogue copies go through decoupling buffers (they wait for the inner
+    // loop to finish each outer iteration).
+    let mut epi_tokens = Vec::new();
+    for _ in 0..epi_outer_uses {
+        let tok = i_tokens.pop().expect("counted epilogue copies");
+        let buf = ng.fresh("epibuf");
+        g.add_node(buf.clone(), CompKind::Buffer { slots: decouple, transparent: false })?;
+        g.connect(tok, ep(buf.clone(), "in"))?;
+        epi_tokens.push(ep(buf, "out"));
+    }
+    outer_sup.ports.insert(outer.clone(), i_tokens);
+    let mut inits: Vec<(String, Endpoint)> = Vec::new();
+    for (var, init) in &inner.vars {
+        let out = emit_expr(&mut g, &mut ng, &mut outer_sup, &outer, init)?;
+        inits.push((var.clone(), out));
+    }
+
+    // --- Inner loop ---
+    let emitted_inner = emit_loop(
+        &mut g,
+        &mut ng,
+        &inits,
+        &inner.update,
+        &inner.cond,
+        &inner.effects,
+        &BTreeMap::new(),
+    )?;
+
+    // --- Epilogue ---
+    // Final state supplies + buffered outer tokens.
+    let mut epi_var_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for st in &k.epilogue {
+        count_expr(&st.index, &outer, &mut epi_var_counts);
+        count_expr(&st.value, &outer, &mut epi_var_counts);
+    }
+    let mut epi_sup = Supplies::new();
+    epi_sup.ports.insert(outer.clone(), epi_tokens);
+    for (var, exit) in &emitted_inner.exits {
+        let count = epi_var_counts.get(var).copied().unwrap_or(0);
+        epi_sup.provide(&mut g, &mut ng, var, exit.clone(), count)?;
+    }
+    for st in &k.epilogue {
+        let addr = emit_expr(&mut g, &mut ng, &mut epi_sup, &outer, &st.index)?;
+        let val = emit_expr(&mut g, &mut ng, &mut epi_sup, &outer, &st.value)?;
+        let s = ng.fresh("store");
+        g.add_node(s.clone(), CompKind::Store { mem: st.array.clone() })?;
+        g.connect(addr, ep(s.clone(), "addr"))?;
+        g.connect(val, ep(s.clone(), "data"))?;
+        let sink = ng.fresh("sink");
+        g.add_node(sink.clone(), CompKind::Sink)?;
+        g.connect(ep(s, "done"), ep(sink, "in"))?;
+    }
+
+    g.validate()?;
+    g.typecheck()?;
+    Ok(KernelCircuit {
+        name: name.to_string(),
+        graph: g,
+        inner_muxes: emitted_inner.muxes,
+        inner_branches: emitted_inner.branches,
+        inner_init: emitted_inner.init,
+        ooo_tags: k.ooo_tags,
+    })
+}
+
+/// Compiles a program: one circuit per kernel, run in sequence.
+///
+/// # Errors
+///
+/// See [`compile_kernel`].
+pub fn compile(p: &Program) -> Result<CompiledProgram, CodegenError> {
+    let mut kernels = Vec::new();
+    for (i, k) in p.kernels.iter().enumerate() {
+        kernels.push(compile_kernel(k, &format!("{}_k{}", p.name, i))?);
+    }
+    Ok(CompiledProgram { name: p.name.clone(), kernels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::InnerLoop;
+    use graphiti_ir::PortName;
+    use graphiti_sem::{denote_graph, run_random, Env};
+
+    /// A pure kernel (no arrays): for i in 0..2, run the GCD loop on
+    /// (i + 6, 4) and output via `done`; no epilogue.
+    fn pure_gcd_kernel() -> OuterLoop {
+        OuterLoop {
+            var: "i".into(),
+            trip: 2,
+            inner: InnerLoop {
+                vars: vec![
+                    ("a".into(), Expr::addi(Expr::var("i"), Expr::int(6))),
+                    ("b".into(), Expr::int(4)),
+                ],
+                update: vec![
+                    ("a".into(), Expr::var("b")),
+                    ("b".into(), Expr::bin(Op::Mod, Expr::var("a"), Expr::var("b"))),
+                ],
+                cond: Expr::un(Op::NeZero, Expr::var("b")),
+                effects: vec![],
+            },
+            epilogue: vec![],
+            ooo_tags: Some(4),
+        }
+    }
+
+    #[test]
+    fn compile_produces_valid_circuit() {
+        let kc = compile_kernel(&pure_gcd_kernel(), "gcd").unwrap();
+        kc.graph.validate().unwrap();
+        assert_eq!(kc.inner_muxes.len(), 2);
+        assert_eq!(kc.inner_branches.len(), 2);
+        // Counter mux + 2 inner muxes.
+        let muxes = kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Mux)).count();
+        assert_eq!(muxes, 3);
+        // Two Inits (counter + inner).
+        let inits =
+            kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Init { .. })).count();
+        assert_eq!(inits, 2);
+    }
+
+    #[test]
+    fn circuit_executes_and_terminates() {
+        // Run the pure kernel through the abstract semantics: feed one start
+        // token, expect one done token, and termination.
+        let kc = compile_kernel(&pure_gcd_kernel(), "gcd").unwrap();
+        let (m, lowered) = denote_graph(&kc.graph, &Env::standard()).unwrap();
+        let start_idx = lowered
+            .input_names
+            .iter()
+            .find(|(_, n)| *n == "start")
+            .map(|(i, _)| *i)
+            .unwrap();
+        let feeds: BTreeMap<_, _> =
+            [(PortName::Io(start_idx), vec![Value::Unit])].into_iter().collect();
+        for seed in 0..5 {
+            let r = run_random(&m, &feeds, seed, 30_000);
+            assert!(r.inputs_exhausted, "seed {seed}");
+            let done_idx = lowered
+                .output_names
+                .iter()
+                .find(|(_, n)| *n == "done")
+                .map(|(i, _)| *i)
+                .unwrap();
+            let dones = r.outputs.get(&PortName::Io(done_idx)).cloned().unwrap_or_default();
+            assert_eq!(dones, vec![Value::Int(2)], "seed {seed}: counter exits at trip");
+        }
+    }
+
+    #[test]
+    fn stores_in_body_produce_store_nodes() {
+        let k = OuterLoop {
+            var: "i".into(),
+            trip: 1,
+            inner: InnerLoop {
+                vars: vec![("j".into(), Expr::int(0))],
+                update: vec![("j".into(), Expr::addi(Expr::var("j"), Expr::int(1)))],
+                cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(3)),
+                effects: vec![StoreStmt {
+                    array: "out".into(),
+                    index: Expr::var("j"),
+                    value: Expr::var("j"),
+                }],
+            },
+            epilogue: vec![],
+            ooo_tags: None,
+        };
+        let kc = compile_kernel(&k, "fx").unwrap();
+        kc.graph.validate().unwrap();
+        assert!(kc.graph.nodes().any(|(_, k)| matches!(k, CompKind::Store { .. })));
+    }
+
+    #[test]
+    fn epilogue_loads_and_stores_are_wired() {
+        let k = OuterLoop {
+            var: "i".into(),
+            trip: 2,
+            inner: InnerLoop {
+                vars: vec![
+                    ("j".into(), Expr::int(0)),
+                    ("acc".into(), Expr::f64(0.0)),
+                ],
+                update: vec![
+                    ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+                    (
+                        "acc".into(),
+                        Expr::addf(Expr::var("acc"), Expr::load("a", Expr::var("j"))),
+                    ),
+                ],
+                cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(3)),
+                effects: vec![],
+            },
+            epilogue: vec![StoreStmt {
+                array: "y".into(),
+                index: Expr::var("i"),
+                value: Expr::addf(Expr::var("acc"), Expr::load("y", Expr::var("i"))),
+            }],
+            ooo_tags: Some(8),
+        };
+        let kc = compile_kernel(&k, "acc").unwrap();
+        kc.graph.validate().unwrap();
+        kc.graph.typecheck().unwrap();
+        let loads = kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Load { .. })).count();
+        assert_eq!(loads, 2);
+        let bufs =
+            kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Buffer { .. })).count();
+        assert!(bufs >= 2, "epilogue i-copies are decoupled");
+    }
+
+    #[test]
+    fn compile_program_compiles_all_kernels() {
+        let p = Program {
+            name: "two".into(),
+            arrays: BTreeMap::new(),
+            kernels: vec![pure_gcd_kernel(), pure_gcd_kernel()],
+        };
+        let c = compile(&p).unwrap();
+        assert_eq!(c.kernels.len(), 2);
+        assert_eq!(c.kernels[0].name, "two_k0");
+    }
+}

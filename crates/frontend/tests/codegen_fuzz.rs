@@ -1,0 +1,94 @@
+//! Property-based fuzzing of circuit generation: random integer kernels are
+//! compiled to elastic circuits, simulated, and compared against the
+//! reference interpreter — both in order and after the out-of-order
+//! transformation would be a core-crate concern, so here the focus is the
+//! front-end + simulator pair.
+
+use graphiti_frontend::{compile, run_program, Expr, InnerLoop, OuterLoop, Program, StoreStmt};
+use graphiti_ir::{Op, Value};
+use graphiti_sim::{place_buffers, simulate, SimConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Random integer expressions over the state variables `j` and `acc`.
+/// Division-free so evaluation is total; constants stay small.
+fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-4i64..5).prop_map(Expr::int),
+        Just(Expr::var("j")),
+        Just(Expr::var("acc")),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::AddI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::SubI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::MulI, a, b)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::sel(
+                Expr::bin(Op::LtI, c, Expr::int(0)),
+                t,
+                f
+            )),
+        ]
+    })
+}
+
+fn kernel_strategy() -> impl Strategy<Value = Program> {
+    (int_expr(3), 1i64..4, 1i64..5, -3i64..4).prop_map(|(update, trip, bound, init_acc)| {
+        let inner = InnerLoop {
+            vars: vec![
+                ("j".into(), Expr::var("i")),
+                ("acc".into(), Expr::int(init_acc)),
+            ],
+            update: vec![
+                ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+                ("acc".into(), update),
+            ],
+            cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(bound + 4)),
+            effects: vec![],
+        };
+        Program {
+            name: "fuzz".into(),
+            arrays: [("out".to_string(), vec![Value::Int(0); trip as usize])]
+                .into_iter()
+                .collect(),
+            kernels: vec![OuterLoop {
+                var: "i".into(),
+                trip,
+                inner,
+                epilogue: vec![StoreStmt {
+                    array: "out".into(),
+                    index: Expr::var("i"),
+                    value: Expr::var("acc"),
+                }],
+                ooo_tags: None,
+            }],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn compiled_circuits_match_the_interpreter(p in kernel_strategy()) {
+        let expected = run_program(&p).unwrap();
+        let compiled = compile(&p).unwrap();
+        let (placed, _) = place_buffers(&compiled.kernels[0].graph);
+        let feeds: BTreeMap<String, Vec<Value>> =
+            [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+        let r = simulate(&placed, &feeds, p.arrays.clone(), SimConfig::default()).unwrap();
+        prop_assert_eq!(&r.memory["out"], &expected["out"]);
+        prop_assert_eq!(r.outputs["done"].len(), 1);
+    }
+
+    #[test]
+    fn compiled_circuits_are_structurally_sound(p in kernel_strategy()) {
+        let compiled = compile(&p).unwrap();
+        let g = &compiled.kernels[0].graph;
+        g.validate().unwrap();
+        g.typecheck().unwrap();
+        // Exactly two loops: the counter and the inner loop.
+        let inits = g.nodes().filter(|(_, k)| matches!(k, graphiti_ir::CompKind::Init { .. })).count();
+        prop_assert_eq!(inits, 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end: compile loop-nest programs to circuits, simulate them
+//! cycle-accurately, and compare the final memory against the reference
+//! interpreter.
+
+use graphiti_frontend::{compile, run_program, Expr, InnerLoop, OuterLoop, Program, StoreStmt};
+use graphiti_ir::{Op, Value};
+use graphiti_sim::{place_buffers, simulate, SimConfig};
+use std::collections::BTreeMap;
+
+fn run_circuit(p: &Program) -> graphiti_sim::Memory {
+    let compiled = compile(p).unwrap();
+    let mut mem = p.arrays.clone();
+    for k in &compiled.kernels {
+        let (g, _) = place_buffers(&k.graph);
+        let feeds: BTreeMap<String, Vec<Value>> =
+            [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+        let r = simulate(&g, &feeds, mem, SimConfig::default())
+            .unwrap_or_else(|e| panic!("kernel {} failed: {e}", k.name));
+        assert_eq!(r.outputs["done"].len(), 1, "kernel {} emits one done token", k.name);
+        mem = r.memory;
+    }
+    mem
+}
+
+fn gcd_program() -> Program {
+    let inner = InnerLoop {
+        vars: vec![
+            ("a".into(), Expr::load("arr1", Expr::var("i"))),
+            ("b".into(), Expr::load("arr2", Expr::var("i"))),
+        ],
+        update: vec![
+            ("a".into(), Expr::var("b")),
+            ("b".into(), Expr::bin(Op::Mod, Expr::var("a"), Expr::var("b"))),
+        ],
+        cond: Expr::un(Op::NeZero, Expr::var("b")),
+        effects: vec![],
+    };
+    Program {
+        name: "gcd".into(),
+        arrays: [
+            (
+                "arr1".to_string(),
+                vec![Value::Int(12), Value::Int(35), Value::Int(49), Value::Int(18)],
+            ),
+            (
+                "arr2".to_string(),
+                vec![Value::Int(18), Value::Int(21), Value::Int(14), Value::Int(4)],
+            ),
+            ("result".to_string(), vec![Value::Int(0); 4]),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![OuterLoop {
+            var: "i".into(),
+            trip: 4,
+            inner,
+            epilogue: vec![StoreStmt {
+                array: "result".into(),
+                index: Expr::var("i"),
+                value: Expr::var("a"),
+            }],
+            ooo_tags: Some(4),
+        }],
+    }
+}
+
+#[test]
+fn gcd_circuit_matches_interpreter() {
+    let p = gcd_program();
+    let expected = run_program(&p).unwrap();
+    let got = run_circuit(&p);
+    assert_eq!(got["result"], expected["result"]);
+    assert_eq!(
+        expected["result"],
+        vec![Value::Int(6), Value::Int(7), Value::Int(7), Value::Int(2)]
+    );
+}
+
+#[test]
+fn accumulation_circuit_matches_interpreter() {
+    // y[i] = sum_j a[i*4 + j] over a 3x4 float matrix (mini matvec row sums).
+    let n = 3i64;
+    let m = 4i64;
+    let inner = InnerLoop {
+        vars: vec![
+            ("j".into(), Expr::int(0)),
+            ("acc".into(), Expr::f64(0.0)),
+            ("off".into(), Expr::muli(Expr::var("i"), Expr::int(m))),
+        ],
+        update: vec![
+            ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+            (
+                "acc".into(),
+                Expr::addf(
+                    Expr::var("acc"),
+                    Expr::load("a", Expr::addi(Expr::var("off"), Expr::var("j"))),
+                ),
+            ),
+            ("off".into(), Expr::var("off")),
+        ],
+        cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(m)),
+        effects: vec![],
+    };
+    let p = Program {
+        name: "rowsum".into(),
+        arrays: [
+            (
+                "a".to_string(),
+                (0..n * m).map(|k| Value::from_f64(k as f64 * 0.5)).collect(),
+            ),
+            ("y".to_string(), vec![Value::from_f64(0.0); n as usize]),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![OuterLoop {
+            var: "i".into(),
+            trip: n,
+            inner,
+            epilogue: vec![StoreStmt {
+                array: "y".into(),
+                index: Expr::var("i"),
+                value: Expr::var("acc"),
+            }],
+            ooo_tags: Some(8),
+        }],
+    };
+    let expected = run_program(&p).unwrap();
+    let got = run_circuit(&p);
+    assert_eq!(got["y"], expected["y"]);
+}
+
+#[test]
+fn store_in_body_matches_interpreter() {
+    // Inner loop stores j*10 into out[j] (mini bicg-like effect).
+    let p = Program {
+        name: "fx".into(),
+        arrays: [("out".to_string(), vec![Value::Int(-1); 5])].into_iter().collect(),
+        kernels: vec![OuterLoop {
+            var: "i".into(),
+            trip: 1,
+            inner: InnerLoop {
+                vars: vec![("j".into(), Expr::int(0))],
+                update: vec![("j".into(), Expr::addi(Expr::var("j"), Expr::int(1)))],
+                cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(5)),
+                effects: vec![StoreStmt {
+                    array: "out".into(),
+                    index: Expr::var("j"),
+                    value: Expr::muli(Expr::var("j"), Expr::int(10)),
+                }],
+            },
+            epilogue: vec![],
+            ooo_tags: None,
+        }],
+    };
+    let expected = run_program(&p).unwrap();
+    let got = run_circuit(&p);
+    assert_eq!(got["out"], expected["out"]);
+}
+
+#[test]
+fn in_order_accumulation_ii_tracks_fadd_latency() {
+    // The loop-carried fadd gives the sequential loop an initiation interval
+    // close to the fadd latency: cycles should scale with trip * inner * ~10.
+    let mk = |trip: i64, m: i64| -> u64 {
+        let inner = InnerLoop {
+            vars: vec![
+                ("j".into(), Expr::int(0)),
+                ("acc".into(), Expr::f64(0.0)),
+            ],
+            update: vec![
+                ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+                ("acc".into(), Expr::addf(Expr::var("acc"), Expr::f64(1.0))),
+            ],
+            cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(m)),
+            effects: vec![],
+        };
+        let p = Program {
+            name: "ii".into(),
+            arrays: [("y".to_string(), vec![Value::from_f64(0.0); trip as usize])]
+                .into_iter()
+                .collect(),
+            kernels: vec![OuterLoop {
+                var: "i".into(),
+                trip,
+                inner,
+                epilogue: vec![StoreStmt {
+                    array: "y".into(),
+                    index: Expr::var("i"),
+                    value: Expr::var("acc"),
+                }],
+                ooo_tags: None,
+            }],
+        };
+        let compiled = compile(&p).unwrap();
+        let (g, _) = place_buffers(&compiled.kernels[0].graph);
+        let feeds: BTreeMap<String, Vec<Value>> =
+            [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+        simulate(&g, &feeds, p.arrays.clone(), SimConfig::default()).unwrap().cycles
+    };
+    let c = mk(4, 8);
+    let per_iter = c as f64 / (4.0 * 8.0);
+    assert!(
+        (10.0..18.0).contains(&per_iter),
+        "in-order II should be near the fadd latency; got {per_iter} cycles/iter ({c} total)"
+    );
+}

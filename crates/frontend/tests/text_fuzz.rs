@@ -1,0 +1,88 @@
+//! Property-based tests of the textual surface syntax: random programs
+//! survive a print/parse roundtrip, and expression printing is a left
+//! inverse of parsing.
+
+use graphiti_frontend::{
+    parse_expr, parse_program, print_expr, print_program, Expr, InnerLoop, OuterLoop, Program,
+    StoreStmt,
+};
+use graphiti_ir::{Op, Value};
+use proptest::prelude::*;
+
+fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-9i64..10).prop_map(Expr::int),
+        Just(Expr::var("j")),
+        Just(Expr::var("acc")),
+        Just(Expr::var("i")),
+        (0usize..8).prop_map(|k| Expr::load("a", Expr::int(k as i64))),
+    ];
+    leaf.prop_recursive(depth, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::AddI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::SubI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::MulI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::Mod, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::LtI, a, b)),
+            inner.clone().prop_map(|a| Expr::un(Op::NeZero, a)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| Expr::sel(Expr::un(Op::NeZero, c), t, f)),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (int_expr(3), int_expr(2), 1i64..5, proptest::option::of(1u32..16)).prop_map(
+        |(update, idx, trip, tags)| {
+            let inner = InnerLoop {
+                vars: vec![("j".into(), Expr::var("i")), ("acc".into(), Expr::int(0))],
+                update: vec![
+                    ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+                    ("acc".into(), update),
+                ],
+                cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(trip + 3)),
+                effects: vec![],
+            };
+            Program {
+                name: "fuzz".into(),
+                arrays: [
+                    ("a".to_string(), (0..8).map(Value::Int).collect()),
+                    ("out".to_string(), vec![Value::Int(0); trip as usize]),
+                ]
+                .into_iter()
+                .collect(),
+                kernels: vec![OuterLoop {
+                    var: "i".into(),
+                    trip,
+                    inner,
+                    epilogue: vec![StoreStmt {
+                        array: "out".into(),
+                        index: idx,
+                        value: Expr::var("acc"),
+                    }],
+                    ooo_tags: tags,
+                }],
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expression_print_parse_roundtrip(e in int_expr(4)) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed, 1)
+            .unwrap_or_else(|err| panic!("`{printed}` does not reparse: {err}"));
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn program_print_parse_roundtrip(p in program_strategy()) {
+        let printed = print_program(&p);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("program does not reparse: {err}\n{printed}"));
+        prop_assert_eq!(reparsed, p, "printed:\n{}", printed);
+    }
+}

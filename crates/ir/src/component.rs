@@ -1,0 +1,252 @@
+//! Dataflow component kinds and their port interfaces.
+//!
+//! These are the elastic components of Table 1 in the paper: loop steering
+//! (Mux, Branch, Merge, Init), token plumbing (Fork, Join, Split, Buffer,
+//! Sink, Constant), computation (operators and the symbolic Pure component),
+//! the Tagger/Untagger region boundary of the out-of-order transformation,
+//! and memory ports (Load/Store) whose presence makes a loop body impure.
+
+use crate::func::{Op, PureFn};
+use crate::value::{Ty, Value};
+use std::fmt;
+
+/// The kind (type plus static parameters) of a dataflow circuit component.
+///
+/// A component's dynamic behaviour is given by the semantics crate; its port
+/// interface is defined here by [`CompKind::interface`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CompKind {
+    /// Duplicates each input token to `ways` outputs.
+    Fork {
+        /// Number of output copies (≥ 2 after normalization; 1-way forks are
+        /// eliminated by `fork1-elim`).
+        ways: usize,
+    },
+    /// Synchronizes two inputs into a pair token.
+    Join,
+    /// Splits a pair token into its two components.
+    Split,
+    /// Emits the `t` or `f` data input according to the condition token.
+    Mux,
+    /// Routes the data input to the `t` or `f` output according to the
+    /// condition token.
+    Branch,
+    /// Emits whichever input arrives first (locally nondeterministic).
+    Merge,
+    /// A one-slot queue pre-loaded with an initial Boolean token, used on the
+    /// condition path of a sequential loop.
+    Init {
+        /// The pre-loaded token's payload.
+        initial: bool,
+    },
+    /// An elastic FIFO buffer.
+    Buffer {
+        /// Queue capacity in tokens.
+        slots: usize,
+        /// Transparent buffers forward a token in the cycle it arrives (no
+        /// sequential boundary); opaque buffers register it.
+        transparent: bool,
+    },
+    /// Consumes and discards tokens.
+    Sink,
+    /// Emits a constant each time the control input fires.
+    Constant {
+        /// The constant value.
+        value: Value,
+    },
+    /// A primitive n-ary operator.
+    Operator {
+        /// The operation computed.
+        op: Op,
+    },
+    /// Application of a symbolic pure function (one input, one output).
+    Pure {
+        /// The function applied to each token.
+        func: PureFn,
+    },
+    /// The Tagger/Untagger pair guarding an out-of-order region: allocates
+    /// tags on entry and reorders completions on exit.
+    TaggerUntagger {
+        /// Size of the tag pool (bounds the number of in-flight loop
+        /// executions).
+        tags: u32,
+    },
+    /// A load port to the named memory.
+    Load {
+        /// Memory (array) identifier.
+        mem: String,
+    },
+    /// A store port to the named memory. Stores make a region impure.
+    Store {
+        /// Memory (array) identifier.
+        mem: String,
+    },
+}
+
+impl CompKind {
+    /// Ordered input and output port names of this component.
+    ///
+    /// ```
+    /// use graphiti_ir::CompKind;
+    /// let (ins, outs) = CompKind::Mux.interface();
+    /// assert_eq!(ins, ["cond", "t", "f"]);
+    /// assert_eq!(outs, ["out"]);
+    /// ```
+    pub fn interface(&self) -> (Vec<String>, Vec<String>) {
+        let s = |xs: &[&str]| xs.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        match self {
+            CompKind::Fork { ways } => {
+                (s(&["in"]), (0..*ways).map(|i| format!("out{i}")).collect())
+            }
+            CompKind::Join => (s(&["in0", "in1"]), s(&["out"])),
+            CompKind::Split => (s(&["in"]), s(&["out0", "out1"])),
+            CompKind::Mux => (s(&["cond", "t", "f"]), s(&["out"])),
+            CompKind::Branch => (s(&["cond", "in"]), s(&["t", "f"])),
+            CompKind::Merge => (s(&["in0", "in1"]), s(&["out"])),
+            CompKind::Init { .. } => (s(&["in"]), s(&["out"])),
+            CompKind::Buffer { .. } => (s(&["in"]), s(&["out"])),
+            CompKind::Sink => (s(&["in"]), vec![]),
+            CompKind::Constant { .. } => (s(&["ctrl"]), s(&["out"])),
+            CompKind::Operator { op } => {
+                ((0..op.arity()).map(|i| format!("in{i}")).collect(), s(&["out"]))
+            }
+            CompKind::Pure { .. } => (s(&["in"]), s(&["out"])),
+            CompKind::TaggerUntagger { .. } => (s(&["in", "retag"]), s(&["tagged", "out"])),
+            CompKind::Load { .. } => (s(&["addr"]), s(&["data"])),
+            CompKind::Store { .. } => (s(&["addr", "data"]), s(&["done"])),
+        }
+    }
+
+    /// Best-effort port types `(inputs, outputs)`; polymorphic ports are
+    /// [`Ty::Any`].
+    pub fn port_types(&self) -> (Vec<Ty>, Vec<Ty>) {
+        match self {
+            CompKind::Fork { ways } => (vec![Ty::Any], vec![Ty::Any; *ways]),
+            CompKind::Join => (vec![Ty::Any, Ty::Any], vec![Ty::pair(Ty::Any, Ty::Any)]),
+            CompKind::Split => (vec![Ty::pair(Ty::Any, Ty::Any)], vec![Ty::Any, Ty::Any]),
+            CompKind::Mux => (vec![Ty::Bool, Ty::Any, Ty::Any], vec![Ty::Any]),
+            CompKind::Branch => (vec![Ty::Bool, Ty::Any], vec![Ty::Any, Ty::Any]),
+            CompKind::Merge => (vec![Ty::Any, Ty::Any], vec![Ty::Any]),
+            CompKind::Init { .. } => (vec![Ty::Bool], vec![Ty::Bool]),
+            CompKind::Buffer { .. } => (vec![Ty::Any], vec![Ty::Any]),
+            CompKind::Sink => (vec![Ty::Any], vec![]),
+            CompKind::Constant { value } => (vec![Ty::Any], vec![value.ty()]),
+            CompKind::Operator { op } => {
+                let (ins, out) = op.signature();
+                (ins, vec![out])
+            }
+            CompKind::Pure { .. } => (vec![Ty::Any], vec![Ty::Any]),
+            CompKind::TaggerUntagger { .. } => (
+                vec![Ty::Any, Ty::Tagged(Box::new(Ty::Any))],
+                vec![Ty::Tagged(Box::new(Ty::Any)), Ty::Any],
+            ),
+            CompKind::Load { .. } => (vec![Ty::Int], vec![Ty::Any]),
+            CompKind::Store { .. } => (vec![Ty::Int, Ty::Any], vec![Ty::Unit]),
+        }
+    }
+
+    /// Whether the component is free of side effects.
+    ///
+    /// Pure generation (phase 3 of the optimization pipeline) only succeeds
+    /// on loop bodies built entirely from effect-free components; a
+    /// [`CompKind::Store`] in the body aborts the transformation, which is
+    /// how the paper's bicg bug is surfaced. A [`CompKind::Load`] is
+    /// read-only and therefore effect-free (reordering it is safe as long as
+    /// no store to the same memory sits in the region).
+    pub fn is_effect_free(&self) -> bool {
+        !matches!(self, CompKind::Store { .. })
+    }
+
+    /// Short name used as the DOT `type` attribute and as the environment
+    /// key for the denotational semantics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            CompKind::Fork { .. } => "fork",
+            CompKind::Join => "join",
+            CompKind::Split => "split",
+            CompKind::Mux => "mux",
+            CompKind::Branch => "branch",
+            CompKind::Merge => "merge",
+            CompKind::Init { .. } => "init",
+            CompKind::Buffer { .. } => "buffer",
+            CompKind::Sink => "sink",
+            CompKind::Constant { .. } => "constant",
+            CompKind::Operator { .. } => "operator",
+            CompKind::Pure { .. } => "pure",
+            CompKind::TaggerUntagger { .. } => "tagger",
+            CompKind::Load { .. } => "load",
+            CompKind::Store { .. } => "store",
+        }
+    }
+}
+
+impl fmt::Display for CompKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompKind::Fork { ways } => write!(f, "fork{ways}"),
+            CompKind::Init { initial } => write!(f, "init({initial})"),
+            CompKind::Buffer { slots, transparent } => {
+                write!(f, "buffer({slots}{})", if *transparent { ",t" } else { "" })
+            }
+            CompKind::Constant { value } => write!(f, "constant({value})"),
+            CompKind::Operator { op } => write!(f, "op:{op}"),
+            CompKind::Pure { func } => write!(f, "pure[{func}]"),
+            CompKind::TaggerUntagger { tags } => write!(f, "tagger({tags})"),
+            CompKind::Load { mem } => write!(f, "load[{mem}]"),
+            CompKind::Store { mem } => write!(f, "store[{mem}]"),
+            other => f.write_str(other.type_name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interfaces_are_consistent_with_types() {
+        let kinds = [
+            CompKind::Fork { ways: 3 },
+            CompKind::Join,
+            CompKind::Split,
+            CompKind::Mux,
+            CompKind::Branch,
+            CompKind::Merge,
+            CompKind::Init { initial: false },
+            CompKind::Buffer { slots: 2, transparent: false },
+            CompKind::Sink,
+            CompKind::Constant { value: Value::Int(1) },
+            CompKind::Operator { op: Op::Mod },
+            CompKind::Pure { func: PureFn::Id },
+            CompKind::TaggerUntagger { tags: 8 },
+            CompKind::Load { mem: "a".into() },
+            CompKind::Store { mem: "a".into() },
+        ];
+        for k in kinds {
+            let (ins, outs) = k.interface();
+            let (tins, touts) = k.port_types();
+            assert_eq!(ins.len(), tins.len(), "{k}");
+            assert_eq!(outs.len(), touts.len(), "{k}");
+        }
+    }
+
+    #[test]
+    fn fork_ports_scale_with_ways() {
+        let (ins, outs) = CompKind::Fork { ways: 4 }.interface();
+        assert_eq!(ins.len(), 1);
+        assert_eq!(outs, ["out0", "out1", "out2", "out3"]);
+    }
+
+    #[test]
+    fn only_stores_are_effectful() {
+        assert!(!CompKind::Store { mem: "m".into() }.is_effect_free());
+        assert!(CompKind::Load { mem: "m".into() }.is_effect_free());
+        assert!(CompKind::Operator { op: Op::AddF }.is_effect_free());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(CompKind::Mux.to_string(), "mux");
+        assert_eq!(CompKind::Operator { op: Op::Mod }.to_string(), "op:mod");
+    }
+}

@@ -1,0 +1,643 @@
+//! DOT interchange for dataflow circuits.
+//!
+//! Graphiti sits in the middle of a dynamic-HLS flow (paper Fig. 1): it
+//! parses the front-end's dot graph, rewrites it, and prints a dot graph for
+//! the back-end. This module implements a Dynamatic-flavoured dialect:
+//!
+//! ```text
+//! digraph circuit {
+//!   x [type="entry"];
+//!   f [type="fork" ways="2"];
+//!   m [type="operator" op="mod"];
+//!   y [type="exit"];
+//!   x -> f [to="in"];
+//!   f -> m [from="out0" to="in0"];
+//!   f -> m [from="out1" to="in1"];
+//!   m -> y [from="out"];
+//! }
+//! ```
+//!
+//! `entry` / `exit` pseudo-nodes denote graph-level inputs and outputs.
+
+use crate::component::CompKind;
+use crate::func::{Op, PureFn};
+use crate::high::{ep, ExprHigh};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised while parsing a dot graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotError {
+    /// Description of the failure.
+    pub message: String,
+    /// Approximate source position (token index).
+    pub position: usize,
+}
+
+impl DotError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        DotError { message: message.into(), position }
+    }
+}
+
+impl fmt::Display for DotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dot parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for DotError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Arrow,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Eq,
+    Semi,
+    Comma,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, DotError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '>' => {
+                toks.push(Tok::Arrow);
+                i += 2;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < bytes.len() && bytes[i] != '"' {
+                    if bytes[i] == '\\' && i + 1 < bytes.len() {
+                        i += 1;
+                    }
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(DotError::new("unterminated string", toks.len()));
+                }
+                i += 1;
+                toks.push(Tok::Ident(s));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' || c == '#' || c == '-'
+            =>
+            {
+                let mut s = String::new();
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric()
+                        || matches!(bytes[i], '_' | '.' | ':' | '#' | '-'))
+                {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => {
+                return Err(DotError::new(format!("unexpected character `{other}`"), toks.len()))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), DotError> {
+        match self.next() {
+            Some(got) if got == *t => Ok(()),
+            got => Err(DotError::new(format!("expected {t:?}, got {got:?}"), self.pos)),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DotError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => Err(DotError::new(format!("expected identifier, got {got:?}"), self.pos)),
+        }
+    }
+
+    fn attrs(&mut self) -> Result<BTreeMap<String, String>, DotError> {
+        let mut map = BTreeMap::new();
+        if self.peek() != Some(&Tok::LBracket) {
+            return Ok(map);
+        }
+        self.next();
+        loop {
+            match self.peek() {
+                Some(Tok::RBracket) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Comma) => {
+                    self.next();
+                }
+                _ => {
+                    let key = self.ident()?;
+                    self.expect(&Tok::Eq)?;
+                    let val = self.ident()?;
+                    map.insert(key, val);
+                }
+            }
+        }
+        Ok(map)
+    }
+}
+
+/// Serializes a [`Value`] to its dot attribute form.
+pub fn print_value(v: &Value) -> String {
+    match v {
+        Value::Unit => "unit".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(x) => format!("i:{x}"),
+        Value::F64(bits) => format!("f:{}", f64::from_bits(*bits)),
+        Value::Pair(a, b) => format!("pair({},{})", print_value(a), print_value(b)),
+        Value::Tagged(t, v) => format!("tag#{t}({})", print_value(v)),
+    }
+}
+
+/// Parses a [`Value`] from its dot attribute form.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed input.
+pub fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if s == "unit" {
+        return Ok(Value::Unit);
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = s.strip_prefix("i:") {
+        return rest.parse::<i64>().map(Value::Int).map_err(|e| e.to_string());
+    }
+    if let Some(rest) = s.strip_prefix("f:") {
+        return rest.parse::<f64>().map(Value::from_f64).map_err(|e| e.to_string());
+    }
+    if let Some(rest) = s.strip_prefix("pair(").and_then(|r| r.strip_suffix(')')) {
+        let idx = split_top(rest).ok_or_else(|| format!("malformed pair `{s}`"))?;
+        let (a, b) = rest.split_at(idx);
+        return Ok(Value::pair(parse_value(a)?, parse_value(&b[1..])?));
+    }
+    if let Some(rest) = s.strip_prefix("tag#") {
+        let open = rest.find('(').ok_or_else(|| format!("malformed tag `{s}`"))?;
+        let tag: u32 = rest[..open].parse().map_err(|_| format!("bad tag in `{s}`"))?;
+        let inner = rest[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| format!("malformed tag `{s}`"))?;
+        return Ok(Value::tagged(tag, parse_value(inner)?));
+    }
+    Err(format!("unrecognized value `{s}`"))
+}
+
+/// Finds the index of the top-level comma in a `a,b` string with nested
+/// parens.
+fn split_top(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Serializes a [`PureFn`] to its dot attribute form.
+pub fn print_purefn(f: &PureFn) -> String {
+    match f {
+        PureFn::Id => "id".into(),
+        PureFn::Dup => "dup".into(),
+        PureFn::Fst => "fst".into(),
+        PureFn::Snd => "snd".into(),
+        PureFn::AssocL => "assocl".into(),
+        PureFn::AssocR => "assocr".into(),
+        PureFn::Swap => "swap".into(),
+        PureFn::Op(op) => format!("op:{}", op.name()),
+        PureFn::Const(v) => format!("constfn({})", print_value(v)),
+        PureFn::Load(m) => format!("loadfn({m})"),
+        PureFn::Comp(a, b) => format!("comp({},{})", print_purefn(a), print_purefn(b)),
+        PureFn::Par(a, b) => format!("parf({},{})", print_purefn(a), print_purefn(b)),
+    }
+}
+
+/// Parses a [`PureFn`] from its dot attribute form.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed input.
+pub fn parse_purefn(s: &str) -> Result<PureFn, String> {
+    let s = s.trim();
+    match s {
+        "id" => return Ok(PureFn::Id),
+        "dup" => return Ok(PureFn::Dup),
+        "fst" => return Ok(PureFn::Fst),
+        "snd" => return Ok(PureFn::Snd),
+        "assocl" => return Ok(PureFn::AssocL),
+        "assocr" => return Ok(PureFn::AssocR),
+        "swap" => return Ok(PureFn::Swap),
+        _ => {}
+    }
+    if let Some(rest) = s.strip_prefix("op:") {
+        return Op::parse(rest).map(PureFn::Op).ok_or_else(|| format!("unknown op `{rest}`"));
+    }
+    if let Some(rest) = s.strip_prefix("constfn(").and_then(|r| r.strip_suffix(')')) {
+        return Ok(PureFn::Const(parse_value(rest)?));
+    }
+    if let Some(rest) = s.strip_prefix("loadfn(").and_then(|r| r.strip_suffix(')')) {
+        return Ok(PureFn::Load(rest.to_string()));
+    }
+    for (prefix, mk) in [
+        ("comp(", PureFn::Comp as fn(Box<PureFn>, Box<PureFn>) -> PureFn),
+        ("parf(", PureFn::Par as fn(Box<PureFn>, Box<PureFn>) -> PureFn),
+    ] {
+        if let Some(rest) = s.strip_prefix(prefix).and_then(|r| r.strip_suffix(')')) {
+            let idx = split_top(rest).ok_or_else(|| format!("malformed `{s}`"))?;
+            let (a, b) = rest.split_at(idx);
+            return Ok(mk(Box::new(parse_purefn(a)?), Box::new(parse_purefn(&b[1..])?)));
+        }
+    }
+    Err(format!("unrecognized pure function `{s}`"))
+}
+
+fn kind_from_attrs(attrs: &BTreeMap<String, String>, pos: usize) -> Result<CompKind, DotError> {
+    let ty = attrs
+        .get("type")
+        .ok_or_else(|| DotError::new("node missing `type` attribute", pos))?
+        .as_str();
+    let num = |key: &str, default: usize| -> Result<usize, DotError> {
+        match attrs.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| DotError::new(format!("bad `{key}`"), pos)),
+        }
+    };
+    Ok(match ty {
+        "fork" => CompKind::Fork { ways: num("ways", 2)? },
+        "join" => CompKind::Join,
+        "split" => CompKind::Split,
+        "mux" => CompKind::Mux,
+        "branch" => CompKind::Branch,
+        "merge" => CompKind::Merge,
+        "init" => CompKind::Init {
+            initial: attrs.get("initial").map(|s| s == "true").unwrap_or(false),
+        },
+        "buffer" => CompKind::Buffer {
+            slots: num("slots", 1)?,
+            transparent: attrs.get("transparent").map(|s| s == "true").unwrap_or(false),
+        },
+        "sink" => CompKind::Sink,
+        "constant" => CompKind::Constant {
+            value: parse_value(
+                attrs
+                    .get("value")
+                    .ok_or_else(|| DotError::new("constant missing `value`", pos))?,
+            )
+            .map_err(|e| DotError::new(e, pos))?,
+        },
+        "operator" => CompKind::Operator {
+            op: attrs
+                .get("op")
+                .and_then(|s| Op::parse(s))
+                .ok_or_else(|| DotError::new("operator missing/bad `op`", pos))?,
+        },
+        "pure" => CompKind::Pure {
+            func: parse_purefn(
+                attrs.get("func").ok_or_else(|| DotError::new("pure missing `func`", pos))?,
+            )
+            .map_err(|e| DotError::new(e, pos))?,
+        },
+        "tagger" => CompKind::TaggerUntagger { tags: num("tags", 8)? as u32 },
+        "load" => CompKind::Load {
+            mem: attrs
+                .get("mem")
+                .ok_or_else(|| DotError::new("load missing `mem`", pos))?
+                .clone(),
+        },
+        "store" => CompKind::Store {
+            mem: attrs
+                .get("mem")
+                .ok_or_else(|| DotError::new("store missing `mem`", pos))?
+                .clone(),
+        },
+        other => return Err(DotError::new(format!("unknown component type `{other}`"), pos)),
+    })
+}
+
+fn kind_attrs(kind: &CompKind) -> Vec<(String, String)> {
+    let mut attrs = vec![("type".to_string(), kind.type_name().to_string())];
+    match kind {
+        CompKind::Fork { ways } => attrs.push(("ways".into(), ways.to_string())),
+        CompKind::Init { initial } => attrs.push(("initial".into(), initial.to_string())),
+        CompKind::Buffer { slots, transparent } => {
+            attrs.push(("slots".into(), slots.to_string()));
+            attrs.push(("transparent".into(), transparent.to_string()));
+        }
+        CompKind::Constant { value } => attrs.push(("value".into(), print_value(value))),
+        CompKind::Operator { op } => attrs.push(("op".into(), op.name().to_string())),
+        CompKind::Pure { func } => attrs.push(("func".into(), print_purefn(func))),
+        CompKind::TaggerUntagger { tags } => attrs.push(("tags".into(), tags.to_string())),
+        CompKind::Load { mem } | CompKind::Store { mem } => {
+            attrs.push(("mem".into(), mem.clone()))
+        }
+        _ => {}
+    }
+    attrs
+}
+
+/// Parses a dot graph into an [`ExprHigh`] circuit.
+///
+/// # Errors
+///
+/// Returns [`DotError`] on malformed syntax, unknown component types, or
+/// invalid connectivity.
+pub fn parse_dot(src: &str) -> Result<ExprHigh, DotError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    match p.next() {
+        Some(Tok::Ident(kw)) if kw == "digraph" => {}
+        got => return Err(DotError::new(format!("expected `digraph`, got {got:?}"), p.pos)),
+    }
+    if matches!(p.peek(), Some(Tok::Ident(_))) {
+        p.next(); // optional graph name
+    }
+    p.expect(&Tok::LBrace)?;
+
+    let mut g = ExprHigh::new();
+    let mut entries: Vec<String> = Vec::new();
+    let mut exits: Vec<String> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut edges: Vec<(String, String, BTreeMap<String, String>, usize)> = Vec::new();
+
+    loop {
+        match p.peek() {
+            Some(Tok::RBrace) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Semi) => {
+                p.next();
+            }
+            Some(Tok::Ident(_)) => {
+                let name = p.ident()?;
+                if p.peek() == Some(&Tok::Arrow) {
+                    p.next();
+                    let dst = p.ident()?;
+                    let attrs = p.attrs()?;
+                    edges.push((name, dst, attrs, p.pos));
+                } else {
+                    let attrs = p.attrs()?;
+                    match attrs.get("type").map(|s| s.as_str()) {
+                        Some("entry") => entries.push(name),
+                        Some("exit") => exits.push(name),
+                        _ => {
+                            let kind = kind_from_attrs(&attrs, p.pos)?;
+                            g.add_node(name.clone(), kind)
+                                .map_err(|e| DotError::new(e.to_string(), p.pos))?;
+                        }
+                    }
+                }
+            }
+            None => return Err(DotError::new("unexpected end of input", p.pos)),
+            got => return Err(DotError::new(format!("unexpected token {got:?}"), p.pos)),
+        }
+    }
+
+    for (src_n, dst_n, attrs, pos) in edges {
+        let from_port = attrs.get("from").cloned();
+        let to_port = attrs.get("to").cloned();
+        let graph_err = |e: crate::high::GraphError| DotError::new(e.to_string(), pos);
+        match (entries.contains(&src_n), exits.contains(&dst_n)) {
+            (true, false) => {
+                let port = to_port
+                    .ok_or_else(|| DotError::new("entry edge missing `to` port", pos))?;
+                g.expose_input(src_n, ep(dst_n, port)).map_err(graph_err)?;
+            }
+            (false, true) => {
+                let port = from_port
+                    .ok_or_else(|| DotError::new("exit edge missing `from` port", pos))?;
+                g.expose_output(dst_n, ep(src_n, port)).map_err(graph_err)?;
+            }
+            (false, false) => {
+                let fp = from_port
+                    .ok_or_else(|| DotError::new("edge missing `from` port", pos))?;
+                let tp = to_port.ok_or_else(|| DotError::new("edge missing `to` port", pos))?;
+                g.connect(ep(src_n, fp), ep(dst_n, tp)).map_err(graph_err)?;
+            }
+            (true, true) => {
+                return Err(DotError::new("edge directly from entry to exit", pos));
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Prints an [`ExprHigh`] circuit as a dot graph parseable by [`parse_dot`].
+pub fn print_dot(g: &ExprHigh) -> String {
+    let mut out = String::from("digraph circuit {\n");
+    for (name, _) in g.inputs() {
+        out.push_str(&format!("  \"{name}\" [type=\"entry\"];\n"));
+    }
+    for (name, _) in g.outputs() {
+        out.push_str(&format!("  \"{name}\" [type=\"exit\"];\n"));
+    }
+    for (name, kind) in g.nodes() {
+        let attrs = kind_attrs(kind)
+            .into_iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!("  \"{name}\" [{attrs}];\n"));
+    }
+    for (name, target) in g.inputs() {
+        out.push_str(&format!("  \"{name}\" -> \"{}\" [to=\"{}\"];\n", target.node, target.port));
+    }
+    for (from, to) in g.edges() {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [from=\"{}\" to=\"{}\"];\n",
+            from.node, to.node, from.port, to.port
+        ));
+    }
+    for (name, source) in g.outputs() {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{name}\" [from=\"{}\"];\n",
+            source.node, source.port
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FORK_MOD: &str = r#"
+        digraph circuit {
+          x [type="entry"];
+          y [type="exit"];
+          f [type="fork" ways="2"];
+          m [type="operator" op="mod"];
+          x -> f [to="in"];
+          f -> m [from="out0" to="in0"];
+          f -> m [from="out1" to="in1"];
+          m -> y [from="out"];
+        }
+    "#;
+
+    #[test]
+    fn parse_fork_mod() {
+        let g = parse_dot(FORK_MOD).unwrap();
+        assert_eq!(g.node_count(), 2);
+        g.validate().unwrap();
+        assert_eq!(g.kind("f"), Some(&CompKind::Fork { ways: 2 }));
+        assert_eq!(g.kind("m"), Some(&CompKind::Operator { op: Op::Mod }));
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let g = parse_dot(FORK_MOD).unwrap();
+        let printed = print_dot(&g);
+        let g2 = parse_dot(&printed).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        let kinds = vec![
+            CompKind::Fork { ways: 3 },
+            CompKind::Join,
+            CompKind::Split,
+            CompKind::Mux,
+            CompKind::Branch,
+            CompKind::Merge,
+            CompKind::Init { initial: true },
+            CompKind::Buffer { slots: 4, transparent: true },
+            CompKind::Sink,
+            CompKind::Constant { value: Value::pair(Value::Int(-3), Value::Bool(true)) },
+            CompKind::Operator { op: Op::MulF },
+            CompKind::Pure {
+                func: PureFn::Comp(
+                    Box::new(PureFn::Op(Op::Mod)),
+                    Box::new(PureFn::Par(Box::new(PureFn::Snd), Box::new(PureFn::Dup))),
+                ),
+            },
+            CompKind::TaggerUntagger { tags: 16 },
+            CompKind::Load { mem: "arr1".into() },
+            CompKind::Store { mem: "arr2".into() },
+        ];
+        let mut g = ExprHigh::new();
+        for (i, k) in kinds.iter().enumerate() {
+            g.add_node(format!("n{i}"), k.clone()).unwrap();
+        }
+        let printed = print_dot(&g);
+        let g2 = parse_dot(&printed).unwrap();
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(g2.kind(&format!("n{i}")), Some(k), "kind {i}");
+        }
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [
+            Value::Unit,
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::from_f64(2.75),
+            Value::pair(Value::Int(1), Value::pair(Value::Bool(true), Value::Unit)),
+            Value::tagged(7, Value::pair(Value::Int(2), Value::Int(3))),
+        ] {
+            assert_eq!(parse_value(&print_value(&v)), Ok(v.clone()), "{v}");
+        }
+    }
+
+    #[test]
+    fn purefn_roundtrip() {
+        let f = PureFn::Comp(
+            Box::new(PureFn::Par(Box::new(PureFn::Op(Op::AddF)), Box::new(PureFn::AssocL))),
+            Box::new(PureFn::pair(PureFn::Load("arr1".into()), PureFn::Const(Value::Int(0)))),
+        );
+        assert_eq!(parse_purefn(&print_purefn(&f)), Ok(f));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_dot("graph {}").is_err());
+        assert!(parse_dot("digraph { n [type=\"nope\"]; }").is_err());
+        assert!(parse_dot("digraph { a [type=\"sink\"]; b [type=\"sink\"]; a -> b; }").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// header\ndigraph { // c\n  s [type=\"sink\"]; e [type=\"entry\"];\n  e -> s [to=\"in\"];\n}";
+        let g = parse_dot(src).unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    use crate::func::{Op, PureFn};
+    use crate::value::Value;
+}

@@ -1,0 +1,323 @@
+//! ExprLow: the inductive circuit expression language of the paper's §4.1.
+//!
+//! An ExprLow expression is built from base components (with port-rename
+//! maps), binary products `e₁ ⊗ e₂`, and `connect(o, i, e)` constructors.
+//! Port names are either graph-level I/O ports (naturals) or local
+//! `(instance, wire)` string pairs. The substitution-based rewriting function
+//! of §4.2 operates on this representation; correctness of a rewrite is the
+//! refinement `⟦rhs⟧ ⊑ ⟦lhs⟧` checked by the semantics crate.
+//!
+//! Deviation from the paper: base components carry an explicit instance name
+//! (in the paper the instance name is recoverable from the port maps; making
+//! it explicit keeps lifting back to [`ExprHigh`](crate::ExprHigh) exact for
+//! components with no output ports, such as Sink).
+
+use crate::component::CompKind;
+use crate::high::Endpoint;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A port name in ExprLow: a graph I/O index or a local `(instance, wire)`
+/// pair (the `I ::= NAT | STR × STR` grammar of §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PortName {
+    /// Graph-level I/O port, identified by an index.
+    Io(u64),
+    /// Internal port, identified by instance and wire name.
+    Local(String, String),
+}
+
+impl PortName {
+    /// Builds a local port name.
+    pub fn local(inst: impl Into<String>, wire: impl Into<String>) -> Self {
+        PortName::Local(inst.into(), wire.into())
+    }
+}
+
+impl fmt::Display for PortName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortName::Io(n) => write!(f, "@{n}"),
+            PortName::Local(a, b) => write!(f, "{a}:{b}"),
+        }
+    }
+}
+
+impl From<Endpoint> for PortName {
+    fn from(e: Endpoint) -> Self {
+        PortName::Local(e.node, e.port)
+    }
+}
+
+/// The input and output port-rename maps `P = (I ↦ I) × (I ↦ I)` attached to
+/// a base component: interface port name → external ExprLow port name.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortMaps {
+    /// Input renames: interface port → external name.
+    pub ins: BTreeMap<String, PortName>,
+    /// Output renames: interface port → external name.
+    pub outs: BTreeMap<String, PortName>,
+}
+
+/// An ExprLow expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExprLow {
+    /// A base component with its rename maps.
+    Base {
+        /// Instance name (see module docs on this deviation).
+        inst: String,
+        /// Component kind.
+        kind: CompKind,
+        /// Port rename maps.
+        maps: PortMaps,
+    },
+    /// The product `e₁ ⊗ e₂` of two circuits.
+    Product(Box<ExprLow>, Box<ExprLow>),
+    /// `connect(o, i, e)`: the circuit `e` with output `o` wired to input
+    /// `i`.
+    Connect {
+        /// The connected output port.
+        out: PortName,
+        /// The connected input port.
+        inp: PortName,
+        /// The underlying circuit.
+        inner: Box<ExprLow>,
+    },
+}
+
+impl ExprLow {
+    /// A base component whose ports keep their default local names
+    /// `(inst, port)`.
+    pub fn base(inst: impl Into<String>, kind: CompKind) -> ExprLow {
+        let inst = inst.into();
+        let (ins, outs) = kind.interface();
+        let maps = PortMaps {
+            ins: ins.into_iter().map(|p| (p.clone(), PortName::local(inst.clone(), p))).collect(),
+            outs: outs.into_iter().map(|p| (p.clone(), PortName::local(inst.clone(), p))).collect(),
+        };
+        ExprLow::Base { inst, kind, maps }
+    }
+
+    /// The product of a non-empty list of expressions, left-associated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exprs` is empty.
+    pub fn product_of(exprs: Vec<ExprLow>) -> ExprLow {
+        let mut it = exprs.into_iter();
+        let first = it.next().expect("product of at least one expression");
+        it.fold(first, |acc, e| ExprLow::Product(Box::new(acc), Box::new(e)))
+    }
+
+    /// Wraps `self` in `connect` constructors for each `(out, in)` pair, in
+    /// order (the first pair becomes the innermost connect).
+    pub fn connect_all(self, wires: impl IntoIterator<Item = (PortName, PortName)>) -> ExprLow {
+        wires.into_iter().fold(self, |acc, (o, i)| ExprLow::Connect {
+            out: o,
+            inp: i,
+            inner: Box::new(acc),
+        })
+    }
+
+    /// The substitution-based rewriting function `e[lhs := rhs]` of §4.2:
+    /// replaces every sub-expression structurally equal to `lhs` by `rhs`.
+    pub fn substitute(&self, lhs: &ExprLow, rhs: &ExprLow) -> ExprLow {
+        if self == lhs {
+            return rhs.clone();
+        }
+        match self {
+            ExprLow::Base { .. } => self.clone(),
+            ExprLow::Product(a, b) => ExprLow::Product(
+                Box::new(a.substitute(lhs, rhs)),
+                Box::new(b.substitute(lhs, rhs)),
+            ),
+            ExprLow::Connect { out, inp, inner } => ExprLow::Connect {
+                out: out.clone(),
+                inp: inp.clone(),
+                inner: Box::new(inner.substitute(lhs, rhs)),
+            },
+        }
+    }
+
+    /// Whether `needle` occurs as a sub-expression of `self`.
+    pub fn contains(&self, needle: &ExprLow) -> bool {
+        if self == needle {
+            return true;
+        }
+        match self {
+            ExprLow::Base { .. } => false,
+            ExprLow::Product(a, b) => a.contains(needle) || b.contains(needle),
+            ExprLow::Connect { inner, .. } => inner.contains(needle),
+        }
+    }
+
+    /// Iterates over all base components in the expression.
+    pub fn bases(&self) -> Vec<(&str, &CompKind, &PortMaps)> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out
+    }
+
+    fn collect_bases<'a>(&'a self, out: &mut Vec<(&'a str, &'a CompKind, &'a PortMaps)>) {
+        match self {
+            ExprLow::Base { inst, kind, maps } => out.push((inst, kind, maps)),
+            ExprLow::Product(a, b) => {
+                a.collect_bases(out);
+                b.collect_bases(out);
+            }
+            ExprLow::Connect { inner, .. } => inner.collect_bases(out),
+        }
+    }
+
+    /// The `(out, in)` pairs of all connect constructors, outermost first.
+    pub fn connections(&self) -> Vec<(&PortName, &PortName)> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                ExprLow::Connect { out: o, inp, inner } => {
+                    out.push((o, inp));
+                    cur = inner;
+                }
+                ExprLow::Product(a, b) => {
+                    out.extend(a.connections());
+                    out.extend(b.connections());
+                    return out;
+                }
+                ExprLow::Base { .. } => return out,
+            }
+        }
+    }
+
+    /// The dangling (unconnected) external port names: `(inputs, outputs)`.
+    ///
+    /// These are the names that remain visible as the module's I/O after
+    /// denotation.
+    pub fn dangling(&self) -> (Vec<PortName>, Vec<PortName>) {
+        let mut ins: Vec<PortName> = Vec::new();
+        let mut outs: Vec<PortName> = Vec::new();
+        for (_, _, maps) in self.bases() {
+            ins.extend(maps.ins.values().cloned());
+            outs.extend(maps.outs.values().cloned());
+        }
+        for (o, i) in self.connections() {
+            ins.retain(|x| x != i);
+            outs.retain(|x| x != o);
+        }
+        ins.sort();
+        outs.sort();
+        (ins, outs)
+    }
+
+    /// Number of base components.
+    pub fn base_count(&self) -> usize {
+        match self {
+            ExprLow::Base { .. } => 1,
+            ExprLow::Product(a, b) => a.base_count() + b.base_count(),
+            ExprLow::Connect { inner, .. } => inner.base_count(),
+        }
+    }
+}
+
+impl fmt::Display for ExprLow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprLow::Base { inst, kind, .. } => write!(f, "{inst}:{kind}"),
+            ExprLow::Product(a, b) => write!(f, "({a} (x) {b})"),
+            ExprLow::Connect { out, inp, inner } => {
+                write!(f, "connect({out}, {inp}, {inner})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Op;
+
+    fn base(i: &str) -> ExprLow {
+        ExprLow::base(i, CompKind::Operator { op: Op::AddI })
+    }
+
+    #[test]
+    fn default_base_maps_use_self_names() {
+        let b = ExprLow::base("f", CompKind::Fork { ways: 2 });
+        if let ExprLow::Base { maps, .. } = &b {
+            assert_eq!(maps.ins["in"], PortName::local("f", "in"));
+            assert_eq!(maps.outs["out1"], PortName::local("f", "out1"));
+        } else {
+            panic!("expected base");
+        }
+    }
+
+    #[test]
+    fn substitute_replaces_matching_subtree() {
+        let lhs = base("a");
+        let rhs = base("b");
+        let e = ExprLow::Product(Box::new(base("a")), Box::new(base("c")));
+        let e2 = e.substitute(&lhs, &rhs);
+        assert_eq!(e2, ExprLow::Product(Box::new(base("b")), Box::new(base("c"))));
+    }
+
+    #[test]
+    fn substitute_descends_through_connect() {
+        let lhs = base("a");
+        let rhs = base("b");
+        let e = ExprLow::Connect {
+            out: PortName::local("a", "out"),
+            inp: PortName::local("c", "in0"),
+            inner: Box::new(ExprLow::Product(Box::new(base("a")), Box::new(base("c")))),
+        };
+        let e2 = e.substitute(&lhs, &rhs);
+        assert!(e2.contains(&rhs));
+        assert!(!e2.contains(&lhs));
+    }
+
+    #[test]
+    fn substitute_identity_when_absent() {
+        let e = base("x");
+        assert_eq!(e.substitute(&base("nope"), &base("y")), e);
+    }
+
+    #[test]
+    fn dangling_reflects_connections() {
+        let e = ExprLow::Product(
+            Box::new(ExprLow::base("f", CompKind::Fork { ways: 2 })),
+            Box::new(ExprLow::base("m", CompKind::Operator { op: Op::Mod })),
+        );
+        let (ins, outs) = e.dangling();
+        assert_eq!(ins.len(), 3);
+        assert_eq!(outs.len(), 3);
+        let e = e.connect_all([
+            (PortName::local("f", "out0"), PortName::local("m", "in0")),
+            (PortName::local("f", "out1"), PortName::local("m", "in1")),
+        ]);
+        let (ins, outs) = e.dangling();
+        assert_eq!(ins, vec![PortName::local("f", "in")]);
+        assert_eq!(outs, vec![PortName::local("m", "out")]);
+    }
+
+    #[test]
+    fn product_of_left_associates() {
+        let e = ExprLow::product_of(vec![base("a"), base("b"), base("c")]);
+        match e {
+            ExprLow::Product(ab, _c) => match *ab {
+                ExprLow::Product(_, _) => {}
+                _ => panic!("expected left association"),
+            },
+            _ => panic!("expected product"),
+        }
+    }
+
+    #[test]
+    fn connections_listed_outermost_first() {
+        let e = base("a").connect_all([
+            (PortName::Io(0), PortName::Io(1)),
+            (PortName::Io(2), PortName::Io(3)),
+        ]);
+        let conns = e.connections();
+        assert_eq!(conns[0], (&PortName::Io(2), &PortName::Io(3)));
+        assert_eq!(conns[1], (&PortName::Io(0), &PortName::Io(1)));
+    }
+}

@@ -1,0 +1,267 @@
+//! Runtime values and value types carried by dataflow tokens.
+//!
+//! Dataflow circuits move *tokens* between components. A token carries a
+//! [`Value`]; the static port discipline of a circuit is described by [`Ty`].
+//! Tags (used by the Tagger/Untagger of the out-of-order transformation) are
+//! part of the value domain: a [`Value::Tagged`] pairs a small tag with an
+//! inner value, and [`Ty::Tagged`] is its type.
+
+use std::fmt;
+
+/// A tag allocated by a Tagger/Untagger region.
+pub type Tag = u32;
+
+/// A runtime value carried by a dataflow token.
+///
+/// Floating-point values are stored as raw bits so that `Value` can implement
+/// [`Eq`], [`Ord`] and [`Hash`](std::hash::Hash) (the refinement checker uses
+/// values as map keys). Use [`Value::from_f64`] and [`Value::as_f64`] to
+/// convert.
+///
+/// # Examples
+///
+/// ```
+/// use graphiti_ir::Value;
+/// let v = Value::Pair(Box::new(Value::Int(3)), Box::new(Value::Bool(true)));
+/// assert_eq!(v.to_string(), "(3, true)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Default)]
+pub enum Value {
+    /// The unit (control-only) token.
+    #[default]
+    Unit,
+    /// A Boolean token, e.g. a loop-exit condition.
+    Bool(bool),
+    /// A signed integer token.
+    Int(i64),
+    /// An IEEE-754 double, stored as raw bits for structural equality.
+    F64(u64),
+    /// A pair of values, produced by Join and consumed by Split.
+    Pair(Box<Value>, Box<Value>),
+    /// A tagged value inside a Tagger/Untagger region.
+    Tagged(Tag, Box<Value>),
+}
+
+impl Value {
+    /// Creates a floating-point value from an `f64`.
+    ///
+    /// ```
+    /// use graphiti_ir::Value;
+    /// assert_eq!(Value::from_f64(1.5).as_f64(), Some(1.5));
+    /// ```
+    pub fn from_f64(x: f64) -> Self {
+        Value::F64(x.to_bits())
+    }
+
+    /// Returns the `f64` payload if this is a [`Value::F64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(bits) => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns the `i64` payload if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the `bool` payload if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Builds a pair value.
+    pub fn pair(a: Value, b: Value) -> Self {
+        Value::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Splits a pair value into its components.
+    pub fn into_pair(self) -> Option<(Value, Value)> {
+        match self {
+            Value::Pair(a, b) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// Wraps a value with a tag.
+    pub fn tagged(tag: Tag, v: Value) -> Self {
+        Value::Tagged(tag, Box::new(v))
+    }
+
+    /// Removes one level of tagging, returning `(tag, inner)`.
+    pub fn into_tagged(self) -> Option<(Tag, Value)> {
+        match self {
+            Value::Tagged(t, v) => Some((t, *v)),
+            _ => None,
+        }
+    }
+
+    /// Strips any tag, returning the untagged payload and the tag if present.
+    ///
+    /// Tag-transparent components (operators inside a tagger region) use this
+    /// to compute on the payload while preserving the tag.
+    pub fn untag(&self) -> (Option<Tag>, &Value) {
+        match self {
+            Value::Tagged(t, v) => (Some(*t), v),
+            other => (None, other),
+        }
+    }
+
+    /// The [`Ty`] of this value.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Unit => Ty::Unit,
+            Value::Bool(_) => Ty::Bool,
+            Value::Int(_) => Ty::Int,
+            Value::F64(_) => Ty::F64,
+            Value::Pair(a, b) => Ty::pair(a.ty(), b.ty()),
+            Value::Tagged(_, v) => Ty::Tagged(Box::new(v.ty())),
+        }
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(x) => write!(f, "{x}"),
+            Value::F64(bits) => write!(f, "{}", f64::from_bits(*bits)),
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+            Value::Tagged(t, v) => write!(f, "#{t}:{v}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Int(x)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::from_f64(x)
+    }
+}
+
+/// The type of values flowing over a channel.
+///
+/// Well-typed graphs (see the paper's §6.3 discussion of typed environments)
+/// require the two endpoints of every connection to agree on the channel
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Default)]
+pub enum Ty {
+    /// The unit (control token) type.
+    Unit,
+    /// Booleans.
+    Bool,
+    /// Signed integers.
+    Int,
+    /// IEEE-754 doubles.
+    F64,
+    /// A product of two types.
+    Pair(Box<Ty>, Box<Ty>),
+    /// A tagged type inside a tagger region.
+    Tagged(Box<Ty>),
+    /// A type that is not statically constrained (used by polymorphic
+    /// components such as Fork before type inference).
+    #[default]
+    Any,
+}
+
+impl Ty {
+    /// Builds a pair type.
+    pub fn pair(a: Ty, b: Ty) -> Self {
+        Ty::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Whether `self` and `other` are compatible, treating [`Ty::Any`] as a
+    /// wildcard.
+    pub fn compatible(&self, other: &Ty) -> bool {
+        match (self, other) {
+            (Ty::Any, _) | (_, Ty::Any) => true,
+            (Ty::Pair(a1, b1), Ty::Pair(a2, b2)) => a1.compatible(a2) && b1.compatible(b2),
+            (Ty::Tagged(a), Ty::Tagged(b)) => a.compatible(b),
+            (a, b) => a == b,
+        }
+    }
+}
+
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Unit => write!(f, "unit"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Int => write!(f, "int"),
+            Ty::F64 => write!(f, "f64"),
+            Ty::Pair(a, b) => write!(f, "({a} * {b})"),
+            Ty::Tagged(t) => write!(f, "tagged {t}"),
+            Ty::Any => write!(f, "_"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        for x in [0.0, -1.5, 3.25, f64::INFINITY] {
+            assert_eq!(Value::from_f64(x).as_f64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let v = Value::pair(Value::Int(1), Value::Bool(false));
+        assert_eq!(v.clone().into_pair(), Some((Value::Int(1), Value::Bool(false))));
+        assert_eq!(v.ty(), Ty::pair(Ty::Int, Ty::Bool));
+    }
+
+    #[test]
+    fn untag_is_transparent_for_untagged() {
+        let v = Value::Int(7);
+        let (tag, inner) = v.untag();
+        assert_eq!(tag, None);
+        assert_eq!(inner, &Value::Int(7));
+    }
+
+    #[test]
+    fn tagged_value_types() {
+        let v = Value::tagged(3, Value::Int(9));
+        assert_eq!(v.ty(), Ty::Tagged(Box::new(Ty::Int)));
+        assert_eq!(v.into_tagged(), Some((3, Value::Int(9))));
+    }
+
+    #[test]
+    fn ty_compatibility_wildcard() {
+        assert!(Ty::Any.compatible(&Ty::Int));
+        assert!(Ty::pair(Ty::Any, Ty::Bool).compatible(&Ty::pair(Ty::Int, Ty::Bool)));
+        assert!(!Ty::Int.compatible(&Ty::Bool));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::tagged(1, Value::pair(Value::Unit, 2i64.into())).to_string(), "#1:((), 2)");
+        assert_eq!(Ty::Tagged(Box::new(Ty::pair(Ty::Int, Ty::Bool))).to_string(), "tagged (int * bool)");
+    }
+}

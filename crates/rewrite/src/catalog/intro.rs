@@ -1,0 +1,159 @@
+//! Introduction rewrites (Fig. 3c): insert Split/Join pairs to mold a loop
+//! into the exact left-hand-side shape of the main out-of-order rewrite.
+
+use super::Frag;
+use crate::engine::{wire_consumer, wire_driver, Match, Rewrite, RewriteError};
+use graphiti_ir::{ep, CompKind};
+use std::collections::BTreeMap;
+
+/// Inserts `Join; Split` between a loop body's two result wires (data and
+/// condition) and the Branch/condition-Fork that consume them, so the body
+/// afterwards has a *single* output wire feeding a Split — the shape the
+/// loop rewrite of Fig. 3d expects.
+///
+/// Matches a Branch whose condition comes from a 2-way Fork (the loop's
+/// condition fork, which also feeds the Init), unless the `Join; Split` pair
+/// is already in place.
+pub fn join_split_intro() -> Rewrite {
+    Rewrite::new(
+        "join-split-intro",
+        true,
+        |g| {
+            let mut out = Vec::new();
+            for (b, kind) in g.nodes() {
+                if !matches!(kind, CompKind::Branch) {
+                    continue;
+                }
+                let fork = match wire_driver(g, &ep(b.clone(), "cond")) {
+                    Some(src) if matches!(g.kind(&src.node), Some(CompKind::Fork { ways: 2 })) => {
+                        src
+                    }
+                    _ => continue,
+                };
+                // The fork's other output should reach an Init (loop shape).
+                let other_port = if fork.port == "out0" { "out1" } else { "out0" };
+                match wire_consumer(g, &ep(fork.node.clone(), other_port)) {
+                    Some(dst) if matches!(g.kind(&dst.node), Some(CompKind::Init { .. })) => {}
+                    _ => continue,
+                }
+                // Skip if already normalized: Branch.in driven by a Split
+                // whose other output feeds the fork.
+                if let Some(src) = wire_driver(g, &ep(b.clone(), "in")) {
+                    if matches!(g.kind(&src.node), Some(CompKind::Split)) {
+                        let sibling = if src.port == "out0" { "out1" } else { "out0" };
+                        if let Some(dst) = wire_consumer(g, &ep(src.node.clone(), sibling)) {
+                            if dst.node == fork.node {
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let mut bind = BTreeMap::new();
+                bind.insert("branch".to_string(), b.clone());
+                bind.insert("fork".to_string(), fork.node.clone());
+                bind.insert("__condport".to_string(), fork.port.clone());
+                out.push(Match {
+                    nodes: [b.clone(), fork.node.clone()].into_iter().collect(),
+                    bindings: bind,
+                });
+            }
+            out
+        },
+        |g, m| {
+            let b = m.node("branch");
+            let f = m.node("fork");
+            let condport = m.bindings["__condport"].clone();
+            let otherport = if condport == "out0" { "out1" } else { "out0" };
+            if !matches!(g.kind(f), Some(CompKind::Fork { ways: 2 })) {
+                return Err(RewriteError::BuilderFailed("fork vanished".into()));
+            }
+            let mut fr = Frag::new();
+            fr.node("j", CompKind::Join)
+                .node("s", CompKind::Split)
+                .node("br", CompKind::Branch)
+                .node("fk", CompKind::Fork { ways: 2 });
+            fr.edge(("j", "out"), ("s", "in"))
+                .edge(("s", "out0"), ("br", "in"))
+                .edge(("s", "out1"), ("fk", "in"))
+                .edge(("fk", "out0"), ("br", "cond"));
+            fr.input("data", ("j", "in0"), ep(b.clone(), "in"))
+                .input("cond", ("j", "in1"), ep(f.clone(), "in"));
+            fr.output("bt", ("br", "t"), ep(b.clone(), "t"))
+                .output("bf", ("br", "f"), ep(b.clone(), "f"))
+                .output("finit", ("fk", "out1"), ep(f.clone(), otherport));
+            fr.build()
+        },
+    )
+}
+
+/// A targeted variant of [`join_split_intro`] that fires only at the given
+/// Branch node — used by the oracle-driven pipeline to normalize a specific
+/// loop.
+pub fn join_split_intro_at(branch: graphiti_ir::NodeId) -> Rewrite {
+    let generic = join_split_intro();
+    Rewrite::new(
+        "join-split-intro",
+        true,
+        move |g| {
+            join_split_intro()
+                .matches(g)
+                .into_iter()
+                .filter(|m| m.bindings.get("branch") == Some(&branch))
+                .collect()
+        },
+        move |g, m| generic.build(g, m),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_ir::ExprHigh;
+    use crate::engine::Engine;
+    use graphiti_ir::PureFn;
+
+    /// A canonical sequential loop, body already a single Pure, but with the
+    /// two result wires (data / cond) not yet joined.
+    fn loop_without_join() -> ExprHigh {
+        let mut g = ExprHigh::new();
+        g.add_node("mux", CompKind::Mux).unwrap();
+        g.add_node("body", CompKind::Pure { func: PureFn::Dup }).unwrap();
+        g.add_node("bodysplit", CompKind::Split).unwrap();
+        g.add_node("cond", CompKind::Pure { func: PureFn::Op(graphiti_ir::Op::NeZero) }).unwrap();
+        g.add_node("fork", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("init", CompKind::Init { initial: false }).unwrap();
+        g.add_node("br", CompKind::Branch).unwrap();
+        g.connect(ep("mux", "out"), ep("body", "in")).unwrap();
+        g.connect(ep("body", "out"), ep("bodysplit", "in")).unwrap();
+        g.connect(ep("bodysplit", "out0"), ep("br", "in")).unwrap();
+        g.connect(ep("bodysplit", "out1"), ep("cond", "in")).unwrap();
+        g.connect(ep("cond", "out"), ep("fork", "in")).unwrap();
+        g.connect(ep("fork", "out0"), ep("br", "cond")).unwrap();
+        g.connect(ep("fork", "out1"), ep("init", "in")).unwrap();
+        g.connect(ep("init", "out"), ep("mux", "cond")).unwrap();
+        g.connect(ep("br", "t"), ep("mux", "t")).unwrap();
+        g.expose_input("entry", ep("mux", "f")).unwrap();
+        g.expose_output("exit", ep("br", "f")).unwrap();
+        g.validate().unwrap();
+        g
+    }
+
+    #[test]
+    fn intro_inserts_join_split_before_branch() {
+        let g = loop_without_join();
+        let mut engine = Engine::new();
+        let g2 = engine.apply_first(&g, &join_split_intro()).unwrap().expect("match");
+        g2.validate().unwrap();
+        let joins = g2.nodes().filter(|(_, k)| matches!(k, CompKind::Join)).count();
+        assert_eq!(joins, 1);
+        // The rewrite must not fire again on its own output.
+        assert!(join_split_intro().matches(&g2).is_empty(), "{g2}");
+    }
+
+    #[test]
+    fn targeted_intro_respects_the_target() {
+        let g = loop_without_join();
+        assert!(join_split_intro_at("br".into()).matches(&g).len() == 1);
+        assert!(join_split_intro_at("nonexistent".into()).matches(&g).is_empty());
+    }
+}

@@ -1,0 +1,626 @@
+//! The rewriting engine.
+//!
+//! A [`Rewrite`] is a pair of a *matcher* (which finds instances of the
+//! left-hand side in an [`ExprHigh`] graph) and a *builder* (which produces
+//! the replacement for a concrete match). The engine applies a rewrite the
+//! way the paper describes (§3, §4.2):
+//!
+//! 1. the match designates a node set; the graph is lowered with
+//!    [`lower_grouped`] so those nodes form a contiguous ExprLow
+//!    sub-expression `e_lhs`;
+//! 2. the replacement is rendered as an ExprLow fragment `e_rhs` exposing
+//!    exactly the same dangling port names;
+//! 3. the substitution `e[e_lhs := e_rhs]` of §4.2 rewrites the expression,
+//!    which is lifted back to ExprHigh.
+//!
+//! In *checked mode* the engine discharges the premise of Theorem 4.6 for
+//! every application of a rewrite marked verified: it denotes `e_rhs` and
+//! `e_lhs` and runs the bounded refinement check `⟦e_rhs⟧ ⊑ ⟦e_lhs⟧`,
+//! refusing the application on a counterexample. Rewrites marked unverified
+//! (the paper's "minor rewrites", §6.3 Limitations) are applied without a
+//! check and recorded as such.
+//!
+//! Rewrites whose right-hand side is pure wiring (e.g. eliminating a 1-way
+//! fork) use a [`Replacement::Passthrough`], applied by graph splicing; their
+//! check obligation models each wire as an elastic buffer.
+
+use graphiti_ir::{
+    lift_expr, lower_grouped, Attachment, CompKind, Endpoint, ExprHigh, ExprLow, GraphError,
+    LowerError, NodeId, PortMaps, PortName,
+};
+use graphiti_sem::{check_refinement, denote, Env, Event, RefineConfig, Refinement};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A concrete occurrence of a rewrite's left-hand side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// The matched nodes (removed by the rewrite).
+    pub nodes: BTreeSet<NodeId>,
+    /// Pattern-role bindings, e.g. `"mux_a" → "mux3"`.
+    pub bindings: BTreeMap<String, NodeId>,
+}
+
+impl Match {
+    /// A match over the given role bindings; `nodes` is their value set.
+    pub fn from_bindings(bindings: BTreeMap<String, NodeId>) -> Match {
+        let nodes = bindings.values().cloned().collect();
+        Match { nodes, bindings }
+    }
+
+    /// The node bound to `role`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the role is unbound — a rewrite implementation bug.
+    pub fn node(&self, role: &str) -> &NodeId {
+        &self.bindings[role]
+    }
+}
+
+/// The right-hand side produced by a rewrite's builder for a match.
+#[derive(Debug, Clone)]
+pub enum Replacement {
+    /// Replace the matched nodes by a fresh subgraph. The subgraph's
+    /// external inputs/outputs name the boundary; the maps say which old
+    /// boundary port each one takes over.
+    Subgraph {
+        /// The replacement fragment, with external ports at its boundary.
+        graph: ExprHigh,
+        /// Subgraph external input name → the old in-port (on a matched
+        /// node) whose driver it inherits.
+        boundary_ins: BTreeMap<String, Endpoint>,
+        /// Subgraph external output name → the old out-port whose consumer
+        /// it inherits.
+        boundary_outs: BTreeMap<String, Endpoint>,
+    },
+    /// Replace the matched nodes by direct wires: each pair connects the
+    /// driver of an old boundary in-port to the consumer of an old boundary
+    /// out-port.
+    Passthrough {
+        /// `(old in-port, old out-port)` pairs.
+        wires: Vec<(Endpoint, Endpoint)>,
+    },
+}
+
+/// Errors raised while applying rewrites.
+#[derive(Debug, Clone)]
+pub enum RewriteError {
+    /// Underlying graph manipulation failed.
+    Graph(GraphError),
+    /// Lowering or lifting failed.
+    Lower(LowerError),
+    /// The replacement does not cover the match's boundary exactly.
+    BoundaryMismatch(String),
+    /// Checked mode found a refinement violation.
+    RefinementViolated {
+        /// The offending rewrite.
+        rewrite: String,
+        /// The violating trace.
+        trace: Vec<Event>,
+    },
+    /// The rewrite's builder rejected the match.
+    BuilderFailed(String),
+    /// A structural assumption did not hold.
+    Unsupported(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::Graph(e) => write!(f, "graph error: {e}"),
+            RewriteError::Lower(e) => write!(f, "lowering error: {e}"),
+            RewriteError::BoundaryMismatch(m) => write!(f, "boundary mismatch: {m}"),
+            RewriteError::RefinementViolated { rewrite, trace } => {
+                write!(f, "rewrite `{rewrite}` violates refinement; trace:")?;
+                for e in trace {
+                    write!(f, " {e};")?;
+                }
+                Ok(())
+            }
+            RewriteError::BuilderFailed(m) => write!(f, "builder failed: {m}"),
+            RewriteError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<GraphError> for RewriteError {
+    fn from(e: GraphError) -> Self {
+        RewriteError::Graph(e)
+    }
+}
+
+impl From<LowerError> for RewriteError {
+    fn from(e: LowerError) -> Self {
+        RewriteError::Lower(e)
+    }
+}
+
+type MatcherFn = Box<dyn Fn(&ExprHigh) -> Vec<Match>>;
+type BuilderFn = Box<dyn Fn(&ExprHigh, &Match) -> Result<Replacement, RewriteError>>;
+
+/// A graph rewrite: a named matcher/builder pair.
+pub struct Rewrite {
+    /// Rewrite name, e.g. `"mux-combine"`.
+    pub name: &'static str,
+    /// Whether the rewrite carries a refinement obligation discharged in
+    /// checked mode. Unverified rewrites mirror the paper's minor rewrites.
+    pub verified: bool,
+    matcher: MatcherFn,
+    builder: BuilderFn,
+}
+
+impl fmt::Debug for Rewrite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rewrite")
+            .field("name", &self.name)
+            .field("verified", &self.verified)
+            .finish()
+    }
+}
+
+impl Rewrite {
+    /// Creates a rewrite.
+    pub fn new(
+        name: &'static str,
+        verified: bool,
+        matcher: impl Fn(&ExprHigh) -> Vec<Match> + 'static,
+        builder: impl Fn(&ExprHigh, &Match) -> Result<Replacement, RewriteError> + 'static,
+    ) -> Rewrite {
+        Rewrite { name, verified, matcher: Box::new(matcher), builder: Box::new(builder) }
+    }
+
+    /// All matches of the left-hand side in `g`, in deterministic order.
+    pub fn matches(&self, g: &ExprHigh) -> Vec<Match> {
+        (self.matcher)(g)
+    }
+
+    /// The replacement for a concrete match.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's rejection of the match.
+    pub fn build(&self, g: &ExprHigh, m: &Match) -> Result<Replacement, RewriteError> {
+        (self.builder)(g, m)
+    }
+}
+
+/// Whether applications are verified against the semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// Apply without semantic checks (fast path; the default for the
+    /// benchmark pipeline, matching the extracted Lean code's behaviour).
+    Off,
+    /// For every application of a `verified` rewrite, run the bounded
+    /// refinement check `⟦rhs⟧ ⊑ ⟦lhs⟧` and refuse on a counterexample.
+    Checked,
+}
+
+/// One recorded rewrite application.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// Name of the rewrite.
+    pub rewrite: String,
+    /// Nodes that were replaced.
+    pub nodes: BTreeSet<NodeId>,
+    /// Checked-mode verdict (`None` when unchecked).
+    pub verdict: Option<Refinement>,
+}
+
+/// The rewriting engine: applies rewrites, keeps a log, and (optionally)
+/// checks refinement obligations.
+#[derive(Debug)]
+pub struct Engine {
+    /// Whether refinement obligations are checked.
+    pub mode: CheckMode,
+    /// Bounds for checked mode.
+    pub refine_cfg: RefineConfig,
+    /// Log of applications, in order.
+    pub log: Vec<Applied>,
+    fresh_counter: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with checks off.
+    pub fn new() -> Engine {
+        Engine { mode: CheckMode::Off, refine_cfg: RefineConfig::default(), log: Vec::new(), fresh_counter: 0 }
+    }
+
+    /// An engine in checked mode with the given bounds.
+    pub fn checked(refine_cfg: RefineConfig) -> Engine {
+        Engine { mode: CheckMode::Checked, refine_cfg, log: Vec::new(), fresh_counter: 0 }
+    }
+
+    /// Number of rewrite applications so far.
+    pub fn rewrites_applied(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Applies `rw` at its first match, returning the rewritten graph, or
+    /// `None` if there is no match.
+    ///
+    /// # Errors
+    ///
+    /// Fails on builder rejection, boundary mistakes, or (in checked mode) a
+    /// refinement violation.
+    pub fn apply_first(
+        &mut self,
+        g: &ExprHigh,
+        rw: &Rewrite,
+    ) -> Result<Option<ExprHigh>, RewriteError> {
+        let matches = rw.matches(g);
+        match matches.into_iter().next() {
+            Some(m) => self.apply_at(g, rw, &m).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Applies `rw` at the given match.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::apply_first`].
+    pub fn apply_at(
+        &mut self,
+        g: &ExprHigh,
+        rw: &Rewrite,
+        m: &Match,
+    ) -> Result<ExprHigh, RewriteError> {
+        let repl = rw.build(g, m)?;
+        self.validate_boundary(g, m, &repl)?;
+
+        let lowered = lower_grouped(g, &m.nodes)?;
+        let whole = m.nodes == g.node_names();
+        let e_lhs = extract_group(&lowered.expr, whole).clone();
+        let e_rhs = self.render_rhs(g, &repl)?;
+
+        let verdict = if self.mode == CheckMode::Checked && rw.verified {
+            let env = Env::standard();
+            let lhs_mod = denote(&e_lhs, &env);
+            let rhs_mod = match &e_rhs {
+                Some(e) => denote(e, &env),
+                None => {
+                    // A passthrough with no expressible rhs cannot be
+                    // checked; treat as bound-reached.
+                    return Err(RewriteError::Unsupported(
+                        "verified rewrite with unrenderable rhs".into(),
+                    ));
+                }
+            };
+            let r = check_refinement(&rhs_mod, &lhs_mod, &self.refine_cfg);
+            if let Refinement::Fails { trace } = &r {
+                return Err(RewriteError::RefinementViolated {
+                    rewrite: rw.name.to_string(),
+                    trace: trace.clone(),
+                });
+            }
+            Some(r)
+        } else {
+            None
+        };
+
+        let g2 = match &repl {
+            Replacement::Subgraph { .. } => {
+                let e_rhs = e_rhs.expect("subgraph replacement always renders");
+                let expr2 = lowered.expr.substitute(&e_lhs, &e_rhs);
+                lift_expr(&expr2, &lowered.input_names, &lowered.output_names)?
+            }
+            Replacement::Passthrough { wires } => self.splice_passthrough(g, m, wires)?,
+        };
+        g2.validate()?;
+
+        self.log.push(Applied {
+            rewrite: rw.name.to_string(),
+            nodes: m.nodes.clone(),
+            verdict,
+        });
+        Ok(g2)
+    }
+
+    /// Applies the rewrites exhaustively (first match of the first matching
+    /// rewrite, repeatedly) until fixpoint or `max_iters` applications.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::apply_first`].
+    pub fn exhaust(
+        &mut self,
+        mut g: ExprHigh,
+        rws: &[&Rewrite],
+        max_iters: usize,
+    ) -> Result<ExprHigh, RewriteError> {
+        for _ in 0..max_iters {
+            let mut progressed = false;
+            for rw in rws {
+                if let Some(g2) = self.apply_first(&g, rw)? {
+                    g = g2;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                return Ok(g);
+            }
+        }
+        Ok(g)
+    }
+
+    /// A node name unique in `g` and across this engine's applications.
+    pub fn fresh_name(&mut self, g: &ExprHigh, stem: &str) -> NodeId {
+        loop {
+            self.fresh_counter += 1;
+            let cand = format!("{stem}_{}", self.fresh_counter);
+            if g.kind(&cand).is_none() {
+                return cand;
+            }
+        }
+    }
+
+    /// The actual boundary ports of the matched node set.
+    fn boundary_ports(
+        &self,
+        g: &ExprHigh,
+        m: &Match,
+    ) -> (BTreeSet<Endpoint>, BTreeSet<Endpoint>) {
+        let mut b_ins = BTreeSet::new();
+        let mut b_outs = BTreeSet::new();
+        for n in &m.nodes {
+            let kind = g.kind(n).expect("matched node exists");
+            let (ins, outs) = kind.interface();
+            for p in ins {
+                let e = Endpoint::new(n.clone(), p);
+                match g.driver(&e) {
+                    Some(Attachment::Wire(src)) if m.nodes.contains(&src.node) => {}
+                    _ => {
+                        b_ins.insert(e);
+                    }
+                }
+            }
+            for p in outs {
+                let e = Endpoint::new(n.clone(), p);
+                match g.consumer(&e) {
+                    Some(Attachment::Wire(dst)) if m.nodes.contains(&dst.node) => {}
+                    _ => {
+                        b_outs.insert(e);
+                    }
+                }
+            }
+        }
+        (b_ins, b_outs)
+    }
+
+    fn validate_boundary(
+        &self,
+        g: &ExprHigh,
+        m: &Match,
+        repl: &Replacement,
+    ) -> Result<(), RewriteError> {
+        let (b_ins, b_outs) = self.boundary_ports(g, m);
+        let (covered_ins, covered_outs): (BTreeSet<Endpoint>, BTreeSet<Endpoint>) = match repl {
+            Replacement::Subgraph { boundary_ins, boundary_outs, .. } => (
+                boundary_ins.values().cloned().collect(),
+                boundary_outs.values().cloned().collect(),
+            ),
+            Replacement::Passthrough { wires } => (
+                wires.iter().map(|(i, _)| i.clone()).collect(),
+                wires.iter().map(|(_, o)| o.clone()).collect(),
+            ),
+        };
+        if covered_ins != b_ins {
+            return Err(RewriteError::BoundaryMismatch(format!(
+                "inputs: expected {b_ins:?}, replacement covers {covered_ins:?}"
+            )));
+        }
+        if covered_outs != b_outs {
+            return Err(RewriteError::BoundaryMismatch(format!(
+                "outputs: expected {b_outs:?}, replacement covers {covered_outs:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The ExprLow name an old boundary in-port has in the lowered whole
+    /// graph.
+    fn old_in_name(&self, g: &ExprHigh, e: &Endpoint) -> PortName {
+        match g.driver(e) {
+            Some(Attachment::External(nm)) => {
+                let idx = g.inputs().position(|(n, _)| *n == nm).expect("external exists");
+                PortName::Io(idx as u64)
+            }
+            _ => PortName::from(e.clone()),
+        }
+    }
+
+    /// The ExprLow name an old boundary out-port has in the lowered whole
+    /// graph.
+    fn old_out_name(&self, g: &ExprHigh, e: &Endpoint) -> PortName {
+        match g.consumer(e) {
+            Some(Attachment::External(nm)) => {
+                let idx = g.outputs().position(|(n, _)| *n == nm).expect("external exists");
+                PortName::Io(idx as u64)
+            }
+            _ => PortName::from(e.clone()),
+        }
+    }
+
+    /// Renders the replacement as an ExprLow fragment exposing the old
+    /// boundary names. `None` for passthroughs with no wires to model.
+    fn render_rhs(
+        &mut self,
+        g: &ExprHigh,
+        repl: &Replacement,
+    ) -> Result<Option<ExprLow>, RewriteError> {
+        match repl {
+            Replacement::Passthrough { wires } => {
+                if wires.is_empty() {
+                    return Ok(None);
+                }
+                // Model each wire as an elastic buffer for the refinement
+                // obligation (a wire is a capacity-zero buffer; traces
+                // coincide).
+                let mut bases = Vec::new();
+                for (k, (ep_in, ep_out)) in wires.iter().enumerate() {
+                    let mut maps = PortMaps::default();
+                    maps.ins.insert("in".into(), self.old_in_name(g, ep_in));
+                    maps.outs.insert("out".into(), self.old_out_name(g, ep_out));
+                    bases.push(ExprLow::Base {
+                        inst: format!("__wire{k}"),
+                        kind: CompKind::Buffer { slots: 1, transparent: true },
+                        maps,
+                    });
+                }
+                Ok(Some(ExprLow::product_of(bases)))
+            }
+            Replacement::Subgraph { graph, boundary_ins, boundary_outs } => {
+                // Fresh-rename the subgraph nodes.
+                let mut rename: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+                for (n, _) in graph.nodes() {
+                    rename.insert(n.clone(), self.fresh_name(g, n));
+                }
+                let mut bases = Vec::new();
+                for (n, kind) in graph.nodes() {
+                    let (ins, outs) = kind.interface();
+                    let mut maps = PortMaps::default();
+                    for p in ins {
+                        let here = Endpoint::new(n.clone(), p.clone());
+                        let ext = match graph.driver(&here) {
+                            Some(Attachment::Wire(_)) => {
+                                PortName::local(rename[n].clone(), p.clone())
+                            }
+                            Some(Attachment::External(x)) => {
+                                let old = boundary_ins.get(&x).ok_or_else(|| {
+                                    RewriteError::BoundaryMismatch(format!(
+                                        "subgraph input `{x}` has no boundary assignment"
+                                    ))
+                                })?;
+                                self.old_in_name(g, old)
+                            }
+                            None => {
+                                return Err(RewriteError::BoundaryMismatch(format!(
+                                    "subgraph port `{here}` unconnected"
+                                )))
+                            }
+                        };
+                        maps.ins.insert(p, ext);
+                    }
+                    for p in outs {
+                        let here = Endpoint::new(n.clone(), p.clone());
+                        let ext = match graph.consumer(&here) {
+                            Some(Attachment::Wire(_)) => {
+                                PortName::local(rename[n].clone(), p.clone())
+                            }
+                            Some(Attachment::External(x)) => {
+                                let old = boundary_outs.get(&x).ok_or_else(|| {
+                                    RewriteError::BoundaryMismatch(format!(
+                                        "subgraph output `{x}` has no boundary assignment"
+                                    ))
+                                })?;
+                                self.old_out_name(g, old)
+                            }
+                            None => {
+                                return Err(RewriteError::BoundaryMismatch(format!(
+                                    "subgraph port `{here}` unconnected"
+                                )))
+                            }
+                        };
+                        maps.outs.insert(p, ext);
+                    }
+                    bases.push(ExprLow::Base {
+                        inst: rename[n].clone(),
+                        kind: kind.clone(),
+                        maps,
+                    });
+                }
+                let mut wires = Vec::new();
+                for (from, to) in graph.edges() {
+                    wires.push((
+                        PortName::local(rename[&from.node].clone(), from.port.clone()),
+                        PortName::local(rename[&to.node].clone(), to.port.clone()),
+                    ));
+                }
+                wires.sort();
+                Ok(Some(ExprLow::product_of(bases).connect_all(wires)))
+            }
+        }
+    }
+
+    /// Applies a passthrough replacement by graph surgery.
+    fn splice_passthrough(
+        &self,
+        g: &ExprHigh,
+        m: &Match,
+        wires: &[(Endpoint, Endpoint)],
+    ) -> Result<ExprHigh, RewriteError> {
+        let mut g2 = g.clone();
+        let mut pairs = Vec::new();
+        for (ep_in, ep_out) in wires {
+            let driver = g2.detach_input(ep_in).ok_or_else(|| {
+                RewriteError::BoundaryMismatch(format!("no driver for {ep_in}"))
+            })?;
+            let consumer = g2.detach_output(ep_out).ok_or_else(|| {
+                RewriteError::BoundaryMismatch(format!("no consumer for {ep_out}"))
+            })?;
+            pairs.push((driver, consumer));
+        }
+        for n in &m.nodes {
+            g2.remove_node(n)?;
+        }
+        for (driver, consumer) in pairs {
+            match (driver, consumer) {
+                (Attachment::Wire(from), Attachment::Wire(to)) => g2.connect(from, to)?,
+                (Attachment::External(x), Attachment::Wire(to)) => g2.expose_input(x, to)?,
+                (Attachment::Wire(from), Attachment::External(y)) => {
+                    g2.expose_output(y, from)?
+                }
+                (Attachment::External(x), Attachment::External(y)) => {
+                    return Err(RewriteError::Unsupported(format!(
+                        "passthrough would wire external `{x}` directly to external `{y}`"
+                    )))
+                }
+            }
+        }
+        Ok(g2)
+    }
+}
+
+/// The group sub-expression of a grouped lowering: strip the outer connects;
+/// if the graph has non-group nodes the group is the right product child.
+fn extract_group(expr: &ExprLow, whole: bool) -> &ExprLow {
+    if whole {
+        // The whole graph is one fragment: its connects are the group's
+        // internal edges and belong to the lhs.
+        return expr;
+    }
+    let mut cur = expr;
+    while let ExprLow::Connect { inner, .. } = cur {
+        cur = inner;
+    }
+    match cur {
+        ExprLow::Product(_, group) => group,
+        other => other,
+    }
+}
+
+/// The wire (not external) driver of an input port.
+pub fn wire_driver(g: &ExprHigh, e: &Endpoint) -> Option<Endpoint> {
+    match g.driver(e) {
+        Some(Attachment::Wire(src)) => Some(src),
+        _ => None,
+    }
+}
+
+/// The wire (not external) consumer of an output port.
+pub fn wire_consumer(g: &ExprHigh, e: &Endpoint) -> Option<Endpoint> {
+    match g.consumer(e) {
+        Some(Attachment::Wire(dst)) => Some(dst),
+        _ => None,
+    }
+}

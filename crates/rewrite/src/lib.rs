@@ -1,0 +1,51 @@
+//! A verified-style rewriting engine for dataflow circuits.
+//!
+//! This crate implements the rewriting half of the Graphiti framework
+//! (ASPLOS 2026):
+//!
+//! * [`Engine`] applies rewrites the way the paper describes: matches are
+//!   found on [`ExprHigh`](graphiti_ir::ExprHigh), the graph is lowered so
+//!   the matched nodes form a contiguous
+//!   [`ExprLow`](graphiti_ir::ExprLow) sub-expression, the substitution
+//!   `e[lhs := rhs]` of §4.2 rewrites it, and the result is lifted back. In
+//!   checked mode each application of a verified rewrite discharges the
+//!   premise of Theorem 4.6 via the bounded refinement checker.
+//! * [`catalog`] contains the rewrite catalogue of Fig. 3, including the
+//!   formally-verified out-of-order loop rewrite
+//!   ([`catalog::ooo::loop_ooo`]).
+//! * [`extract_region_function`] and [`simplify`]/[`EGraph`] are the
+//!   untrusted oracles used by pure generation (§3.2), standing in for the
+//!   paper's egg-based oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use graphiti_rewrite::{catalog, Engine};
+//! use graphiti_ir::{ep, CompKind, ExprHigh};
+//!
+//! // A 1-way fork is a wire; fork1-elim removes it.
+//! let mut g = ExprHigh::new();
+//! g.add_node("f", CompKind::Fork { ways: 1 })?;
+//! g.add_node("s", CompKind::Sink)?;
+//! g.expose_input("x", ep("f", "in"))?;
+//! g.connect(ep("f", "out0"), ep("s", "in"))?;
+//!
+//! let mut engine = Engine::new();
+//! let g2 = engine.apply_first(&g, &catalog::elim::fork1_elim())?.expect("match");
+//! assert_eq!(g2.node_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod egraph;
+mod engine;
+mod extract;
+
+pub use egraph::{simplify, ClassId, EGraph, ENode};
+pub use engine::{
+    wire_consumer, wire_driver, Applied, CheckMode, Engine, Match, Replacement, Rewrite,
+    RewriteError,
+};
+pub use extract::{extract_region_function, ExtractError, RegionFunction};

@@ -1,0 +1,339 @@
+//! Modules: the semantic objects denoted by circuits (Fig. 7 of the paper).
+//!
+//! A [`Module`] packages input transitions, output transitions, internal
+//! transitions, and a set of initial states. Transitions are *relations*,
+//! represented executably as functions from a state (and, for external
+//! transitions, a value) to the set of successor states.
+//!
+//! The two module combinators of §4.5 are implemented here:
+//!
+//! * [`Module::product`] — the union `m₁ ⊎ m₂` with paired state, and
+//! * [`Module::connect`] — `m[o ⇝ i]`, which removes the output `o` and the
+//!   input `i` and adds the fused internal transition. Crucially, *no*
+//!   internal transitions may fire between the output and input halves of
+//!   the fused step, which is what makes the asymmetric refinement
+//!   definitions of §4.4 compose.
+
+use crate::state::State;
+use graphiti_ir::{PortName, Value};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// An input transition relation: `(state, consumed value) → successor
+/// states`.
+pub type InputFn = Rc<dyn Fn(&State, &Value) -> Vec<State>>;
+
+/// An output transition relation: `state → (emitted value, successor state)`
+/// pairs.
+pub type OutputFn = Rc<dyn Fn(&State) -> Vec<(Value, State)>>;
+
+/// An internal transition relation: `state → successor states`.
+pub type InternalFn = Rc<dyn Fn(&State) -> Vec<State>>;
+
+/// A module `M(S)`: maps from port names to external transitions, a
+/// collection of internal transitions, and the initial states.
+#[derive(Clone)]
+pub struct Module {
+    /// Input transitions by port.
+    pub inputs: BTreeMap<PortName, InputFn>,
+    /// Output transitions by port.
+    pub outputs: BTreeMap<PortName, OutputFn>,
+    /// Internal transitions.
+    pub internals: Vec<InternalFn>,
+    /// Initial states (usually a singleton).
+    pub init: Vec<State>,
+}
+
+impl std::fmt::Debug for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Module")
+            .field("inputs", &self.inputs.keys().collect::<Vec<_>>())
+            .field("outputs", &self.outputs.keys().collect::<Vec<_>>())
+            .field("internals", &self.internals.len())
+            .field("init", &self.init)
+            .finish()
+    }
+}
+
+impl Module {
+    /// A module with no ports, no transitions, and a single given state.
+    pub fn inert(init: State) -> Module {
+        Module {
+            inputs: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+            internals: Vec::new(),
+            init: vec![init],
+        }
+    }
+
+    /// The input port names.
+    pub fn input_ports(&self) -> Vec<PortName> {
+        self.inputs.keys().cloned().collect()
+    }
+
+    /// The output port names.
+    pub fn output_ports(&self) -> Vec<PortName> {
+        self.outputs.keys().cloned().collect()
+    }
+
+    /// Renames ports according to `(old → new)` maps (the `rename` operation
+    /// used when denoting a base component, §4.5).
+    ///
+    /// Ports not mentioned keep their names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two ports would collide after renaming.
+    pub fn rename(
+        mut self,
+        in_map: &BTreeMap<PortName, PortName>,
+        out_map: &BTreeMap<PortName, PortName>,
+    ) -> Module {
+        let mut inputs = BTreeMap::new();
+        for (k, v) in std::mem::take(&mut self.inputs) {
+            let nk = in_map.get(&k).cloned().unwrap_or(k);
+            assert!(inputs.insert(nk, v).is_none(), "input port collision after rename");
+        }
+        let mut outputs = BTreeMap::new();
+        for (k, v) in std::mem::take(&mut self.outputs) {
+            let nk = out_map.get(&k).cloned().unwrap_or(k);
+            assert!(outputs.insert(nk, v).is_none(), "output port collision after rename");
+        }
+        Module { inputs, outputs, internals: self.internals, init: self.init }
+    }
+
+    /// The union combinator `m₁ ⊎ m₂`: paired state, transitions lifted to
+    /// act on their half of the pair, initial states the cartesian product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two modules share a port name (products in a circuit
+    /// never do, because port names embed instance names).
+    pub fn product(self, other: Module) -> Module {
+        let mut inputs: BTreeMap<PortName, InputFn> = BTreeMap::new();
+        for (k, f) in self.inputs {
+            inputs.insert(k, lift_input_left(f));
+        }
+        for (k, f) in other.inputs {
+            assert!(
+                inputs.insert(k, lift_input_right(f)).is_none(),
+                "input port collision in product"
+            );
+        }
+        let mut outputs: BTreeMap<PortName, OutputFn> = BTreeMap::new();
+        for (k, f) in self.outputs {
+            outputs.insert(k, lift_output_left(f));
+        }
+        for (k, f) in other.outputs {
+            assert!(
+                outputs.insert(k, lift_output_right(f)).is_none(),
+                "output port collision in product"
+            );
+        }
+        let mut internals: Vec<InternalFn> = Vec::new();
+        for f in self.internals {
+            internals.push(lift_internal_left(f));
+        }
+        for f in other.internals {
+            internals.push(lift_internal_right(f));
+        }
+        let mut init = Vec::new();
+        for a in &self.init {
+            for b in &other.init {
+                init.push(State::pair(a.clone(), b.clone()));
+            }
+        }
+        Module { inputs, outputs, internals, init }
+    }
+
+    /// The connect combinator `m[o ⇝ i]`: removes output `o` and input `i`
+    /// and adds the internal transition
+    /// `r(s, s') ⇔ ∃ v s''. out[o](s, v, s'') ∧ in[i](s'', v, s')`.
+    ///
+    /// If either port is missing the module is returned unchanged except
+    /// that the present port (if any) is still removed; callers lowering
+    /// well-formed circuits never hit that case.
+    pub fn connect(mut self, o: &PortName, i: &PortName) -> Module {
+        let out_f = self.outputs.remove(o);
+        let in_f = self.inputs.remove(i);
+        if let (Some(out_f), Some(in_f)) = (out_f, in_f) {
+            let r: InternalFn = Rc::new(move |s| {
+                let mut next = Vec::new();
+                for (v, s2) in out_f(s) {
+                    next.extend(in_f(&s2, &v));
+                }
+                next
+            });
+            self.internals.push(r);
+        }
+        self
+    }
+
+    /// All successors of `s` by one internal step.
+    pub fn internal_step(&self, s: &State) -> Vec<State> {
+        let mut out = Vec::new();
+        for f in &self.internals {
+            out.extend(f(s));
+        }
+        out
+    }
+}
+
+fn lift_input_left(f: InputFn) -> InputFn {
+    Rc::new(move |s, v| match s {
+        State::Pair(a, b) => {
+            f(a, v).into_iter().map(|a2| State::Pair(Box::new(a2), b.clone())).collect()
+        }
+        _ => Vec::new(),
+    })
+}
+
+fn lift_input_right(f: InputFn) -> InputFn {
+    Rc::new(move |s, v| match s {
+        State::Pair(a, b) => {
+            f(b, v).into_iter().map(|b2| State::Pair(a.clone(), Box::new(b2))).collect()
+        }
+        _ => Vec::new(),
+    })
+}
+
+fn lift_output_left(f: OutputFn) -> OutputFn {
+    Rc::new(move |s| match s {
+        State::Pair(a, b) => f(a)
+            .into_iter()
+            .map(|(v, a2)| (v, State::Pair(Box::new(a2), b.clone())))
+            .collect(),
+        _ => Vec::new(),
+    })
+}
+
+fn lift_output_right(f: OutputFn) -> OutputFn {
+    Rc::new(move |s| match s {
+        State::Pair(a, b) => f(b)
+            .into_iter()
+            .map(|(v, b2)| (v, State::Pair(a.clone(), Box::new(b2))))
+            .collect(),
+        _ => Vec::new(),
+    })
+}
+
+fn lift_internal_left(f: InternalFn) -> InternalFn {
+    Rc::new(move |s| match s {
+        State::Pair(a, b) => {
+            f(a).into_iter().map(|a2| State::Pair(Box::new(a2), b.clone())).collect()
+        }
+        _ => Vec::new(),
+    })
+}
+
+fn lift_internal_right(f: InternalFn) -> InternalFn {
+    Rc::new(move |s| match s {
+        State::Pair(a, b) => {
+            f(b).into_iter().map(|b2| State::Pair(a.clone(), Box::new(b2))).collect()
+        }
+        _ => Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::CompState;
+
+    /// A one-queue pass-through module (a simple buffer) with ports `pin`
+    /// and `pout`.
+    fn queue_module(inst: &str) -> Module {
+        let init = State::Leaf(CompState::queues(1));
+        let input: InputFn = Rc::new(|s, v| match s {
+            State::Leaf(CompState::Queues(qs)) => {
+                let mut qs = qs.clone();
+                qs[0].push_back(v.clone());
+                vec![State::Leaf(CompState::Queues(qs))]
+            }
+            _ => vec![],
+        });
+        let output: OutputFn = Rc::new(|s| match s {
+            State::Leaf(CompState::Queues(qs)) => {
+                let mut qs = qs.clone();
+                match qs[0].pop_front() {
+                    Some(v) => vec![(v, State::Leaf(CompState::Queues(qs)))],
+                    None => vec![],
+                }
+            }
+            _ => vec![],
+        });
+        let mut m = Module::inert(init);
+        m.inputs.insert(PortName::local(inst, "in"), input);
+        m.outputs.insert(PortName::local(inst, "out"), output);
+        m
+    }
+
+    #[test]
+    fn queue_roundtrip() {
+        let m = queue_module("q");
+        let s0 = m.init[0].clone();
+        let s1 = m.inputs[&PortName::local("q", "in")](&s0, &Value::Int(5));
+        assert_eq!(s1.len(), 1);
+        let outs = m.outputs[&PortName::local("q", "out")](&s1[0]);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, Value::Int(5));
+    }
+
+    #[test]
+    fn product_lifts_both_sides() {
+        let m = queue_module("a").product(queue_module("b"));
+        assert_eq!(m.inputs.len(), 2);
+        assert_eq!(m.outputs.len(), 2);
+        let s0 = m.init[0].clone();
+        let s1 = &m.inputs[&PortName::local("a", "in")](&s0, &Value::Int(1))[0];
+        let s2 = &m.inputs[&PortName::local("b", "in")](s1, &Value::Int(2))[0];
+        let a_out = &m.outputs[&PortName::local("a", "out")](s2);
+        assert_eq!(a_out[0].0, Value::Int(1));
+        let b_out = &m.outputs[&PortName::local("b", "out")](s2);
+        assert_eq!(b_out[0].0, Value::Int(2));
+    }
+
+    #[test]
+    fn connect_fuses_output_to_input() {
+        let m = queue_module("a").product(queue_module("b")).connect(
+            &PortName::local("a", "out"),
+            &PortName::local("b", "in"),
+        );
+        assert_eq!(m.inputs.len(), 1);
+        assert_eq!(m.outputs.len(), 1);
+        assert_eq!(m.internals.len(), 1);
+        let s0 = m.init[0].clone();
+        let s1 = &m.inputs[&PortName::local("a", "in")](&s0, &Value::Int(7))[0];
+        // Before the internal fires, b has nothing to emit.
+        assert!(m.outputs[&PortName::local("b", "out")](s1).is_empty());
+        let s2 = &m.internal_step(s1)[0];
+        let outs = m.outputs[&PortName::local("b", "out")](s2);
+        assert_eq!(outs[0].0, Value::Int(7));
+    }
+
+    #[test]
+    fn connect_with_missing_port_drops_silently() {
+        let m = queue_module("a")
+            .connect(&PortName::local("zz", "out"), &PortName::local("a", "in"));
+        assert!(m.inputs.is_empty(), "present input side is still removed");
+        assert_eq!(m.internals.len(), 0);
+    }
+
+    #[test]
+    fn rename_rekeys_ports() {
+        let mut in_map = BTreeMap::new();
+        in_map.insert(PortName::local("a", "in"), PortName::Io(0));
+        let mut out_map = BTreeMap::new();
+        out_map.insert(PortName::local("a", "out"), PortName::Io(0));
+        let m = queue_module("a").rename(&in_map, &out_map);
+        assert!(m.inputs.contains_key(&PortName::Io(0)));
+        assert!(m.outputs.contains_key(&PortName::Io(0)));
+    }
+
+    #[test]
+    fn product_initial_states_are_paired() {
+        let m = queue_module("a").product(queue_module("b"));
+        assert_eq!(m.init.len(), 1);
+        assert!(matches!(m.init[0], State::Pair(_, _)));
+    }
+}

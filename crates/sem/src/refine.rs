@@ -1,0 +1,597 @@
+//! Refinement checking.
+//!
+//! The paper proves refinements `m ⊑ m'` (Defs 4.1–4.5) in Lean. This crate
+//! checks them *executably* on bounded domains:
+//!
+//! * [`check_refinement`] — trace inclusion over weak steps via an on-the-fly
+//!   subset construction: every trace of the implementation (with internal
+//!   steps erased) must be a trace of the specification. Refinement implies
+//!   trace inclusion, and for the finite, queue-capped state spaces explored
+//!   here the check is exhaustive up to the configured bounds.
+//! * [`check_simulation`] — verifies a user-supplied candidate relation φ
+//!   against the three simulation diagrams of §4.4 (internal steps *after*
+//!   inputs, *before* outputs) on all reachable related pairs.
+//!
+//! Both return [`Refinement::BoundReached`] instead of a verdict when a
+//! resource bound is hit, so a bounded pass is never confused with a proof.
+
+use crate::module::Module;
+use crate::state::State;
+use graphiti_ir::{PortName, Value};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::fmt;
+
+/// An externally visible event of a module run.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Event {
+    /// A value consumed at an input port.
+    In(PortName, Value),
+    /// A value emitted at an output port.
+    Out(PortName, Value),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::In(p, v) => write!(f, "in {p} {v}"),
+            Event::Out(p, v) => write!(f, "out {p} {v}"),
+        }
+    }
+}
+
+/// Bounds and the input alphabet for refinement checking.
+#[derive(Debug, Clone)]
+pub struct RefineConfig {
+    /// Values fed to every input port during exploration.
+    pub domain: Vec<Value>,
+    /// Implementation states whose longest queue exceeds this are pruned.
+    pub queue_cap: usize,
+    /// Maximum number of steps along an explored path.
+    pub max_depth: usize,
+    /// Maximum number of visited (state, spec-set) pairs.
+    pub max_states: usize,
+    /// Maximum size of a specification internal-closure set.
+    pub closure_limit: usize,
+    /// Assume the context only provides inputs the *specification* can
+    /// accept (the paper's well-typed-graphs assumption, §6.3): when the
+    /// spec rejects a value at a port outright, the input is skipped
+    /// instead of counted as a violation. Rewrite checking needs this —
+    /// e.g. replacing `Split; Join` by a wire widens the accepted value set
+    /// from pairs to everything, but a well-typed context never sends a
+    /// non-pair there.
+    pub well_typed_inputs: bool,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            domain: vec![Value::Bool(true), Value::Bool(false), Value::Int(0), Value::Int(1)],
+            queue_cap: 2,
+            max_depth: 10,
+            max_states: 50_000,
+            closure_limit: 512,
+            well_typed_inputs: true,
+        }
+    }
+}
+
+impl RefineConfig {
+    /// A configuration with the given input alphabet.
+    pub fn with_domain(domain: Vec<Value>) -> Self {
+        RefineConfig { domain, ..Default::default() }
+    }
+}
+
+/// The verdict of a bounded refinement check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Refinement {
+    /// No violation exists within the explored (bounded) space, and the
+    /// bounds were not hit: the exploration was exhaustive.
+    Holds,
+    /// No violation found, but a resource bound was reached.
+    BoundReached,
+    /// The modules do not expose the same ports, so they are not comparable.
+    Incomparable(String),
+    /// A violating trace: the implementation performs it, the specification
+    /// cannot.
+    Fails {
+        /// The offending event sequence, ending with the unmatched event.
+        trace: Vec<Event>,
+    },
+}
+
+impl Refinement {
+    /// Whether the check found no violation (exhaustively or up to bounds).
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Refinement::Holds | Refinement::BoundReached)
+    }
+}
+
+/// The internal closure of a set of states: everything reachable via
+/// internal transitions. `None` when the closure exceeds `limit`.
+fn closure(m: &Module, start: BTreeSet<State>, limit: usize) -> Option<BTreeSet<State>> {
+    let mut all = start.clone();
+    let mut frontier: Vec<State> = start.into_iter().collect();
+    while let Some(s) = frontier.pop() {
+        for s2 in m.internal_step(&s) {
+            if all.insert(s2.clone()) {
+                if all.len() > limit {
+                    return None;
+                }
+                frontier.push(s2);
+            }
+        }
+    }
+    Some(all)
+}
+
+fn spec_input_step(spec: &Module, set: &BTreeSet<State>, p: &PortName, v: &Value) -> BTreeSet<State> {
+    let f = &spec.inputs[p];
+    set.iter().flat_map(|t| f(t, v)).collect()
+}
+
+fn spec_output_step(spec: &Module, set: &BTreeSet<State>, p: &PortName, v: &Value) -> BTreeSet<State> {
+    let f = &spec.outputs[p];
+    set.iter()
+        .flat_map(|t| f(t))
+        .filter_map(|(v2, t2)| if v2 == *v { Some(t2) } else { None })
+        .collect()
+}
+
+/// Checks (bounded) trace inclusion of `imp` in `spec`.
+///
+/// Every weak trace of `imp` — inputs drawn from `cfg.domain`, queues capped
+/// at `cfg.queue_cap`, paths of at most `cfg.max_depth` steps — must be a
+/// weak trace of `spec`.
+pub fn check_refinement(imp: &Module, spec: &Module, cfg: &RefineConfig) -> Refinement {
+    if imp.input_ports() != spec.input_ports() {
+        return Refinement::Incomparable(format!(
+            "input ports differ: {:?} vs {:?}",
+            imp.input_ports(),
+            spec.input_ports()
+        ));
+    }
+    if imp.output_ports() != spec.output_ports() {
+        return Refinement::Incomparable(format!(
+            "output ports differ: {:?} vs {:?}",
+            imp.output_ports(),
+            spec.output_ports()
+        ));
+    }
+
+    let spec_init = match closure(spec, spec.init.iter().cloned().collect(), cfg.closure_limit) {
+        Some(s) => s,
+        None => return Refinement::BoundReached,
+    };
+
+    let mut bound_hit = false;
+    let mut visited: HashSet<(State, BTreeSet<State>)> = HashSet::new();
+    // Depth-first exploration: counterexamples (when they exist) usually sit
+    // deep along one path, and DFS reaches them without materializing every
+    // shallower state first. Completeness up to the bounds is unchanged.
+    let mut queue: VecDeque<(State, BTreeSet<State>, usize, Vec<Event>)> = VecDeque::new();
+    for i0 in &imp.init {
+        queue.push_back((i0.clone(), spec_init.clone(), 0, Vec::new()));
+    }
+
+    while let Some((s, tset, depth, trace)) = queue.pop_back() {
+        if !visited.insert((s.clone(), tset.clone())) {
+            continue;
+        }
+        if visited.len() > cfg.max_states {
+            return Refinement::BoundReached;
+        }
+        if depth >= cfg.max_depth {
+            bound_hit = true;
+            continue;
+        }
+
+        // Implementation internal steps: the spec set is already closed.
+        for s2 in imp.internal_step(&s) {
+            if s2.max_queue_len() > cfg.queue_cap {
+                bound_hit = true;
+                continue;
+            }
+            queue.push_back((s2, tset.clone(), depth + 1, trace.clone()));
+        }
+
+        // Inputs.
+        for p in imp.input_ports() {
+            for v in &cfg.domain {
+                let succs = imp.inputs[&p](&s, v);
+                if succs.is_empty() {
+                    continue;
+                }
+                let stepped = spec_input_step(spec, &tset, &p, v);
+                let closed = match closure(spec, stepped, cfg.closure_limit) {
+                    Some(c) => c,
+                    None => return Refinement::BoundReached,
+                };
+                let mut trace2 = trace.clone();
+                trace2.push(Event::In(p.clone(), v.clone()));
+                if closed.is_empty() {
+                    if cfg.well_typed_inputs {
+                        // The spec cannot accept this value at all: a
+                        // well-typed context never provides it.
+                        continue;
+                    }
+                    return Refinement::Fails { trace: trace2 };
+                }
+                for s2 in succs {
+                    if s2.max_queue_len() > cfg.queue_cap {
+                        bound_hit = true;
+                        continue;
+                    }
+                    queue.push_back((s2, closed.clone(), depth + 1, trace2.clone()));
+                }
+            }
+        }
+
+        // Outputs.
+        for p in imp.output_ports() {
+            for (v, s2) in imp.outputs[&p](&s) {
+                let stepped = spec_output_step(spec, &tset, &p, &v);
+                let mut trace2 = trace.clone();
+                trace2.push(Event::Out(p.clone(), v.clone()));
+                let closed = match closure(spec, stepped, cfg.closure_limit) {
+                    Some(c) => c,
+                    None => return Refinement::BoundReached,
+                };
+                if closed.is_empty() {
+                    return Refinement::Fails { trace: trace2 };
+                }
+                queue.push_back((s2, closed, depth + 1, trace2));
+            }
+        }
+    }
+
+    if bound_hit {
+        Refinement::BoundReached
+    } else {
+        Refinement::Holds
+    }
+}
+
+/// Verifies a candidate simulation relation φ against the diagrams of §4.4:
+/// inputs may be followed by spec internal steps, outputs preceded by them,
+/// and internal steps matched by internal steps, on every reachable related
+/// pair (Defs 4.1–4.4 plus the initial-state condition).
+pub fn check_simulation(
+    imp: &Module,
+    spec: &Module,
+    phi: &dyn Fn(&State, &State) -> bool,
+    cfg: &RefineConfig,
+) -> Refinement {
+    let mut queue: VecDeque<(State, State, usize, Vec<Event>)> = VecDeque::new();
+    for i0 in &imp.init {
+        let mut matched = false;
+        for s0 in &spec.init {
+            if phi(i0, s0) {
+                matched = true;
+                queue.push_back((i0.clone(), s0.clone(), 0, Vec::new()));
+            }
+        }
+        if !matched {
+            return Refinement::Fails { trace: vec![] };
+        }
+    }
+
+    let mut bound_hit = false;
+    let mut visited: HashSet<(State, State)> = HashSet::new();
+
+    while let Some((i, s, depth, trace)) = queue.pop_front() {
+        if !visited.insert((i.clone(), s.clone())) {
+            continue;
+        }
+        if visited.len() > cfg.max_states {
+            return Refinement::BoundReached;
+        }
+        if depth >= cfg.max_depth {
+            bound_hit = true;
+            continue;
+        }
+        let spec_closure = match closure(spec, [s.clone()].into_iter().collect(), cfg.closure_limit)
+        {
+            Some(c) => c,
+            None => return Refinement::BoundReached,
+        };
+
+        // Internal diagram.
+        for i2 in imp.internal_step(&i) {
+            if i2.max_queue_len() > cfg.queue_cap {
+                bound_hit = true;
+                continue;
+            }
+            let matches: Vec<&State> = spec_closure.iter().filter(|s2| phi(&i2, s2)).collect();
+            if matches.is_empty() {
+                return Refinement::Fails { trace };
+            }
+            for s2 in matches {
+                queue.push_back((i2.clone(), s2.clone(), depth + 1, trace.clone()));
+            }
+        }
+
+        // Input diagram: spec does the input, then internal steps.
+        for p in imp.input_ports() {
+            if !spec.inputs.contains_key(&p) {
+                return Refinement::Incomparable(format!("spec lacks input port {p}"));
+            }
+            for v in &cfg.domain {
+                for i2 in imp.inputs[&p](&i, v) {
+                    if i2.max_queue_len() > cfg.queue_cap {
+                        bound_hit = true;
+                        continue;
+                    }
+                    let after_in = spec_input_step(spec, &[s.clone()].into_iter().collect(), &p, v);
+                    let closed = match closure(spec, after_in, cfg.closure_limit) {
+                        Some(c) => c,
+                        None => return Refinement::BoundReached,
+                    };
+                    let mut trace2 = trace.clone();
+                    trace2.push(Event::In(p.clone(), v.clone()));
+                    if closed.is_empty() && cfg.well_typed_inputs {
+                        continue;
+                    }
+                    let matches: Vec<&State> = closed.iter().filter(|s2| phi(&i2, s2)).collect();
+                    if matches.is_empty() {
+                        return Refinement::Fails { trace: trace2 };
+                    }
+                    for s2 in matches {
+                        queue.push_back((i2.clone(), s2.clone(), depth + 1, trace2.clone()));
+                    }
+                }
+            }
+        }
+
+        // Output diagram: spec does internal steps, then the output.
+        for p in imp.output_ports() {
+            if !spec.outputs.contains_key(&p) {
+                return Refinement::Incomparable(format!("spec lacks output port {p}"));
+            }
+            for (v, i2) in imp.outputs[&p](&i) {
+                let candidates = spec_output_step(spec, &spec_closure, &p, &v);
+                let mut trace2 = trace.clone();
+                trace2.push(Event::Out(p.clone(), v.clone()));
+                let matches: Vec<&State> = candidates.iter().filter(|s2| phi(&i2, s2)).collect();
+                if matches.is_empty() {
+                    return Refinement::Fails { trace: trace2 };
+                }
+                for s2 in matches {
+                    queue.push_back((i2.clone(), s2.clone(), depth + 1, trace2.clone()));
+                }
+            }
+        }
+    }
+
+    if bound_hit {
+        Refinement::BoundReached
+    } else {
+        Refinement::Holds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use crate::components::component_module;
+    use crate::denote::{denote, Env};
+    use graphiti_ir::{CompKind, ExprLow, Op};
+
+    fn buffer_chain(n: usize) -> Module {
+        let bases: Vec<ExprLow> = (0..n)
+            .map(|i| ExprLow::base(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false }))
+            .collect();
+        let wires: Vec<_> = (0..n - 1)
+            .map(|i| {
+                (PortName::local(format!("b{i}"), "out"), PortName::local(format!("b{}", i + 1), "in"))
+            })
+            .collect();
+        let expr = ExprLow::product_of(bases).connect_all(wires);
+        let mut in_map = BTreeMap::new();
+        in_map.insert(PortName::local("b0", "in"), PortName::Io(0));
+        let mut out_map = BTreeMap::new();
+        out_map.insert(PortName::local(format!("b{}", n - 1), "out"), PortName::Io(0));
+        denote(&expr, &Env::standard()).rename(&in_map, &out_map)
+    }
+
+    #[test]
+    fn buffer_chains_refine_each_other() {
+        // A two-buffer chain and a three-buffer chain have the same traces
+        // (unbounded FIFO behaviour) up to the explored bound.
+        let cfg = RefineConfig {
+            domain: vec![Value::Int(0), Value::Int(1)],
+            max_depth: 8,
+            ..Default::default()
+        };
+        let two = buffer_chain(2);
+        let three = buffer_chain(3);
+        assert!(check_refinement(&three, &two, &cfg).is_ok());
+        assert!(check_refinement(&two, &three, &cfg).is_ok());
+    }
+
+    #[test]
+    fn buffer_does_not_refine_constant() {
+        // A buffer emits what it received; a constant emits 9. The buffer's
+        // trace in(0);out(0) is not a trace of the constant module.
+        let buffer = {
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("", "in"), PortName::Io(0));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("", "out"), PortName::Io(0));
+            component_module(&CompKind::Buffer { slots: 1, transparent: false })
+                .rename(&in_map, &out_map)
+        };
+        let constant = {
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("", "ctrl"), PortName::Io(0));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("", "out"), PortName::Io(0));
+            component_module(&CompKind::Constant { value: Value::Int(9) })
+                .rename(&in_map, &out_map)
+        };
+        let cfg = RefineConfig::with_domain(vec![Value::Int(0)]);
+        let r = check_refinement(&buffer, &constant, &cfg);
+        match r {
+            Refinement::Fails { trace } => {
+                assert_eq!(trace.last(), Some(&Event::Out(PortName::Io(0), Value::Int(0))));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // The constant does not refine the buffer either (it emits 9 after
+        // consuming 0).
+        assert!(matches!(check_refinement(&constant, &buffer, &cfg), Refinement::Fails { .. }));
+    }
+
+    #[test]
+    fn merge_refines_itself_but_not_buffer() {
+        let mk_merge = || {
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("", "in0"), PortName::Io(0));
+            in_map.insert(PortName::local("", "in1"), PortName::Io(1));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("", "out"), PortName::Io(0));
+            component_module(&CompKind::Merge).rename(&in_map, &out_map)
+        };
+        let cfg = RefineConfig {
+            domain: vec![Value::Int(0), Value::Int(1)],
+            max_depth: 6,
+            ..Default::default()
+        };
+        assert!(check_refinement(&mk_merge(), &mk_merge(), &cfg).is_ok());
+    }
+
+    #[test]
+    fn port_mismatch_is_incomparable() {
+        let a = buffer_chain(2);
+        let mut b = buffer_chain(2);
+        b.inputs.clear();
+        assert!(matches!(check_refinement(&a, &b, &Default::default()), Refinement::Incomparable(_)));
+    }
+
+    #[test]
+    fn operator_refines_equivalent_pure() {
+        // operator(add) ⊑ pure(op add ∘ join-encoding) — we build both as
+        // two-input modules by prefixing a join in the pure version.
+        let op_side = {
+            let expr = ExprLow::base("a", CompKind::Operator { op: Op::AddI });
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("a", "in0"), PortName::Io(0));
+            in_map.insert(PortName::local("a", "in1"), PortName::Io(1));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("a", "out"), PortName::Io(0));
+            denote(&expr, &Env::standard()).rename(&in_map, &out_map)
+        };
+        let pure_side = {
+            let expr = ExprLow::Product(
+                Box::new(ExprLow::base("j", CompKind::Join)),
+                Box::new(ExprLow::base(
+                    "p",
+                    CompKind::Pure { func: graphiti_ir::PureFn::Op(Op::AddI) },
+                )),
+            )
+            .connect_all([(PortName::local("j", "out"), PortName::local("p", "in"))]);
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("j", "in0"), PortName::Io(0));
+            in_map.insert(PortName::local("j", "in1"), PortName::Io(1));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("p", "out"), PortName::Io(0));
+            denote(&expr, &Env::standard()).rename(&in_map, &out_map)
+        };
+        let cfg = RefineConfig {
+            domain: vec![Value::Int(0), Value::Int(1)],
+            max_depth: 8,
+            ..Default::default()
+        };
+        assert!(check_refinement(&op_side, &pure_side, &cfg).is_ok());
+        assert!(check_refinement(&pure_side, &op_side, &cfg).is_ok());
+    }
+
+    #[test]
+    fn simulation_identity_relation_on_equal_modules() {
+        let m1 = buffer_chain(2);
+        let m2 = buffer_chain(2);
+        let cfg = RefineConfig {
+            domain: vec![Value::Int(0)],
+            max_depth: 6,
+            ..Default::default()
+        };
+        let r = check_simulation(&m1, &m2, &|a, b| a == b, &cfg);
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn well_typedness_assumption_is_togglable() {
+        // impl = buffer (accepts anything), spec = split;join (accepts only
+        // pairs). Under the well-typed assumption the wire refines the
+        // pair-plumbing; without it, feeding a non-pair is a counterexample.
+        let wire = {
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("", "in"), PortName::Io(0));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("", "out"), PortName::Io(0));
+            component_module(&CompKind::Buffer { slots: 1, transparent: true })
+                .rename(&in_map, &out_map)
+        };
+        let split_join = {
+            let expr = graphiti_ir::ExprLow::Product(
+                Box::new(graphiti_ir::ExprLow::base("s", CompKind::Split)),
+                Box::new(graphiti_ir::ExprLow::base("j", CompKind::Join)),
+            )
+            .connect_all([
+                (PortName::local("s", "out0"), PortName::local("j", "in0")),
+                (PortName::local("s", "out1"), PortName::local("j", "in1")),
+            ]);
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("s", "in"), PortName::Io(0));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("j", "out"), PortName::Io(0));
+            crate::denote::denote(&expr, &crate::denote::Env::standard())
+                .rename(&in_map, &out_map)
+        };
+        let mixed_domain =
+            vec![Value::pair(Value::Int(0), Value::Int(1)), Value::Bool(true)];
+        let typed = RefineConfig {
+            domain: mixed_domain.clone(),
+            max_depth: 6,
+            well_typed_inputs: true,
+            ..Default::default()
+        };
+        assert!(check_refinement(&wire, &split_join, &typed).is_ok());
+        let untyped = RefineConfig { well_typed_inputs: false, ..typed };
+        assert!(matches!(
+            check_refinement(&wire, &split_join, &untyped),
+            Refinement::Fails { .. }
+        ));
+    }
+
+    #[test]
+    fn simulation_rejects_unrelatable_modules() {
+        // impl = buffer (echoes its input), spec = constant 9: no relation
+        // can make the output diagram commute when the buffer emits 0, and
+        // in particular the total relation fails.
+        let buffer = {
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("", "in"), PortName::Io(0));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("", "out"), PortName::Io(0));
+            component_module(&CompKind::Buffer { slots: 1, transparent: false })
+                .rename(&in_map, &out_map)
+        };
+        let constant = {
+            let mut in_map = BTreeMap::new();
+            in_map.insert(PortName::local("", "ctrl"), PortName::Io(0));
+            let mut out_map = BTreeMap::new();
+            out_map.insert(PortName::local("", "out"), PortName::Io(0));
+            component_module(&CompKind::Constant { value: Value::Int(9) })
+                .rename(&in_map, &out_map)
+        };
+        let cfg = RefineConfig {
+            domain: vec![Value::Int(0)],
+            max_depth: 4,
+            ..Default::default()
+        };
+        let r = check_simulation(&buffer, &constant, &|_, _| true, &cfg);
+        assert!(matches!(r, Refinement::Fails { .. }), "{r:?}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Module states.
+//!
+//! The denotation of an ExprLow expression is a module whose state mirrors
+//! the expression structure: a base component contributes a [`CompState`]
+//! leaf, and a product `e₁ ⊗ e₂` pairs the states of its operands (§4.5 of
+//! the paper). States are ordinary values with structural equality so the
+//! refinement checker can store them in sets.
+
+use graphiti_ir::{Tag, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// The state of a Tagger/Untagger region boundary: a tag allocator on entry
+/// and a reorder buffer on exit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaggerState {
+    /// Unallocated tags.
+    pub free: BTreeSet<Tag>,
+    /// Allocated tags in allocation (program) order.
+    pub order: VecDeque<Tag>,
+    /// Untagged inputs waiting for a free tag.
+    pub pending: VecDeque<Value>,
+    /// Completed computations waiting to be released in order.
+    pub done: BTreeMap<Tag, Value>,
+}
+
+impl TaggerState {
+    /// A fresh tagger state with `tags` free tags.
+    pub fn new(tags: u32) -> Self {
+        TaggerState { free: (0..tags).collect(), ..Default::default() }
+    }
+
+    /// Total number of tokens resident in the region boundary.
+    pub fn len(&self) -> usize {
+        self.pending.len() + self.done.len()
+    }
+
+    /// Whether the boundary holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The state of a single component.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CompState {
+    /// A vector of FIFO queues (the representation used by most component
+    /// semantics, mirroring the `enqᵢ`/`deqᵢ` relations of §4.3).
+    Queues(Vec<VecDeque<Value>>),
+    /// Init: its queue plus whether the pre-loaded token was emitted.
+    Init {
+        /// Queued condition tokens.
+        queue: VecDeque<Value>,
+        /// True once the initial token has been consumed.
+        emitted_initial: bool,
+    },
+    /// Tagger/Untagger state.
+    Tagger(TaggerState),
+}
+
+impl CompState {
+    /// A state of `n` empty queues.
+    pub fn queues(n: usize) -> Self {
+        CompState::Queues(vec![VecDeque::new(); n])
+    }
+
+    /// The length of the longest queue in this state.
+    pub fn max_queue_len(&self) -> usize {
+        match self {
+            CompState::Queues(qs) => qs.iter().map(|q| q.len()).max().unwrap_or(0),
+            CompState::Init { queue, .. } => queue.len(),
+            CompState::Tagger(t) => t.len(),
+        }
+    }
+
+    /// Total number of queued tokens.
+    pub fn token_count(&self) -> usize {
+        match self {
+            CompState::Queues(qs) => qs.iter().map(|q| q.len()).sum(),
+            CompState::Init { queue, .. } => queue.len(),
+            CompState::Tagger(t) => t.len(),
+        }
+    }
+}
+
+/// A module state: a leaf per base component, paired along products.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum State {
+    /// The state of a single component.
+    Leaf(CompState),
+    /// The paired state of a product of two circuits.
+    Pair(Box<State>, Box<State>),
+}
+
+impl State {
+    /// Pairs two states.
+    pub fn pair(a: State, b: State) -> State {
+        State::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// The length of the longest queue anywhere in the state, used by the
+    /// refinement checker to bound exploration.
+    pub fn max_queue_len(&self) -> usize {
+        match self {
+            State::Leaf(c) => c.max_queue_len(),
+            State::Pair(a, b) => a.max_queue_len().max(b.max_queue_len()),
+        }
+    }
+
+    /// Total number of tokens resident in the circuit.
+    pub fn token_count(&self) -> usize {
+        match self {
+            State::Leaf(c) => c.token_count(),
+            State::Pair(a, b) => a.token_count() + b.token_count(),
+        }
+    }
+
+    /// All component leaf states, left to right.
+    pub fn leaves(&self) -> Vec<&CompState> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a CompState>) {
+        match self {
+            State::Leaf(c) => out.push(c),
+            State::Pair(a, b) => {
+                a.collect_leaves(out);
+                b.collect_leaves(out);
+            }
+        }
+    }
+
+    /// All values resident anywhere in the state (queues, pending/done maps).
+    pub fn all_values(&self) -> Vec<&Value> {
+        let mut out = Vec::new();
+        for leaf in self.leaves() {
+            match leaf {
+                CompState::Queues(qs) => {
+                    out.extend(qs.iter().flatten());
+                }
+                CompState::Init { queue, .. } => out.extend(queue.iter()),
+                CompState::Tagger(t) => {
+                    out.extend(t.pending.iter());
+                    out.extend(t.done.values());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            State::Leaf(c) => write!(f, "{c:?}"),
+            State::Pair(a, b) => write!(f, "({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_metrics() {
+        let mut qs = vec![VecDeque::new(), VecDeque::new()];
+        qs[0].push_back(Value::Int(1));
+        qs[0].push_back(Value::Int(2));
+        qs[1].push_back(Value::Int(3));
+        let s = State::pair(State::Leaf(CompState::Queues(qs)), State::Leaf(CompState::queues(1)));
+        assert_eq!(s.max_queue_len(), 2);
+        assert_eq!(s.token_count(), 3);
+    }
+
+    #[test]
+    fn tagger_state_allocation_pool() {
+        let t = TaggerState::new(4);
+        assert_eq!(t.free.len(), 4);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn states_are_ordered_and_hashable() {
+        let a = State::Leaf(CompState::queues(1));
+        let b = State::Leaf(CompState::queues(2));
+        let mut set = BTreeSet::new();
+        set.insert(a.clone());
+        set.insert(b);
+        set.insert(a);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Area model: LUT / FF / DSP estimates per component (the Vivado
+//! post-place-and-route utilization substitute).
+//!
+//! Constants approximate 32/64-bit elastic components on a Kintex-7-class
+//! device. The structurally-driven effects of the paper's Table 3 follow:
+//! tagged circuits pay for the Tagger's reorder buffer (FFs scale with the
+//! tag count — the matvec blow-up with 50 tags), the extra Merges and wider
+//! buffers; DSPs come only from the floating-point and integer-multiply
+//! units, so they are identical across the dataflow flows.
+
+use graphiti_ir::{CompKind, ExprHigh, Op, PureFn};
+use std::ops::Add;
+
+/// Resource usage triple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Area {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP blocks.
+    pub dsp: u64,
+}
+
+impl Add for Area {
+    type Output = Area;
+
+    fn add(self, o: Area) -> Area {
+        Area { lut: self.lut + o.lut, ff: self.ff + o.ff, dsp: self.dsp + o.dsp }
+    }
+}
+
+impl Area {
+    /// A triple literal.
+    pub fn new(lut: u64, ff: u64, dsp: u64) -> Area {
+        Area { lut, ff, dsp }
+    }
+}
+
+/// Area of one operator unit.
+pub fn op_area(op: Op) -> Area {
+    match op {
+        Op::AddI | Op::SubI => Area::new(36, 2, 0),
+        Op::MulI => Area::new(24, 22, 1),
+        Op::Mod | Op::DivI => Area::new(190, 170, 0),
+        Op::LtI | Op::GeI | Op::EqI => Area::new(36, 2, 0),
+        Op::NeZero => Area::new(11, 1, 0),
+        Op::Not | Op::And | Op::Or => Area::new(2, 1, 0),
+        Op::AddF | Op::SubF => Area::new(310, 260, 2),
+        Op::MulF => Area::new(118, 145, 3),
+        Op::DivF => Area::new(760, 710, 0),
+        Op::GeF | Op::LtF => Area::new(82, 60, 0),
+        Op::Select => Area::new(33, 2, 0),
+        Op::IToF => Area::new(100, 92, 0),
+    }
+}
+
+fn purefn_area(f: &PureFn) -> Area {
+    match f {
+        PureFn::Comp(a, b) | PureFn::Par(a, b) => purefn_area(a) + purefn_area(b),
+        PureFn::Op(op) => op_area(*op),
+        PureFn::Load(_) => Area::new(45, 36, 0),
+        PureFn::Const(_) => Area::new(4, 2, 0),
+        _ => Area::new(6, 1, 0),
+    }
+}
+
+/// Area of one component instance.
+pub fn component_area(kind: &CompKind) -> Area {
+    match kind {
+        CompKind::Fork { ways } => Area::new(4 + 2 * *ways as u64, 2, 0),
+        CompKind::Join => Area::new(12, 2, 0),
+        CompKind::Split => Area::new(8, 2, 0),
+        CompKind::Mux => Area::new(38, 3, 0),
+        CompKind::Branch => Area::new(34, 3, 0),
+        CompKind::Merge => Area::new(41, 3, 0),
+        CompKind::Init { .. } => Area::new(6, 4, 0),
+        CompKind::Buffer { slots, transparent } => {
+            // Deep buffers map to LUT-RAM-style FIFOs: FF cost saturates.
+            let eff = (*slots).min(16) as u64;
+            if *transparent {
+                Area::new(10 + 6 * eff, 4, 0)
+            } else {
+                Area::new(12 + 4 * eff, 6 + 34 * eff, 0)
+            }
+        }
+        CompKind::Sink => Area::new(1, 0, 0),
+        CompKind::Constant { .. } => Area::new(4, 2, 0),
+        CompKind::Operator { op } => op_area(*op),
+        CompKind::Pure { func } => purefn_area(func) + Area::new(20, 8, 0),
+        CompKind::TaggerUntagger { tags } => {
+            let t = *tags as u64;
+            Area::new(72 + 8 * t, 52 + 70 * t, 0)
+        }
+        CompKind::Load { .. } => Area::new(45, 36, 0),
+        CompKind::Store { .. } => Area::new(38, 26, 0),
+    }
+}
+
+/// Total area of a circuit.
+pub fn circuit_area(g: &ExprHigh) -> Area {
+    g.nodes().fold(Area::default(), |acc, (_, k)| acc + component_area(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_ir::ep;
+
+    #[test]
+    fn tagger_ff_scales_with_tags() {
+        let small = component_area(&CompKind::TaggerUntagger { tags: 8 });
+        let big = component_area(&CompKind::TaggerUntagger { tags: 50 });
+        assert!(big.ff > 5 * small.ff / 2, "{} vs {}", big.ff, small.ff);
+        assert!(big.ff - small.ff >= 70 * 42);
+    }
+
+    #[test]
+    fn dsp_comes_only_from_multipliers_and_fp() {
+        assert_eq!(op_area(Op::AddI).dsp, 0);
+        assert_eq!(op_area(Op::MulF).dsp, 3);
+        assert_eq!(op_area(Op::AddF).dsp, 2);
+        assert_eq!(op_area(Op::MulI).dsp, 1);
+    }
+
+    #[test]
+    fn circuit_area_sums_components() {
+        let mut g = ExprHigh::new();
+        g.add_node("a", CompKind::Operator { op: Op::MulF }).unwrap();
+        g.add_node("b", CompKind::Operator { op: Op::AddF }).unwrap();
+        g.expose_input("x0", ep("a", "in0")).unwrap();
+        g.expose_input("x1", ep("a", "in1")).unwrap();
+        g.expose_input("x2", ep("b", "in1")).unwrap();
+        g.connect(ep("a", "out"), ep("b", "in0")).unwrap();
+        g.expose_output("y", ep("b", "out")).unwrap();
+        let area = circuit_area(&g);
+        assert_eq!(area.dsp, 5, "fmul(3) + fadd(2) = the paper's matvec DSP count");
+        assert_eq!(area.lut, 310 + 118);
+    }
+
+    #[test]
+    fn pure_area_reflects_its_function() {
+        let f = PureFn::comp(PureFn::Op(Op::AddF), PureFn::par(PureFn::Op(Op::MulF), PureFn::Id));
+        let a = component_area(&CompKind::Pure { func: f });
+        assert_eq!(a.dsp, 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! The memory model backing Load/Store ports.
+//!
+//! Arrays are flat vectors of values. Loads have a fixed pipeline latency;
+//! stores commit in *arrival order* at their store port — which is program
+//! order for in-order circuits, and possibly not for incorrectly reordered
+//! ones (the bicg bug of §6.2 shows up as wrong memory contents here, not as
+//! a simulator error).
+
+use graphiti_ir::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Memory contents: array name → flattened values.
+pub type Memory = BTreeMap<String, Vec<Value>>;
+
+/// Errors raised by memory accesses during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The named array does not exist.
+    UnknownArray(String),
+    /// Access past the end of an array.
+    OutOfBounds(String, i64),
+    /// A non-integer address reached a memory port.
+    BadAddress(String),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::UnknownArray(a) => write!(f, "unknown array `{a}`"),
+            MemError::OutOfBounds(a, i) => write!(f, "index {i} out of bounds for `{a}`"),
+            MemError::BadAddress(a) => write!(f, "non-integer address for `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Reads `array[addr]`.
+///
+/// # Errors
+///
+/// Fails on unknown arrays, out-of-bounds indices, or non-integer addresses.
+pub fn mem_read(mem: &Memory, array: &str, addr: &Value) -> Result<Value, MemError> {
+    let i = addr
+        .untag()
+        .1
+        .as_int()
+        .ok_or_else(|| MemError::BadAddress(array.to_string()))?;
+    let arr = mem.get(array).ok_or_else(|| MemError::UnknownArray(array.to_string()))?;
+    arr.get(i as usize).cloned().ok_or_else(|| MemError::OutOfBounds(array.to_string(), i))
+}
+
+/// Writes `array[addr] = value` (tags stripped).
+///
+/// # Errors
+///
+/// Fails on unknown arrays, out-of-bounds indices, or non-integer addresses.
+pub fn mem_write(mem: &mut Memory, array: &str, addr: &Value, value: &Value) -> Result<(), MemError> {
+    let i = addr
+        .untag()
+        .1
+        .as_int()
+        .ok_or_else(|| MemError::BadAddress(array.to_string()))?;
+    let arr = mem.get_mut(array).ok_or_else(|| MemError::UnknownArray(array.to_string()))?;
+    let slot = arr
+        .get_mut(i as usize)
+        .ok_or_else(|| MemError::OutOfBounds(array.to_string(), i))?;
+    *slot = value.untag().1.clone();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem: Memory = [("a".to_string(), vec![Value::Int(0); 4])].into_iter().collect();
+        mem_write(&mut mem, "a", &Value::Int(2), &Value::Int(9)).unwrap();
+        assert_eq!(mem_read(&mem, "a", &Value::Int(2)).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn tagged_addresses_and_values_are_stripped() {
+        let mut mem: Memory = [("a".to_string(), vec![Value::Int(0); 4])].into_iter().collect();
+        mem_write(&mut mem, "a", &Value::tagged(3, Value::Int(1)), &Value::tagged(3, Value::Int(7)))
+            .unwrap();
+        assert_eq!(mem["a"][1], Value::Int(7));
+        assert_eq!(
+            mem_read(&mem, "a", &Value::tagged(9, Value::Int(1))).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn errors_are_precise() {
+        let mem: Memory = [("a".to_string(), vec![Value::Int(0)])].into_iter().collect();
+        assert_eq!(
+            mem_read(&mem, "zz", &Value::Int(0)),
+            Err(MemError::UnknownArray("zz".into()))
+        );
+        assert_eq!(
+            mem_read(&mem, "a", &Value::Int(5)),
+            Err(MemError::OutOfBounds("a".into(), 5))
+        );
+        assert_eq!(
+            mem_read(&mem, "a", &Value::Bool(true)),
+            Err(MemError::BadAddress("a".into()))
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Buffer placement (the substitute for Dynamatic's MILP-based placement
+//! [40], in the deadlock-avoiding variant the paper uses).
+//!
+//! Every cycle in the circuit graph must contain a sequential element, both
+//! for simulation throughput and so the timing model sees no combinational
+//! loops. The heuristic inserts an opaque Buffer on every DFS back-edge.
+//! Circuits containing a Tagger/Untagger get deeper buffers (capacity
+//! `tags + 2`) so the out-of-order region can actually hold its in-flight
+//! iterations — the paper likewise sizes buffers to the tag count.
+
+use graphiti_ir::{Attachment, CompKind, Endpoint, ExprHigh, NodeId};
+use std::collections::BTreeMap;
+
+/// Statistics of a placement run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Buffers inserted on back-edges.
+    pub inserted: usize,
+    /// Capacity used for the inserted buffers.
+    pub slots: usize,
+}
+
+/// The tag budget of the circuit, if any tagger is present.
+fn tag_budget(g: &ExprHigh) -> Option<u32> {
+    g.nodes()
+        .filter_map(|(_, k)| match k {
+            CompKind::TaggerUntagger { tags } => Some(*tags),
+            _ => None,
+        })
+        .max()
+}
+
+/// Finds DFS back-edges over the component graph.
+fn back_edges(g: &ExprHigh) -> Vec<(Endpoint, Endpoint)> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<NodeId, Color> =
+        g.nodes().map(|(n, _)| (n.clone(), Color::White)).collect();
+    // Successor endpoints per node, in deterministic order.
+    let succs = |n: &NodeId| -> Vec<(Endpoint, Endpoint)> {
+        let kind = g.kind(n).expect("node exists");
+        let (_, outs) = kind.interface();
+        outs.iter()
+            .filter_map(|p| {
+                let from = Endpoint::new(n.clone(), p.clone());
+                match g.consumer(&from) {
+                    Some(Attachment::Wire(to)) => Some((from, to)),
+                    _ => None,
+                }
+            })
+            .collect()
+    };
+    let mut back = Vec::new();
+    let names: Vec<NodeId> = g.nodes().map(|(n, _)| n.clone()).collect();
+    for root in &names {
+        if color[root] != Color::White {
+            continue;
+        }
+        // Iterative DFS with an explicit edge stack.
+        let mut stack: Vec<(NodeId, Vec<(Endpoint, Endpoint)>, usize)> =
+            vec![(root.clone(), succs(root), 0)];
+        color.insert(root.clone(), Color::Gray);
+        while let Some((node, edges, idx)) = stack.last_mut() {
+            if *idx >= edges.len() {
+                color.insert(node.clone(), Color::Black);
+                stack.pop();
+                continue;
+            }
+            let (from, to) = edges[*idx].clone();
+            *idx += 1;
+            match color[&to.node] {
+                Color::White => {
+                    color.insert(to.node.clone(), Color::Gray);
+                    let s = succs(&to.node);
+                    stack.push((to.node.clone(), s, 0));
+                }
+                Color::Gray => back.push((from, to)),
+                Color::Black => {}
+            }
+        }
+    }
+    back
+}
+
+/// Inserts opaque buffers on every back-edge and transparent *slack* FIFOs
+/// on the inputs of synchronizing components (Joins, multi-operand
+/// operators, Branches, Stores), sized to the tag budget.
+///
+/// The slack is what lets an out-of-order region actually overlap
+/// iterations: without it, a 1-slot channel at a Join input back-pressures
+/// the whole region while its sibling operand sits in a deep floating-point
+/// pipeline. This mirrors the modified buffer-placement strategy the paper
+/// uses to avoid deadlocks and sustain throughput in tagged circuits
+/// (§6.1), and is applied identically to every flow for comparability.
+pub fn place_buffers(g: &ExprHigh) -> (ExprHigh, PlacementStats) {
+    let slots = tag_budget(g).map(|t| t as usize + 2).unwrap_or(2);
+    let mut out = g.clone();
+    let mut stats = PlacementStats { inserted: 0, slots };
+    for (from, to) in back_edges(g) {
+        // Skip if the edge already ends or starts at a sequential buffer.
+        let from_buf = matches!(
+            out.kind(&from.node),
+            Some(CompKind::Buffer { transparent: false, .. })
+        );
+        let to_buf =
+            matches!(out.kind(&to.node), Some(CompKind::Buffer { transparent: false, .. }));
+        if from_buf || to_buf {
+            continue;
+        }
+        let name = out.fresh(&format!("bbuf_{}", stats.inserted));
+        out.add_node(name.clone(), CompKind::Buffer { slots, transparent: false })
+            .expect("fresh name");
+        out.detach_output(&from);
+        out.detach_input(&to);
+        out.connect(from, Endpoint::new(name.clone(), "in")).expect("rewire");
+        out.connect(Endpoint::new(name, "out"), to).expect("rewire");
+        stats.inserted += 1;
+    }
+
+    // Throughput slack on synchronizing inputs.
+    let sync_edges: Vec<(Endpoint, Endpoint)> = out
+        .nodes()
+        .filter(|(_, k)| {
+            let (ins, _) = k.interface();
+            ins.len() >= 2 && !matches!(k, CompKind::Merge | CompKind::Mux)
+        })
+        .flat_map(|(n, k)| {
+            let (ins, _) = k.interface();
+            ins.into_iter()
+                .map(|p| Endpoint::new(n.clone(), p))
+                .collect::<Vec<_>>()
+        })
+        .filter_map(|to| match out.driver(&to) {
+            Some(Attachment::Wire(from))
+                if !matches!(out.kind(&from.node), Some(CompKind::Buffer { .. })) =>
+            {
+                Some((from, to))
+            }
+            _ => None,
+        })
+        .collect();
+    for (k, (from, to)) in sync_edges.into_iter().enumerate() {
+        let name = out.fresh(&format!("slack_{k}"));
+        out.add_node(name.clone(), CompKind::Buffer { slots, transparent: true })
+            .expect("fresh name");
+        out.detach_output(&from);
+        out.detach_input(&to);
+        out.connect(from, Endpoint::new(name.clone(), "in")).expect("rewire");
+        out.connect(Endpoint::new(name, "out"), to).expect("rewire");
+        stats.inserted += 1;
+    }
+    (out, stats)
+}
+
+/// Timing-driven placement: runs [`place_buffers`] and then iteratively
+/// registers the midpoint of the critical combinational path until the
+/// clock period meets `target_ns` (or no further cut helps). This mirrors
+/// the clock-period constraint the paper gives Vivado (4 ns there; the
+/// elastic component delays here are coarser, so the default target is
+/// higher).
+pub fn place_buffers_targeted(g: &ExprHigh, target_ns: f64) -> (ExprHigh, PlacementStats) {
+    use crate::timing::{arrival_times, elastic_timing, NodeTiming};
+    let (mut out, mut stats) = place_buffers(g);
+    for _ in 0..200 {
+        let arrival = match arrival_times(&out, &elastic_timing) {
+            Ok(a) => a,
+            Err(_) => break,
+        };
+        // Worst path endpoint.
+        let mut worst: Option<(f64, NodeId)> = None;
+        for (n, k) in out.nodes() {
+            let end = match elastic_timing(k) {
+                NodeTiming::Seq(i, _) => arrival[n] + i,
+                NodeTiming::Comb(d) => arrival[n] + d,
+            };
+            if worst.as_ref().map(|(w, _)| end > *w).unwrap_or(true) {
+                worst = Some((end, n.clone()));
+            }
+        }
+        let (cp, endpoint) = match worst {
+            Some(w) => w,
+            None => break,
+        };
+        if cp <= target_ns {
+            break;
+        }
+        // Walk the critical path backwards to the edge where the arrival
+        // crosses the midpoint, and register it there.
+        let contrib = |node: &NodeId| -> f64 {
+            match elastic_timing(out.kind(node).expect("node")) {
+                NodeTiming::Seq(_, o) => o,
+                NodeTiming::Comb(d) => arrival[node] + d,
+            }
+        };
+        let critical_pred = |node: &NodeId| -> Option<Endpoint> {
+            let (ins, _) = out.kind(node).expect("node").interface();
+            let mut best: Option<(f64, Endpoint)> = None;
+            for p in ins {
+                if let Some(Attachment::Wire(src)) =
+                    out.driver(&Endpoint::new(node.clone(), p))
+                {
+                    let c = contrib(&src.node);
+                    if best.as_ref().map(|(b, _)| c > *b).unwrap_or(true) {
+                        best = Some((c, src));
+                    }
+                }
+            }
+            best.map(|(_, e)| e)
+        };
+        let mut cur = endpoint.clone();
+        let mut cut_edge: Option<(Endpoint, Endpoint)> = None;
+        loop {
+            let pred = match critical_pred(&cur) {
+                Some(p) => p,
+                None => break,
+            };
+            // The edge pred -> cur; its running length at cur's input is
+            // contrib(pred).
+            if contrib(&pred.node) <= cp / 2.0 {
+                // Find the exact in-port this edge feeds.
+                let (ins, _) = out.kind(&cur).expect("node").interface();
+                let to = ins
+                    .into_iter()
+                    .map(|p| Endpoint::new(cur.clone(), p))
+                    .find(|e| matches!(out.driver(e), Some(Attachment::Wire(s)) if s == pred));
+                if let Some(to) = to {
+                    cut_edge = Some((pred, to));
+                }
+                break;
+            }
+            let is_seq = matches!(
+                elastic_timing(out.kind(&pred.node).expect("node")),
+                NodeTiming::Seq(_, _)
+            );
+            if is_seq {
+                // Entire path is one hop from a slow sequential output:
+                // nothing to cut.
+                break;
+            }
+            cur = pred.node;
+        }
+        let (from, to) = match cut_edge {
+            Some(e) => e,
+            None => break,
+        };
+        if matches!(out.kind(&from.node), Some(CompKind::Buffer { transparent: false, .. })) {
+            break; // cutting right after a register gains nothing
+        }
+        let name = out.fresh(&format!("tbuf_{}", stats.inserted));
+        out.add_node(name.clone(), CompKind::Buffer { slots: 1, transparent: false })
+            .expect("fresh name");
+        out.detach_output(&from);
+        out.detach_input(&to);
+        out.connect(from, Endpoint::new(name.clone(), "in")).expect("rewire");
+        out.connect(Endpoint::new(name, "out"), to).expect("rewire");
+        stats.inserted += 1;
+    }
+    (out, stats)
+}
+
+/// Whether the graph still has a combinational cycle (a cycle with no
+/// sequential element); used by the timing model's precondition check.
+pub fn has_combinational_cycle(g: &ExprHigh, is_sequential: &dyn Fn(&CompKind) -> bool) -> bool {
+    // DFS over combinational nodes only.
+    let comb: Vec<NodeId> = g
+        .nodes()
+        .filter(|(_, k)| !is_sequential(k))
+        .map(|(n, _)| n.clone())
+        .collect();
+    let comb_set: std::collections::BTreeSet<_> = comb.iter().cloned().collect();
+    let mut state: BTreeMap<NodeId, u8> = comb.iter().map(|n| (n.clone(), 0)).collect();
+    fn visit(
+        g: &ExprHigh,
+        n: &NodeId,
+        comb_set: &std::collections::BTreeSet<NodeId>,
+        state: &mut BTreeMap<NodeId, u8>,
+    ) -> bool {
+        state.insert(n.clone(), 1);
+        let (_, outs) = g.kind(n).expect("node").interface();
+        for p in outs {
+            if let Some(Attachment::Wire(to)) = g.consumer(&Endpoint::new(n.clone(), p)) {
+                if comb_set.contains(&to.node) {
+                    match state[&to.node] {
+                        1 => return true,
+                        0 => {
+                            if visit(g, &to.node, comb_set, state) {
+                                return true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        state.insert(n.clone(), 2);
+        false
+    }
+    for n in &comb {
+        if state[n] == 0 && visit(g, n, &comb_set, &mut state) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_ir::ep;
+
+    /// A merge/fork ring: one cycle, no sequential element.
+    fn ring() -> ExprHigh {
+        let mut g = ExprHigh::new();
+        g.add_node("m", CompKind::Merge).unwrap();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("k", CompKind::Sink).unwrap();
+        g.expose_input("x", ep("m", "in0")).unwrap();
+        g.connect(ep("m", "out"), ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("k", "in")).unwrap();
+        g.connect(ep("f", "out1"), ep("m", "in1")).unwrap();
+        g
+    }
+
+    #[test]
+    fn back_edge_gets_a_buffer() {
+        let g = ring();
+        let seq = |k: &CompKind| matches!(k, CompKind::Buffer { transparent: false, .. });
+        assert!(has_combinational_cycle(&g, &seq));
+        let (g2, stats) = place_buffers(&g);
+        assert_eq!(stats.inserted, 1);
+        g2.validate().unwrap();
+        assert!(!has_combinational_cycle(&g2, &seq));
+    }
+
+    #[test]
+    fn tag_budget_deepens_buffers() {
+        let mut g = ring();
+        g.add_node("t", CompKind::TaggerUntagger { tags: 16 }).unwrap();
+        // Leave the tagger dangling; placement only reads the tag budget.
+        let (_, stats) = place_buffers(&g);
+        assert_eq!(stats.slots, 18);
+    }
+
+    #[test]
+    fn acyclic_graphs_are_untouched() {
+        let mut g = ExprHigh::new();
+        g.add_node("b", CompKind::Buffer { slots: 1, transparent: true }).unwrap();
+        g.expose_input("x", ep("b", "in")).unwrap();
+        g.expose_output("y", ep("b", "out")).unwrap();
+        let (g2, stats) = place_buffers(&g);
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(g, g2);
+    }
+}

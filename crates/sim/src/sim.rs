@@ -1,0 +1,936 @@
+//! The cycle-accurate elastic-circuit simulator (the ModelSim substitute).
+//!
+//! Model:
+//!
+//! * every wire is a one-slot transparent latch: a token written in cycle
+//!   `c` can be consumed in cycle `c` (combinational forwarding), but a full
+//!   latch back-pressures its producer;
+//! * every component performs at most one transaction per port per cycle
+//!   (initiation interval 1), so a token advances through an arbitrarily
+//!   long combinational chain within one cycle, but a loop ring progresses
+//!   one token per component per cycle;
+//! * functional units with non-zero latency are fully pipelined; opaque
+//!   Buffers register their tokens (one-cycle latency), transparent Buffers
+//!   only add capacity;
+//! * computation on tagged tokens is tag-transparent: operands must carry
+//!   the same tag, the result re-attaches it;
+//! * stores commit to memory in arrival order (which is how the bicg bug of
+//!   §6.2 manifests: an incorrectly reordered circuit produces wrong memory
+//!   contents, not a simulator error).
+//!
+//! Within a cycle, components are swept repeatedly until no one can fire;
+//! per-cycle firing caps make this terminate. Idle stretches (waiting for a
+//! deep FP pipeline) are fast-forwarded.
+
+use crate::memory::{mem_read, mem_write, MemError, Memory};
+use graphiti_ir::{CompKind, ExprHigh, Op, PureFn, Value};
+use graphiti_sem::{retag, untag_all, TaggerState};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Abort after this many cycles.
+    pub max_cycles: u64,
+    /// Load port latency in cycles.
+    pub load_latency: u64,
+    /// Record per-cycle acceptance events for these components (empty: no
+    /// tracing). Used to regenerate execution traces like the paper's
+    /// Fig. 2d/2e.
+    pub trace_nodes: Vec<String>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_cycles: 50_000_000, load_latency: 2, trace_nodes: Vec::new() }
+    }
+}
+
+/// Pipeline latency of an operator, in cycles. Zero-latency operators are
+/// combinational.
+pub fn op_latency(op: Op) -> u64 {
+    match op {
+        Op::AddF | Op::SubF => 10,
+        Op::MulF => 8,
+        Op::DivF => 20,
+        Op::GeF | Op::LtF => 2,
+        Op::IToF => 3,
+        Op::MulI => 1,
+        Op::Mod | Op::DivI => 8,
+        _ => 0,
+    }
+}
+
+/// Worst-case latency of a symbolic pure function (used only when a Pure
+/// component survives to simulation; the pipeline normally expands it back).
+pub fn purefn_latency(f: &PureFn, load_latency: u64) -> u64 {
+    match f {
+        PureFn::Comp(a, b) => purefn_latency(a, load_latency) + purefn_latency(b, load_latency),
+        PureFn::Par(a, b) => purefn_latency(a, load_latency).max(purefn_latency(b, load_latency)),
+        PureFn::Op(op) => op_latency(*op),
+        PureFn::Load(_) => load_latency,
+        _ => 0,
+    }
+}
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A memory access failed.
+    Mem(MemError),
+    /// An operator faulted (e.g. remainder by zero).
+    Eval(String),
+    /// The cycle bound was exceeded.
+    Timeout(u64),
+    /// The graph is not simulatable (validation failure).
+    BadGraph(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Mem(e) => write!(f, "memory error: {e}"),
+            SimError::Eval(m) => write!(f, "evaluation fault: {m}"),
+            SimError::Timeout(c) => write!(f, "simulation exceeded {c} cycles"),
+            SimError::BadGraph(m) => write!(f, "graph not simulatable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> Self {
+        SimError::Mem(e)
+    }
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total cycles until quiescence.
+    pub cycles: u64,
+    /// Tokens collected at each external output, in emission order.
+    pub outputs: BTreeMap<String, Vec<Value>>,
+    /// Final memory contents.
+    pub memory: Memory,
+    /// Total component firings (activity measure).
+    pub firings: u64,
+    /// Tokens still resident at quiescence (loop-priming tokens are
+    /// expected leftovers).
+    pub leftover_tokens: usize,
+    /// Firings per component (utilization profile).
+    pub firings_by_node: BTreeMap<String, u64>,
+    /// Recorded trace events `(cycle, node, consumed values)` for the
+    /// components listed in [`SimConfig::trace_nodes`].
+    pub trace: Vec<TraceEvent>,
+}
+
+/// One recorded acceptance: a traced component consumed these input values
+/// in this cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Cycle of the acceptance.
+    pub cycle: u64,
+    /// Component name.
+    pub node: String,
+    /// The values consumed (one per input port, in port order).
+    pub values: Vec<Value>,
+}
+
+type ChanId = usize;
+
+#[derive(Debug, Default)]
+struct Channel {
+    cap: usize,
+    q: VecDeque<Value>,
+}
+
+impl Channel {
+    fn front(&self) -> Option<&Value> {
+        self.q.front()
+    }
+
+    fn has_space(&self) -> bool {
+        self.q.len() < self.cap
+    }
+}
+
+#[derive(Debug)]
+enum Unit {
+    Fork,
+    Join,
+    Split,
+    Mux,
+    Branch,
+    Merge,
+    Init { initial: bool, emitted: bool },
+    Sink,
+    Constant(Value),
+    Comb(Op),
+    Piped { op: Op, lat: u64, pipe: VecDeque<(Value, u64)> },
+    Pure { func: PureFn, lat: u64, pipe: VecDeque<(Value, u64)> },
+    Buffer { slots: usize, transparent: bool, q: VecDeque<(Value, u64)> },
+    Tagger { state: TaggerState },
+    Load { mem: String, lat: u64, pipe: VecDeque<(Value, u64)> },
+    Store { mem: String },
+}
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    unit: Unit,
+    ins: Vec<ChanId>,
+    outs: Vec<ChanId>,
+    accepted: bool,
+    emitted: bool,
+}
+
+/// A netlist instantiated for simulation.
+pub struct Simulator {
+    nodes: Vec<Node>,
+    chans: Vec<Channel>,
+    input_chans: BTreeMap<String, ChanId>,
+    output_chans: BTreeMap<String, ChanId>,
+    memory: Memory,
+    cfg: SimConfig,
+    trace: Vec<TraceEvent>,
+}
+
+impl Simulator {
+    /// Builds a simulator for a circuit over the given memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the graph is incomplete.
+    pub fn new(g: &ExprHigh, memory: Memory, cfg: SimConfig) -> Result<Simulator, SimError> {
+        g.validate().map_err(|e| SimError::BadGraph(e.to_string()))?;
+        let mut chans: Vec<Channel> = Vec::new();
+        let mut chan_of_out: BTreeMap<graphiti_ir::Endpoint, ChanId> = BTreeMap::new();
+        let mut chan_of_in: BTreeMap<graphiti_ir::Endpoint, ChanId> = BTreeMap::new();
+        for (from, to) in g.edges() {
+            let id = chans.len();
+            chans.push(Channel { cap: 1, q: VecDeque::new() });
+            chan_of_out.insert(from.clone(), id);
+            chan_of_in.insert(to.clone(), id);
+        }
+        let mut input_chans = BTreeMap::new();
+        for (name, target) in g.inputs() {
+            let id = chans.len();
+            chans.push(Channel { cap: usize::MAX, q: VecDeque::new() });
+            chan_of_in.insert(target.clone(), id);
+            input_chans.insert(name.clone(), id);
+        }
+        let mut output_chans = BTreeMap::new();
+        for (name, source) in g.outputs() {
+            let id = chans.len();
+            chans.push(Channel { cap: usize::MAX, q: VecDeque::new() });
+            chan_of_out.insert(source.clone(), id);
+            output_chans.insert(name.clone(), id);
+        }
+        let mut nodes = Vec::new();
+        for (name, kind) in g.nodes() {
+            let (ins_p, outs_p) = kind.interface();
+            let ins = ins_p
+                .iter()
+                .map(|p| chan_of_in[&graphiti_ir::ep(name.clone(), p.clone())])
+                .collect();
+            let outs = outs_p
+                .iter()
+                .map(|p| chan_of_out[&graphiti_ir::ep(name.clone(), p.clone())])
+                .collect();
+            let unit = match kind {
+                CompKind::Fork { .. } => Unit::Fork,
+                CompKind::Join => Unit::Join,
+                CompKind::Split => Unit::Split,
+                CompKind::Mux => Unit::Mux,
+                CompKind::Branch => Unit::Branch,
+                CompKind::Merge => Unit::Merge,
+                CompKind::Init { initial } => Unit::Init { initial: *initial, emitted: false },
+                CompKind::Sink => Unit::Sink,
+                CompKind::Constant { value } => Unit::Constant(value.clone()),
+                CompKind::Operator { op } => {
+                    let lat = op_latency(*op);
+                    if lat == 0 {
+                        Unit::Comb(*op)
+                    } else {
+                        Unit::Piped { op: *op, lat, pipe: VecDeque::new() }
+                    }
+                }
+                CompKind::Pure { func } => Unit::Pure {
+                    lat: purefn_latency(func, cfg.load_latency),
+                    func: func.clone(),
+                    pipe: VecDeque::new(),
+                },
+                CompKind::Buffer { slots, transparent } => Unit::Buffer {
+                    slots: (*slots).max(1),
+                    transparent: *transparent,
+                    q: VecDeque::new(),
+                },
+                CompKind::TaggerUntagger { tags } => {
+                    Unit::Tagger { state: TaggerState::new(*tags) }
+                }
+                CompKind::Load { mem } => Unit::Load {
+                    mem: mem.clone(),
+                    lat: cfg.load_latency,
+                    pipe: VecDeque::new(),
+                },
+                CompKind::Store { mem } => Unit::Store { mem: mem.clone() },
+            };
+            nodes.push(Node {
+                name: name.clone(),
+                unit,
+                ins,
+                outs,
+                accepted: false,
+                emitted: false,
+            });
+        }
+        Ok(Simulator { nodes, chans, input_chans, output_chans, memory, cfg, trace: Vec::new() })
+    }
+
+    /// Records an acceptance event if the node is traced.
+    fn record(&mut self, i: usize, now: u64, values: Vec<Value>) {
+        if self.cfg.trace_nodes.iter().any(|n| *n == self.nodes[i].name) {
+            self.trace.push(TraceEvent { cycle: now, node: self.nodes[i].name.clone(), values });
+        }
+    }
+
+    fn push(&mut self, chan: ChanId, v: Value) {
+        self.chans[chan].q.push_back(v);
+    }
+
+    fn pop(&mut self, chan: ChanId) -> Value {
+        self.chans[chan].q.pop_front().expect("pop on checked channel")
+    }
+
+    /// Attempts all enabled transactions of node `i`; returns whether any
+    /// fired.
+    fn step(&mut self, i: usize, now: u64) -> Result<bool, SimError> {
+        let (ins, outs) = (self.nodes[i].ins.clone(), self.nodes[i].outs.clone());
+        let mut fired = false;
+
+        macro_rules! front {
+            ($k:expr) => {
+                self.chans[ins[$k]].front().cloned()
+            };
+        }
+        macro_rules! space {
+            ($k:expr) => {
+                self.chans[outs[$k]].has_space()
+            };
+        }
+
+        // Split borrows: temporarily take the unit out.
+        let mut unit = std::mem::replace(&mut self.nodes[i].unit, Unit::Sink);
+        let mut accepted = self.nodes[i].accepted;
+        let mut emitted = self.nodes[i].emitted;
+        let mut traced_values: Option<Vec<Value>> = None;
+
+        match &mut unit {
+            Unit::Fork => {
+                if !accepted {
+                    if let Some(v) = front!(0) {
+                        if (0..outs.len()).all(|k| space!(k)) {
+                            self.pop(ins[0]);
+                            for k in 0..outs.len() {
+                                self.push(outs[k], v.clone());
+                            }
+                            accepted = true;
+                            fired = true;
+                        }
+                    }
+                }
+            }
+            Unit::Join => {
+                if !accepted {
+                    if let (Some(a), Some(b)) = (front!(0), front!(1)) {
+                        if space!(0) {
+                            if let Some((tag, ps)) = untag_all(&[a, b]) {
+                                self.pop(ins[0]);
+                                self.pop(ins[1]);
+                                self.push(outs[0], retag(tag, Value::pair(ps[0].clone(), ps[1].clone())));
+                                accepted = true;
+                                fired = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Unit::Split => {
+                if !accepted {
+                    if let Some(v) = front!(0) {
+                        if space!(0) && space!(1) {
+                            let (tag, payload) = v.untag();
+                            if let Some((a, b)) = payload.clone().into_pair() {
+                                self.pop(ins[0]);
+                                self.push(outs[0], retag(tag, a));
+                                self.push(outs[1], retag(tag, b));
+                                accepted = true;
+                                fired = true;
+                            } else {
+                                return Err(SimError::Eval(format!(
+                                    "split received non-pair {v}"
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            Unit::Mux => {
+                if !accepted {
+                    if let Some(c) = front!(0) {
+                        let b = c.untag().1.as_bool().ok_or_else(|| {
+                            SimError::Eval(format!("mux condition not boolean: {c}"))
+                        })?;
+                        let data = if b { 1 } else { 2 };
+                        if self.chans[ins[data]].front().is_some() && space!(0) {
+                            self.pop(ins[0]);
+                            let v = self.pop(ins[data]);
+                            self.push(outs[0], v);
+                            accepted = true;
+                            fired = true;
+                        }
+                    }
+                }
+            }
+            Unit::Branch => {
+                if !accepted {
+                    if let (Some(c), Some(_)) = (front!(0), front!(1)) {
+                        let b = c.untag().1.as_bool().ok_or_else(|| {
+                            SimError::Eval(format!("branch condition not boolean: {c}"))
+                        })?;
+                        let out = if b { 0 } else { 1 };
+                        if space!(out) {
+                            self.pop(ins[0]);
+                            let v = self.pop(ins[1]);
+                            self.push(outs[out], v);
+                            accepted = true;
+                            fired = true;
+                        }
+                    }
+                }
+            }
+            Unit::Merge => {
+                if !accepted && space!(0) {
+                    // Prefer the second input: in generated loops it is the
+                    // recirculating path, and draining it avoids clogging.
+                    for k in [1usize, 0usize] {
+                        if k < ins.len() && self.chans[ins[k]].front().is_some() {
+                            let v = self.pop(ins[k]);
+                            self.push(outs[0], v);
+                            accepted = true;
+                            fired = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            Unit::Init { initial, emitted: init_done } => {
+                if !accepted && space!(0) {
+                    if !*init_done {
+                        self.push(outs[0], Value::Bool(*initial));
+                        *init_done = true;
+                        accepted = true;
+                        fired = true;
+                    } else if self.chans[ins[0]].front().is_some() {
+                        let v = self.pop(ins[0]);
+                        self.push(outs[0], v);
+                        accepted = true;
+                        fired = true;
+                    }
+                }
+            }
+            Unit::Sink => {
+                if !accepted && self.chans[ins[0]].front().is_some() {
+                    self.pop(ins[0]);
+                    accepted = true;
+                    fired = true;
+                }
+            }
+            Unit::Constant(v) => {
+                if !accepted {
+                    if let Some(c) = front!(0) {
+                        if space!(0) {
+                            let (tag, _) = c.untag();
+                            self.pop(ins[0]);
+                            self.push(outs[0], retag(tag, v.clone()));
+                            accepted = true;
+                            fired = true;
+                        }
+                    }
+                }
+            }
+            Unit::Comb(op) => {
+                if !accepted {
+                    let fronts: Option<Vec<Value>> = (0..ins.len()).map(|k| front!(k)).collect();
+                    if let Some(fs) = fronts {
+                        if space!(0) {
+                            if let Some((tag, payloads)) = untag_all(&fs) {
+                                let r = op
+                                    .eval(&payloads)
+                                    .map_err(|e| SimError::Eval(e.to_string()))?;
+                                for k in 0..ins.len() {
+                                    self.pop(ins[k]);
+                                }
+                                self.push(outs[0], retag(tag, r));
+                                accepted = true;
+                                fired = true;
+                                traced_values = Some(fs);
+                            }
+                        }
+                    }
+                }
+            }
+            Unit::Piped { op, lat, pipe } => {
+                if !emitted {
+                    if let Some((_, ready)) = pipe.front() {
+                        if *ready <= now && space!(0) {
+                            let (v, _) = pipe.pop_front().expect("checked front");
+                            self.push(outs[0], v);
+                            emitted = true;
+                            fired = true;
+                        }
+                    }
+                }
+                if !accepted && pipe.len() < (*lat as usize + 1) {
+                    let fronts: Option<Vec<Value>> = (0..ins.len()).map(|k| front!(k)).collect();
+                    if let Some(fs) = fronts {
+                        if let Some((tag, payloads)) = untag_all(&fs) {
+                            let r =
+                                op.eval(&payloads).map_err(|e| SimError::Eval(e.to_string()))?;
+                            for k in 0..ins.len() {
+                                self.pop(ins[k]);
+                            }
+                            pipe.push_back((retag(tag, r), now + *lat));
+                            accepted = true;
+                            fired = true;
+                            traced_values = Some(fs);
+                        }
+                    }
+                }
+            }
+            Unit::Pure { func, lat, pipe } => {
+                if !emitted {
+                    if let Some((_, ready)) = pipe.front() {
+                        if *ready <= now && space!(0) {
+                            let (v, _) = pipe.pop_front().expect("checked front");
+                            self.push(outs[0], v);
+                            emitted = true;
+                            fired = true;
+                        }
+                    }
+                }
+                if !accepted && pipe.len() < (*lat as usize + 1) {
+                    if let Some(v) = front!(0) {
+                        let (tag, payload) = v.untag();
+                        let mem = &self.memory;
+                        let r = func
+                            .eval_with_mem(payload, &|name, addr| {
+                                mem_read(mem, name, &Value::Int(addr))
+                                    .unwrap_or(Value::Int(0))
+                            })
+                            .map_err(|e| SimError::Eval(e.to_string()))?;
+                        let r = retag(tag, r);
+                        self.pop(ins[0]);
+                        pipe.push_back((r, now + *lat));
+                        accepted = true;
+                        fired = true;
+                    }
+                }
+            }
+            Unit::Buffer { slots, transparent, q } => {
+                if !emitted {
+                    if let Some((_, ready)) = q.front() {
+                        if *ready <= now && space!(0) {
+                            let (v, _) = q.pop_front().expect("checked front");
+                            self.push(outs[0], v);
+                            emitted = true;
+                            fired = true;
+                        }
+                    }
+                }
+                if !accepted && q.len() < *slots {
+                    if self.chans[ins[0]].front().is_some() {
+                        let v = self.pop(ins[0]);
+                        let ready = if *transparent { now } else { now + 1 };
+                        q.push_back((v, ready));
+                        accepted = true;
+                        fired = true;
+                    }
+                }
+            }
+            Unit::Tagger { state } => {
+                // Four sub-transactions share the accepted/emitted flags
+                // pairwise: (accept in | accept retag) and (emit tagged |
+                // emit out) could each fire once per cycle; model them with
+                // independent limits via small per-call loops.
+                // Accept program-order input (bounded pending window).
+                if !accepted {
+                    if state.pending.len() < 2 {
+                        if self.chans[ins[0]].front().is_some() {
+                            let v = self.pop(ins[0]);
+                            state.pending.push_back(v);
+                            accepted = true;
+                            fired = true;
+                        }
+                    }
+                }
+                // Accept a completion.
+                if let Some(v) = self.chans[ins[1]].front().cloned() {
+                    if let Some((tag, payload)) = v.clone().into_tagged() {
+                        if state.order.contains(&tag) && !state.done.contains_key(&tag) {
+                            self.pop(ins[1]);
+                            state.done.insert(tag, payload);
+                            fired = true;
+                        }
+                    } else {
+                        return Err(SimError::Eval(format!("untagged completion {v}")));
+                    }
+                }
+                // Emit a freshly tagged token into the region.
+                if !emitted && self.chans[outs[0]].has_space() {
+                    if let (Some(&tag), true) = (state.free.iter().next(), !state.pending.is_empty())
+                    {
+                        let v = state.pending.pop_front().expect("checked pending");
+                        state.free.remove(&tag);
+                        state.order.push_back(tag);
+                        self.push(outs[0], Value::tagged(tag, v));
+                        emitted = true;
+                        fired = true;
+                    }
+                }
+                // Release the oldest completed token in program order.
+                if self.chans[outs[1]].has_space() {
+                    if let Some(&tag) = state.order.front() {
+                        if let Some(v) = state.done.remove(&tag) {
+                            state.order.pop_front();
+                            state.free.insert(tag);
+                            self.push(outs[1], v);
+                            fired = true;
+                        }
+                    }
+                }
+            }
+            Unit::Load { mem, lat, pipe } => {
+                if !emitted {
+                    if let Some((_, ready)) = pipe.front() {
+                        if *ready <= now && space!(0) {
+                            let (v, _) = pipe.pop_front().expect("checked front");
+                            self.push(outs[0], v);
+                            emitted = true;
+                            fired = true;
+                        }
+                    }
+                }
+                if !accepted && pipe.len() < (*lat as usize + 1) {
+                    if let Some(addr) = front!(0) {
+                        let (tag, _) = addr.untag();
+                        let v = mem_read(&self.memory, mem, &addr)?;
+                        self.pop(ins[0]);
+                        pipe.push_back((retag(tag, v), now + *lat));
+                        accepted = true;
+                        fired = true;
+                    }
+                }
+            }
+            Unit::Store { mem } => {
+                if !accepted {
+                    if let (Some(addr), Some(data)) = (front!(0), front!(1)) {
+                        if space!(0) {
+                            if untag_all(&[addr.clone(), data.clone()]).is_some() {
+                                let mem = mem.clone();
+                                self.pop(ins[0]);
+                                let data = self.pop(ins[1]);
+                                mem_write(&mut self.memory, &mem, &addr, &data)?;
+                                let (tag, _) = addr.untag();
+                                self.push(outs[0], retag(tag, Value::Unit));
+                                accepted = true;
+                                fired = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        self.nodes[i].unit = unit;
+        self.nodes[i].accepted = accepted;
+        self.nodes[i].emitted = emitted;
+        if let Some(values) = traced_values {
+            self.record(i, now, values);
+        }
+        Ok(fired)
+    }
+
+    /// Earliest future completion among pipelines and buffers, if any.
+    fn next_pending(&self, now: u64) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > now {
+                min = Some(min.map_or(t, |m: u64| m.min(t)));
+            }
+        };
+        for n in &self.nodes {
+            match &n.unit {
+                Unit::Piped { pipe, .. } | Unit::Pure { pipe, .. } | Unit::Load { pipe, .. } => {
+                    if let Some((_, t)) = pipe.front() {
+                        consider(*t);
+                    }
+                }
+                Unit::Buffer { q, .. } => {
+                    if let Some((_, t)) = q.front() {
+                        consider(*t);
+                    }
+                }
+                _ => {}
+            }
+        }
+        min
+    }
+
+    /// Runs to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory faults, evaluation faults, or timeout.
+    pub fn run(mut self, feeds: &BTreeMap<String, Vec<Value>>) -> Result<SimResult, SimError> {
+        for (name, vals) in feeds {
+            let chan = *self
+                .input_chans
+                .get(name)
+                .ok_or_else(|| SimError::BadGraph(format!("no input named `{name}`")))?;
+            for v in vals {
+                self.chans[chan].q.push_back(v.clone());
+            }
+        }
+        let mut now: u64 = 0;
+        let mut firings: u64 = 0;
+        let mut last_active: u64 = 0;
+        let mut firings_by_node: BTreeMap<String, u64> = BTreeMap::new();
+        loop {
+            for n in &mut self.nodes {
+                n.accepted = false;
+                n.emitted = false;
+            }
+            let mut any = false;
+            loop {
+                let mut progress = false;
+                for i in 0..self.nodes.len() {
+                    if self.step(i, now)? {
+                        progress = true;
+                        any = true;
+                        firings += 1;
+                        *firings_by_node.entry(self.nodes[i].name.clone()).or_insert(0) += 1;
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+            if any {
+                last_active = now;
+                now += 1;
+            } else {
+                match self.next_pending(now) {
+                    Some(t) => now = t,
+                    None => break,
+                }
+            }
+            if now > self.cfg.max_cycles {
+                return Err(SimError::Timeout(self.cfg.max_cycles));
+            }
+        }
+        let outputs = self
+            .output_chans
+            .iter()
+            .map(|(name, &c)| (name.clone(), self.chans[c].q.iter().cloned().collect()))
+            .collect();
+        let leftover = self
+            .chans
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.output_chans.values().any(|c| c == i))
+            .map(|(_, c)| c.q.len())
+            .sum::<usize>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| match &n.unit {
+                    Unit::Piped { pipe, .. } | Unit::Pure { pipe, .. } | Unit::Load { pipe, .. } => {
+                        pipe.len()
+                    }
+                    Unit::Buffer { q, .. } => q.len(),
+                    Unit::Tagger { state } => state.len(),
+                    _ => 0,
+                })
+                .sum::<usize>();
+        Ok(SimResult {
+            cycles: last_active + 1,
+            outputs,
+            memory: self.memory,
+            firings,
+            leftover_tokens: leftover,
+            firings_by_node,
+            trace: self.trace,
+        })
+    }
+}
+
+/// Convenience: builds and runs a simulation in one call.
+///
+/// # Errors
+///
+/// See [`Simulator::new`] and [`Simulator::run`].
+pub fn simulate(
+    g: &ExprHigh,
+    feeds: &BTreeMap<String, Vec<Value>>,
+    memory: Memory,
+    cfg: SimConfig,
+) -> Result<SimResult, SimError> {
+    Simulator::new(g, memory, cfg)?.run(feeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_ir::ep;
+
+    fn feeds(name: &str, vals: Vec<Value>) -> BTreeMap<String, Vec<Value>> {
+        [(name.to_string(), vals)].into_iter().collect()
+    }
+
+    #[test]
+    fn combinational_chain_passes_in_one_cycle() {
+        // x -> add(+1) -> add(+1) -> y, both combinational (AddI latency 0).
+        let mut g = ExprHigh::new();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("c", CompKind::Constant { value: Value::Int(1) }).unwrap();
+        g.add_node("a", CompKind::Operator { op: Op::AddI }).unwrap();
+        g.expose_input("x", ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("a", "in0")).unwrap();
+        g.connect(ep("f", "out1"), ep("c", "ctrl")).unwrap();
+        g.connect(ep("c", "out"), ep("a", "in1")).unwrap();
+        g.expose_output("y", ep("a", "out")).unwrap();
+        let r = simulate(&g, &feeds("x", vec![Value::Int(4)]), Memory::new(), SimConfig::default())
+            .unwrap();
+        assert_eq!(r.outputs["y"], vec![Value::Int(5)]);
+        assert_eq!(r.cycles, 1, "combinational flow completes in one cycle");
+    }
+
+    #[test]
+    fn pipelined_unit_has_latency_and_full_throughput() {
+        // Two fadds in sequence on a stream of 5 tokens: latency adds, but
+        // II stays 1 so the makespan is latency + tokens - 1 + 1.
+        let mut g = ExprHigh::new();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("a", CompKind::Operator { op: Op::AddF }).unwrap();
+        g.expose_input("x", ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("a", "in0")).unwrap();
+        g.connect(ep("f", "out1"), ep("a", "in1")).unwrap();
+        g.expose_output("y", ep("a", "out")).unwrap();
+        let vals: Vec<Value> = (0..5).map(|i| Value::from_f64(i as f64)).collect();
+        let r = simulate(&g, &feeds("x", vals), Memory::new(), SimConfig::default()).unwrap();
+        assert_eq!(r.outputs["y"].len(), 5);
+        assert_eq!(r.outputs["y"][2], Value::from_f64(4.0));
+        // latency 10, 5 tokens at II=1: last emerges at cycle 10+4.
+        assert_eq!(r.cycles, 15);
+    }
+
+    #[test]
+    fn opaque_buffer_adds_a_cycle() {
+        let mut g = ExprHigh::new();
+        g.add_node("b", CompKind::Buffer { slots: 2, transparent: false }).unwrap();
+        g.expose_input("x", ep("b", "in")).unwrap();
+        g.expose_output("y", ep("b", "out")).unwrap();
+        let r = simulate(&g, &feeds("x", vec![Value::Int(1)]), Memory::new(), SimConfig::default())
+            .unwrap();
+        assert_eq!(r.outputs["y"], vec![Value::Int(1)]);
+        assert_eq!(r.cycles, 2);
+    }
+
+    #[test]
+    fn memory_ports_load_and_store() {
+        // y[i] = a[i] for one token i=1.
+        let mut g = ExprHigh::new();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("ld", CompKind::Load { mem: "a".into() }).unwrap();
+        g.add_node("st", CompKind::Store { mem: "y".into() }).unwrap();
+        g.add_node("k", CompKind::Sink).unwrap();
+        g.expose_input("i", ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("ld", "addr")).unwrap();
+        g.connect(ep("f", "out1"), ep("st", "addr")).unwrap();
+        g.connect(ep("ld", "data"), ep("st", "data")).unwrap();
+        g.connect(ep("st", "done"), ep("k", "in")).unwrap();
+        let mem: Memory = [
+            ("a".to_string(), vec![Value::Int(10), Value::Int(20)]),
+            ("y".to_string(), vec![Value::Int(0), Value::Int(0)]),
+        ]
+        .into_iter()
+        .collect();
+        let r = simulate(&g, &feeds("i", vec![Value::Int(1)]), mem, SimConfig::default()).unwrap();
+        assert_eq!(r.memory["y"], vec![Value::Int(0), Value::Int(20)]);
+    }
+
+    #[test]
+    fn tagger_reorders_and_reuses_tags() {
+        // in -> tagger.tagged -> buffer -> retag (identity region);
+        // out releases in order. One token flows through.
+        let mut g = ExprHigh::new();
+        g.add_node("t", CompKind::TaggerUntagger { tags: 2 }).unwrap();
+        g.add_node("b", CompKind::Buffer { slots: 4, transparent: true }).unwrap();
+        g.expose_input("x", ep("t", "in")).unwrap();
+        g.connect(ep("t", "tagged"), ep("b", "in")).unwrap();
+        g.connect(ep("b", "out"), ep("t", "retag")).unwrap();
+        g.expose_output("y", ep("t", "out")).unwrap();
+        let r = simulate(
+            &g,
+            &feeds("x", vec![Value::Int(7), Value::Int(8), Value::Int(9)]),
+            Memory::new(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outputs["y"], vec![Value::Int(7), Value::Int(8), Value::Int(9)]);
+        assert_eq!(r.leftover_tokens, 0);
+    }
+
+    #[test]
+    fn branch_and_mux_steer_tokens() {
+        // branch routes by condition; tokens alternate outputs.
+        let mut g = ExprHigh::new();
+        g.add_node("br", CompKind::Branch).unwrap();
+        g.expose_input("c", ep("br", "cond")).unwrap();
+        g.expose_input("d", ep("br", "in")).unwrap();
+        g.expose_output("t", ep("br", "t")).unwrap();
+        g.expose_output("f", ep("br", "f")).unwrap();
+        let mut fs = feeds("c", vec![Value::Bool(true), Value::Bool(false)]);
+        fs.insert("d".into(), vec![Value::Int(1), Value::Int(2)]);
+        let r = simulate(&g, &fs, Memory::new(), SimConfig::default()).unwrap();
+        assert_eq!(r.outputs["t"], vec![Value::Int(1)]);
+        assert_eq!(r.outputs["f"], vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn timeout_is_detected() {
+        // A loop that never terminates: merge feeding itself through a
+        // buffer, primed by one token.
+        let mut g = ExprHigh::new();
+        g.add_node("m", CompKind::Merge).unwrap();
+        g.add_node("b", CompKind::Buffer { slots: 2, transparent: false }).unwrap();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("k", CompKind::Sink).unwrap();
+        g.expose_input("x", ep("m", "in0")).unwrap();
+        g.connect(ep("m", "out"), ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("b", "in")).unwrap();
+        g.connect(ep("f", "out1"), ep("k", "in")).unwrap();
+        g.connect(ep("b", "out"), ep("m", "in1")).unwrap();
+        let r = simulate(
+            &g,
+            &feeds("x", vec![Value::Int(1)]),
+            Memory::new(),
+            SimConfig { max_cycles: 1000, ..Default::default() },
+        );
+        assert_eq!(r.unwrap_err(), SimError::Timeout(1000));
+    }
+}

@@ -1,0 +1,335 @@
+//! Static timing analysis (the post-place-and-route clock-period substitute).
+//!
+//! Each component contributes either a pass-through combinational delay or,
+//! for sequential components (pipelined functional units, opaque buffers,
+//! Init registers, the Tagger), an input-side (setup + input logic) and
+//! output-side (clock-to-q + output logic) delay. The clock period is the
+//! longest register-to-register combinational path; buffer placement must
+//! have cut every cycle first.
+//!
+//! The constants are calibrated so elastic circuits land in the 5–12 ns
+//! range of the paper's Table 2 on a Kintex-7-class model; tagged circuits
+//! come out slower because the Tagger's tag-allocation logic and the Merge
+//! on the loop path are slow components, mirroring the paper's observation.
+
+use crate::place::has_combinational_cycle;
+use graphiti_ir::{Attachment, CompKind, Endpoint, ExprHigh, NodeId, Op, PureFn};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-component timing characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeTiming {
+    /// Pass-through combinational delay (ns).
+    Comb(f64),
+    /// Sequential: `(input-side, output-side)` delays (ns).
+    Seq(f64, f64),
+}
+
+/// Errors from timing analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimingError {
+    /// The circuit still has a cycle with no sequential element.
+    CombinationalLoop,
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::CombinationalLoop => {
+                write!(f, "combinational loop: run buffer placement first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+fn comb_op_delay(op: Op) -> f64 {
+    match op {
+        Op::AddI | Op::SubI => 1.9,
+        Op::LtI | Op::GeI | Op::EqI => 1.6,
+        Op::NeZero => 0.9,
+        Op::Not | Op::And | Op::Or => 0.4,
+        Op::Select => 1.0,
+        // Pipelined ops are sequential and never reach here.
+        _ => 2.0,
+    }
+}
+
+/// The timing characteristics of a component in an elastic circuit.
+pub fn elastic_timing(kind: &CompKind) -> NodeTiming {
+    use NodeTiming::{Comb, Seq};
+    match kind {
+        CompKind::Fork { ways } => Comb(0.25 + 0.05 * (*ways as f64)),
+        CompKind::Join => Comb(0.6),
+        CompKind::Split => Comb(0.4),
+        CompKind::Mux => Comb(1.15),
+        CompKind::Branch => Comb(0.95),
+        CompKind::Merge => Comb(1.3),
+        CompKind::Init { .. } => Seq(0.5, 0.6),
+        CompKind::Buffer { transparent: true, .. } => Comb(0.5),
+        CompKind::Buffer { transparent: false, .. } => Seq(0.7, 0.7),
+        CompKind::Sink => Comb(0.0),
+        CompKind::Constant { .. } => Comb(0.2),
+        CompKind::Operator { op } => match op {
+            Op::AddF | Op::SubF => Seq(2.9, 2.7),
+            Op::MulF => Seq(2.8, 2.6),
+            Op::DivF => Seq(3.1, 2.9),
+            Op::GeF | Op::LtF => Seq(2.4, 2.2),
+            Op::IToF => Seq(2.2, 2.0),
+            Op::MulI => Seq(2.0, 1.8),
+            Op::Mod | Op::DivI => Seq(3.3, 3.0),
+            comb => Comb(comb_op_delay(*comb)),
+        },
+        CompKind::Pure { func } => {
+            if crate::sim::purefn_latency(func, 2) > 0 {
+                Seq(2.9, 2.7)
+            } else {
+                Comb(0.8 + 0.9 * purefn_comb_ops(func) as f64)
+            }
+        }
+        CompKind::TaggerUntagger { tags } => {
+            // Tag allocation compares against the free pool and the reorder
+            // buffer does an associative lookup; wider pools are slower, and
+            // this path cannot be pipelined away — it is why tagged circuits
+            // clock slower in the paper's Table 2.
+            let w = (*tags as f64).log2().max(1.0);
+            Seq(3.4 + 0.55 * w, 3.2 + 0.55 * w)
+        }
+        CompKind::Load { .. } => Seq(1.9, 2.0),
+        CompKind::Store { .. } => Seq(1.7, 0.6),
+    }
+}
+
+/// Is the component a sequential element under a timing table?
+pub fn is_sequential(kind: &CompKind, table: &dyn Fn(&CompKind) -> NodeTiming) -> bool {
+    matches!(table(kind), NodeTiming::Seq(_, _))
+}
+
+/// Estimated pure-function combinational size (used in [`elastic_timing`]).
+pub fn purefn_comb_ops(f: &PureFn) -> usize {
+    match f {
+        PureFn::Comp(a, b) | PureFn::Par(a, b) => purefn_comb_ops(a) + purefn_comb_ops(b),
+        PureFn::Op(_) => 1,
+        _ => 0,
+    }
+}
+
+/// Computes the clock period of a circuit under a timing table.
+///
+/// # Errors
+///
+/// Fails if the circuit has a combinational loop.
+pub fn clock_period(
+    g: &ExprHigh,
+    table: &dyn Fn(&CompKind) -> NodeTiming,
+) -> Result<f64, TimingError> {
+    let seq_check = |k: &CompKind| is_sequential(k, table);
+    if has_combinational_cycle(g, &seq_check) {
+        return Err(TimingError::CombinationalLoop);
+    }
+
+    // arrival[n]: longest combinational path arriving at node n's inputs.
+    let mut arrival: BTreeMap<NodeId, f64> = BTreeMap::new();
+    // Topological processing of the combinational subgraph: repeat sweeps
+    // until a fixpoint (the subgraph is acyclic, so |V| sweeps suffice).
+    let nodes: Vec<(NodeId, CompKind)> =
+        g.nodes().map(|(n, k)| (n.clone(), k.clone())).collect();
+    for (n, _) in &nodes {
+        arrival.insert(n.clone(), 0.0);
+    }
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > nodes.len() + 2 {
+            return Err(TimingError::CombinationalLoop);
+        }
+        for (n, kind) in &nodes {
+            let (ins, _) = kind.interface();
+            let mut best: f64 = 0.0;
+            for p in ins {
+                if let Some(Attachment::Wire(src)) = g.driver(&Endpoint::new(n.clone(), p)) {
+                    let src_kind = g.kind(&src.node).expect("node");
+                    let contrib = match table(src_kind) {
+                        NodeTiming::Seq(_, out_side) => out_side,
+                        NodeTiming::Comb(d) => arrival[&src.node] + d,
+                    };
+                    best = best.max(contrib);
+                }
+            }
+            if best > arrival[n] + 1e-12 {
+                arrival.insert(n.clone(), best);
+                changed = true;
+            }
+        }
+    }
+
+    // CP: paths terminate at sequential inputs (arrival + in-side delay) or
+    // at external outputs (arrival + comb delay of the final node).
+    let mut cp: f64 = 1.0;
+    for (n, kind) in &nodes {
+        match table(kind) {
+            NodeTiming::Seq(in_side, _) => cp = cp.max(arrival[n] + in_side),
+            NodeTiming::Comb(d) => {
+                // If this node drives an external output, close the path.
+                let (_, outs) = kind.interface();
+                for p in outs {
+                    if matches!(
+                        g.consumer(&Endpoint::new(n.clone(), p)),
+                        Some(Attachment::External(_))
+                    ) {
+                        cp = cp.max(arrival[n] + d);
+                    }
+                }
+            }
+        }
+    }
+    Ok(cp)
+}
+
+/// Convenience: clock period under the elastic timing table.
+///
+/// # Errors
+///
+/// See [`clock_period`].
+pub fn elastic_clock_period(g: &ExprHigh) -> Result<f64, TimingError> {
+    clock_period(g, &elastic_timing)
+}
+
+/// Combinational arrival time at every node's inputs under a timing table
+/// (the DP of [`clock_period`], exposed for timing-driven buffer
+/// placement).
+///
+/// # Errors
+///
+/// Fails if the circuit has a combinational loop.
+pub fn arrival_times(
+    g: &ExprHigh,
+    table: &dyn Fn(&CompKind) -> NodeTiming,
+) -> Result<BTreeMap<NodeId, f64>, TimingError> {
+    let seq_check = |k: &CompKind| is_sequential(k, table);
+    if has_combinational_cycle(g, &seq_check) {
+        return Err(TimingError::CombinationalLoop);
+    }
+    let nodes: Vec<(NodeId, CompKind)> =
+        g.nodes().map(|(n, k)| (n.clone(), k.clone())).collect();
+    let mut arrival: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for (n, _) in &nodes {
+        arrival.insert(n.clone(), 0.0);
+    }
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > nodes.len() + 2 {
+            return Err(TimingError::CombinationalLoop);
+        }
+        for (n, kind) in &nodes {
+            let (ins, _) = kind.interface();
+            let mut best: f64 = 0.0;
+            for p in ins {
+                if let Some(Attachment::Wire(src)) = g.driver(&Endpoint::new(n.clone(), p)) {
+                    let src_kind = g.kind(&src.node).expect("node");
+                    let contrib = match table(src_kind) {
+                        NodeTiming::Seq(_, out_side) => out_side,
+                        NodeTiming::Comb(d) => arrival[&src.node] + d,
+                    };
+                    best = best.max(contrib);
+                }
+            }
+            if best > arrival[n] + 1e-12 {
+                arrival.insert(n.clone(), best);
+                changed = true;
+            }
+        }
+    }
+    Ok(arrival)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_ir::ep;
+
+    #[test]
+    fn chain_delay_accumulates() {
+        // buffer(seq) -> mux -> branch -> buffer(seq):
+        // CP = 0.7 (out) + 1.15 + 0.95 + 0.7 (in) = 3.5
+        let mut g = ExprHigh::new();
+        g.add_node("b1", CompKind::Buffer { slots: 1, transparent: false }).unwrap();
+        g.add_node("m", CompKind::Mux).unwrap();
+        g.add_node("br", CompKind::Branch).unwrap();
+        g.add_node("b2", CompKind::Buffer { slots: 1, transparent: false }).unwrap();
+        g.expose_input("c", ep("m", "cond")).unwrap();
+        g.expose_input("x", ep("b1", "in")).unwrap();
+        g.expose_input("y", ep("m", "f")).unwrap();
+        g.expose_input("c2", ep("br", "cond")).unwrap();
+        g.connect(ep("b1", "out"), ep("m", "t")).unwrap();
+        g.connect(ep("m", "out"), ep("br", "in")).unwrap();
+        g.connect(ep("br", "t"), ep("b2", "in")).unwrap();
+        g.expose_output("o1", ep("br", "f")).unwrap();
+        g.expose_output("o2", ep("b2", "out")).unwrap();
+        let cp = elastic_clock_period(&g).unwrap();
+        assert!((cp - 3.5).abs() < 1e-9, "cp = {cp}");
+    }
+
+    #[test]
+    fn sequential_units_cut_paths() {
+        // mux -> fadd (seq) -> branch: two short paths, not one long one.
+        let mut g = ExprHigh::new();
+        g.add_node("m", CompKind::Mux).unwrap();
+        g.add_node("a", CompKind::Operator { op: Op::AddF }).unwrap();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.expose_input("c", ep("m", "cond")).unwrap();
+        g.expose_input("x", ep("m", "t")).unwrap();
+        g.expose_input("y", ep("m", "f")).unwrap();
+        g.connect(ep("m", "out"), ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("a", "in0")).unwrap();
+        g.connect(ep("f", "out1"), ep("a", "in1")).unwrap();
+        g.expose_output("o", ep("a", "out")).unwrap();
+        let cp = elastic_clock_period(&g).unwrap();
+        // Path: mux(1.15) + fork(0.35) + fadd.in(2.9) = 4.4
+        assert!((cp - 4.4).abs() < 1e-9, "cp = {cp}");
+    }
+
+    #[test]
+    fn combinational_loop_is_rejected() {
+        let mut g = ExprHigh::new();
+        g.add_node("m", CompKind::Merge).unwrap();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("k", CompKind::Sink).unwrap();
+        g.expose_input("x", ep("m", "in0")).unwrap();
+        g.connect(ep("m", "out"), ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("k", "in")).unwrap();
+        g.connect(ep("f", "out1"), ep("m", "in1")).unwrap();
+        assert_eq!(elastic_clock_period(&g), Err(TimingError::CombinationalLoop));
+        let (g2, _) = crate::place::place_buffers(&g);
+        assert!(elastic_clock_period(&g2).is_ok());
+    }
+
+    #[test]
+    fn tagger_slows_the_clock() {
+        let mut small = ExprHigh::new();
+        small.add_node("t", CompKind::TaggerUntagger { tags: 4 }).unwrap();
+        small.expose_input("a", ep("t", "in")).unwrap();
+        small.expose_input("b", ep("t", "retag")).unwrap();
+        small.expose_output("c", ep("t", "tagged")).unwrap();
+        small.expose_output("d", ep("t", "out")).unwrap();
+        let mut big = small.clone();
+        if let Some(_) = big.kind("t") {
+            big.remove_node("t").unwrap();
+            big.add_node("t", CompKind::TaggerUntagger { tags: 64 }).unwrap();
+            big.expose_input("a", ep("t", "in")).unwrap();
+            big.expose_input("b", ep("t", "retag")).unwrap();
+            big.expose_output("c", ep("t", "tagged")).unwrap();
+            big.expose_output("d", ep("t", "out")).unwrap();
+        }
+        let cp_small = elastic_clock_period(&small).unwrap();
+        let cp_big = elastic_clock_period(&big).unwrap();
+        assert!(cp_big > cp_small);
+    }
+}

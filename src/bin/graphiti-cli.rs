@@ -1,0 +1,192 @@
+//! `graphiti-cli` — the command-line face of the rewriting framework.
+//!
+//! The paper's Lean development extracts to a C program that sits between
+//! Dynamatic's front-end and back-end (Fig. 1 / §6.3): dot graph in,
+//! rewritten dot graph out. This binary plays that role:
+//!
+//! ```text
+//! graphiti-cli [--tags N] [--mark INIT_NODE] [--checked] [--stats] [INPUT.dot]
+//! graphiti-cli --compile [PROGRAM.gsl]
+//! ```
+//!
+//! * reads a circuit in the dot dialect (stdin when no file is given),
+//! * finds the marked sequential loop (by its Init node, or the unique
+//!   canonical loop when `--mark` is omitted),
+//! * runs the five-phase out-of-order pipeline,
+//! * prints the rewritten circuit as dot on stdout; refusals (impure loop
+//!   bodies) leave the circuit unchanged and are reported on stderr,
+//!   exactly like the bicg case in the paper's evaluation.
+//!
+//! With `--compile` the input is a loop-nest *program* in the front-end's
+//! surface syntax instead of a dot circuit: each kernel is compiled, marked
+//! kernels are optimized (with their declared tag budgets), and the
+//! resulting circuits are printed as dot.
+
+use graphiti::pipeline::{find_seq_loops, optimize_loop, PipelineOptions};
+use graphiti::prelude::*;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Args {
+    tags: u32,
+    mark: Option<String>,
+    checked: bool,
+    stats: bool,
+    compile: bool,
+    input: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { tags: 8, mark: None, checked: false, stats: false, compile: false, input: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tags" => {
+                let v = it.next().ok_or("--tags needs a value")?;
+                args.tags = v.parse().map_err(|_| format!("bad tag count `{v}`"))?;
+            }
+            "--mark" => {
+                args.mark = Some(it.next().ok_or("--mark needs an Init node name")?);
+            }
+            "--checked" => args.checked = true,
+            "--stats" => args.stats = true,
+            "--compile" => args.compile = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked] [--stats] [INPUT.dot]\n       graphiti-cli --compile [PROGRAM.gsl]"
+                        .to_string(),
+                )
+            }
+            other if !other.starts_with('-') => args.input = Some(other.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let src = match &args.input {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+
+    if args.compile {
+        return compile_mode(&src, &args);
+    }
+
+    let g = parse_dot(&src).map_err(|e| e.to_string())?;
+    g.validate().map_err(|e| format!("circuit incomplete: {e}"))?;
+
+    let init = match &args.mark {
+        Some(name) => {
+            if g.kind(name).is_none() {
+                return Err(format!("--mark `{name}`: no such node"));
+            }
+            name.clone()
+        }
+        None => {
+            let loops = find_seq_loops(&g);
+            match loops.as_slice() {
+                [l] => l.init.clone(),
+                [] => return Err("no canonical sequential loop found; use --mark".into()),
+                many => {
+                    return Err(format!(
+                        "{} loops found ({}); pick one with --mark",
+                        many.len(),
+                        many.iter().map(|l| l.init.as_str()).collect::<Vec<_>>().join(", ")
+                    ))
+                }
+            }
+        }
+    };
+
+    let opts = PipelineOptions {
+        tags: args.tags,
+        check: if args.checked { CheckMode::Checked } else { CheckMode::Off },
+        ..Default::default()
+    };
+    let (out, report) = optimize_loop(&g, &init, &opts).map_err(|e| e.to_string())?;
+    if args.stats {
+        eprintln!(
+            "graphiti-cli: transformed = {}, rewrites = {}, pure-by-rewrites = {}",
+            report.transformed, report.rewrites, report.pure_by_rewrites
+        );
+        let before = g.kind_histogram();
+        let after = out.kind_histogram();
+        eprintln!(
+            "graphiti-cli: {} -> {} components, {} -> {} edges",
+            g.node_count(),
+            out.node_count(),
+            g.edge_count(),
+            out.edge_count()
+        );
+        for (kind, n) in &after {
+            let b = before.get(kind).copied().unwrap_or(0);
+            if *n != b {
+                eprintln!("graphiti-cli:   {kind}: {b} -> {n}");
+            }
+        }
+    }
+    if let Some(refusal) = &report.refusal {
+        eprintln!("graphiti-cli: transformation refused: {refusal}; circuit left unchanged");
+    }
+    println!("{}", print_dot(&out));
+    Ok(())
+}
+
+/// `--compile`: front-end program in, optimized dot circuits out.
+fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
+    let program = graphiti::frontend::parse_program(src).map_err(|e| e.to_string())?;
+    let compiled = graphiti::frontend::compile(&program).map_err(|e| e.to_string())?;
+    for kernel in &compiled.kernels {
+        let out = match kernel.ooo_tags {
+            Some(tags) => {
+                let opts = PipelineOptions {
+                    tags,
+                    check: if args.checked { CheckMode::Checked } else { CheckMode::Off },
+                    ..Default::default()
+                };
+                let (g, report) =
+                    optimize_loop(&kernel.graph, &kernel.inner_init, &opts)
+                        .map_err(|e| e.to_string())?;
+                if args.stats {
+                    eprintln!(
+                        "graphiti-cli: kernel `{}`: transformed = {}, rewrites = {}",
+                        kernel.name, report.transformed, report.rewrites
+                    );
+                }
+                if let Some(refusal) = &report.refusal {
+                    eprintln!(
+                        "graphiti-cli: kernel `{}` refused: {refusal}; left in order",
+                        kernel.name
+                    );
+                }
+                g
+            }
+            None => kernel.graph.clone(),
+        };
+        println!("// kernel {}", kernel.name);
+        println!("{}", print_dot(&out));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end tests of the `graphiti-cli` binary (the Fig. 1 tool
+//! interface): dot in, rewritten dot out.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const SEQUENTIAL_LOOP: &str = r#"
+digraph gcd_loop {
+  entry [type="entry"];
+  exit  [type="exit"];
+  mux   [type="mux"];
+  body  [type="pure" func="comp(parf(id,op:nez),comp(parf(comp(parf(snd,op:mod),dup),op:mod),dup))"];
+  split [type="split"];
+  br    [type="branch"];
+  fork  [type="fork" ways="2"];
+  init  [type="init" initial="false"];
+  entry -> mux  [to="f"];
+  mux   -> body [from="out" to="in"];
+  body  -> split [from="out" to="in"];
+  split -> br   [from="out0" to="in"];
+  split -> fork [from="out1" to="in"];
+  fork  -> br   [from="out0" to="cond"];
+  fork  -> init [from="out1" to="in"];
+  init  -> mux  [from="out" to="cond"];
+  br    -> mux  [from="t" to="t"];
+  br    -> exit [from="f"];
+}
+"#;
+
+fn run_cli(stdin: &str, extra_args: &[&str]) -> (String, String, bool) {
+    let exe = env!("CARGO_BIN_EXE_graphiti-cli");
+    let mut child = Command::new(exe)
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child.stdin.as_mut().expect("stdin").write_all(stdin.as_bytes()).expect("write");
+    let out = child.wait_with_output().expect("cli completes");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn cli_transforms_a_marked_loop() {
+    let (stdout, stderr, ok) = run_cli(SEQUENTIAL_LOOP, &["--tags", "4", "--stats"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("type=\"tagger\""), "{stdout}");
+    assert!(stdout.contains("type=\"merge\""));
+    assert!(!stdout.contains("type=\"mux\""));
+    assert!(stderr.contains("transformed = true"), "{stderr}");
+    // The printed output parses back as a valid circuit.
+    let g = graphiti::prelude::parse_dot(&stdout).expect("output parses");
+    g.validate().expect("output circuit complete");
+}
+
+#[test]
+fn cli_auto_detects_the_single_loop() {
+    let (stdout, _, ok) = run_cli(SEQUENTIAL_LOOP, &[]);
+    assert!(ok);
+    assert!(stdout.contains("tagger"));
+}
+
+#[test]
+fn cli_reports_refusals_and_leaves_circuit_unchanged() {
+    // Replace the pure body by a store-containing region: pure, but a store
+    // hangs off the loop... simplest impure case: swap the Pure for a
+    // region the pipeline cannot reduce — a Merge inside the body.
+    let impure = SEQUENTIAL_LOOP.replace(
+        r#"body  [type="pure" func="comp(parf(id,op:nez),comp(parf(comp(parf(snd,op:mod),dup),op:mod),dup))"];"#,
+        r#"body  [type="pure" func="comp(parf(id,op:nez),comp(parf(comp(parf(snd,op:mod),dup),op:mod),dup))"];
+           sidefork [type="fork" ways="2"];
+           st   [type="store" mem="arr"];
+           ksink [type="sink"];
+           zero [type="constant" value="i:0"];"#,
+    );
+    // Rewire: mux.out -> sidefork -> (body, store path).
+    let impure = impure
+        .replace(
+            r#"mux   -> body [from="out" to="in"];"#,
+            r#"mux   -> sidefork [from="out" to="in"];
+               sidefork -> body [from="out0" to="in"];
+               sidefork -> zero [from="out1" to="ctrl"];
+               zero -> st [from="out" to="addr"];
+               st -> ksink [from="done" to="in"];"#,
+        )
+        .replace(
+            r#"br    -> exit [from="f"];"#,
+            r#"br    -> exit [from="f"];
+               datasrc [type="constant" value="i:1"];
+               dfork [type="fork" ways="2"];
+               dsink [type="sink"];
+               entry2 [type="entry"];
+               entry2 -> dfork [to="in"];
+               dfork -> datasrc [from="out0" to="ctrl"];
+               dfork -> dsink [from="out1" to="in"];
+               datasrc -> st [from="out" to="data"];"#,
+        );
+    let (stdout, stderr, ok) = run_cli(&impure, &["--mark", "init"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("refused"), "{stderr}");
+    // Unchanged: still a mux, no tagger.
+    assert!(stdout.contains("type=\"mux\""));
+    assert!(!stdout.contains("type=\"tagger\""));
+}
+
+const GCD_PROGRAM: &str = r#"
+program gcd
+array arr1 = [i:12, i:35]
+array arr2 = [i:18, i:21]
+array result = zeros int 2
+
+kernel for i in 0..2 ooo tags 4 {
+  state a = arr1[i]
+  state b = arr2[i]
+  update a = b
+  update b = a % b
+  while nez(b)
+  store result[i] = a
+}
+"#;
+
+#[test]
+fn cli_compile_mode_emits_optimized_dot() {
+    let (stdout, stderr, ok) = run_cli(GCD_PROGRAM, &["--compile", "--stats"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("// kernel gcd_k0"));
+    assert!(stdout.contains("type=\"tagger\""), "marked kernel was transformed: {stdout}");
+    assert!(stderr.contains("transformed = true"), "{stderr}");
+    // Drop the comment line; the rest parses as dot.
+    let dot: String =
+        stdout.lines().filter(|l| !l.starts_with("//")).collect::<Vec<_>>().join("\n");
+    let g = graphiti::prelude::parse_dot(&dot).expect("output parses");
+    g.validate().expect("complete circuit");
+}
+
+#[test]
+fn cli_compile_mode_rejects_bad_programs() {
+    let (_, stderr, ok) = run_cli("kernel for i in {", &["--compile"]);
+    assert!(!ok);
+    assert!(stderr.contains("line"), "{stderr}");
+}
+
+#[test]
+fn cli_rejects_garbage_input() {
+    let (_, stderr, ok) = run_cli("this is not dot", &[]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error") || stderr.contains("expected"), "{stderr}");
+}
+
+#[test]
+fn cli_unknown_flag_fails() {
+    let (_, stderr, ok) = run_cli(SEQUENTIAL_LOOP, &["--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+}
+
+#[test]
+fn cli_mark_must_exist() {
+    let (_, stderr, ok) = run_cli(SEQUENTIAL_LOOP, &["--mark", "nonexistent"]);
+    assert!(!ok);
+    assert!(stderr.contains("no such node"));
+}

@@ -1,0 +1,187 @@
+//! Property-based tests on the core data structures and invariants:
+//! DOT interchange roundtrips, lowering/lifting roundtrips over random
+//! circuits, e-graph simplification soundness, and simulator determinism.
+
+use graphiti::prelude::*;
+use graphiti_ir::{lift, lower, lower_grouped, parse_value, print_value, NodeId};
+use graphiti_rewrite::simplify;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------- strategies ----------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100i32..100).prop_map(|x| Value::from_f64(x as f64 / 4.0)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Value::pair(a, b)),
+            (0u32..8, inner).prop_map(|(t, v)| Value::tagged(t, v)),
+        ]
+    })
+}
+
+/// Structural pure functions that are total on nested pairs of the right
+/// shape; evaluation failures are allowed as long as simplification does
+/// not change defined results.
+fn purefn_strategy() -> impl Strategy<Value = PureFn> {
+    let leaf = prop_oneof![
+        Just(PureFn::Id),
+        Just(PureFn::Swap),
+        Just(PureFn::Dup),
+        Just(PureFn::Fst),
+        Just(PureFn::Snd),
+        Just(PureFn::AssocL),
+        Just(PureFn::AssocR),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PureFn::Comp(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| PureFn::Par(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// A random linear pipeline circuit: alternating buffers, forks feeding
+/// joins, and unary ops — always a valid complete graph with one input and
+/// one output.
+fn pipeline_graph_strategy() -> impl Strategy<Value = ExprHigh> {
+    proptest::collection::vec(0u8..4, 1..8).prop_map(|stages| {
+        let mut g = ExprHigh::new();
+        let mut prev: Option<graphiti_ir::Endpoint> = None;
+        for (i, kind) in stages.iter().enumerate() {
+            let (name, in_port, out_port) = match kind {
+                0 => {
+                    let n = format!("buf{i}");
+                    g.add_node(&n, CompKind::Buffer { slots: 2, transparent: i % 2 == 0 })
+                        .unwrap();
+                    (n, "in", "out")
+                }
+                1 => {
+                    // fork -> join diamond
+                    let f = format!("fork{i}");
+                    let j = format!("join{i}");
+                    g.add_node(&f, CompKind::Fork { ways: 2 }).unwrap();
+                    g.add_node(&j, CompKind::Join).unwrap();
+                    g.connect(ep(f.clone(), "out0"), ep(j.clone(), "in0")).unwrap();
+                    g.connect(ep(f.clone(), "out1"), ep(j.clone(), "in1")).unwrap();
+                    // The diamond consumes at fork.in and produces at join.out;
+                    // wire it via a following Pure that projects.
+                    let p = format!("proj{i}");
+                    g.add_node(&p, CompKind::Pure { func: PureFn::Fst }).unwrap();
+                    g.connect(ep(j.clone(), "out"), ep(p.clone(), "in")).unwrap();
+                    (format!("{f}\u{0}{p}"), "in", "out")
+                }
+                2 => {
+                    let n = format!("neg{i}");
+                    g.add_node(&n, CompKind::Operator { op: Op::NeZero }).unwrap();
+                    (n, "in0", "out")
+                }
+                _ => {
+                    let n = format!("pure{i}");
+                    g.add_node(&n, CompKind::Pure { func: PureFn::Dup }).unwrap();
+                    (n, "in", "out")
+                }
+            };
+            // Resolve composite names (fork diamond).
+            let (head, tail) = match name.split_once('\u{0}') {
+                Some((a, b)) => (a.to_string(), b.to_string()),
+                None => (name.clone(), name.clone()),
+            };
+            match prev {
+                None => g.expose_input("x", ep(head, in_port)).unwrap(),
+                Some(p) => g.connect(p, ep(head, in_port)).unwrap(),
+            }
+            prev = Some(ep(tail, out_port));
+        }
+        g.expose_output("y", prev.expect("nonempty")).unwrap();
+        g
+    })
+}
+
+// ---------- properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_dot_roundtrip(v in value_strategy()) {
+        prop_assert_eq!(parse_value(&print_value(&v)), Ok(v));
+    }
+
+    #[test]
+    fn purefn_dot_roundtrip(f in purefn_strategy()) {
+        let printed = graphiti_ir::print_purefn(&f);
+        prop_assert_eq!(graphiti_ir::parse_purefn(&printed), Ok(f));
+    }
+
+    #[test]
+    fn egraph_simplification_preserves_defined_results(
+        f in purefn_strategy(),
+        v in value_strategy(),
+    ) {
+        if let Ok(expected) = f.eval(&v) {
+            let s = simplify(&f, 6);
+            prop_assert_eq!(s.eval(&v), Ok(expected), "f = {}, s = {}", f, simplify(&f, 6));
+        }
+    }
+
+    #[test]
+    fn egraph_never_grows_terms(f in purefn_strategy()) {
+        let s = simplify(&f, 6);
+        prop_assert!(s.size() <= f.size(), "{} -> {}", f, s);
+    }
+
+    #[test]
+    fn dot_roundtrip_on_random_circuits(g in pipeline_graph_strategy()) {
+        g.validate().unwrap();
+        let printed = print_dot(&g);
+        let g2 = parse_dot(&printed).unwrap();
+        prop_assert_eq!(&g, &g2);
+    }
+
+    #[test]
+    fn lower_lift_roundtrip_on_random_circuits(g in pipeline_graph_strategy()) {
+        let lowered = lower(&g).unwrap();
+        let g2 = lift(&lowered).unwrap();
+        prop_assert_eq!(&g, &g2);
+    }
+
+    #[test]
+    fn grouped_lowering_roundtrips_for_any_group(
+        g in pipeline_graph_strategy(),
+        pick in proptest::collection::vec(any::<bool>(), 32),
+    ) {
+        let names: Vec<NodeId> = g.node_names().into_iter().collect();
+        let group: BTreeSet<NodeId> = names
+            .iter()
+            .zip(pick.iter())
+            .filter(|(_, p)| **p)
+            .map(|(n, _)| n.clone())
+            .collect();
+        let lowered = lower_grouped(&g, &group).unwrap();
+        let g2 = lift(&lowered).unwrap();
+        prop_assert_eq!(&g, &g2);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(g in pipeline_graph_strategy(), x in -50i64..50) {
+        let (placed, _) = place_buffers(&g);
+        let feeds = [("x".to_string(), vec![Value::Int(x)])].into_iter().collect();
+        let r1 = simulate(&placed, &feeds, Default::default(), SimConfig::default());
+        let r2 = simulate(&placed, &feeds, Default::default(), SimConfig::default());
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.cycles, b.cycles);
+                prop_assert_eq!(a.outputs, b.outputs);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "nondeterministic failure: {a:?} vs {b:?}"),
+        }
+    }
+}

