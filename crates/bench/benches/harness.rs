@@ -22,8 +22,41 @@ fn tiny_suite() -> Vec<graphiti_frontend::Program> {
     vec![suite::bicg(5), suite::gsum_single(24), suite::matvec(6), suite::mvt(5)]
 }
 
+/// Per-benchmark-group metrics files: when `GRAPHITI_METRICS_DIR` is set,
+/// each group runs with the `graphiti-obs` sink enabled and dumps
+/// `$GRAPHITI_METRICS_DIR/<group>.metrics.json` when it finishes. The
+/// registry is reset on entry so profiles don't bleed between groups.
+/// Without the variable this is inert and the benches measure the
+/// uninstrumented (sink-off) hot path.
+struct ObsScope(Option<String>);
+
+impl ObsScope {
+    fn new(group: &str) -> ObsScope {
+        match std::env::var("GRAPHITI_METRICS_DIR") {
+            Ok(dir) => {
+                std::fs::create_dir_all(&dir).expect("create GRAPHITI_METRICS_DIR");
+                graphiti_obs::reset();
+                graphiti_obs::enable();
+                ObsScope(Some(format!("{dir}/{group}.metrics.json")))
+            }
+            Err(_) => ObsScope(None),
+        }
+    }
+}
+
+impl Drop for ObsScope {
+    fn drop(&mut self) {
+        if let Some(path) = &self.0 {
+            graphiti_obs::write_metrics_json(path)
+                .unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+            graphiti_obs::disable();
+        }
+    }
+}
+
 /// Table 2: cycle count / clock period / execution time across the flows.
 fn bench_table2(c: &mut Criterion) {
+    let _obs = ObsScope::new("table2");
     let programs = tiny_suite();
     c.bench_function("table2/regenerate", |b| {
         b.iter(|| {
@@ -37,6 +70,7 @@ fn bench_table2(c: &mut Criterion) {
 
 /// Table 3: area totals (cheap; area model only needs placement).
 fn bench_table3(c: &mut Criterion) {
+    let _obs = ObsScope::new("table3");
     let programs = tiny_suite();
     c.bench_function("table3/area_models", |b| {
         b.iter(|| {
@@ -55,6 +89,7 @@ fn bench_table3(c: &mut Criterion) {
 /// Figure 8: relative-performance series (normalization on top of table 2
 /// data; benchmarked end to end on one program).
 fn bench_fig8(c: &mut Criterion) {
+    let _obs = ObsScope::new("fig8");
     let p = suite::matvec(6);
     c.bench_function("fig8/matvec_relative", |b| {
         b.iter(|| {
@@ -72,14 +107,14 @@ fn bench_fig8(c: &mut Criterion) {
 /// §6.3: rewriting-engine throughput (the paper reports seconds-scale for
 /// thousands of rewrites on graphs of 90-180 nodes).
 fn bench_rewrite_engine(c: &mut Criterion) {
+    let _obs = ObsScope::new("rewrite_engine");
     let p = suite::matvec(8);
     let compiled = compile(&p).expect("compiles");
     let k = compiled.kernels[0].clone();
     c.bench_function("rewrite_engine/matvec_pipeline", |b| {
         b.iter(|| {
             let opts = PipelineOptions { tags: 8, ..Default::default() };
-            let (g, report) =
-                optimize_loop(&k.graph, &k.inner_init, &opts).expect("pipeline");
+            let (g, report) = optimize_loop(&k.graph, &k.inner_init, &opts).expect("pipeline");
             black_box((g.node_count(), report.rewrites));
         })
     });
@@ -87,6 +122,7 @@ fn bench_rewrite_engine(c: &mut Criterion) {
 
 /// The elastic cycle simulator on an in-order and an out-of-order circuit.
 fn bench_simulator(c: &mut Criterion) {
+    let _obs = ObsScope::new("simulator");
     let p = suite::matvec(8);
     let compiled = compile(&p).expect("compiles");
     let k = &compiled.kernels[0];
@@ -116,6 +152,7 @@ fn bench_simulator(c: &mut Criterion) {
 
 /// The bounded refinement checker on a small equivalence.
 fn bench_refinement_checker(c: &mut Criterion) {
+    let _obs = ObsScope::new("refinement");
     let chain = |n: usize| -> graphiti_sem::Module {
         let bases: Vec<ExprLow> = (0..n)
             .map(|i| {
@@ -153,6 +190,7 @@ fn bench_refinement_checker(c: &mut Criterion) {
 
 /// The e-graph oracle simplifying a composed pure function.
 fn bench_egraph(c: &mut Criterion) {
+    let _obs = ObsScope::new("egraph");
     let f = PureFn::comp(
         PureFn::comp(PureFn::Swap, PureFn::Swap),
         PureFn::comp(
@@ -172,6 +210,7 @@ fn bench_egraph(c: &mut Criterion) {
 
 /// Buffer placement and static timing on a benchmark-sized circuit.
 fn bench_placement(c: &mut Criterion) {
+    let _obs = ObsScope::new("placement");
     let p = suite::gemm(3, 3, 4);
     let compiled = compile(&p).expect("compiles");
     let g: ExprHigh = compiled.kernels[0].graph.clone();

@@ -1,0 +1,61 @@
+//! Micro-benchmark of the `graphiti-obs` zero-cost-when-disabled contract.
+//!
+//! The simulator inner loop is the hottest path in the repository; the
+//! observability layer's promise (DESIGN.md) is that with no sink
+//! installed its entire footprint is one relaxed atomic load at
+//! `Simulator::new` time, so the disabled numbers here must stay within
+//! ~2% of a build without the instrumentation at all. The enabled
+//! numbers quantify what a profile costs when you do ask for one.
+//!
+//! Run with `cargo bench --bench obs_overhead`; compare the
+//! `sim/obs_disabled` and `sim/obs_enabled` lines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphiti_frontend::compile;
+use graphiti_ir::Value;
+use graphiti_sim::{place_buffers_targeted, simulate, SimConfig};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let p = graphiti_bench::suite::matvec(8);
+    let compiled = compile(&p).expect("compiles");
+    let k = &compiled.kernels[0];
+    let (placed, _) = place_buffers_targeted(&k.graph, 6.5);
+    let feeds: BTreeMap<String, Vec<Value>> =
+        [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+
+    let mut group = c.benchmark_group("sim");
+
+    graphiti_obs::disable();
+    group.bench_function("obs_disabled", |b| {
+        b.iter(|| {
+            let r = simulate(&placed, &feeds, p.arrays.clone(), SimConfig::default())
+                .expect("simulates");
+            black_box(r.cycles);
+        })
+    });
+
+    graphiti_obs::reset();
+    graphiti_obs::enable();
+    group.bench_function("obs_enabled", |b| {
+        b.iter(|| {
+            // Keep the trace buffer from saturating (and the registry from
+            // growing unboundedly skewed) across iterations.
+            graphiti_obs::reset();
+            let r = simulate(&placed, &feeds, p.arrays.clone(), SimConfig::default())
+                .expect("simulates");
+            black_box(r.cycles);
+        })
+    });
+    graphiti_obs::disable();
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

@@ -18,8 +18,7 @@ use graphiti_core::{optimize_loop, PipelineOptions};
 use graphiti_frontend::{compile, run_program, Program};
 use graphiti_ir::{ExprHigh, Value};
 use graphiti_sim::{
-    circuit_area, elastic_clock_period, place_buffers, place_buffers_targeted, simulate,
-    SimConfig,
+    circuit_area, elastic_clock_period, place_buffers, place_buffers_targeted, simulate, SimConfig,
 };
 use std::collections::BTreeMap;
 
@@ -57,11 +56,7 @@ pub fn tag_sweep(p: &Program, budgets: &[u32]) -> Result<Vec<TagSweepRow>, EvalE
         assert!(report.transformed, "sweep benchmark must be transformable");
         let (placed, _) = place_buffers_targeted(&g, crate::eval::CP_TARGET_NS);
         let r = simulate(&placed, &start_feeds(), p.arrays.clone(), SimConfig::default())?;
-        assert_eq!(
-            r.memory.get("y"),
-            expected.get("y"),
-            "tag budget must not change results"
-        );
+        assert_eq!(r.memory.get("y"), expected.get("y"), "tag budget must not change results");
         rows.push(TagSweepRow {
             tags,
             cycles: r.cycles,
@@ -92,11 +87,8 @@ fn place_backedges_only(g: &ExprHigh) -> ExprHigh {
     // ones (their names are generated with the `slack_` stem).
     let (placed, _) = place_buffers(g);
     let mut out = placed.clone();
-    let slack: Vec<_> = placed
-        .nodes()
-        .filter(|(n, _)| n.starts_with("slack_"))
-        .map(|(n, _)| n.clone())
-        .collect();
+    let slack: Vec<_> =
+        placed.nodes().filter(|(n, _)| n.starts_with("slack_")).map(|(n, _)| n.clone()).collect();
     for n in slack {
         // Splice the buffer out: driver -> consumer.
         let drv = out.detach_input(&graphiti_ir::ep(n.clone(), "in"));
@@ -124,13 +116,10 @@ pub fn slack_ablation(p: &Program, tags: u32) -> Result<Vec<SlackRow>, EvalError
     let compiled = compile(p).map_err(|e| EvalError::Compile(e.to_string()))?;
     let k = &compiled.kernels[0];
     let opts = PipelineOptions { tags, ..Default::default() };
-    let (ooo, _) =
-        optimize_loop(&k.graph, &k.inner_init, &opts).map_err(|e| EvalError::Other(e.to_string()))?;
+    let (ooo, _) = optimize_loop(&k.graph, &k.inner_init, &opts)
+        .map_err(|e| EvalError::Other(e.to_string()))?;
     let mut rows = Vec::new();
-    for (description, place) in [
-        ("with slack", true),
-        ("back-edges only", false),
-    ] {
+    for (description, place) in [("with slack", true), ("back-edges only", false)] {
         let (seq_g, ooo_g) = if place {
             (place_buffers(&k.graph).0, place_buffers(&ooo).0)
         } else {
@@ -167,8 +156,7 @@ pub fn cp_target_sweep(p: &Program, targets: &[f64]) -> Result<Vec<CpTargetRow>,
     let mut rows = Vec::new();
     for &t in targets {
         let (placed, _) = place_buffers_targeted(&k.graph, t);
-        let cp =
-            elastic_clock_period(&placed).map_err(|e| EvalError::Other(e.to_string()))?;
+        let cp = elastic_clock_period(&placed).map_err(|e| EvalError::Other(e.to_string()))?;
         let r = simulate(&placed, &start_feeds(), p.arrays.clone(), SimConfig::default())?;
         rows.push(CpTargetRow {
             target_ns: t,
@@ -190,10 +178,7 @@ pub fn render_ablations() -> Result<String, EvalError> {
     let p = suite::matvec(12);
 
     out.push_str("Ablation 1: tag budget (matvec 12x12)\n");
-    out.push_str(&format!(
-        "{:>6} {:>10} {:>10} {:>10}\n",
-        "tags", "cycles", "FF", "CP (ns)"
-    ));
+    out.push_str(&format!("{:>6} {:>10} {:>10} {:>10}\n", "tags", "cycles", "FF", "CP (ns)"));
     for row in tag_sweep(&p, &[1, 2, 4, 8, 16, 32])? {
         out.push_str(&format!(
             "{:>6} {:>10} {:>10} {:>10.2}\n",
@@ -212,7 +197,9 @@ pub fn render_ablations() -> Result<String, EvalError> {
         ));
     }
 
-    out.push_str("\nAblation 3: clock-period target of timing-driven placement (matvec 12x12, in-order)\n");
+    out.push_str(
+        "\nAblation 3: clock-period target of timing-driven placement (matvec 12x12, in-order)\n",
+    );
     out.push_str(&format!(
         "{:>10} {:>10} {:>10} {:>12}\n",
         "target", "CP (ns)", "cycles", "exec (ns)"

@@ -7,6 +7,16 @@
 //! simulator's trace records every cycle the modulo unit accepts operands,
 //! and the timeline prints which GCD instance (tag) occupied it — the
 //! pipelining difference is directly visible.
+//!
+//! ```text
+//! fig2_trace [--json] [--trace-out FILE]
+//! ```
+//!
+//! * `--json` — print the timelines and cycle counts as a JSON document
+//!   (runs with the `graphiti-obs` sink enabled and embeds its metrics
+//!   snapshot, so fire/stall/occupancy counters ride along).
+//! * `--trace-out FILE` — additionally write the simulations' Chrome
+//!   trace-event file, loadable in Perfetto / `chrome://tracing`.
 
 use graphiti_core::{optimize_loop, PipelineOptions};
 use graphiti_frontend::{compile, Expr, InnerLoop, OuterLoop, Program, StoreStmt};
@@ -106,6 +116,24 @@ fn timeline(events: &[TraceEvent], cycles: u64) -> String {
 }
 
 fn main() {
+    let mut json_out = false;
+    let mut trace_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = true,
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a file path")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: fig2_trace [--json] [--trace-out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if json_out || trace_out.is_some() {
+        graphiti_obs::enable();
+    }
+
     let p = gcd_program();
     let compiled = compile(&p).expect("compiles");
     let k = &compiled.kernels[0];
@@ -114,6 +142,29 @@ fn main() {
     let opts = PipelineOptions { tags: 3, ..Default::default() };
     let (ooo, _) = optimize_loop(&k.graph, &k.inner_init, &opts).expect("pipeline");
     let (ooo_cycles, ooo_trace) = run_traced(&ooo, &p.arrays);
+
+    if let Some(path) = &trace_out {
+        graphiti_obs::write_chrome_trace(path)
+            .unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+    }
+    if json_out {
+        let esc = graphiti_bench::json::escape;
+        println!("{{");
+        println!("  \"benchmark\": \"gcd\",");
+        println!(
+            "  \"in_order\": {{\"cycles\": {seq_cycles}, \"acceptances\": {}, \"timeline\": \"{}\"}},",
+            seq_trace.len(),
+            esc(&timeline(&seq_trace, seq_cycles))
+        );
+        println!(
+            "  \"out_of_order\": {{\"cycles\": {ooo_cycles}, \"acceptances\": {}, \"timeline\": \"{}\"}},",
+            ooo_trace.len(),
+            esc(&timeline(&ooo_trace, ooo_cycles))
+        );
+        println!("  \"metrics\": {}", graphiti_obs::metrics_json().trim_end());
+        println!("}}");
+        return;
+    }
 
     println!("Figure 2d/2e: occupancy of the modulo unit, one character per cycle");
     println!("(letter = which GCD instance's iteration entered the unit, '.' = idle)\n");

@@ -6,5 +6,4 @@ fn main() {
     let programs = suite::evaluation_suite();
     let results = evaluate_suite(&programs).expect("evaluation succeeds");
     print!("{}", tables::stats(&results));
-
 }

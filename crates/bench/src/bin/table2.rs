@@ -1,11 +1,23 @@
 //! Regenerates the paper's `table2` artefact at the default problem sizes.
+//!
+//! With `--json`, prints the results as a JSON document instead (evaluated
+//! with the `graphiti-obs` sink enabled, so the document embeds a metrics
+//! snapshot alongside the table numbers).
 
-use graphiti_bench::{evaluate_suite, suite, tables};
+use graphiti_bench::{evaluate_suite, json, suite, tables};
 
 fn main() {
+    let json_out = std::env::args().skip(1).any(|a| a == "--json");
+    if json_out {
+        graphiti_obs::enable();
+    }
     let programs = suite::evaluation_suite();
     let results = evaluate_suite(&programs).expect("evaluation succeeds");
-    print!("{}", tables::table2(&results));
-    println!();
-    print!("{}", tables::headline(&results));
+    if json_out {
+        print!("{}", json::results_with_metrics_json(&results));
+    } else {
+        print!("{}", tables::table2(&results));
+        println!();
+        print!("{}", tables::headline(&results));
+    }
 }

@@ -121,9 +121,7 @@ fn run_dataflow(
     let mut area = graphiti_sim::Area::default();
     for g in graphs {
         let (placed, _) = place_buffers_targeted(g, CP_TARGET_NS);
-        cp = cp.max(
-            elastic_clock_period(&placed).map_err(|e| EvalError::Other(e.to_string()))?,
-        );
+        cp = cp.max(elastic_clock_period(&placed).map_err(|e| EvalError::Other(e.to_string()))?);
         area = area + circuit_area(&placed);
         let feeds: BTreeMap<String, Vec<Value>> =
             [("start".to_string(), vec![Value::Unit])].into_iter().collect();
@@ -224,14 +222,7 @@ pub fn evaluate(p: &Program) -> Result<BenchResult, EvalError> {
         },
     );
 
-    Ok(BenchResult {
-        name: p.name.clone(),
-        flows,
-        rewrites,
-        rewrite_seconds,
-        refused,
-        graph_nodes,
-    })
+    Ok(BenchResult { name: p.name.clone(), flows, rewrites, rewrite_seconds, refused, graph_nodes })
 }
 
 /// Evaluates the whole suite (Table 2 row order).

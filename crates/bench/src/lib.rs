@@ -9,6 +9,8 @@
 //!   execution time, area, functional correctness, and rewrite statistics.
 //! * [`tables`] — renders Table 2, Table 3, Figure 8, and the §6.3
 //!   statistics, with the paper's published values printed alongside.
+//! * [`json`] — structured (machine-readable) rendering of the same
+//!   results, optionally embedding a `graphiti-obs` metrics snapshot.
 //!
 //! * [`ablations`] — tag-budget, buffer-slack, and clock-period-target
 //!   sweeps for the design choices DESIGN.md calls out.
@@ -21,6 +23,7 @@
 
 pub mod ablations;
 pub mod eval;
+pub mod json;
 pub mod suite;
 pub mod tables;
 

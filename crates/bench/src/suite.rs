@@ -407,11 +407,11 @@ pub fn gcd(pairs: i64) -> Program {
         arrays: [
             (
                 "arr1".to_string(),
-                (0..pairs).map(|_| Value::Int(rng.gen_range(1..2000))).collect(),
+                (0..pairs).map(|_| Value::Int(rng.gen_range(1i64..2000))).collect(),
             ),
             (
                 "arr2".to_string(),
-                (0..pairs).map(|_| Value::Int(rng.gen_range(1..2000))).collect(),
+                (0..pairs).map(|_| Value::Int(rng.gen_range(1i64..2000))).collect(),
             ),
             ("result".to_string(), vec![Value::Int(0); pairs as usize]),
         ]
@@ -434,14 +434,7 @@ pub fn gcd(pairs: i64) -> Program {
 /// The full evaluation suite at the default (scaled) sizes, in the paper's
 /// Table 2 row order.
 pub fn evaluation_suite() -> Vec<Program> {
-    vec![
-        bicg(14),
-        gemm(6, 6, 8),
-        gsum_many(16, 24),
-        gsum_single(160),
-        matvec(20),
-        mvt(14),
-    ]
+    vec![bicg(14), gemm(6, 6, 8), gsum_many(16, 24), gsum_single(160), matvec(20), mvt(14)]
 }
 
 #[cfg(test)]

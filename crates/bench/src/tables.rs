@@ -82,23 +82,22 @@ pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
 const FLOWS: [Flow; 4] = [Flow::DfIo, Flow::DfOoo, Flow::Graphiti, Flow::Vericert];
 
 fn flow_header() -> String {
-    format!(
-        "{:>12} {:>12} {:>12} {:>12}",
-        "DF-IO", "DF-OoO", "GRAPHITI", "Vericert"
-    )
+    format!("{:>12} {:>12} {:>12} {:>12}", "DF-IO", "DF-OoO", "GRAPHITI", "Vericert")
 }
 
 /// Renders Table 2 (cycle count, clock period, execution time).
 pub fn table2(results: &[BenchResult]) -> String {
     let mut out = String::new();
     out.push_str("Table 2: cycle count, clock period and execution time\n");
-    for (title, metric) in [
-        ("Cycle count", 0usize),
-        ("Clock period (ns)", 1),
-        ("Execution time (ns)", 2),
-    ] {
+    for (title, metric) in
+        [("Cycle count", 0usize), ("Clock period (ns)", 1), ("Execution time (ns)", 2)]
+    {
         out.push_str(&format!("\n== {title} ==\n"));
-        out.push_str(&format!("{:<12} {}   (paper values in parentheses)\n", "benchmark", flow_header()));
+        out.push_str(&format!(
+            "{:<12} {}   (paper values in parentheses)\n",
+            "benchmark",
+            flow_header()
+        ));
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
         for r in results {
             let mut line = format!("{:<12}", r.name);
@@ -118,11 +117,7 @@ pub fn table2(results: &[BenchResult]) -> String {
                     2 => p.cycles[k] * p.cp[k],
                     _ => unreachable!(),
                 });
-                let cell = if metric == 1 {
-                    format!("{v:.2}")
-                } else {
-                    format!("{v:.0}")
-                };
+                let cell = if metric == 1 { format!("{v:.2}") } else { format!("{v:.0}") };
                 let pcell = match pv {
                     Some(p) if metric == 1 => format!("({p:.2})"),
                     Some(p) => format!("({p:.0})"),
@@ -158,7 +153,11 @@ pub fn table3(results: &[BenchResult]) -> String {
     out.push_str("Table 3: area (LUT / FF / DSP)\n");
     for (title, metric) in [("LUT count", 0usize), ("FF count", 1), ("DSP count", 2)] {
         out.push_str(&format!("\n== {title} ==\n"));
-        out.push_str(&format!("{:<12} {}   (paper values in parentheses)\n", "benchmark", flow_header()));
+        out.push_str(&format!(
+            "{:<12} {}   (paper values in parentheses)\n",
+            "benchmark",
+            flow_header()
+        ));
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
         for r in results {
             let mut line = format!("{:<12}", r.name);
@@ -203,10 +202,7 @@ pub fn table3(results: &[BenchResult]) -> String {
 pub fn fig8(results: &[BenchResult]) -> String {
     let mut out = String::new();
     out.push_str("Figure 8: performance relative to DF-OoO (lower is better)\n\n");
-    for (title, pick) in [
-        ("Relative cycle count", 0usize),
-        ("Relative execution time", 1),
-    ] {
+    for (title, pick) in [("Relative cycle count", 0usize), ("Relative execution time", 1)] {
         out.push_str(&format!("== {title} ==\n"));
         out.push_str(&format!(
             "{:<12} {:>10} {:>10} {:>10}\n",
@@ -219,10 +215,7 @@ pub fn fig8(results: &[BenchResult]) -> String {
             let io = &r.flows[&Flow::DfIo];
             let gr = &r.flows[&Flow::Graphiti];
             let (a, b) = match pick {
-                0 => (
-                    io.cycles as f64 / base.cycles as f64,
-                    gr.cycles as f64 / base.cycles as f64,
-                ),
+                0 => (io.cycles as f64 / base.cycles as f64, gr.cycles as f64 / base.cycles as f64),
                 _ => (io.exec_time_ns / base.exec_time_ns, gr.exec_time_ns / base.exec_time_ns),
             };
             rel_io.push(a);
@@ -265,15 +258,20 @@ pub fn stats(results: &[BenchResult]) -> String {
 /// Headline summary: the paper's 2.1x (vs DF-IO) and 5.8x (vs Vericert)
 /// execution-time factors.
 pub fn headline(results: &[BenchResult]) -> String {
-    let vs_io = geomean(results.iter().map(|r| {
-        r.flows[&Flow::DfIo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
-    }));
-    let vs_vc = geomean(results.iter().map(|r| {
-        r.flows[&Flow::Vericert].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
-    }));
-    let vs_ooo = geomean(results.iter().map(|r| {
-        r.flows[&Flow::DfOoo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
-    }));
+    let vs_io = geomean(
+        results
+            .iter()
+            .map(|r| r.flows[&Flow::DfIo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns),
+    );
+    let vs_vc =
+        geomean(results.iter().map(|r| {
+            r.flows[&Flow::Vericert].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
+        }));
+    let vs_ooo = geomean(
+        results
+            .iter()
+            .map(|r| r.flows[&Flow::DfOoo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns),
+    );
     format!(
         "GRAPHITI speedup (geomean exec time): {vs_io:.2}x vs DF-IO (paper: 2.1x), \
          {vs_vc:.2}x vs Vericert (paper: 5.8x), {vs_ooo:.2}x vs DF-OoO (paper: ~0.8-1.0x)\n"

@@ -16,7 +16,8 @@ fn check_flows(p: &graphiti_frontend::Program, expect_dfooo_correct: bool) {
     assert!(r.flows[&Flow::Graphiti].correct, "{} GRAPHITI", p.name);
     assert!(r.flows[&Flow::Vericert].correct, "{} Vericert", p.name);
     assert_eq!(
-        r.flows[&Flow::DfOoo].correct, expect_dfooo_correct,
+        r.flows[&Flow::DfOoo].correct,
+        expect_dfooo_correct,
         "{} DF-OoO correctness",
         p.name
     );
@@ -135,9 +136,11 @@ fn paper_reference_values_are_complete() {
 fn geomean_of_table_ratios_matches_headline() {
     let programs = [suite::matvec(6), suite::mvt(5)];
     let results: Vec<_> = programs.iter().map(|p| evaluate(p).unwrap()).collect();
-    let manual = geomean(results.iter().map(|r| {
-        r.flows[&Flow::DfIo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns
-    }));
+    let manual = geomean(
+        results
+            .iter()
+            .map(|r| r.flows[&Flow::DfIo].exec_time_ns / r.flows[&Flow::Graphiti].exec_time_ns),
+    );
     let head = tables::headline(&results);
     let printed: f64 = head
         .split("speedup (geomean exec time): ")

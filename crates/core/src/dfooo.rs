@@ -146,10 +146,7 @@ mod tests {
         let f = PureFn::comp(
             PureFn::par(PureFn::Id, PureFn::Op(Op::NeZero)),
             PureFn::comp(
-                PureFn::par(
-                    PureFn::pair(PureFn::Snd, PureFn::Op(Op::Mod)),
-                    PureFn::Op(Op::Mod),
-                ),
+                PureFn::par(PureFn::pair(PureFn::Snd, PureFn::Op(Op::Mod)), PureFn::Op(Op::Mod)),
                 PureFn::Dup,
             ),
         );
@@ -191,9 +188,6 @@ mod tests {
         g.add_node("s", CompKind::Sink).unwrap();
         g.expose_input("x", ep("s", "in")).unwrap();
         let opts = PipelineOptions::default();
-        assert!(matches!(
-            dfooo_loop(&g, &"init".into(), &opts),
-            Err(DfOooError::LoopNotFound)
-        ));
+        assert!(matches!(dfooo_loop(&g, &"init".into(), &opts), Err(DfOooError::LoopNotFound)));
     }
 }

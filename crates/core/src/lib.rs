@@ -55,6 +55,4 @@ mod pipeline;
 
 pub use dfooo::{dfooo_loop, DfOooError};
 pub use loops::{find_seq_loops, loop_body_region, loop_with_init, SeqLoop};
-pub use pipeline::{
-    optimize_loop, PipelineError, PipelineOptions, PipelineReport, Refusal,
-};
+pub use pipeline::{optimize_loop, PipelineError, PipelineOptions, PipelineReport, Refusal};

@@ -5,8 +5,8 @@
 //! a marked loop across rewrites through its Init node, which normalization
 //! never touches.
 
-use graphiti_rewrite::{wire_consumer, wire_driver};
 use graphiti_ir::{ep, CompKind, Endpoint, ExprHigh, NodeId};
+use graphiti_rewrite::{wire_consumer, wire_driver};
 use std::collections::BTreeSet;
 
 /// A sequential loop skeleton: the steering components around the body.
@@ -31,9 +31,7 @@ pub fn find_seq_loops(g: &ExprHigh) -> Vec<SeqLoop> {
             continue;
         }
         let mux = match wire_consumer(g, &ep(init.clone(), "out")) {
-            Some(d) if d.port == "cond" && matches!(g.kind(&d.node), Some(CompKind::Mux)) => {
-                d.node
-            }
+            Some(d) if d.port == "cond" && matches!(g.kind(&d.node), Some(CompKind::Mux)) => d.node,
             _ => continue,
         };
         let fork = match wire_driver(g, &ep(init.clone(), "in")) {

@@ -128,10 +128,7 @@ fn exhaust_in_region(
 ) -> Result<ExprHigh, PipelineError> {
     'outer: for _ in 0..max_iters {
         for rw in rws {
-            let m = rw
-                .matches(&g)
-                .into_iter()
-                .find(|m| m.nodes.iter().all(|n| region.contains(n)));
+            let m = rw.matches(&g).into_iter().find(|m| m.nodes.iter().all(|n| region.contains(n)));
             if let Some(m) = m {
                 let before: BTreeSet<NodeId> = g.node_names();
                 let g2 = engine.apply_at(&g, rw, &m)?;
@@ -164,9 +161,7 @@ fn region_to_pure_rewrite(
     Rewrite::new(
         "region-to-pure",
         true,
-        move |_g| {
-            vec![Match { nodes: region.clone(), bindings: BTreeMap::new() }]
-        },
+        move |_g| vec![Match { nodes: region.clone(), bindings: BTreeMap::new() }],
         move |_g, _m| {
             let mut frag = ExprHigh::new();
             frag.add_node("p", CompKind::Pure { func: func.clone() })
@@ -355,9 +350,7 @@ pub fn optimize_loop(
     // Snapshot the body fragment for phase 5.
     let mut body_snapshot = ExprHigh::new();
     for n in &region0 {
-        body_snapshot
-            .add_node(n.clone(), g.kind(n).expect("node").clone())
-            .expect("snapshot node");
+        body_snapshot.add_node(n.clone(), g.kind(n).expect("node").clone()).expect("snapshot node");
     }
     for (from, to) in g.edges() {
         if region0.contains(&from.node) && region0.contains(&to.node) {
@@ -421,7 +414,6 @@ pub fn optimize_loop(
     };
 
     let pure_by_rewrites = is_canonical;
-    let mut g = g;
     if !is_canonical {
         // Phase 3b: oracle — extract the region function symbolically,
         // simplify it with the e-graph, and apply the checked
@@ -480,13 +472,8 @@ pub fn optimize_loop(
             }
         };
         let func = simplify(&PureFn::pair(f_data, f_cond), 6);
-        let rw = region_to_pure_rewrite(
-            region_now.clone(),
-            rf.input.clone(),
-            data_now,
-            cond_now,
-            func,
-        );
+        let rw =
+            region_to_pure_rewrite(region_now.clone(), rf.input.clone(), data_now, cond_now, func);
         match engine.apply_first(&g, &rw) {
             Ok(Some(g2)) => g = g2,
             Ok(None) => unreachable!("targeted rewrite always matches"),
@@ -507,9 +494,7 @@ pub fn optimize_loop(
                 original,
                 PipelineReport {
                     transformed: false,
-                    refusal: Some(Refusal::NotReducible(
-                        "canonical loop shape not reached".into(),
-                    )),
+                    refusal: Some(Refusal::NotReducible("canonical loop shape not reached".into())),
                     rewrites: engine.rewrites_applied(),
                     pure_by_rewrites,
                 },
@@ -541,14 +526,8 @@ pub fn optimize_loop(
             None => unreachable!("phase 4 produced a merge->pure->split chain"),
         }
     };
-    let rw = pure_expand_rewrite(
-        pure_node,
-        split_node,
-        body_snapshot,
-        body_input,
-        data_out,
-        cond_out,
-    );
+    let rw =
+        pure_expand_rewrite(pure_node, split_node, body_snapshot, body_input, data_out, cond_out);
     let g = match engine.apply_first(&g, &rw)? {
         Some(g2) => g2,
         None => unreachable!("targeted expansion always matches"),

@@ -115,7 +115,13 @@ fn ooo_gcd_program_is_correct() {
         arrays: [
             (
                 "arr1".to_string(),
-                vec![Value::Int(12), Value::Int(35), Value::Int(1024), Value::Int(17), Value::Int(90)],
+                vec![
+                    Value::Int(12),
+                    Value::Int(35),
+                    Value::Int(1024),
+                    Value::Int(17),
+                    Value::Int(90),
+                ],
             ),
             (
                 "arr2".to_string(),
@@ -182,10 +188,7 @@ fn store_in_body_program() -> Program {
     Program {
         name: "bicg_like".into(),
         arrays: [
-            (
-                "a".to_string(),
-                (0..n * n).map(|k| Value::from_f64(k as f64)).collect(),
-            ),
+            ("a".to_string(), (0..n * n).map(|k| Value::from_f64(k as f64)).collect()),
             ("s".to_string(), vec![Value::from_f64(0.0); n as usize]),
             ("qout".to_string(), vec![Value::from_f64(0.0); n as usize]),
         ]
@@ -230,9 +233,7 @@ fn unverified_dfooo_transforms_the_impure_loop() {
     let opts = PipelineOptions { tags: 4, ..Default::default() };
     // The unverified transformation goes ahead...
     let g2 = dfooo_loop(&kc.graph, &kc.inner_init, &opts).unwrap();
-    assert!(g2
-        .nodes()
-        .any(|(_, k)| matches!(k, graphiti_ir::CompKind::TaggerUntagger { .. })));
+    assert!(g2.nodes().any(|(_, k)| matches!(k, graphiti_ir::CompKind::TaggerUntagger { .. })));
     // ...and the resulting circuit still runs; whether its memory matches
     // the reference depends on the schedule — the bug is that nothing
     // forbids the mismatch. We check that the q accumulation (pure part)

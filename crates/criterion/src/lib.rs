@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal wall-clock micro-benchmark harness behind
+//! the subset of the criterion 0.5 API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Criterion::sample_size`], `Bencher::iter`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples
+//! (auto-scaling iterations per sample toward ~50 ms), and prints the
+//! median, minimum, and maximum per-iteration time. There is no
+//! statistical regression analysis, HTML report, or saved baseline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if they want to.
+pub use std::hint::black_box;
+
+/// Timing state handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` repetitions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20, target_sample_time: Duration::from_millis(50) }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        self.run(id, f);
+        self
+    }
+
+    /// Opens a named group; member benches print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        // Warm-up and calibration: find an iteration count whose sample
+        // lands near the target sample time.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            assert!(
+                b.elapsed > Duration::ZERO || iters > 1,
+                "benchmark `{id}` never called Bencher::iter"
+            );
+            if b.elapsed >= self.target_sample_time / 2 || iters >= 1 << 20 {
+                break b.elapsed / iters.max(1) as u32;
+            }
+            iters = iters.saturating_mul(2);
+        };
+        if per_iter > Duration::ZERO {
+            let target = self.target_sample_time.as_nanos() / per_iter.as_nanos().max(1);
+            iters = (target as u64).clamp(1, 1 << 24);
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed / iters.max(1) as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples × {} iters)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max),
+            self.sample_size,
+            iters,
+        );
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run(&full, f);
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions with a shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_prints() {
+        let mut c = Criterion { sample_size: 3, target_sample_time: Duration::from_micros(200) };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion { sample_size: 2, target_sample_time: Duration::from_micros(100) };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

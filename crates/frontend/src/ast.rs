@@ -207,14 +207,10 @@ pub fn eval_expr(
         Expr::Load(a, idx) => {
             let i = eval_expr(idx, env, mem)?.as_int().ok_or(InterpError::BadIndex)?;
             let arr = mem.get(a).ok_or_else(|| InterpError::UnknownArray(a.clone()))?;
-            arr.get(i as usize)
-                .cloned()
-                .ok_or_else(|| InterpError::OutOfBounds(a.clone(), i))
+            arr.get(i as usize).cloned().ok_or_else(|| InterpError::OutOfBounds(a.clone(), i))
         }
         Expr::Un(op, a) => Ok(op.eval(&[eval_expr(a, env, mem)?])?),
-        Expr::Bin(op, a, b) => {
-            Ok(op.eval(&[eval_expr(a, env, mem)?, eval_expr(b, env, mem)?])?)
-        }
+        Expr::Bin(op, a, b) => Ok(op.eval(&[eval_expr(a, env, mem)?, eval_expr(b, env, mem)?])?),
         Expr::Sel(c, t, f) => Ok(Op::Select.eval(&[
             eval_expr(c, env, mem)?,
             eval_expr(t, env, mem)?,
@@ -223,12 +219,15 @@ pub fn eval_expr(
     }
 }
 
-fn run_store(st: &StoreStmt, env: &BTreeMap<String, Value>, mem: &mut Memory) -> Result<(), InterpError> {
+fn run_store(
+    st: &StoreStmt,
+    env: &BTreeMap<String, Value>,
+    mem: &mut Memory,
+) -> Result<(), InterpError> {
     let i = eval_expr(&st.index, env, mem)?.as_int().ok_or(InterpError::BadIndex)?;
     let v = eval_expr(&st.value, env, mem)?;
     let arr = mem.get_mut(&st.array).ok_or_else(|| InterpError::UnknownArray(st.array.clone()))?;
-    let slot =
-        arr.get_mut(i as usize).ok_or(InterpError::OutOfBounds(st.array.clone(), i))?;
+    let slot = arr.get_mut(i as usize).ok_or(InterpError::OutOfBounds(st.array.clone(), i))?;
     *slot = v;
     Ok(())
 }
@@ -334,10 +333,7 @@ mod tests {
     #[test]
     fn gcd_interpreter_matches_euclid() {
         let mem = run_program(&gcd_program()).unwrap();
-        assert_eq!(
-            mem["result"],
-            vec![Value::Int(6), Value::Int(7), Value::Int(1)]
-        );
+        assert_eq!(mem["result"], vec![Value::Int(6), Value::Int(7), Value::Int(1)]);
     }
 
     #[test]
@@ -352,10 +348,7 @@ mod tests {
                 trip: 1,
                 inner: InnerLoop {
                     vars: vec![("x".into(), Expr::int(5))],
-                    update: vec![(
-                        "x".into(),
-                        Expr::bin(Op::SubI, Expr::var("x"), Expr::int(5)),
-                    )],
+                    update: vec![("x".into(), Expr::bin(Op::SubI, Expr::var("x"), Expr::int(5)))],
                     cond: Expr::un(Op::NeZero, Expr::var("x")),
                     effects: vec![],
                 },
@@ -395,10 +388,7 @@ mod tests {
             }],
         };
         let mem = run_program(&p).unwrap();
-        assert_eq!(
-            mem["out"],
-            vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)]
-        );
+        assert_eq!(mem["out"], vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)]);
     }
 
     #[test]

@@ -520,8 +520,7 @@ mod tests {
         let muxes = kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Mux)).count();
         assert_eq!(muxes, 3);
         // Two Inits (counter + inner).
-        let inits =
-            kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Init { .. })).count();
+        let inits = kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Init { .. })).count();
         assert_eq!(inits, 2);
     }
 
@@ -531,23 +530,15 @@ mod tests {
         // token, expect one done token, and termination.
         let kc = compile_kernel(&pure_gcd_kernel(), "gcd").unwrap();
         let (m, lowered) = denote_graph(&kc.graph, &Env::standard()).unwrap();
-        let start_idx = lowered
-            .input_names
-            .iter()
-            .find(|(_, n)| *n == "start")
-            .map(|(i, _)| *i)
-            .unwrap();
+        let start_idx =
+            lowered.input_names.iter().find(|(_, n)| *n == "start").map(|(i, _)| *i).unwrap();
         let feeds: BTreeMap<_, _> =
             [(PortName::Io(start_idx), vec![Value::Unit])].into_iter().collect();
         for seed in 0..5 {
             let r = run_random(&m, &feeds, seed, 30_000);
             assert!(r.inputs_exhausted, "seed {seed}");
-            let done_idx = lowered
-                .output_names
-                .iter()
-                .find(|(_, n)| *n == "done")
-                .map(|(i, _)| *i)
-                .unwrap();
+            let done_idx =
+                lowered.output_names.iter().find(|(_, n)| *n == "done").map(|(i, _)| *i).unwrap();
             let dones = r.outputs.get(&PortName::Io(done_idx)).cloned().unwrap_or_default();
             assert_eq!(dones, vec![Value::Int(2)], "seed {seed}: counter exits at trip");
         }
@@ -582,16 +573,10 @@ mod tests {
             var: "i".into(),
             trip: 2,
             inner: InnerLoop {
-                vars: vec![
-                    ("j".into(), Expr::int(0)),
-                    ("acc".into(), Expr::f64(0.0)),
-                ],
+                vars: vec![("j".into(), Expr::int(0)), ("acc".into(), Expr::f64(0.0))],
                 update: vec![
                     ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
-                    (
-                        "acc".into(),
-                        Expr::addf(Expr::var("acc"), Expr::load("a", Expr::var("j"))),
-                    ),
+                    ("acc".into(), Expr::addf(Expr::var("acc"), Expr::load("a", Expr::var("j")))),
                 ],
                 cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(3)),
                 effects: vec![],
@@ -608,8 +593,7 @@ mod tests {
         kc.graph.typecheck().unwrap();
         let loads = kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Load { .. })).count();
         assert_eq!(loads, 2);
-        let bufs =
-            kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Buffer { .. })).count();
+        let bufs = kc.graph.nodes().filter(|(_, k)| matches!(k, CompKind::Buffer { .. })).count();
         assert!(bufs >= 2, "epilogue i-copies are decoupled");
     }
 

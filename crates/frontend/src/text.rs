@@ -75,11 +75,10 @@ fn lex_expr(src: &str, line: usize) -> Result<Vec<Tok>, TextError> {
         if c.is_whitespace() {
             i += 1;
         } else if c.is_ascii_digit()
-            || (c == '-' && i + 1 < cs.len() && cs[i + 1].is_ascii_digit()
-                && matches!(
-                    toks.last(),
-                    None | Some(Tok::Sym(_))
-                ))
+            || (c == '-'
+                && i + 1 < cs.len()
+                && cs[i + 1].is_ascii_digit()
+                && matches!(toks.last(), None | Some(Tok::Sym(_))))
         {
             let start = i;
             i += 1;
@@ -100,16 +99,16 @@ fn lex_expr(src: &str, line: usize) -> Result<Vec<Tok>, TextError> {
             let text: String = cs[start..i].iter().collect();
             if is_float {
                 toks.push(Tok::Float(
+                    text.parse()
+                        .map_err(|_| TextError { message: format!("bad float `{text}`"), line })?,
+                ));
+            } else {
+                toks.push(Tok::Int(
                     text.parse().map_err(|_| TextError {
-                        message: format!("bad float `{text}`"),
+                        message: format!("bad integer `{text}`"),
                         line,
                     })?,
                 ));
-            } else {
-                toks.push(Tok::Int(text.parse().map_err(|_| TextError {
-                    message: format!("bad integer `{text}`"),
-                    line,
-                })?));
             }
         } else if c.is_alphanumeric() || c == '_' {
             let start = i;
@@ -322,8 +321,7 @@ fn split_eq(text: &str, line: usize) -> Result<(&str, &str), TextError> {
 /// `ARR[expr]` target of a store.
 fn parse_store_target(text: &str, line: usize) -> Result<(String, Expr), TextError> {
     let open = text.find('[').ok_or(TextError { message: "expected `[`".into(), line })?;
-    let close =
-        text.rfind(']').ok_or(TextError { message: "expected `]`".into(), line })?;
+    let close = text.rfind(']').ok_or(TextError { message: "expected `]`".into(), line })?;
     let arr = text[..open].trim().to_string();
     let idx = parse_expr(&text[open + 1..close], line)?;
     Ok((arr, idx))
@@ -357,9 +355,7 @@ pub fn parse_program(src: &str) -> Result<Program, TextError> {
                 match ty {
                     "int" => vec![Value::Int(0); n],
                     "f64" => vec![Value::from_f64(0.0); n],
-                    other => {
-                        return err(line_no, format!("unknown zeros type `{other}`"))
-                    }
+                    other => return err(line_no, format!("unknown zeros type `{other}`")),
                 }
             } else {
                 let inner = rhs
@@ -370,8 +366,7 @@ pub fn parse_program(src: &str) -> Result<Program, TextError> {
                     .split(',')
                     .filter(|s| !s.trim().is_empty())
                     .map(|s| {
-                        parse_value(s.trim())
-                            .map_err(|m| TextError { message: m, line: line_no })
+                        parse_value(s.trim()).map_err(|m| TextError { message: m, line: line_no })
                     })
                     .collect::<Result<Vec<_>, _>>()?
             };
@@ -393,8 +388,9 @@ pub fn parse_program(src: &str) -> Result<Program, TextError> {
                 .and_then(|s| s.parse().ok())
                 .ok_or(TextError { message: format!("bad range `{range}`"), line: line_no })?;
             let ooo_tags = match (parts.next(), parts.next(), parts.next()) {
-                (Some("ooo"), Some("tags"), Some(n)) => Some(n.parse().map_err(|_| {
-                    TextError { message: format!("bad tag count `{n}`"), line: line_no }
+                (Some("ooo"), Some("tags"), Some(n)) => Some(n.parse().map_err(|_| TextError {
+                    message: format!("bad tag count `{n}`"),
+                    line: line_no,
                 })?),
                 (None, _, _) => None,
                 _ => return err(line_no, "expected `ooo tags N` or `{`"),
@@ -437,11 +433,7 @@ pub fn parse_program(src: &str) -> Result<Program, TextError> {
             } else if let Some(rest) = line.strip_prefix("do store ") {
                 let (target, rhs) = split_eq(rest, line_no)?;
                 let (array, index) = parse_store_target(target, line_no)?;
-                k.inner.effects.push(StoreStmt {
-                    array,
-                    index,
-                    value: parse_expr(rhs, line_no)?,
-                });
+                k.inner.effects.push(StoreStmt { array, index, value: parse_expr(rhs, line_no)? });
             } else if let Some(rest) = line.strip_prefix("store ") {
                 let (target, rhs) = split_eq(rest, line_no)?;
                 let (array, index) = parse_store_target(target, line_no)?;
@@ -604,15 +596,9 @@ kernel for i in 0..3 ooo tags 8 {
     #[test]
     fn precedence_is_conventional() {
         let e = parse_expr("a + b * c", 1).unwrap();
-        assert_eq!(
-            e,
-            Expr::addi(Expr::var("a"), Expr::muli(Expr::var("b"), Expr::var("c")))
-        );
+        assert_eq!(e, Expr::addi(Expr::var("a"), Expr::muli(Expr::var("b"), Expr::var("c"))));
         let e = parse_expr("j + 1 < n", 1).unwrap();
-        assert_eq!(
-            e,
-            Expr::bin(Op::LtI, Expr::addi(Expr::var("j"), Expr::int(1)), Expr::var("n"))
-        );
+        assert_eq!(e, Expr::bin(Op::LtI, Expr::addi(Expr::var("j"), Expr::int(1)), Expr::var("n")));
     }
 
     #[test]
@@ -630,10 +616,7 @@ kernel for i in 0..1 {
         let p = parse_program(src).unwrap();
         assert_eq!(p.kernels[0].inner.effects.len(), 1);
         let mem = run_program(&p).unwrap();
-        assert_eq!(
-            mem["out"],
-            vec![Value::Int(0), Value::Int(10), Value::Int(20), Value::Int(30)]
-        );
+        assert_eq!(mem["out"], vec![Value::Int(0), Value::Int(10), Value::Int(20), Value::Int(30)]);
     }
 
     #[test]
@@ -646,9 +629,13 @@ kernel for i in 0..1 {
 
     #[test]
     fn unbalanced_kernels_are_rejected() {
-        assert!(parse_program("kernel for i in 0..2 {\n state x = 0\n update x = x\n while nez(x)").is_err());
+        assert!(parse_program(
+            "kernel for i in 0..2 {\n state x = 0\n update x = x\n while nez(x)"
+        )
+        .is_err());
         assert!(parse_program("}").is_err());
-        let missing_update = "program p\nkernel for i in 0..1 {\n  state x = 0\n  while nez(x)\n}\n";
+        let missing_update =
+            "program p\nkernel for i in 0..1 {\n  state x = 0\n  while nez(x)\n}\n";
         assert!(parse_program(missing_update).is_err());
     }
 

@@ -13,11 +13,8 @@ use std::collections::BTreeMap;
 /// Random integer expressions over the state variables `j` and `acc`.
 /// Division-free so evaluation is total; constants stay small.
 fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-4i64..5).prop_map(Expr::int),
-        Just(Expr::var("j")),
-        Just(Expr::var("acc")),
-    ];
+    let leaf =
+        prop_oneof![(-4i64..5).prop_map(Expr::int), Just(Expr::var("j")), Just(Expr::var("acc")),];
     leaf.prop_recursive(depth, 16, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::AddI, a, b)),
@@ -35,10 +32,7 @@ fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
 fn kernel_strategy() -> impl Strategy<Value = Program> {
     (int_expr(3), 1i64..4, 1i64..5, -3i64..4).prop_map(|(update, trip, bound, init_acc)| {
         let inner = InnerLoop {
-            vars: vec![
-                ("j".into(), Expr::var("i")),
-                ("acc".into(), Expr::int(init_acc)),
-            ],
+            vars: vec![("j".into(), Expr::var("i")), ("acc".into(), Expr::int(init_acc))],
             update: vec![
                 ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
                 ("acc".into(), update),
@@ -48,9 +42,7 @@ fn kernel_strategy() -> impl Strategy<Value = Program> {
         };
         Program {
             name: "fuzz".into(),
-            arrays: [("out".to_string(), vec![Value::Int(0); trip as usize])]
-                .into_iter()
-                .collect(),
+            arrays: [("out".to_string(), vec![Value::Int(0); trip as usize])].into_iter().collect(),
             kernels: vec![OuterLoop {
                 var: "i".into(),
                 trip,

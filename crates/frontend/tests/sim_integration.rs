@@ -104,10 +104,7 @@ fn accumulation_circuit_matches_interpreter() {
     let p = Program {
         name: "rowsum".into(),
         arrays: [
-            (
-                "a".to_string(),
-                (0..n * m).map(|k| Value::from_f64(k as f64 * 0.5)).collect(),
-            ),
+            ("a".to_string(), (0..n * m).map(|k| Value::from_f64(k as f64 * 0.5)).collect()),
             ("y".to_string(), vec![Value::from_f64(0.0); n as usize]),
         ]
         .into_iter()
@@ -163,10 +160,7 @@ fn in_order_accumulation_ii_tracks_fadd_latency() {
     // close to the fadd latency: cycles should scale with trip * inner * ~10.
     let mk = |trip: i64, m: i64| -> u64 {
         let inner = InnerLoop {
-            vars: vec![
-                ("j".into(), Expr::int(0)),
-                ("acc".into(), Expr::f64(0.0)),
-            ],
+            vars: vec![("j".into(), Expr::int(0)), ("acc".into(), Expr::f64(0.0))],
             update: vec![
                 ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
                 ("acc".into(), Expr::addf(Expr::var("acc"), Expr::f64(1.0))),

@@ -25,8 +25,11 @@ fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::Mod, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::LtI, a, b)),
             inner.clone().prop_map(|a| Expr::un(Op::NeZero, a)),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| Expr::sel(Expr::un(Op::NeZero, c), t, f)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::sel(
+                Expr::un(Op::NeZero, c),
+                t,
+                f
+            )),
         ]
     })
 }

@@ -123,8 +123,12 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, DotError> {
                 i += 1;
                 toks.push(Tok::Ident(s));
             }
-            c if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' || c == '#' || c == '-'
-            =>
+            c if c.is_alphanumeric()
+                || c == '_'
+                || c == '.'
+                || c == ':'
+                || c == '#'
+                || c == '-' =>
             {
                 let mut s = String::new();
                 while i < bytes.len()
@@ -245,9 +249,8 @@ pub fn parse_value(s: &str) -> Result<Value, String> {
     if let Some(rest) = s.strip_prefix("tag#") {
         let open = rest.find('(').ok_or_else(|| format!("malformed tag `{s}`"))?;
         let tag: u32 = rest[..open].parse().map_err(|_| format!("bad tag in `{s}`"))?;
-        let inner = rest[open + 1..]
-            .strip_suffix(')')
-            .ok_or_else(|| format!("malformed tag `{s}`"))?;
+        let inner =
+            rest[open + 1..].strip_suffix(')').ok_or_else(|| format!("malformed tag `{s}`"))?;
         return Ok(Value::tagged(tag, parse_value(inner)?));
     }
     Err(format!("unrecognized value `{s}`"))
@@ -343,9 +346,9 @@ fn kind_from_attrs(attrs: &BTreeMap<String, String>, pos: usize) -> Result<CompK
         "mux" => CompKind::Mux,
         "branch" => CompKind::Branch,
         "merge" => CompKind::Merge,
-        "init" => CompKind::Init {
-            initial: attrs.get("initial").map(|s| s == "true").unwrap_or(false),
-        },
+        "init" => {
+            CompKind::Init { initial: attrs.get("initial").map(|s| s == "true").unwrap_or(false) }
+        }
         "buffer" => CompKind::Buffer {
             slots: num("slots", 1)?,
             transparent: attrs.get("transparent").map(|s| s == "true").unwrap_or(false),
@@ -353,9 +356,7 @@ fn kind_from_attrs(attrs: &BTreeMap<String, String>, pos: usize) -> Result<CompK
         "sink" => CompKind::Sink,
         "constant" => CompKind::Constant {
             value: parse_value(
-                attrs
-                    .get("value")
-                    .ok_or_else(|| DotError::new("constant missing `value`", pos))?,
+                attrs.get("value").ok_or_else(|| DotError::new("constant missing `value`", pos))?,
             )
             .map_err(|e| DotError::new(e, pos))?,
         },
@@ -373,16 +374,10 @@ fn kind_from_attrs(attrs: &BTreeMap<String, String>, pos: usize) -> Result<CompK
         },
         "tagger" => CompKind::TaggerUntagger { tags: num("tags", 8)? as u32 },
         "load" => CompKind::Load {
-            mem: attrs
-                .get("mem")
-                .ok_or_else(|| DotError::new("load missing `mem`", pos))?
-                .clone(),
+            mem: attrs.get("mem").ok_or_else(|| DotError::new("load missing `mem`", pos))?.clone(),
         },
         "store" => CompKind::Store {
-            mem: attrs
-                .get("mem")
-                .ok_or_else(|| DotError::new("store missing `mem`", pos))?
-                .clone(),
+            mem: attrs.get("mem").ok_or_else(|| DotError::new("store missing `mem`", pos))?.clone(),
         },
         other => return Err(DotError::new(format!("unknown component type `{other}`"), pos)),
     })
@@ -401,9 +396,7 @@ fn kind_attrs(kind: &CompKind) -> Vec<(String, String)> {
         CompKind::Operator { op } => attrs.push(("op".into(), op.name().to_string())),
         CompKind::Pure { func } => attrs.push(("func".into(), print_purefn(func))),
         CompKind::TaggerUntagger { tags } => attrs.push(("tags".into(), tags.to_string())),
-        CompKind::Load { mem } | CompKind::Store { mem } => {
-            attrs.push(("mem".into(), mem.clone()))
-        }
+        CompKind::Load { mem } | CompKind::Store { mem } => attrs.push(("mem".into(), mem.clone())),
         _ => {}
     }
     attrs
@@ -473,18 +466,17 @@ pub fn parse_dot(src: &str) -> Result<ExprHigh, DotError> {
         let graph_err = |e: crate::high::GraphError| DotError::new(e.to_string(), pos);
         match (entries.contains(&src_n), exits.contains(&dst_n)) {
             (true, false) => {
-                let port = to_port
-                    .ok_or_else(|| DotError::new("entry edge missing `to` port", pos))?;
+                let port =
+                    to_port.ok_or_else(|| DotError::new("entry edge missing `to` port", pos))?;
                 g.expose_input(src_n, ep(dst_n, port)).map_err(graph_err)?;
             }
             (false, true) => {
-                let port = from_port
-                    .ok_or_else(|| DotError::new("exit edge missing `from` port", pos))?;
+                let port =
+                    from_port.ok_or_else(|| DotError::new("exit edge missing `from` port", pos))?;
                 g.expose_output(dst_n, ep(src_n, port)).map_err(graph_err)?;
             }
             (false, false) => {
-                let fp = from_port
-                    .ok_or_else(|| DotError::new("edge missing `from` port", pos))?;
+                let fp = from_port.ok_or_else(|| DotError::new("edge missing `from` port", pos))?;
                 let tp = to_port.ok_or_else(|| DotError::new("edge missing `to` port", pos))?;
                 g.connect(ep(src_n, fp), ep(dst_n, tp)).map_err(graph_err)?;
             }
@@ -523,10 +515,7 @@ pub fn print_dot(g: &ExprHigh) -> String {
         ));
     }
     for (name, source) in g.outputs() {
-        out.push_str(&format!(
-            "  \"{}\" -> \"{name}\" [from=\"{}\"];\n",
-            source.node, source.port
-        ));
+        out.push_str(&format!("  \"{}\" -> \"{name}\" [from=\"{}\"];\n", source.node, source.port));
     }
     out.push('}');
     out

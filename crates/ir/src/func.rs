@@ -273,8 +273,7 @@ impl fmt::Display for Op {
 /// let out = f.eval(&Value::pair(Value::Int(6), Value::Int(4))).unwrap();
 /// assert_eq!(out, Value::pair(Value::pair(Value::Int(4), Value::Int(2)), Value::Bool(true)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum PureFn {
     /// The identity function.
     #[default]
@@ -369,7 +368,9 @@ impl PureFn {
                     Value::Pair(b, c) => {
                         Ok(Value::pair(Value::pair((**a).clone(), (**b).clone()), (**c).clone()))
                     }
-                    other => Err(EvalError::new(format!("assocl: expected (a,(b,c)), got (_, {other})"))),
+                    other => {
+                        Err(EvalError::new(format!("assocl: expected (a,(b,c)), got (_, {other})")))
+                    }
                 },
                 other => Err(EvalError::new(format!("assocl: expected pair, got {other}"))),
             },
@@ -378,7 +379,9 @@ impl PureFn {
                     Value::Pair(a, b) => {
                         Ok(Value::pair((**a).clone(), Value::pair((**b).clone(), (**c).clone())))
                     }
-                    other => Err(EvalError::new(format!("assocr: expected ((a,b),c), got ({other}, _)"))),
+                    other => {
+                        Err(EvalError::new(format!("assocr: expected ((a,b),c), got ({other}, _)")))
+                    }
                 },
                 other => Err(EvalError::new(format!("assocr: expected pair, got {other}"))),
             },
@@ -393,9 +396,9 @@ impl PureFn {
             }
             PureFn::Const(c) => Ok(c.clone()),
             PureFn::Load(mem) => {
-                let _ = v
-                    .as_int()
-                    .ok_or_else(|| EvalError::new(format!("load[{mem}]: expected int address, got {v}")))?;
+                let _ = v.as_int().ok_or_else(|| {
+                    EvalError::new(format!("load[{mem}]: expected int address, got {v}"))
+                })?;
                 Ok(Value::Int(0))
             }
         }
@@ -414,9 +417,9 @@ impl PureFn {
     ) -> Result<Value, EvalError> {
         match self {
             PureFn::Load(name) => {
-                let addr = v
-                    .as_int()
-                    .ok_or_else(|| EvalError::new(format!("load[{name}]: expected int address, got {v}")))?;
+                let addr = v.as_int().ok_or_else(|| {
+                    EvalError::new(format!("load[{name}]: expected int address, got {v}"))
+                })?;
                 Ok(mem(name, addr))
             }
             PureFn::Comp(f, g) => f.eval_with_mem(&g.eval_with_mem(v, mem)?, mem),
@@ -448,7 +451,6 @@ impl PureFn {
     }
 }
 
-
 /// Flattens a right-nested tuple value into `arity` operator arguments.
 fn flatten_args(v: &Value, arity: usize, out: &mut Vec<Value>) -> Result<(), EvalError> {
     if arity == 1 {
@@ -460,9 +462,9 @@ fn flatten_args(v: &Value, arity: usize, out: &mut Vec<Value>) -> Result<(), Eva
             out.push((**a).clone());
             flatten_args(rest, arity - 1, out)
         }
-        other => Err(EvalError::new(format!(
-            "expected {arity}-tuple operand encoding, got {other}"
-        ))),
+        other => {
+            Err(EvalError::new(format!("expected {arity}-tuple operand encoding, got {other}")))
+        }
     }
 }
 

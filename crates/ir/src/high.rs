@@ -12,6 +12,9 @@ use std::fmt;
 /// A node (component instance) identifier.
 pub type NodeId = String;
 
+/// A list of directed wires as (from, to) endpoint pairs.
+pub type EdgeList = Vec<(Endpoint, Endpoint)>;
+
 /// One end of a connection: a node and one of its ports.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Endpoint {
@@ -198,7 +201,8 @@ impl ExprHigh {
     }
 
     fn check_out_port(&self, e: &Endpoint) -> Result<(), GraphError> {
-        let kind = self.nodes.get(&e.node).ok_or_else(|| GraphError::UnknownNode(e.node.clone()))?;
+        let kind =
+            self.nodes.get(&e.node).ok_or_else(|| GraphError::UnknownNode(e.node.clone()))?;
         let (_, outs) = kind.interface();
         if !outs.contains(&e.port) {
             return Err(GraphError::UnknownPort(e.clone()));
@@ -207,7 +211,8 @@ impl ExprHigh {
     }
 
     fn check_in_port(&self, e: &Endpoint) -> Result<(), GraphError> {
-        let kind = self.nodes.get(&e.node).ok_or_else(|| GraphError::UnknownNode(e.node.clone()))?;
+        let kind =
+            self.nodes.get(&e.node).ok_or_else(|| GraphError::UnknownNode(e.node.clone()))?;
         let (ins, _) = kind.interface();
         if !ins.contains(&e.port) {
             return Err(GraphError::UnknownPort(e.clone()));
@@ -239,7 +244,11 @@ impl ExprHigh {
     /// # Errors
     ///
     /// Fails if the endpoint is invalid or already driven, or the name taken.
-    pub fn expose_input(&mut self, name: impl Into<String>, to: Endpoint) -> Result<(), GraphError> {
+    pub fn expose_input(
+        &mut self,
+        name: impl Into<String>,
+        to: Endpoint,
+    ) -> Result<(), GraphError> {
         let name = name.into();
         self.check_in_port(&to)?;
         if self.inputs.contains_key(&name) {
@@ -281,10 +290,7 @@ impl ExprHigh {
         if let Some(from) = self.redges.get(to) {
             return Some(Attachment::Wire(from.clone()));
         }
-        self.inputs
-            .iter()
-            .find(|(_, e)| *e == to)
-            .map(|(n, _)| Attachment::External(n.clone()))
+        self.inputs.iter().find(|(_, e)| *e == to).map(|(n, _)| Attachment::External(n.clone()))
     }
 
     /// What consumes output port `from`, if anything.
@@ -292,10 +298,7 @@ impl ExprHigh {
         if let Some(to) = self.edges.get(from) {
             return Some(Attachment::Wire(to.clone()));
         }
-        self.outputs
-            .iter()
-            .find(|(_, e)| *e == from)
-            .map(|(n, _)| Attachment::External(n.clone()))
+        self.outputs.iter().find(|(_, e)| *e == from).map(|(n, _)| Attachment::External(n.clone()))
     }
 
     /// Removes the attachment of input port `to` (edge or external input),
@@ -450,10 +453,7 @@ impl ExprHigh {
     /// All edges incident to the node set `nodes`, split into
     /// (internal, entering, leaving) where entering/leaving cross the
     /// boundary.
-    pub fn boundary_edges(
-        &self,
-        nodes: &BTreeSet<NodeId>,
-    ) -> (Vec<(Endpoint, Endpoint)>, Vec<(Endpoint, Endpoint)>, Vec<(Endpoint, Endpoint)>) {
+    pub fn boundary_edges(&self, nodes: &BTreeSet<NodeId>) -> (EdgeList, EdgeList, EdgeList) {
         let mut internal = Vec::new();
         let mut entering = Vec::new();
         let mut leaving = Vec::new();

@@ -127,10 +127,9 @@ impl ExprLow {
         }
         match self {
             ExprLow::Base { .. } => self.clone(),
-            ExprLow::Product(a, b) => ExprLow::Product(
-                Box::new(a.substitute(lhs, rhs)),
-                Box::new(b.substitute(lhs, rhs)),
-            ),
+            ExprLow::Product(a, b) => {
+                ExprLow::Product(Box::new(a.substitute(lhs, rhs)), Box::new(b.substitute(lhs, rhs)))
+            }
             ExprLow::Connect { out, inp, inner } => ExprLow::Connect {
                 out: out.clone(),
                 inp: inp.clone(),
@@ -312,10 +311,8 @@ mod tests {
 
     #[test]
     fn connections_listed_outermost_first() {
-        let e = base("a").connect_all([
-            (PortName::Io(0), PortName::Io(1)),
-            (PortName::Io(2), PortName::Io(3)),
-        ]);
+        let e = base("a")
+            .connect_all([(PortName::Io(0), PortName::Io(1)), (PortName::Io(2), PortName::Io(3))]);
         let conns = e.connections();
         assert_eq!(conns[0], (&PortName::Io(2), &PortName::Io(3)));
         assert_eq!(conns[1], (&PortName::Io(0), &PortName::Io(1)));

@@ -91,10 +91,10 @@ fn lower_fragment(
         let mut maps = PortMaps::default();
         for p in ins {
             let here = Endpoint::new(name.clone(), p.clone());
-            let from_fragment = match g.driver(&here) {
-                Some(Attachment::Wire(src)) if nodes.contains(&src.node) => true,
-                _ => false,
-            };
+            let from_fragment = matches!(
+                g.driver(&here),
+                Some(Attachment::Wire(src)) if nodes.contains(&src.node)
+            );
             let ext = if from_fragment {
                 PortName::from(here.clone())
             } else if let Some(n) = ext_ins.get(&here) {
@@ -122,19 +122,19 @@ fn lower_fragment(
     }
     internal_edges.sort();
     let expr = ExprLow::product_of(bases).connect_all(
-        internal_edges
-            .into_iter()
-            .map(|(from, to)| (PortName::from(from), PortName::from(to))),
+        internal_edges.into_iter().map(|(from, to)| (PortName::from(from), PortName::from(to))),
     );
     Ok(expr)
 }
 
+/// External names for endpoints exposed as graph I/O.
+type ExtPortMap = BTreeMap<Endpoint, PortName>;
+/// Io-index back to the graph-level input/output name.
+type IoNameMap = BTreeMap<u64, String>;
+
 /// Computes the external-name assignment for ports of `g` that are graph
 /// I/O, as `Io(index)` names.
-fn io_name_maps(
-    g: &ExprHigh,
-) -> (BTreeMap<Endpoint, PortName>, BTreeMap<Endpoint, PortName>, BTreeMap<u64, String>, BTreeMap<u64, String>)
-{
+fn io_name_maps(g: &ExprHigh) -> (ExtPortMap, ExtPortMap, IoNameMap, IoNameMap) {
     let (in_idx, out_idx) = io_indices(g);
     let mut ext_ins = BTreeMap::new();
     let mut ext_outs = BTreeMap::new();
@@ -250,9 +250,8 @@ pub fn lift_expr(
         let from = by_out_name
             .get(o)
             .ok_or_else(|| LowerError::UnresolvedConnect(o.clone(), i.clone()))?;
-        let to = by_in_name
-            .get(i)
-            .ok_or_else(|| LowerError::UnresolvedConnect(o.clone(), i.clone()))?;
+        let to =
+            by_in_name.get(i).ok_or_else(|| LowerError::UnresolvedConnect(o.clone(), i.clone()))?;
         g.connect(from.clone(), to.clone())?;
         connected_outs.insert(o.clone());
         connected_ins.insert(i.clone());
@@ -263,9 +262,7 @@ pub fn lift_expr(
             continue;
         }
         let name = match ext {
-            PortName::Io(i) => {
-                input_names.get(i).cloned().unwrap_or_else(|| format!("in{i}"))
-            }
+            PortName::Io(i) => input_names.get(i).cloned().unwrap_or_else(|| format!("in{i}")),
             PortName::Local(a, b) => format!("{a}:{b}"),
         };
         g.expose_input(name, target.clone())?;
@@ -275,9 +272,7 @@ pub fn lift_expr(
             continue;
         }
         let name = match ext {
-            PortName::Io(i) => {
-                output_names.get(i).cloned().unwrap_or_else(|| format!("out{i}"))
-            }
+            PortName::Io(i) => output_names.get(i).cloned().unwrap_or_else(|| format!("out{i}")),
             PortName::Local(a, b) => format!("{a}:{b}"),
         };
         g.expose_output(name, source.clone())?;
@@ -348,8 +343,7 @@ mod tests {
     fn grouped_lowering_roundtrips() {
         let g = fork_mod();
         for group_nodes in [vec!["m"], vec!["f"], vec!["f", "m"], vec![]] {
-            let group: BTreeSet<NodeId> =
-                group_nodes.iter().map(|s| s.to_string()).collect();
+            let group: BTreeSet<NodeId> = group_nodes.iter().map(|s| s.to_string()).collect();
             let lowered = lower_grouped(&g, &group).unwrap();
             let g2 = lift(&lowered).unwrap();
             assert_eq!(g, g2, "group {group_nodes:?}");
@@ -400,10 +394,8 @@ mod tests {
 
     #[test]
     fn lift_rejects_unresolved_connect() {
-        let e = ExprLow::base("a", CompKind::Sink).connect_all([(
-            PortName::local("zz", "out"),
-            PortName::local("a", "in"),
-        )]);
+        let e = ExprLow::base("a", CompKind::Sink)
+            .connect_all([(PortName::local("zz", "out"), PortName::local("a", "in"))]);
         assert!(matches!(
             lift_expr(&e, &BTreeMap::new(), &BTreeMap::new()),
             Err(LowerError::UnresolvedConnect(..))

@@ -25,8 +25,7 @@ pub type Tag = u32;
 /// let v = Value::Pair(Box::new(Value::Int(3)), Box::new(Value::Bool(true)));
 /// assert_eq!(v.to_string(), "(3, true)");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Value {
     /// The unit (control-only) token.
     #[default]
@@ -128,7 +127,6 @@ impl Value {
     }
 }
 
-
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -165,8 +163,7 @@ impl From<f64> for Value {
 /// Well-typed graphs (see the paper's §6.3 discussion of typed environments)
 /// require the two endpoints of every connection to agree on the channel
 /// type.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Ty {
     /// The unit (control token) type.
     Unit,
@@ -203,7 +200,6 @@ impl Ty {
         }
     }
 }
-
 
 impl fmt::Display for Ty {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -261,7 +257,13 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Value::tagged(1, Value::pair(Value::Unit, 2i64.into())).to_string(), "#1:((), 2)");
-        assert_eq!(Ty::Tagged(Box::new(Ty::pair(Ty::Int, Ty::Bool))).to_string(), "tagged (int * bool)");
+        assert_eq!(
+            Value::tagged(1, Value::pair(Value::Unit, 2i64.into())).to_string(),
+            "#1:((), 2)"
+        );
+        assert_eq!(
+            Ty::Tagged(Box::new(Ty::pair(Ty::Int, Ty::Bool))).to_string(),
+            "tagged (int * bool)"
+        );
     }
 }

@@ -1,0 +1,142 @@
+//! Hierarchical timed spans with a thread-local stack.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+use crate::trace::{emit_complete, PID_WALL};
+
+thread_local! {
+    // Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORDINAL: u32 = next_thread_ordinal();
+}
+
+fn next_thread_ordinal() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+pub(crate) fn clear_thread_stack() {
+    SPAN_STACK.with(|s| s.borrow_mut().clear());
+}
+
+/// Opens a timed span named `name`.
+///
+/// While the returned guard lives, the span sits on this thread's span
+/// stack (so nested [`span`] calls record their parent path). On drop it
+/// records the elapsed time into the `span.{name}.us` histogram and emits
+/// a wall-clock Chrome trace slice whose `path` argument is the full
+/// dotted stack, e.g. `optimize.refine`.
+///
+/// When collection is disabled ([`crate::enabled`] is false) this is a
+/// no-op costing one relaxed atomic load; the guard does nothing on drop.
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { live: None };
+    }
+    let depth = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name.to_string());
+        stack.len()
+    });
+    SpanGuard { live: Some(LiveSpan { name: name.to_string(), start: Instant::now(), depth }) }
+}
+
+struct LiveSpan {
+    name: String,
+    start: Instant,
+    depth: usize,
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard {
+    /// Nesting depth of this span (1 = top level), or 0 when disabled.
+    pub fn depth(&self) -> usize {
+        self.live.as_ref().map_or(0, |l| l.depth)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let dur_us = live.start.elapsed().as_micros() as u64;
+        let end_us = crate::now_us();
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join(".");
+            // Guards drop in LIFO order, so the top of the stack is this
+            // span — unless reset() cleared it mid-span.
+            if stack.last().map(String::as_str) == Some(live.name.as_str()) {
+                stack.pop();
+            }
+            path
+        });
+        crate::histogram(&format!("span.{}.us", live.name)).record(dur_us);
+        let tid = THREAD_ORDINAL.with(|t| *t);
+        emit_complete(
+            PID_WALL,
+            tid,
+            &live.name,
+            end_us.saturating_sub(dur_us),
+            dur_us,
+            vec![("path".to_string(), path)],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{trace_events, TracePhase};
+
+    #[test]
+    fn spans_nest_and_record_paths() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        crate::enable();
+        {
+            let outer = span("outer");
+            assert_eq!(outer.depth(), 1);
+            {
+                let inner = span("inner");
+                assert_eq!(inner.depth(), 2);
+            }
+            {
+                let second = span("second");
+                assert_eq!(second.depth(), 2);
+            }
+        }
+        crate::disable();
+
+        assert_eq!(crate::histogram("span.outer.us").count(), 1);
+        assert_eq!(crate::histogram("span.inner.us").count(), 1);
+        assert_eq!(crate::histogram("span.second.us").count(), 1);
+
+        let evs = trace_events();
+        let paths: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.ph == TracePhase::Complete)
+            .map(|e| e.args[0].1.as_str())
+            .collect();
+        // Inner spans close first, so their events come first.
+        assert_eq!(paths, ["outer.inner", "outer.second", "outer"]);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        crate::disable();
+        {
+            let g = span("noop");
+            assert_eq!(g.depth(), 0);
+        }
+        assert_eq!(crate::histogram("span.noop.us").count(), 0);
+        assert!(trace_events().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! The global trace-event buffer behind the Chrome trace exporter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Process id used for wall-clock rows (spans) in the Chrome trace.
+pub const PID_WALL: u32 = 1;
+
+/// Process id used for simulated-time rows (1 cycle = 1 µs, one track per
+/// circuit node) in the Chrome trace.
+pub const PID_SIM: u32 = 2;
+
+/// Cap on buffered events; beyond it events are counted but dropped.
+const MAX_EVENTS: usize = 1 << 20;
+
+/// Chrome trace-event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A complete event (`"X"`): a slice with a start and a duration.
+    Complete,
+    /// An instant event (`"i"`): a zero-width marker.
+    Instant,
+}
+
+impl TracePhase {
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            TracePhase::Complete => "X",
+            TracePhase::Instant => "i",
+        }
+    }
+}
+
+/// One buffered trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (slice label in the viewer).
+    pub name: String,
+    /// Phase: complete slice or instant marker.
+    pub ph: TracePhase,
+    /// Start timestamp in microseconds ([`PID_WALL`]: wall clock since the
+    /// process epoch; [`PID_SIM`]: simulated cycle number).
+    pub ts_us: u64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: u64,
+    /// Process row: [`PID_WALL`] or [`PID_SIM`].
+    pub pid: u32,
+    /// Thread row within the process (thread ordinal or node index).
+    pub tid: u32,
+    /// Extra key/value arguments shown in the viewer. Values are plain
+    /// strings; the exporter JSON-escapes them.
+    pub args: Vec<(String, String)>,
+}
+
+fn buffer() -> MutexGuard<'static, Vec<TraceEvent>> {
+    static BUFFER: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    BUFFER.get_or_init(|| Mutex::new(Vec::new())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn push(ev: TraceEvent) {
+    let mut buf = buffer();
+    if buf.len() >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    buf.push(ev);
+}
+
+/// Buffers a complete (`"X"`) event. Callers should check
+/// [`crate::enabled`] first; this function itself always records.
+pub fn emit_complete(
+    pid: u32,
+    tid: u32,
+    name: &str,
+    ts_us: u64,
+    dur_us: u64,
+    args: Vec<(String, String)>,
+) {
+    push(TraceEvent {
+        name: name.to_string(),
+        ph: TracePhase::Complete,
+        ts_us,
+        dur_us,
+        pid,
+        tid,
+        args,
+    });
+}
+
+/// Buffers an instant (`"i"`) event. Callers should check
+/// [`crate::enabled`] first; this function itself always records.
+pub fn emit_instant(pid: u32, tid: u32, name: &str, ts_us: u64, args: Vec<(String, String)>) {
+    push(TraceEvent {
+        name: name.to_string(),
+        ph: TracePhase::Instant,
+        ts_us,
+        dur_us: 0,
+        pid,
+        tid,
+        args,
+    });
+}
+
+/// A copy of the buffered events, in emission order.
+pub fn trace_events() -> Vec<TraceEvent> {
+    buffer().clone()
+}
+
+/// Number of events discarded because the buffer was full.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn clear_events() {
+    buffer().clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_buffer_in_order() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        emit_complete(PID_SIM, 3, "fire", 10, 1, vec![("v".into(), "7".into())]);
+        emit_instant(PID_WALL, 0, "mark", 20, vec![]);
+        let evs = trace_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "fire");
+        assert_eq!(evs[0].ph, TracePhase::Complete);
+        assert_eq!(evs[0].tid, 3);
+        assert_eq!(evs[1].ph, TracePhase::Instant);
+        assert_eq!(dropped_events(), 0);
+    }
+}

@@ -251,8 +251,11 @@ pub fn join_comm() -> Rewrite {
             let mut fr = Frag::new();
             fr.node("j", CompKind::Join).node("p", CompKind::Pure { func: PureFn::Swap });
             fr.edge(("j", "out"), ("p", "in"));
-            fr.input("a", ("j", "in1"), ep(j.clone(), "in0"))
-                .input("b", ("j", "in0"), ep(j.clone(), "in1"));
+            fr.input("a", ("j", "in1"), ep(j.clone(), "in0")).input(
+                "b",
+                ("j", "in0"),
+                ep(j.clone(), "in1"),
+            );
             fr.output("out", ("p", "out"), ep(j.clone(), "out"));
             fr.build()
         },
@@ -296,8 +299,8 @@ pub fn sink_absorb_pure() -> Rewrite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphiti_ir::ExprHigh;
     use crate::engine::Engine;
+    use graphiti_ir::ExprHigh;
     use graphiti_ir::Value;
     use graphiti_sem::RefineConfig;
 
@@ -324,10 +327,7 @@ mod tests {
         g2.validate().unwrap();
         assert_eq!(g2.node_count(), 2, "{g2}");
         // The external input now drives the split directly.
-        assert_eq!(
-            g2.driver(&ep("s", "in")),
-            Some(graphiti_ir::Attachment::External("x".into()))
-        );
+        assert_eq!(g2.driver(&ep("s", "in")), Some(graphiti_ir::Attachment::External("x".into())));
         // Eliminating the split/join pair as well would wire the external
         // input straight to the external output, which has no graph
         // representation; the engine reports it rather than corrupting the
@@ -367,9 +367,7 @@ mod tests {
         let mut engine = Engine::new();
         let g2 = engine.apply_first(&g, &split_join_swap()).unwrap().expect("match");
         g2.validate().unwrap();
-        assert!(g2
-            .nodes()
-            .any(|(_, k)| matches!(k, CompKind::Pure { func: PureFn::Swap })));
+        assert!(g2.nodes().any(|(_, k)| matches!(k, CompKind::Pure { func: PureFn::Swap })));
         assert_eq!(g2.node_count(), 1);
     }
 

@@ -76,8 +76,11 @@ pub fn join_split_intro() -> Rewrite {
                 .edge(("s", "out0"), ("br", "in"))
                 .edge(("s", "out1"), ("fk", "in"))
                 .edge(("fk", "out0"), ("br", "cond"));
-            fr.input("data", ("j", "in0"), ep(b.clone(), "in"))
-                .input("cond", ("j", "in1"), ep(f.clone(), "in"));
+            fr.input("data", ("j", "in0"), ep(b.clone(), "in")).input(
+                "cond",
+                ("j", "in1"),
+                ep(f.clone(), "in"),
+            );
             fr.output("bt", ("br", "t"), ep(b.clone(), "t"))
                 .output("bf", ("br", "f"), ep(b.clone(), "f"))
                 .output("finit", ("fk", "out1"), ep(f.clone(), otherport));
@@ -108,8 +111,8 @@ pub fn join_split_intro_at(branch: graphiti_ir::NodeId) -> Rewrite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphiti_ir::ExprHigh;
     use crate::engine::Engine;
+    use graphiti_ir::ExprHigh;
     use graphiti_ir::PureFn;
 
     /// A canonical sequential loop, body already a single Pure, but with the

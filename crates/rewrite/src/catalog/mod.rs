@@ -51,9 +51,7 @@ impl Frag {
 
     /// Adds an internal edge.
     pub(crate) fn edge(&mut self, from: (&str, &str), to: (&str, &str)) -> &mut Self {
-        self.g
-            .connect(ep(from.0, from.1), ep(to.0, to.1))
-            .expect("fragment edge endpoints valid");
+        self.g.connect(ep(from.0, from.1), ep(to.0, to.1)).expect("fragment edge endpoints valid");
         self
     }
 

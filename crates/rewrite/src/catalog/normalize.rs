@@ -55,10 +55,11 @@ pub fn mux_combine() -> Rewrite {
                     }
                     // Data inputs must come from outside the matched trio.
                     let members = [f.clone(), a.node.clone(), b.node.clone()];
-                    let external = |e: &graphiti_ir::Endpoint| match crate::engine::wire_driver(g, e) {
-                        Some(src) => !members.contains(&src.node),
-                        None => true,
-                    };
+                    let external =
+                        |e: &graphiti_ir::Endpoint| match crate::engine::wire_driver(g, e) {
+                            Some(src) => !members.contains(&src.node),
+                            None => true,
+                        };
                     if !(external(&ep(a.node.clone(), "t"))
                         && external(&ep(a.node.clone(), "f"))
                         && external(&ep(b.node.clone(), "t"))
@@ -105,8 +106,11 @@ pub fn mux_combine() -> Rewrite {
                 .input("bt", ("jt", "in1"), ep(b.clone(), "t"))
                 .input("af", ("jf", "in0"), ep(a.clone(), "f"))
                 .input("bf", ("jf", "in1"), ep(b.clone(), "f"));
-            fr.output("aout", ("split", "out0"), ep(a.clone(), "out"))
-                .output("bout", ("split", "out1"), ep(b.clone(), "out"));
+            fr.output("aout", ("split", "out0"), ep(a.clone(), "out")).output(
+                "bout",
+                ("split", "out1"),
+                ep(b.clone(), "out"),
+            );
             // Remaining fork outputs keep their consumers, shifted onto the
             // smaller fork.
             let mut j = 1;
@@ -150,12 +154,12 @@ pub fn branch_combine() -> Rewrite {
                     }
                     // Data inputs must come from outside the matched trio.
                     let members = [f.clone(), a.node.clone(), b.node.clone()];
-                    let external = |e: &graphiti_ir::Endpoint| match crate::engine::wire_driver(g, e) {
-                        Some(src) => !members.contains(&src.node),
-                        None => true,
-                    };
-                    if !(external(&ep(a.node.clone(), "in"))
-                        && external(&ep(b.node.clone(), "in")))
+                    let external =
+                        |e: &graphiti_ir::Endpoint| match crate::engine::wire_driver(g, e) {
+                            Some(src) => !members.contains(&src.node),
+                            None => true,
+                        };
+                    if !(external(&ep(a.node.clone(), "in")) && external(&ep(b.node.clone(), "in")))
                     {
                         continue;
                     }
@@ -294,8 +298,8 @@ pub fn fork_flatten() -> Rewrite {
 mod tests {
     use super::*;
     use crate::engine::{CheckMode, Engine};
-    use graphiti_sem::RefineConfig;
     use graphiti_ir::Value;
+    use graphiti_sem::RefineConfig;
 
     /// A two-variable sequential loop skeleton: one init-fork driving two
     /// Mux conditions, one body-fork driving two Branch conditions.
@@ -379,9 +383,7 @@ mod tests {
         let brs = g2.nodes().filter(|(_, k)| matches!(k, CompKind::Branch)).count();
         assert_eq!(brs, 1);
         // Fork narrowed from 3 to 2 ways.
-        assert!(g2
-            .nodes()
-            .any(|(_, k)| matches!(k, CompKind::Fork { ways: 2 })));
+        assert!(g2.nodes().any(|(_, k)| matches!(k, CompKind::Fork { ways: 2 })));
     }
 
     #[test]
@@ -424,11 +426,7 @@ mod tests {
         g.connect(ep("a", "out1"), ep("s1", "in")).unwrap();
         g.connect(ep("b", "out0"), ep("s2", "in")).unwrap();
         g.connect(ep("b", "out1"), ep("s3", "in")).unwrap();
-        let cfg = RefineConfig {
-            domain: vec![Value::Int(0)],
-            max_depth: 6,
-            ..Default::default()
-        };
+        let cfg = RefineConfig { domain: vec![Value::Int(0)], max_depth: 6, ..Default::default() };
         let mut engine = Engine::checked(cfg);
         assert_eq!(engine.mode, CheckMode::Checked);
         let g2 = engine.apply_first(&g, &fork_flatten()).unwrap().expect("match");

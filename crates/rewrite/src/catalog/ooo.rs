@@ -107,14 +107,7 @@ pub fn find_loops(g: &ExprHigh) -> Vec<LoopShape> {
             Some(d) if d.node == *mux && d.port == "t" => {}
             _ => continue,
         }
-        out.push(LoopShape {
-            mux: mux.clone(),
-            body,
-            split,
-            branch,
-            fork,
-            init,
-        });
+        out.push(LoopShape { mux: mux.clone(), body, split, branch, fork, init });
     }
     out
 }
@@ -181,9 +174,7 @@ pub fn loop_ooo_at(tags: u32, mux: NodeId) -> Rewrite {
     Rewrite::new(
         "loop-ooo",
         true,
-        move |g| {
-            find_loops(g).iter().filter(|l| l.mux == mux).map(loop_match).collect()
-        },
+        move |g| find_loops(g).iter().filter(|l| l.mux == mux).map(loop_match).collect(),
         move |g, m| loop_ooo(tags).build(g, m),
     )
 }
@@ -202,10 +193,7 @@ mod tests {
         let f = PureFn::comp(
             PureFn::par(PureFn::Id, PureFn::Op(Op::NeZero)),
             PureFn::comp(
-                PureFn::par(
-                    PureFn::pair(PureFn::Snd, PureFn::Op(Op::Mod)),
-                    PureFn::Op(Op::Mod),
-                ),
+                PureFn::par(PureFn::pair(PureFn::Snd, PureFn::Op(Op::Mod)), PureFn::Op(Op::Mod)),
                 PureFn::Dup,
             ),
         );

@@ -53,8 +53,11 @@ pub fn op_to_pure() -> Rewrite {
                 2 => {
                     fr.node("j", CompKind::Join);
                     fr.edge(("j", "out"), ("p", "in"));
-                    fr.input("a", ("j", "in0"), ep(n.clone(), "in0"))
-                        .input("b", ("j", "in1"), ep(n.clone(), "in1"));
+                    fr.input("a", ("j", "in0"), ep(n.clone(), "in0")).input(
+                        "b",
+                        ("j", "in1"),
+                        ep(n.clone(), "in1"),
+                    );
                 }
                 3 => {
                     fr.node("j1", CompKind::Join).node("j2", CompKind::Join);
@@ -243,8 +246,11 @@ pub fn fork_lift_join() -> Rewrite {
             };
             let mut fr = Frag::new();
             fr.node("fa", CompKind::Fork { ways }).node("fb", CompKind::Fork { ways });
-            fr.input("a", ("fa", "in"), ep(join.clone(), "in0"))
-                .input("b", ("fb", "in"), ep(join.clone(), "in1"));
+            fr.input("a", ("fa", "in"), ep(join.clone(), "in0")).input(
+                "b",
+                ("fb", "in"),
+                ep(join.clone(), "in1"),
+            );
             for k in 0..ways {
                 let jn = format!("j{k}");
                 fr.node(&jn, CompKind::Join);
@@ -343,11 +349,17 @@ fn pure_over_join(
             fr.node("j", CompKind::Join).node("p", CompKind::Pure { func: wrap(f) });
             fr.edge(("j", "out"), ("p", "in"));
             if port == "in0" {
-                fr.input("a", ("j", "in0"), ep(pure.clone(), "in"))
-                    .input("b", ("j", "in1"), ep(join.clone(), other));
+                fr.input("a", ("j", "in0"), ep(pure.clone(), "in")).input(
+                    "b",
+                    ("j", "in1"),
+                    ep(join.clone(), other),
+                );
             } else {
-                fr.input("a", ("j", "in0"), ep(join.clone(), other))
-                    .input("b", ("j", "in1"), ep(pure.clone(), "in"));
+                fr.input("a", ("j", "in0"), ep(join.clone(), other)).input(
+                    "b",
+                    ("j", "in1"),
+                    ep(pure.clone(), "in"),
+                );
             }
             fr.output("out", ("p", "out"), ep(join.clone(), "out"));
             fr.build()
@@ -401,11 +413,17 @@ fn pure_over_split(
             fr.edge(("p", "out"), ("s", "in"));
             fr.input("a", ("p", "in"), ep(split.clone(), "in"));
             if port == "out0" {
-                fr.output("o0", ("s", "out0"), ep(pure.clone(), "out"))
-                    .output("o1", ("s", "out1"), ep(split.clone(), "out1"));
+                fr.output("o0", ("s", "out0"), ep(pure.clone(), "out")).output(
+                    "o1",
+                    ("s", "out1"),
+                    ep(split.clone(), "out1"),
+                );
             } else {
-                fr.output("o0", ("s", "out0"), ep(split.clone(), "out0"))
-                    .output("o1", ("s", "out1"), ep(pure.clone(), "out"));
+                fr.output("o0", ("s", "out0"), ep(split.clone(), "out0")).output(
+                    "o1",
+                    ("s", "out1"),
+                    ep(pure.clone(), "out"),
+                );
             }
             fr.build()
         },
@@ -422,12 +440,7 @@ pub fn split_snd() -> Rewrite {
     split_proj("split-snd", "out0", "out1", PureFn::Snd)
 }
 
-fn split_proj(
-    name: &'static str,
-    sunk: &'static str,
-    kept: &'static str,
-    proj: PureFn,
-) -> Rewrite {
+fn split_proj(name: &'static str, sunk: &'static str, kept: &'static str, proj: PureFn) -> Rewrite {
     Rewrite::new(
         name,
         true,
@@ -505,8 +518,8 @@ pub fn join_assoc() -> Rewrite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphiti_ir::Op;
     use crate::engine::Engine;
+    use graphiti_ir::Op;
     use graphiti_ir::{Attachment, Value};
     use graphiti_sem::{denote_graph, run_random, Env};
     use std::collections::BTreeMap as Map;
@@ -517,8 +530,7 @@ mod tests {
         let (m, lowered) = denote_graph(g, &Env::standard()).unwrap();
         assert_eq!(lowered.input_names.len(), 1, "single input expected");
         assert_eq!(lowered.output_names.len(), 1, "single output expected");
-        let feeds: Map<_, _> =
-            [(graphiti_ir::PortName::Io(0), inputs)].into_iter().collect();
+        let feeds: Map<_, _> = [(graphiti_ir::PortName::Io(0), inputs)].into_iter().collect();
         let r = run_random(&m, &feeds, seed, 2000);
         r.outputs.get(&graphiti_ir::PortName::Io(0)).cloned().unwrap_or_default()
     }
@@ -618,9 +630,7 @@ mod tests {
         let mut engine = Engine::new();
         let g2 = engine.apply_first(&g, &fork_to_pure()).unwrap().expect("match");
         g2.validate().unwrap();
-        assert!(g2
-            .nodes()
-            .any(|(_, k)| matches!(k, CompKind::Pure { func: PureFn::Dup })));
+        assert!(g2.nodes().any(|(_, k)| matches!(k, CompKind::Pure { func: PureFn::Dup })));
         assert!(g2.nodes().any(|(_, k)| matches!(k, CompKind::Fork { ways: 2 })));
         // Applying repeatedly eliminates all forks.
         let rws = [fork_to_pure()];
@@ -647,10 +657,7 @@ mod tests {
             .find(|(_, k)| matches!(k, CompKind::Pure { .. }))
             .map(|(n, _)| n.clone())
             .unwrap();
-        assert!(matches!(
-            g2.consumer(&ep(pure_node, "out")),
-            Some(Attachment::External(_))
-        ));
+        assert!(matches!(g2.consumer(&ep(pure_node, "out")), Some(Attachment::External(_))));
     }
 
     #[test]
@@ -671,10 +678,7 @@ mod tests {
             .find(|(_, k)| matches!(k, CompKind::Pure { .. }))
             .map(|(n, _)| n.clone())
             .unwrap();
-        assert!(matches!(
-            g2.driver(&ep(pure_node, "in")),
-            Some(Attachment::External(_))
-        ));
+        assert!(matches!(g2.driver(&ep(pure_node, "in")), Some(Attachment::External(_))));
     }
 
     #[test]
@@ -687,9 +691,7 @@ mod tests {
         g.expose_output("y", ep("s", "out0")).unwrap();
         let mut engine = Engine::new();
         let g2 = engine.apply_first(&g, &split_fst()).unwrap().expect("match");
-        assert!(g2
-            .nodes()
-            .any(|(_, k)| matches!(k, CompKind::Pure { func: PureFn::Fst })));
+        assert!(g2.nodes().any(|(_, k)| matches!(k, CompKind::Pure { func: PureFn::Fst })));
         assert_eq!(g2.node_count(), 1);
     }
 
@@ -719,10 +721,7 @@ mod tests {
         let outs = &r.outputs[&graphiti_ir::PortName::Io(0)];
         assert_eq!(
             outs,
-            &vec![Value::pair(
-                Value::pair(Value::Int(1), Value::Int(2)),
-                Value::Int(3)
-            )]
+            &vec![Value::pair(Value::pair(Value::Int(1), Value::Int(2)), Value::Int(3))]
         );
     }
 }

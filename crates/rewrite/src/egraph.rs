@@ -204,9 +204,7 @@ impl EGraph {
         let snapshot: Vec<(ClassId, Vec<ENode>)> =
             self.classes.iter().map(|(k, v)| (*k, v.clone())).collect();
         let by_id: HashMap<ClassId, Vec<ENode>> = snapshot.iter().cloned().collect();
-        let nodes_of = |id: ClassId| -> Vec<ENode> {
-            by_id.get(&id).cloned().unwrap_or_default()
-        };
+        let nodes_of = |id: ClassId| -> Vec<ENode> { by_id.get(&id).cloned().unwrap_or_default() };
         let mut changed = false;
         for (c, nodes) in &snapshot {
             let c = *c;
@@ -437,10 +435,7 @@ mod tests {
 
     #[test]
     fn par_fusion_reduces_size() {
-        let f = comp(
-            par(PureFn::Op(Op::NeZero), PureFn::Id),
-            par(PureFn::Id, PureFn::Op(Op::Not)),
-        );
+        let f = comp(par(PureFn::Op(Op::NeZero), PureFn::Id), par(PureFn::Id, PureFn::Op(Op::Not)));
         let simplified = simplify(&f, 10);
         assert!(simplified.size() <= f.size());
         // Semantic preservation on a sample.
@@ -459,14 +454,13 @@ mod tests {
             let mut f = PureFn::Id;
             for _ in 0..4 {
                 let pick = atoms[rng.gen_range(0..atoms.len())].clone();
-                f = if rng.gen_bool(0.5) {
-                    comp(pick, f)
-                } else {
-                    comp(f, pick)
-                };
+                f = if rng.gen_bool(0.5) { comp(pick, f) } else { comp(f, pick) };
             }
             let s = simplify(&f, 8);
-            let v = Value::pair(Value::Int(rng.gen_range(-5..5)), Value::Int(rng.gen_range(-5..5)));
+            let v = Value::pair(
+                Value::Int(rng.gen_range(-5i64..5)),
+                Value::Int(rng.gen_range(-5i64..5)),
+            );
             assert_eq!(s.eval(&v), f.eval(&v), "f = {f}, s = {s}");
         }
     }

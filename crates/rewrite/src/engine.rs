@@ -29,6 +29,13 @@ use graphiti_ir::{
     LowerError, NodeId, PortMaps, PortName,
 };
 use graphiti_sem::{check_refinement, denote, Env, Event, RefineConfig, Refinement};
+
+/// Bumps `rewrite.{kind}.{name}` when obs collection is enabled.
+fn bump_rewrite_counter(kind: &str, name: &str) {
+    if graphiti_obs::enabled() {
+        graphiti_obs::counter(&format!("rewrite.{kind}.{name}")).inc();
+    }
+}
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -231,7 +238,12 @@ impl Default for Engine {
 impl Engine {
     /// An engine with checks off.
     pub fn new() -> Engine {
-        Engine { mode: CheckMode::Off, refine_cfg: RefineConfig::default(), log: Vec::new(), fresh_counter: 0 }
+        Engine {
+            mode: CheckMode::Off,
+            refine_cfg: RefineConfig::default(),
+            log: Vec::new(),
+            fresh_counter: 0,
+        }
     }
 
     /// An engine in checked mode with the given bounds.
@@ -256,9 +268,13 @@ impl Engine {
         g: &ExprHigh,
         rw: &Rewrite,
     ) -> Result<Option<ExprHigh>, RewriteError> {
+        bump_rewrite_counter("attempted", rw.name);
         let matches = rw.matches(g);
         match matches.into_iter().next() {
-            Some(m) => self.apply_at(g, rw, &m).map(Some),
+            Some(m) => {
+                bump_rewrite_counter("matched", rw.name);
+                self.apply_at(g, rw, &m).map(Some)
+            }
             None => Ok(None),
         }
     }
@@ -274,6 +290,20 @@ impl Engine {
         rw: &Rewrite,
         m: &Match,
     ) -> Result<ExprHigh, RewriteError> {
+        let r = self.apply_at_inner(g, rw, m);
+        match &r {
+            Ok(_) => bump_rewrite_counter("applied", rw.name),
+            Err(_) => bump_rewrite_counter("refused", rw.name),
+        }
+        r
+    }
+
+    fn apply_at_inner(
+        &mut self,
+        g: &ExprHigh,
+        rw: &Rewrite,
+        m: &Match,
+    ) -> Result<ExprHigh, RewriteError> {
         let repl = rw.build(g, m)?;
         self.validate_boundary(g, m, &repl)?;
 
@@ -283,6 +313,9 @@ impl Engine {
         let e_rhs = self.render_rhs(g, &repl)?;
 
         let verdict = if self.mode == CheckMode::Checked && rw.verified {
+            // Times denotation + refinement checking; the checker itself
+            // records `refine.*` state counts when collection is enabled.
+            let _check_span = graphiti_obs::span("refine_check");
             let env = Env::standard();
             let lhs_mod = denote(&e_lhs, &env);
             let rhs_mod = match &e_rhs {
@@ -317,11 +350,7 @@ impl Engine {
         };
         g2.validate()?;
 
-        self.log.push(Applied {
-            rewrite: rw.name.to_string(),
-            nodes: m.nodes.clone(),
-            verdict,
-        });
+        self.log.push(Applied { rewrite: rw.name.to_string(), nodes: m.nodes.clone(), verdict });
         Ok(g2)
     }
 
@@ -365,11 +394,7 @@ impl Engine {
     }
 
     /// The actual boundary ports of the matched node set.
-    fn boundary_ports(
-        &self,
-        g: &ExprHigh,
-        m: &Match,
-    ) -> (BTreeSet<Endpoint>, BTreeSet<Endpoint>) {
+    fn boundary_ports(&self, g: &ExprHigh, m: &Match) -> (BTreeSet<Endpoint>, BTreeSet<Endpoint>) {
         let mut b_ins = BTreeSet::new();
         let mut b_outs = BTreeSet::new();
         for n in &m.nodes {
@@ -533,11 +558,7 @@ impl Engine {
                         };
                         maps.outs.insert(p, ext);
                     }
-                    bases.push(ExprLow::Base {
-                        inst: rename[n].clone(),
-                        kind: kind.clone(),
-                        maps,
-                    });
+                    bases.push(ExprLow::Base { inst: rename[n].clone(), kind: kind.clone(), maps });
                 }
                 let mut wires = Vec::new();
                 for (from, to) in graph.edges() {
@@ -562,9 +583,9 @@ impl Engine {
         let mut g2 = g.clone();
         let mut pairs = Vec::new();
         for (ep_in, ep_out) in wires {
-            let driver = g2.detach_input(ep_in).ok_or_else(|| {
-                RewriteError::BoundaryMismatch(format!("no driver for {ep_in}"))
-            })?;
+            let driver = g2
+                .detach_input(ep_in)
+                .ok_or_else(|| RewriteError::BoundaryMismatch(format!("no driver for {ep_in}")))?;
             let consumer = g2.detach_output(ep_out).ok_or_else(|| {
                 RewriteError::BoundaryMismatch(format!("no consumer for {ep_out}"))
             })?;
@@ -577,9 +598,7 @@ impl Engine {
             match (driver, consumer) {
                 (Attachment::Wire(from), Attachment::Wire(to)) => g2.connect(from, to)?,
                 (Attachment::External(x), Attachment::Wire(to)) => g2.expose_input(x, to)?,
-                (Attachment::Wire(from), Attachment::External(y)) => {
-                    g2.expose_output(y, from)?
-                }
+                (Attachment::Wire(from), Attachment::External(y)) => g2.expose_output(y, from)?,
                 (Attachment::External(x), Attachment::External(y)) => {
                     return Err(RewriteError::Unsupported(format!(
                         "passthrough would wire external `{x}` directly to external `{y}`"

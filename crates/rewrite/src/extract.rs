@@ -87,9 +87,7 @@ pub fn extract_region_function(
             | CompKind::Load { .. }
             | CompKind::Buffer { .. }
             | CompKind::Sink => {}
-            other => {
-                return Err(ExtractError::UnsupportedKind(n.clone(), other.to_string()))
-            }
+            other => return Err(ExtractError::UnsupportedKind(n.clone(), other.to_string())),
         }
         let (ins, _) = kind.interface();
         for p in ins {
@@ -111,9 +109,7 @@ pub fn extract_region_function(
     // Label wires (out-ports) with functions of the region input by
     // processing nodes in topological order.
     let mut labels: BTreeMap<Endpoint, PureFn> = BTreeMap::new();
-    let label_of = |labels: &BTreeMap<Endpoint, PureFn>,
-                    here: &Endpoint|
-     -> Option<PureFn> {
+    let label_of = |labels: &BTreeMap<Endpoint, PureFn>, here: &Endpoint| -> Option<PureFn> {
         if *here == input {
             return Some(PureFn::Id);
         }
@@ -128,10 +124,8 @@ pub fn extract_region_function(
     while let Some(n) = pending.pop_front() {
         let kind = g.kind(&n).expect("region node exists");
         let (ins, outs) = kind.interface();
-        let in_labels: Option<Vec<PureFn>> = ins
-            .iter()
-            .map(|p| label_of(&labels, &Endpoint::new(n.clone(), p.clone())))
-            .collect();
+        let in_labels: Option<Vec<PureFn>> =
+            ins.iter().map(|p| label_of(&labels, &Endpoint::new(n.clone(), p.clone()))).collect();
         let in_labels = match in_labels {
             Some(ls) => ls,
             None => {
@@ -177,9 +171,7 @@ pub fn extract_region_function(
             }
             CompKind::Buffer { .. } => vec![in_labels[0].clone()],
             CompKind::Sink => vec![],
-            other => {
-                return Err(ExtractError::UnsupportedKind(n.clone(), other.to_string()))
-            }
+            other => return Err(ExtractError::UnsupportedKind(n.clone(), other.to_string())),
         };
         for (p, l) in outs.iter().zip(out_labels) {
             labels.insert(Endpoint::new(n.clone(), p.clone()), l);
@@ -255,10 +247,7 @@ mod tests {
         g.connect(ep("s", "out1"), ep("st", "data")).unwrap();
         g.connect(ep("st", "done"), ep("k", "in")).unwrap();
         let region = g.node_names();
-        assert_eq!(
-            extract_region_function(&g, &region),
-            Err(ExtractError::Impure("st".into()))
-        );
+        assert_eq!(extract_region_function(&g, &region), Err(ExtractError::Impure("st".into())));
     }
 
     #[test]

@@ -73,11 +73,7 @@ fn extraction_matches_rewrite_based_pure_generation() {
         let feeds: BTreeMap<graphiti_ir::PortName, Vec<Value>> =
             [(graphiti_ir::PortName::Io(0), vec![input])].into_iter().collect();
         let r = run_random(&m, &feeds, 7, 5_000);
-        assert_eq!(
-            r.outputs[&graphiti_ir::PortName::Io(0)],
-            vec![expected],
-            "inputs ({a}, {b})"
-        );
+        assert_eq!(r.outputs[&graphiti_ir::PortName::Io(0)], vec![expected], "inputs ({a}, {b})");
     }
 }
 

@@ -88,10 +88,7 @@ fn enq_input(idx: usize) -> InputFn {
 /// An output transition computed from the fronts of the queues in `deps`:
 /// `f` receives the front values and returns `Some(result)` to fire (the
 /// fronts of `deps` are then dequeued) or `None` to stay disabled.
-fn front_output(
-    deps: Vec<usize>,
-    f: impl Fn(&[Value]) -> Option<Value> + 'static,
-) -> OutputFn {
+fn front_output(deps: Vec<usize>, f: impl Fn(&[Value]) -> Option<Value> + 'static) -> OutputFn {
     Rc::new(move |s| {
         let qs = match queues_of(s) {
             Some(qs) => qs,

@@ -128,11 +128,8 @@ mod tests {
         // Two internal (connect) transitions move the forked copies into the
         // modulo operand queues.
         let states = run_internals_to_fixpoint(&m, &s1);
-        let out: Vec<_> = states
-            .iter()
-            .flat_map(|s| m.outputs[&PortName::Io(0)](s))
-            .map(|(v, _)| v)
-            .collect();
+        let out: Vec<_> =
+            states.iter().flat_map(|s| m.outputs[&PortName::Io(0)](s)).map(|(v, _)| v).collect();
         assert!(out.contains(&Value::Int(0)), "7 % 7 == 0, got {out:?}");
     }
 

@@ -92,9 +92,8 @@ pub fn run_random(
         steps += 1;
     }
 
-    let inputs_exhausted = feeds
-        .iter()
-        .all(|(p, vals)| positions.get(p).copied().unwrap_or(0) == vals.len());
+    let inputs_exhausted =
+        feeds.iter().all(|(p, vals)| positions.get(p).copied().unwrap_or(0) == vals.len());
     RunResult { outputs, steps, inputs_exhausted, final_state: state }
 }
 
@@ -112,12 +111,10 @@ mod tests {
         )
         .connect_all([(PortName::local("a", "out"), PortName::local("b", "in"))]);
         let m = denote(&expr, &Env::standard());
-        let feeds: BTreeMap<PortName, Vec<Value>> = [(
-            PortName::local("a", "in"),
-            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
-        )]
-        .into_iter()
-        .collect();
+        let feeds: BTreeMap<PortName, Vec<Value>> =
+            [(PortName::local("a", "in"), vec![Value::Int(1), Value::Int(2), Value::Int(3)])]
+                .into_iter()
+                .collect();
         for seed in 0..20 {
             let r = run_random(&m, &feeds, seed, 200);
             assert!(r.inputs_exhausted, "seed {seed}");
@@ -131,10 +128,7 @@ mod tests {
 
     #[test]
     fn run_stops_without_actions() {
-        let m = denote(
-            &ExprLow::base("s", CompKind::Sink),
-            &Env::standard(),
-        );
+        let m = denote(&ExprLow::base("s", CompKind::Sink), &Env::standard());
         let r = run_random(&m, &BTreeMap::new(), 0, 100);
         assert_eq!(r.steps, 0);
         assert!(r.inputs_exhausted);

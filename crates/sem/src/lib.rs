@@ -57,6 +57,9 @@ pub use components::{component_module, retag, untag_all};
 pub use denote::{denote, denote_graph, Env};
 pub use exec::{run_random, RunResult};
 pub use module::{InputFn, InternalFn, Module, OutputFn};
-pub use refine::{check_refinement, check_simulation, Event, RefineConfig, Refinement};
+pub use refine::{
+    check_refinement, check_refinement_with_stats, check_simulation, BoundHit, BoundKind, Event,
+    RefineConfig, RefineStats, Refinement,
+};
 pub use state::{CompState, State, TaggerState};
 pub use traces::{bounded_traces, trace_subset};

@@ -199,20 +199,18 @@ fn lift_input_right(f: InputFn) -> InputFn {
 
 fn lift_output_left(f: OutputFn) -> OutputFn {
     Rc::new(move |s| match s {
-        State::Pair(a, b) => f(a)
-            .into_iter()
-            .map(|(v, a2)| (v, State::Pair(Box::new(a2), b.clone())))
-            .collect(),
+        State::Pair(a, b) => {
+            f(a).into_iter().map(|(v, a2)| (v, State::Pair(Box::new(a2), b.clone()))).collect()
+        }
         _ => Vec::new(),
     })
 }
 
 fn lift_output_right(f: OutputFn) -> OutputFn {
     Rc::new(move |s| match s {
-        State::Pair(a, b) => f(b)
-            .into_iter()
-            .map(|(v, b2)| (v, State::Pair(a.clone(), Box::new(b2))))
-            .collect(),
+        State::Pair(a, b) => {
+            f(b).into_iter().map(|(v, b2)| (v, State::Pair(a.clone(), Box::new(b2)))).collect()
+        }
         _ => Vec::new(),
     })
 }
@@ -295,10 +293,9 @@ mod tests {
 
     #[test]
     fn connect_fuses_output_to_input() {
-        let m = queue_module("a").product(queue_module("b")).connect(
-            &PortName::local("a", "out"),
-            &PortName::local("b", "in"),
-        );
+        let m = queue_module("a")
+            .product(queue_module("b"))
+            .connect(&PortName::local("a", "out"), &PortName::local("b", "in"));
         assert_eq!(m.inputs.len(), 1);
         assert_eq!(m.outputs.len(), 1);
         assert_eq!(m.internals.len(), 1);
@@ -313,8 +310,8 @@ mod tests {
 
     #[test]
     fn connect_with_missing_port_drops_silently() {
-        let m = queue_module("a")
-            .connect(&PortName::local("zz", "out"), &PortName::local("a", "in"));
+        let m =
+            queue_module("a").connect(&PortName::local("zz", "out"), &PortName::local("a", "in"));
         assert!(m.inputs.is_empty(), "present input side is still removed");
         assert_eq!(m.internals.len(), 0);
     }

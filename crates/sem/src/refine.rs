@@ -13,7 +13,8 @@
 //!   inputs, *before* outputs) on all reachable related pairs.
 //!
 //! Both return [`Refinement::BoundReached`] instead of a verdict when a
-//! resource bound is hit, so a bounded pass is never confused with a proof.
+//! resource bound is hit — carrying a [`BoundHit`] that says which bound
+//! and at what count — so a bounded pass is never confused with a proof.
 
 use crate::module::Module;
 use crate::state::State;
@@ -82,14 +83,62 @@ impl RefineConfig {
     }
 }
 
+/// Which resource bound interrupted an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BoundKind {
+    /// [`RefineConfig::max_states`]: the visited-state budget ran out.
+    States,
+    /// [`RefineConfig::max_depth`]: a path reached the depth limit.
+    Depth,
+    /// [`RefineConfig::queue_cap`]: a state grew a queue past the cap.
+    QueueCap,
+    /// [`RefineConfig::closure_limit`]: a spec internal closure overflowed.
+    ClosureLimit,
+}
+
+impl BoundKind {
+    /// A stable lowercase name (used as a metric label).
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundKind::States => "states",
+            BoundKind::Depth => "depth",
+            BoundKind::QueueCap => "queue_cap",
+            BoundKind::ClosureLimit => "closure_limit",
+        }
+    }
+}
+
+impl fmt::Display for BoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured record of the first bound hit during an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundHit {
+    /// Which configured bound was hit.
+    pub kind: BoundKind,
+    /// The count at the moment of the hit (visited states, path depth,
+    /// queue length, or closure size — per `kind`).
+    pub at: u64,
+}
+
+impl fmt::Display for BoundHit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bound hit at {}", self.kind, self.at)
+    }
+}
+
 /// The verdict of a bounded refinement check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Refinement {
     /// No violation exists within the explored (bounded) space, and the
     /// bounds were not hit: the exploration was exhaustive.
     Holds,
-    /// No violation found, but a resource bound was reached.
-    BoundReached,
+    /// No violation found, but a resource bound was reached; the record
+    /// says which bound and at what count.
+    BoundReached(BoundHit),
     /// The modules do not expose the same ports, so they are not comparable.
     Incomparable(String),
     /// A violating trace: the implementation performs it, the specification
@@ -103,8 +152,23 @@ pub enum Refinement {
 impl Refinement {
     /// Whether the check found no violation (exhaustively or up to bounds).
     pub fn is_ok(&self) -> bool {
-        matches!(self, Refinement::Holds | Refinement::BoundReached)
+        matches!(self, Refinement::Holds | Refinement::BoundReached(_))
     }
+}
+
+/// Exploration statistics of one refinement check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Distinct (implementation state, spec state set) pairs visited.
+    pub visited_states: u64,
+    /// Peak size of the exploration frontier.
+    pub frontier_peak: u64,
+    /// Spec internal closures computed.
+    pub closures: u64,
+    /// Paths cut off by the depth bound.
+    pub depth_prunes: u64,
+    /// Successor states discarded by the queue cap.
+    pub queue_prunes: u64,
 }
 
 /// The internal closure of a set of states: everything reachable via
@@ -125,12 +189,22 @@ fn closure(m: &Module, start: BTreeSet<State>, limit: usize) -> Option<BTreeSet<
     Some(all)
 }
 
-fn spec_input_step(spec: &Module, set: &BTreeSet<State>, p: &PortName, v: &Value) -> BTreeSet<State> {
+fn spec_input_step(
+    spec: &Module,
+    set: &BTreeSet<State>,
+    p: &PortName,
+    v: &Value,
+) -> BTreeSet<State> {
     let f = &spec.inputs[p];
     set.iter().flat_map(|t| f(t, v)).collect()
 }
 
-fn spec_output_step(spec: &Module, set: &BTreeSet<State>, p: &PortName, v: &Value) -> BTreeSet<State> {
+fn spec_output_step(
+    spec: &Module,
+    set: &BTreeSet<State>,
+    p: &PortName,
+    v: &Value,
+) -> BTreeSet<State> {
     let f = &spec.outputs[p];
     set.iter()
         .flat_map(|t| f(t))
@@ -144,6 +218,45 @@ fn spec_output_step(spec: &Module, set: &BTreeSet<State>, p: &PortName, v: &Valu
 /// at `cfg.queue_cap`, paths of at most `cfg.max_depth` steps — must be a
 /// weak trace of `spec`.
 pub fn check_refinement(imp: &Module, spec: &Module, cfg: &RefineConfig) -> Refinement {
+    check_refinement_with_stats(imp, spec, cfg).0
+}
+
+/// [`check_refinement`] plus exploration statistics (visited states,
+/// frontier peak, prune counts). When `graphiti-obs` collection is
+/// enabled, the statistics and any bound hit are also recorded as
+/// `refine.*` metrics.
+pub fn check_refinement_with_stats(
+    imp: &Module,
+    spec: &Module,
+    cfg: &RefineConfig,
+) -> (Refinement, RefineStats) {
+    let mut stats = RefineStats::default();
+    let verdict = check_refinement_inner(imp, spec, cfg, &mut stats);
+    record_check_metrics(&verdict, &stats);
+    (verdict, stats)
+}
+
+/// Records one check's outcome into the `refine.*` metrics (no-op when
+/// collection is disabled).
+fn record_check_metrics(verdict: &Refinement, stats: &RefineStats) {
+    if !graphiti_obs::enabled() {
+        return;
+    }
+    graphiti_obs::counter("refine.checks").inc();
+    graphiti_obs::counter("refine.visited_states").add(stats.visited_states);
+    graphiti_obs::histogram("refine.visited_states_per_check").record(stats.visited_states);
+    graphiti_obs::histogram("refine.frontier_peak").record(stats.frontier_peak);
+    if let Refinement::BoundReached(hit) = verdict {
+        graphiti_obs::counter(&format!("refine.bound_hits.{}", hit.kind.name())).inc();
+    }
+}
+
+fn check_refinement_inner(
+    imp: &Module,
+    spec: &Module,
+    cfg: &RefineConfig,
+    stats: &mut RefineStats,
+) -> Refinement {
     if imp.input_ports() != spec.input_ports() {
         return Refinement::Incomparable(format!(
             "input ports differ: {:?} vs {:?}",
@@ -159,12 +272,20 @@ pub fn check_refinement(imp: &Module, spec: &Module, cfg: &RefineConfig) -> Refi
         ));
     }
 
+    let closure_bound = Refinement::BoundReached(BoundHit {
+        kind: BoundKind::ClosureLimit,
+        at: cfg.closure_limit as u64,
+    });
+    stats.closures += 1;
     let spec_init = match closure(spec, spec.init.iter().cloned().collect(), cfg.closure_limit) {
         Some(s) => s,
-        None => return Refinement::BoundReached,
+        None => return closure_bound,
     };
 
-    let mut bound_hit = false;
+    let mut bound_hit: Option<BoundHit> = None;
+    let note_bound = |slot: &mut Option<BoundHit>, kind: BoundKind, at: u64| {
+        slot.get_or_insert(BoundHit { kind, at });
+    };
     let mut visited: HashSet<(State, BTreeSet<State>)> = HashSet::new();
     // Depth-first exploration: counterexamples (when they exist) usually sit
     // deep along one path, and DFS reaches them without materializing every
@@ -175,21 +296,28 @@ pub fn check_refinement(imp: &Module, spec: &Module, cfg: &RefineConfig) -> Refi
     }
 
     while let Some((s, tset, depth, trace)) = queue.pop_back() {
+        stats.frontier_peak = stats.frontier_peak.max(queue.len() as u64 + 1);
         if !visited.insert((s.clone(), tset.clone())) {
             continue;
         }
+        stats.visited_states = visited.len() as u64;
         if visited.len() > cfg.max_states {
-            return Refinement::BoundReached;
+            return Refinement::BoundReached(BoundHit {
+                kind: BoundKind::States,
+                at: visited.len() as u64,
+            });
         }
         if depth >= cfg.max_depth {
-            bound_hit = true;
+            stats.depth_prunes += 1;
+            note_bound(&mut bound_hit, BoundKind::Depth, depth as u64);
             continue;
         }
 
         // Implementation internal steps: the spec set is already closed.
         for s2 in imp.internal_step(&s) {
             if s2.max_queue_len() > cfg.queue_cap {
-                bound_hit = true;
+                stats.queue_prunes += 1;
+                note_bound(&mut bound_hit, BoundKind::QueueCap, s2.max_queue_len() as u64);
                 continue;
             }
             queue.push_back((s2, tset.clone(), depth + 1, trace.clone()));
@@ -203,9 +331,10 @@ pub fn check_refinement(imp: &Module, spec: &Module, cfg: &RefineConfig) -> Refi
                     continue;
                 }
                 let stepped = spec_input_step(spec, &tset, &p, v);
+                stats.closures += 1;
                 let closed = match closure(spec, stepped, cfg.closure_limit) {
                     Some(c) => c,
-                    None => return Refinement::BoundReached,
+                    None => return closure_bound,
                 };
                 let mut trace2 = trace.clone();
                 trace2.push(Event::In(p.clone(), v.clone()));
@@ -219,7 +348,8 @@ pub fn check_refinement(imp: &Module, spec: &Module, cfg: &RefineConfig) -> Refi
                 }
                 for s2 in succs {
                     if s2.max_queue_len() > cfg.queue_cap {
-                        bound_hit = true;
+                        stats.queue_prunes += 1;
+                        note_bound(&mut bound_hit, BoundKind::QueueCap, s2.max_queue_len() as u64);
                         continue;
                     }
                     queue.push_back((s2, closed.clone(), depth + 1, trace2.clone()));
@@ -233,9 +363,10 @@ pub fn check_refinement(imp: &Module, spec: &Module, cfg: &RefineConfig) -> Refi
                 let stepped = spec_output_step(spec, &tset, &p, &v);
                 let mut trace2 = trace.clone();
                 trace2.push(Event::Out(p.clone(), v.clone()));
+                stats.closures += 1;
                 let closed = match closure(spec, stepped, cfg.closure_limit) {
                     Some(c) => c,
-                    None => return Refinement::BoundReached,
+                    None => return closure_bound,
                 };
                 if closed.is_empty() {
                     return Refinement::Fails { trace: trace2 };
@@ -245,10 +376,9 @@ pub fn check_refinement(imp: &Module, spec: &Module, cfg: &RefineConfig) -> Refi
         }
     }
 
-    if bound_hit {
-        Refinement::BoundReached
-    } else {
-        Refinement::Holds
+    match bound_hit {
+        Some(hit) => Refinement::BoundReached(hit),
+        None => Refinement::Holds,
     }
 }
 
@@ -276,7 +406,14 @@ pub fn check_simulation(
         }
     }
 
-    let mut bound_hit = false;
+    let mut bound_hit: Option<BoundHit> = None;
+    let note_bound = |slot: &mut Option<BoundHit>, kind: BoundKind, at: u64| {
+        slot.get_or_insert(BoundHit { kind, at });
+    };
+    let closure_bound = Refinement::BoundReached(BoundHit {
+        kind: BoundKind::ClosureLimit,
+        at: cfg.closure_limit as u64,
+    });
     let mut visited: HashSet<(State, State)> = HashSet::new();
 
     while let Some((i, s, depth, trace)) = queue.pop_front() {
@@ -284,22 +421,25 @@ pub fn check_simulation(
             continue;
         }
         if visited.len() > cfg.max_states {
-            return Refinement::BoundReached;
+            return Refinement::BoundReached(BoundHit {
+                kind: BoundKind::States,
+                at: visited.len() as u64,
+            });
         }
         if depth >= cfg.max_depth {
-            bound_hit = true;
+            note_bound(&mut bound_hit, BoundKind::Depth, depth as u64);
             continue;
         }
         let spec_closure = match closure(spec, [s.clone()].into_iter().collect(), cfg.closure_limit)
         {
             Some(c) => c,
-            None => return Refinement::BoundReached,
+            None => return closure_bound,
         };
 
         // Internal diagram.
         for i2 in imp.internal_step(&i) {
             if i2.max_queue_len() > cfg.queue_cap {
-                bound_hit = true;
+                note_bound(&mut bound_hit, BoundKind::QueueCap, i2.max_queue_len() as u64);
                 continue;
             }
             let matches: Vec<&State> = spec_closure.iter().filter(|s2| phi(&i2, s2)).collect();
@@ -319,13 +459,13 @@ pub fn check_simulation(
             for v in &cfg.domain {
                 for i2 in imp.inputs[&p](&i, v) {
                     if i2.max_queue_len() > cfg.queue_cap {
-                        bound_hit = true;
+                        note_bound(&mut bound_hit, BoundKind::QueueCap, i2.max_queue_len() as u64);
                         continue;
                     }
                     let after_in = spec_input_step(spec, &[s.clone()].into_iter().collect(), &p, v);
                     let closed = match closure(spec, after_in, cfg.closure_limit) {
                         Some(c) => c,
-                        None => return Refinement::BoundReached,
+                        None => return closure_bound,
                     };
                     let mut trace2 = trace.clone();
                     trace2.push(Event::In(p.clone(), v.clone()));
@@ -363,28 +503,32 @@ pub fn check_simulation(
         }
     }
 
-    if bound_hit {
-        Refinement::BoundReached
-    } else {
-        Refinement::Holds
+    match bound_hit {
+        Some(hit) => Refinement::BoundReached(hit),
+        None => Refinement::Holds,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeMap;
     use crate::components::component_module;
     use crate::denote::{denote, Env};
     use graphiti_ir::{CompKind, ExprLow, Op};
+    use std::collections::BTreeMap;
 
     fn buffer_chain(n: usize) -> Module {
         let bases: Vec<ExprLow> = (0..n)
-            .map(|i| ExprLow::base(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false }))
+            .map(|i| {
+                ExprLow::base(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false })
+            })
             .collect();
         let wires: Vec<_> = (0..n - 1)
             .map(|i| {
-                (PortName::local(format!("b{i}"), "out"), PortName::local(format!("b{}", i + 1), "in"))
+                (
+                    PortName::local(format!("b{i}"), "out"),
+                    PortName::local(format!("b{}", i + 1), "in"),
+                )
             })
             .collect();
         let expr = ExprLow::product_of(bases).connect_all(wires);
@@ -427,8 +571,7 @@ mod tests {
             in_map.insert(PortName::local("", "ctrl"), PortName::Io(0));
             let mut out_map = BTreeMap::new();
             out_map.insert(PortName::local("", "out"), PortName::Io(0));
-            component_module(&CompKind::Constant { value: Value::Int(9) })
-                .rename(&in_map, &out_map)
+            component_module(&CompKind::Constant { value: Value::Int(9) }).rename(&in_map, &out_map)
         };
         let cfg = RefineConfig::with_domain(vec![Value::Int(0)]);
         let r = check_refinement(&buffer, &constant, &cfg);
@@ -466,7 +609,10 @@ mod tests {
         let a = buffer_chain(2);
         let mut b = buffer_chain(2);
         b.inputs.clear();
-        assert!(matches!(check_refinement(&a, &b, &Default::default()), Refinement::Incomparable(_)));
+        assert!(matches!(
+            check_refinement(&a, &b, &Default::default()),
+            Refinement::Incomparable(_)
+        ));
     }
 
     #[test]
@@ -511,11 +657,7 @@ mod tests {
     fn simulation_identity_relation_on_equal_modules() {
         let m1 = buffer_chain(2);
         let m2 = buffer_chain(2);
-        let cfg = RefineConfig {
-            domain: vec![Value::Int(0)],
-            max_depth: 6,
-            ..Default::default()
-        };
+        let cfg = RefineConfig { domain: vec![Value::Int(0)], max_depth: 6, ..Default::default() };
         let r = check_simulation(&m1, &m2, &|a, b| a == b, &cfg);
         assert!(r.is_ok(), "{r:?}");
     }
@@ -546,11 +688,9 @@ mod tests {
             in_map.insert(PortName::local("s", "in"), PortName::Io(0));
             let mut out_map = BTreeMap::new();
             out_map.insert(PortName::local("j", "out"), PortName::Io(0));
-            crate::denote::denote(&expr, &crate::denote::Env::standard())
-                .rename(&in_map, &out_map)
+            crate::denote::denote(&expr, &crate::denote::Env::standard()).rename(&in_map, &out_map)
         };
-        let mixed_domain =
-            vec![Value::pair(Value::Int(0), Value::Int(1)), Value::Bool(true)];
+        let mixed_domain = vec![Value::pair(Value::Int(0), Value::Int(1)), Value::Bool(true)];
         let typed = RefineConfig {
             domain: mixed_domain.clone(),
             max_depth: 6,
@@ -559,10 +699,7 @@ mod tests {
         };
         assert!(check_refinement(&wire, &split_join, &typed).is_ok());
         let untyped = RefineConfig { well_typed_inputs: false, ..typed };
-        assert!(matches!(
-            check_refinement(&wire, &split_join, &untyped),
-            Refinement::Fails { .. }
-        ));
+        assert!(matches!(check_refinement(&wire, &split_join, &untyped), Refinement::Fails { .. }));
     }
 
     #[test]
@@ -583,14 +720,9 @@ mod tests {
             in_map.insert(PortName::local("", "ctrl"), PortName::Io(0));
             let mut out_map = BTreeMap::new();
             out_map.insert(PortName::local("", "out"), PortName::Io(0));
-            component_module(&CompKind::Constant { value: Value::Int(9) })
-                .rename(&in_map, &out_map)
+            component_module(&CompKind::Constant { value: Value::Int(9) }).rename(&in_map, &out_map)
         };
-        let cfg = RefineConfig {
-            domain: vec![Value::Int(0)],
-            max_depth: 4,
-            ..Default::default()
-        };
+        let cfg = RefineConfig { domain: vec![Value::Int(0)], max_depth: 4, ..Default::default() };
         let r = check_simulation(&buffer, &constant, &|_, _| true, &cfg);
         assert!(matches!(r, Refinement::Fails { .. }), "{r:?}");
     }

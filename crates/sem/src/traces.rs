@@ -30,11 +30,8 @@ pub fn bounded_traces(
     // Work items: (state, trace so far). States are explored exhaustively
     // per trace; visited pairs bound the recursion.
     let mut visited: BTreeSet<(State, Vec<Event>)> = BTreeSet::new();
-    let mut stack: Vec<(State, Vec<Event>)> = m
-        .init
-        .iter()
-        .map(|s| (s.clone(), Vec::new()))
-        .collect();
+    let mut stack: Vec<(State, Vec<Event>)> =
+        m.init.iter().map(|s| (s.clone(), Vec::new())).collect();
     while let Some((s, trace)) = stack.pop() {
         if !visited.insert((s.clone(), trace.clone())) {
             continue;
@@ -127,10 +124,14 @@ mod tests {
         // "in0 then out" and "in1 then out" both exist.
         let m = io_renamed(&CompKind::Merge, &["in0", "in1"], &["out"]);
         let traces = bounded_traces(&m, &[Value::Int(7)], 2, 2);
-        let via0 =
-            vec![Event::In(PortName::Io(0), Value::Int(7)), Event::Out(PortName::Io(0), Value::Int(7))];
-        let via1 =
-            vec![Event::In(PortName::Io(1), Value::Int(7)), Event::Out(PortName::Io(0), Value::Int(7))];
+        let via0 = vec![
+            Event::In(PortName::Io(0), Value::Int(7)),
+            Event::Out(PortName::Io(0), Value::Int(7)),
+        ];
+        let via1 = vec![
+            Event::In(PortName::Io(1), Value::Int(7)),
+            Event::Out(PortName::Io(0), Value::Int(7)),
+        ];
         assert!(traces.contains(&via0));
         assert!(traces.contains(&via1));
     }
@@ -139,7 +140,8 @@ mod tests {
     fn explicit_inclusion_agrees_with_the_subset_construction_checker() {
         // Cross-validate the two decision procedures on a pair that holds
         // and a pair that fails.
-        let buffer = io_renamed(&CompKind::Buffer { slots: 1, transparent: true }, &["in"], &["out"]);
+        let buffer =
+            io_renamed(&CompKind::Buffer { slots: 1, transparent: true }, &["in"], &["out"]);
         let init = io_renamed(&CompKind::Init { initial: false }, &["in"], &["out"]);
         let domain = [Value::Bool(false)];
         // buffer ⊑ init? The Init emits an initial token the buffer never

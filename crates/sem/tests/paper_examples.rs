@@ -40,10 +40,7 @@ fn mod_module_relations() {
     let m = component_module(&CompKind::Operator { op: Op::Mod });
     let s0 = m.init[0].clone();
     let s1 = m.inputs[&local("", "in0")](&s0, &Value::Int(17)).remove(0);
-    assert!(
-        m.outputs[&local("", "out")](&s1).is_empty(),
-        "no output until both operands arrived"
-    );
+    assert!(m.outputs[&local("", "out")](&s1).is_empty(), "no output until both operands arrived");
     let s2 = m.inputs[&local("", "in1")](&s1, &Value::Int(5)).remove(0);
     let (v, s3) = m.outputs[&local("", "out")](&s2).remove(0);
     assert_eq!(v, Value::Int(2), "first₁ % first₂");

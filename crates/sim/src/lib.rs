@@ -51,6 +51,6 @@ pub use sim::{
     op_latency, purefn_latency, simulate, SimConfig, SimError, SimResult, Simulator, TraceEvent,
 };
 pub use timing::{
-    arrival_times, clock_period, elastic_clock_period, elastic_timing, is_sequential,
-    NodeTiming, TimingError,
+    arrival_times, clock_period, elastic_clock_period, elastic_timing, is_sequential, NodeTiming,
+    TimingError,
 };

@@ -42,11 +42,7 @@ impl std::error::Error for MemError {}
 ///
 /// Fails on unknown arrays, out-of-bounds indices, or non-integer addresses.
 pub fn mem_read(mem: &Memory, array: &str, addr: &Value) -> Result<Value, MemError> {
-    let i = addr
-        .untag()
-        .1
-        .as_int()
-        .ok_or_else(|| MemError::BadAddress(array.to_string()))?;
+    let i = addr.untag().1.as_int().ok_or_else(|| MemError::BadAddress(array.to_string()))?;
     let arr = mem.get(array).ok_or_else(|| MemError::UnknownArray(array.to_string()))?;
     arr.get(i as usize).cloned().ok_or_else(|| MemError::OutOfBounds(array.to_string(), i))
 }
@@ -56,16 +52,16 @@ pub fn mem_read(mem: &Memory, array: &str, addr: &Value) -> Result<Value, MemErr
 /// # Errors
 ///
 /// Fails on unknown arrays, out-of-bounds indices, or non-integer addresses.
-pub fn mem_write(mem: &mut Memory, array: &str, addr: &Value, value: &Value) -> Result<(), MemError> {
-    let i = addr
-        .untag()
-        .1
-        .as_int()
-        .ok_or_else(|| MemError::BadAddress(array.to_string()))?;
+pub fn mem_write(
+    mem: &mut Memory,
+    array: &str,
+    addr: &Value,
+    value: &Value,
+) -> Result<(), MemError> {
+    let i = addr.untag().1.as_int().ok_or_else(|| MemError::BadAddress(array.to_string()))?;
     let arr = mem.get_mut(array).ok_or_else(|| MemError::UnknownArray(array.to_string()))?;
-    let slot = arr
-        .get_mut(i as usize)
-        .ok_or_else(|| MemError::OutOfBounds(array.to_string(), i))?;
+    let slot =
+        arr.get_mut(i as usize).ok_or_else(|| MemError::OutOfBounds(array.to_string(), i))?;
     *slot = value.untag().1.clone();
     Ok(())
 }
@@ -84,29 +80,22 @@ mod tests {
     #[test]
     fn tagged_addresses_and_values_are_stripped() {
         let mut mem: Memory = [("a".to_string(), vec![Value::Int(0); 4])].into_iter().collect();
-        mem_write(&mut mem, "a", &Value::tagged(3, Value::Int(1)), &Value::tagged(3, Value::Int(7)))
-            .unwrap();
+        mem_write(
+            &mut mem,
+            "a",
+            &Value::tagged(3, Value::Int(1)),
+            &Value::tagged(3, Value::Int(7)),
+        )
+        .unwrap();
         assert_eq!(mem["a"][1], Value::Int(7));
-        assert_eq!(
-            mem_read(&mem, "a", &Value::tagged(9, Value::Int(1))).unwrap(),
-            Value::Int(7)
-        );
+        assert_eq!(mem_read(&mem, "a", &Value::tagged(9, Value::Int(1))).unwrap(), Value::Int(7));
     }
 
     #[test]
     fn errors_are_precise() {
         let mem: Memory = [("a".to_string(), vec![Value::Int(0)])].into_iter().collect();
-        assert_eq!(
-            mem_read(&mem, "zz", &Value::Int(0)),
-            Err(MemError::UnknownArray("zz".into()))
-        );
-        assert_eq!(
-            mem_read(&mem, "a", &Value::Int(5)),
-            Err(MemError::OutOfBounds("a".into(), 5))
-        );
-        assert_eq!(
-            mem_read(&mem, "a", &Value::Bool(true)),
-            Err(MemError::BadAddress("a".into()))
-        );
+        assert_eq!(mem_read(&mem, "zz", &Value::Int(0)), Err(MemError::UnknownArray("zz".into())));
+        assert_eq!(mem_read(&mem, "a", &Value::Int(5)), Err(MemError::OutOfBounds("a".into(), 5)));
+        assert_eq!(mem_read(&mem, "a", &Value::Bool(true)), Err(MemError::BadAddress("a".into())));
     }
 }

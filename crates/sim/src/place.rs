@@ -8,7 +8,7 @@
 //! `tags + 2`) so the out-of-order region can actually hold its in-flight
 //! iterations — the paper likewise sizes buffers to the tag count.
 
-use graphiti_ir::{Attachment, CompKind, Endpoint, ExprHigh, NodeId};
+use graphiti_ir::{Attachment, CompKind, EdgeList, Endpoint, ExprHigh, NodeId};
 use std::collections::BTreeMap;
 
 /// Statistics of a placement run.
@@ -61,8 +61,7 @@ fn back_edges(g: &ExprHigh) -> Vec<(Endpoint, Endpoint)> {
             continue;
         }
         // Iterative DFS with an explicit edge stack.
-        let mut stack: Vec<(NodeId, Vec<(Endpoint, Endpoint)>, usize)> =
-            vec![(root.clone(), succs(root), 0)];
+        let mut stack: Vec<(NodeId, EdgeList, usize)> = vec![(root.clone(), succs(root), 0)];
         color.insert(root.clone(), Color::Gray);
         while let Some((node, edges, idx)) = stack.last_mut() {
             if *idx >= edges.len() {
@@ -102,10 +101,8 @@ pub fn place_buffers(g: &ExprHigh) -> (ExprHigh, PlacementStats) {
     let mut stats = PlacementStats { inserted: 0, slots };
     for (from, to) in back_edges(g) {
         // Skip if the edge already ends or starts at a sequential buffer.
-        let from_buf = matches!(
-            out.kind(&from.node),
-            Some(CompKind::Buffer { transparent: false, .. })
-        );
+        let from_buf =
+            matches!(out.kind(&from.node), Some(CompKind::Buffer { transparent: false, .. }));
         let to_buf =
             matches!(out.kind(&to.node), Some(CompKind::Buffer { transparent: false, .. }));
         if from_buf || to_buf {
@@ -130,9 +127,7 @@ pub fn place_buffers(g: &ExprHigh) -> (ExprHigh, PlacementStats) {
         })
         .flat_map(|(n, k)| {
             let (ins, _) = k.interface();
-            ins.into_iter()
-                .map(|p| Endpoint::new(n.clone(), p))
-                .collect::<Vec<_>>()
+            ins.into_iter().map(|p| Endpoint::new(n.clone(), p)).collect::<Vec<_>>()
         })
         .filter_map(|to| match out.driver(&to) {
             Some(Attachment::Wire(from))
@@ -200,9 +195,7 @@ pub fn place_buffers_targeted(g: &ExprHigh, target_ns: f64) -> (ExprHigh, Placem
             let (ins, _) = out.kind(node).expect("node").interface();
             let mut best: Option<(f64, Endpoint)> = None;
             for p in ins {
-                if let Some(Attachment::Wire(src)) =
-                    out.driver(&Endpoint::new(node.clone(), p))
-                {
+                if let Some(Attachment::Wire(src)) = out.driver(&Endpoint::new(node.clone(), p)) {
                     let c = contrib(&src.node);
                     if best.as_ref().map(|(b, _)| c > *b).unwrap_or(true) {
                         best = Some((c, src));
@@ -213,11 +206,7 @@ pub fn place_buffers_targeted(g: &ExprHigh, target_ns: f64) -> (ExprHigh, Placem
         };
         let mut cur = endpoint.clone();
         let mut cut_edge: Option<(Endpoint, Endpoint)> = None;
-        loop {
-            let pred = match critical_pred(&cur) {
-                Some(p) => p,
-                None => break,
-            };
+        while let Some(pred) = critical_pred(&cur) {
             // The edge pred -> cur; its running length at cur's input is
             // contrib(pred).
             if contrib(&pred.node) <= cp / 2.0 {
@@ -266,11 +255,8 @@ pub fn place_buffers_targeted(g: &ExprHigh, target_ns: f64) -> (ExprHigh, Placem
 /// sequential element); used by the timing model's precondition check.
 pub fn has_combinational_cycle(g: &ExprHigh, is_sequential: &dyn Fn(&CompKind) -> bool) -> bool {
     // DFS over combinational nodes only.
-    let comb: Vec<NodeId> = g
-        .nodes()
-        .filter(|(_, k)| !is_sequential(k))
-        .map(|(n, _)| n.clone())
-        .collect();
+    let comb: Vec<NodeId> =
+        g.nodes().filter(|(_, k)| !is_sequential(k)).map(|(n, _)| n.clone()).collect();
     let comb_set: std::collections::BTreeSet<_> = comb.iter().cloned().collect();
     let mut state: BTreeMap<NodeId, u8> = comb.iter().map(|n| (n.clone(), 0)).collect();
     fn visit(
@@ -284,6 +270,9 @@ pub fn has_combinational_cycle(g: &ExprHigh, is_sequential: &dyn Fn(&CompKind) -
         for p in outs {
             if let Some(Attachment::Wire(to)) = g.consumer(&Endpoint::new(n.clone(), p)) {
                 if comb_set.contains(&to.node) {
+                    // Not a match guard: `visit` needs `state` mutably
+                    // while the scrutinee holds it immutably.
+                    #[allow(clippy::collapsible_match)]
                     match state[&to.node] {
                         1 => return true,
                         0 => {

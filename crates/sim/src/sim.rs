@@ -37,7 +37,9 @@ pub struct SimConfig {
     pub load_latency: u64,
     /// Record per-cycle acceptance events for these components (empty: no
     /// tracing). Used to regenerate execution traces like the paper's
-    /// Fig. 2d/2e.
+    /// Fig. 2d/2e. When `graphiti-obs` collection is enabled, the same
+    /// list filters which components emit per-fire Chrome trace events
+    /// (empty: all components).
     pub trace_nodes: Vec<String>,
 }
 
@@ -177,6 +179,18 @@ enum Unit {
     Store { mem: String },
 }
 
+/// Mutable per-run observation state (instrumented runs only).
+struct ObsRunState {
+    /// Which nodes fired at least once in the current cycle.
+    fired: Vec<bool>,
+    /// Tokens still waiting in the external input channels.
+    in_remaining: usize,
+    /// Tokens already counted at the external output channels.
+    out_seen: usize,
+    /// Consumption cycles of in-flight tokens, oldest first.
+    consumed_at: VecDeque<u64>,
+}
+
 #[derive(Debug)]
 struct Node {
     name: String,
@@ -185,6 +199,61 @@ struct Node {
     outs: Vec<ChanId>,
     accepted: bool,
     emitted: bool,
+}
+
+/// Metric handles held for the duration of one instrumented run. Present
+/// only when `graphiti-obs` collection was enabled at construction time,
+/// so the uninstrumented hot path pays one `Option` check per fire.
+struct SimObs {
+    /// Per node: whether its fires emit Chrome trace events (driven by
+    /// [`SimConfig::trace_nodes`]; empty list = every node).
+    trace_node: Vec<bool>,
+    /// Per node: occupancy histogram for components with internal queues
+    /// (buffers, pipelines, taggers).
+    occupancy: Vec<Option<graphiti_obs::Histogram>>,
+    /// Per node: cycles spent back-pressured (all inputs ready, no fire).
+    stall_by_node: Vec<graphiti_obs::Counter>,
+    /// `sim.stall_cycles`: node-cycles lost to back-pressure.
+    stall_total: graphiti_obs::Counter,
+    /// `sim.starved_cycles`: node-cycles waiting on missing operands.
+    starved_total: graphiti_obs::Counter,
+    /// `sim.token_latency_cycles`: source-to-sink latency distribution.
+    latency: graphiti_obs::Histogram,
+}
+
+impl SimObs {
+    fn new(nodes: &[Node], cfg: &SimConfig) -> SimObs {
+        let trace_node = nodes
+            .iter()
+            .map(|n| cfg.trace_nodes.is_empty() || cfg.trace_nodes.contains(&n.name))
+            .collect();
+        let occupancy = nodes
+            .iter()
+            .map(|n| {
+                let queued = matches!(
+                    n.unit,
+                    Unit::Buffer { .. }
+                        | Unit::Piped { .. }
+                        | Unit::Pure { .. }
+                        | Unit::Load { .. }
+                        | Unit::Tagger { .. }
+                );
+                queued.then(|| graphiti_obs::histogram(&format!("sim.buf_occupancy.{}", n.name)))
+            })
+            .collect();
+        let stall_by_node = nodes
+            .iter()
+            .map(|n| graphiti_obs::counter(&format!("sim.stall_cycles.{}", n.name)))
+            .collect();
+        SimObs {
+            trace_node,
+            occupancy,
+            stall_by_node,
+            stall_total: graphiti_obs::counter("sim.stall_cycles"),
+            starved_total: graphiti_obs::counter("sim.starved_cycles"),
+            latency: graphiti_obs::histogram("sim.token_latency_cycles"),
+        }
+    }
 }
 
 /// A netlist instantiated for simulation.
@@ -196,6 +265,7 @@ pub struct Simulator {
     memory: Memory,
     cfg: SimConfig,
     trace: Vec<TraceEvent>,
+    obs: Option<SimObs>,
 }
 
 impl Simulator {
@@ -271,11 +341,9 @@ impl Simulator {
                 CompKind::TaggerUntagger { tags } => {
                     Unit::Tagger { state: TaggerState::new(*tags) }
                 }
-                CompKind::Load { mem } => Unit::Load {
-                    mem: mem.clone(),
-                    lat: cfg.load_latency,
-                    pipe: VecDeque::new(),
-                },
+                CompKind::Load { mem } => {
+                    Unit::Load { mem: mem.clone(), lat: cfg.load_latency, pipe: VecDeque::new() }
+                }
                 CompKind::Store { mem } => Unit::Store { mem: mem.clone() },
             };
             nodes.push(Node {
@@ -287,7 +355,17 @@ impl Simulator {
                 emitted: false,
             });
         }
-        Ok(Simulator { nodes, chans, input_chans, output_chans, memory, cfg, trace: Vec::new() })
+        let obs = graphiti_obs::enabled().then(|| SimObs::new(&nodes, &cfg));
+        Ok(Simulator {
+            nodes,
+            chans,
+            input_chans,
+            output_chans,
+            memory,
+            cfg,
+            trace: Vec::new(),
+            obs,
+        })
     }
 
     /// Records an acceptance event if the node is traced.
@@ -334,8 +412,8 @@ impl Simulator {
                     if let Some(v) = front!(0) {
                         if (0..outs.len()).all(|k| space!(k)) {
                             self.pop(ins[0]);
-                            for k in 0..outs.len() {
-                                self.push(outs[k], v.clone());
+                            for &out in &outs {
+                                self.push(out, v.clone());
                             }
                             accepted = true;
                             fired = true;
@@ -350,7 +428,10 @@ impl Simulator {
                             if let Some((tag, ps)) = untag_all(&[a, b]) {
                                 self.pop(ins[0]);
                                 self.pop(ins[1]);
-                                self.push(outs[0], retag(tag, Value::pair(ps[0].clone(), ps[1].clone())));
+                                self.push(
+                                    outs[0],
+                                    retag(tag, Value::pair(ps[0].clone(), ps[1].clone())),
+                                );
                                 accepted = true;
                                 fired = true;
                             }
@@ -370,9 +451,7 @@ impl Simulator {
                                 accepted = true;
                                 fired = true;
                             } else {
-                                return Err(SimError::Eval(format!(
-                                    "split received non-pair {v}"
-                                )));
+                                return Err(SimError::Eval(format!("split received non-pair {v}")));
                             }
                         }
                     }
@@ -471,8 +550,8 @@ impl Simulator {
                                 let r = op
                                     .eval(&payloads)
                                     .map_err(|e| SimError::Eval(e.to_string()))?;
-                                for k in 0..ins.len() {
-                                    self.pop(ins[k]);
+                                for &chan in &ins {
+                                    self.pop(chan);
                                 }
                                 self.push(outs[0], retag(tag, r));
                                 accepted = true;
@@ -500,8 +579,8 @@ impl Simulator {
                         if let Some((tag, payloads)) = untag_all(&fs) {
                             let r =
                                 op.eval(&payloads).map_err(|e| SimError::Eval(e.to_string()))?;
-                            for k in 0..ins.len() {
-                                self.pop(ins[k]);
+                            for &chan in &ins {
+                                self.pop(chan);
                             }
                             pipe.push_back((retag(tag, r), now + *lat));
                             accepted = true;
@@ -528,8 +607,7 @@ impl Simulator {
                         let mem = &self.memory;
                         let r = func
                             .eval_with_mem(payload, &|name, addr| {
-                                mem_read(mem, name, &Value::Int(addr))
-                                    .unwrap_or(Value::Int(0))
+                                mem_read(mem, name, &Value::Int(addr)).unwrap_or(Value::Int(0))
                             })
                             .map_err(|e| SimError::Eval(e.to_string()))?;
                         let r = retag(tag, r);
@@ -551,14 +629,12 @@ impl Simulator {
                         }
                     }
                 }
-                if !accepted && q.len() < *slots {
-                    if self.chans[ins[0]].front().is_some() {
-                        let v = self.pop(ins[0]);
-                        let ready = if *transparent { now } else { now + 1 };
-                        q.push_back((v, ready));
-                        accepted = true;
-                        fired = true;
-                    }
+                if !accepted && q.len() < *slots && self.chans[ins[0]].front().is_some() {
+                    let v = self.pop(ins[0]);
+                    let ready = if *transparent { now } else { now + 1 };
+                    q.push_back((v, ready));
+                    accepted = true;
+                    fired = true;
                 }
             }
             Unit::Tagger { state } => {
@@ -567,15 +643,11 @@ impl Simulator {
                 // emit out) could each fire once per cycle; model them with
                 // independent limits via small per-call loops.
                 // Accept program-order input (bounded pending window).
-                if !accepted {
-                    if state.pending.len() < 2 {
-                        if self.chans[ins[0]].front().is_some() {
-                            let v = self.pop(ins[0]);
-                            state.pending.push_back(v);
-                            accepted = true;
-                            fired = true;
-                        }
-                    }
+                if !accepted && state.pending.len() < 2 && self.chans[ins[0]].front().is_some() {
+                    let v = self.pop(ins[0]);
+                    state.pending.push_back(v);
+                    accepted = true;
+                    fired = true;
                 }
                 // Accept a completion.
                 if let Some(v) = self.chans[ins[1]].front().cloned() {
@@ -591,7 +663,8 @@ impl Simulator {
                 }
                 // Emit a freshly tagged token into the region.
                 if !emitted && self.chans[outs[0]].has_space() {
-                    if let (Some(&tag), true) = (state.free.iter().next(), !state.pending.is_empty())
+                    if let (Some(&tag), true) =
+                        (state.free.iter().next(), !state.pending.is_empty())
                     {
                         let v = state.pending.pop_front().expect("checked pending");
                         state.free.remove(&tag);
@@ -638,17 +711,15 @@ impl Simulator {
             Unit::Store { mem } => {
                 if !accepted {
                     if let (Some(addr), Some(data)) = (front!(0), front!(1)) {
-                        if space!(0) {
-                            if untag_all(&[addr.clone(), data.clone()]).is_some() {
-                                let mem = mem.clone();
-                                self.pop(ins[0]);
-                                let data = self.pop(ins[1]);
-                                mem_write(&mut self.memory, &mem, &addr, &data)?;
-                                let (tag, _) = addr.untag();
-                                self.push(outs[0], retag(tag, Value::Unit));
-                                accepted = true;
-                                fired = true;
-                            }
+                        if space!(0) && untag_all(&[addr.clone(), data.clone()]).is_some() {
+                            let mem = mem.clone();
+                            self.pop(ins[0]);
+                            let data = self.pop(ins[1]);
+                            mem_write(&mut self.memory, &mem, &addr, &data)?;
+                            let (tag, _) = addr.untag();
+                            self.push(outs[0], retag(tag, Value::Unit));
+                            accepted = true;
+                            fired = true;
                         }
                     }
                 }
@@ -658,10 +729,77 @@ impl Simulator {
         self.nodes[i].unit = unit;
         self.nodes[i].accepted = accepted;
         self.nodes[i].emitted = emitted;
+        if fired {
+            if let Some(obs) = &self.obs {
+                if obs.trace_node[i] {
+                    let args = match &traced_values {
+                        Some(vs) => {
+                            let rendered =
+                                vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+                            vec![("values".to_string(), rendered)]
+                        }
+                        None => Vec::new(),
+                    };
+                    // Simulated-time track: 1 cycle = 1 µs, one lane per node.
+                    graphiti_obs::emit_complete(
+                        graphiti_obs::PID_SIM,
+                        i as u32,
+                        &self.nodes[i].name,
+                        now,
+                        1,
+                        args,
+                    );
+                }
+            }
+        }
         if let Some(values) = traced_values {
             self.record(i, now, values);
         }
         Ok(fired)
+    }
+
+    /// One end-of-cycle observation pass (instrumented runs only):
+    /// records buffer occupancy, back-pressure/starvation stalls, and
+    /// source-to-sink token latencies for the cycle that just ran.
+    fn observe_cycle(&self, obs: &SimObs, st: &mut ObsRunState, now: u64) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(h) = &obs.occupancy[i] {
+                let len = match &n.unit {
+                    Unit::Piped { pipe, .. }
+                    | Unit::Pure { pipe, .. }
+                    | Unit::Load { pipe, .. } => pipe.len(),
+                    Unit::Buffer { q, .. } => q.len(),
+                    Unit::Tagger { state } => state.len(),
+                    _ => 0,
+                };
+                h.record(len as u64);
+            }
+            if !st.fired[i] && !n.ins.is_empty() {
+                let ready = n.ins.iter().filter(|&&c| self.chans[c].front().is_some()).count();
+                if ready == n.ins.len() {
+                    // Operands present but nothing fired: the node is
+                    // back-pressured by a full output.
+                    obs.stall_total.inc();
+                    obs.stall_by_node[i].inc();
+                } else if ready > 0 {
+                    obs.starved_total.inc();
+                }
+            }
+        }
+        // Source-to-sink latency: pair the k-th token drained from the
+        // external inputs with the k-th token reaching an external output.
+        let in_now: usize = self.input_chans.values().map(|&c| self.chans[c].q.len()).sum();
+        for _ in in_now..st.in_remaining {
+            st.consumed_at.push_back(now);
+        }
+        st.in_remaining = in_now;
+        let out_now: usize = self.output_chans.values().map(|&c| self.chans[c].q.len()).sum();
+        for _ in st.out_seen..out_now {
+            if let Some(t) = st.consumed_at.pop_front() {
+                obs.latency.record(now - t);
+            }
+        }
+        st.out_seen = out_now;
     }
 
     /// Earliest future completion among pipelines and buffers, if any.
@@ -709,10 +847,21 @@ impl Simulator {
         let mut firings: u64 = 0;
         let mut last_active: u64 = 0;
         let mut firings_by_node: BTreeMap<String, u64> = BTreeMap::new();
+        // Per-run observation state, allocated only when a sink is
+        // installed; the uninstrumented loop does none of this work.
+        let mut obs_run = self.obs.is_some().then(|| ObsRunState {
+            fired: vec![false; self.nodes.len()],
+            in_remaining: self.input_chans.values().map(|&c| self.chans[c].q.len()).sum(),
+            out_seen: self.output_chans.values().map(|&c| self.chans[c].q.len()).sum(),
+            consumed_at: VecDeque::new(),
+        });
         loop {
             for n in &mut self.nodes {
                 n.accepted = false;
                 n.emitted = false;
+            }
+            if let Some(st) = &mut obs_run {
+                st.fired.iter_mut().for_each(|f| *f = false);
             }
             let mut any = false;
             loop {
@@ -723,6 +872,9 @@ impl Simulator {
                         any = true;
                         firings += 1;
                         *firings_by_node.entry(self.nodes[i].name.clone()).or_insert(0) += 1;
+                        if let Some(st) = &mut obs_run {
+                            st.fired[i] = true;
+                        }
                     }
                 }
                 if !progress {
@@ -730,6 +882,9 @@ impl Simulator {
                 }
             }
             if any {
+                if let (Some(obs), Some(st)) = (&self.obs, &mut obs_run) {
+                    self.observe_cycle(obs, st, now);
+                }
                 last_active = now;
                 now += 1;
             } else {
@@ -740,6 +895,13 @@ impl Simulator {
             }
             if now > self.cfg.max_cycles {
                 return Err(SimError::Timeout(self.cfg.max_cycles));
+            }
+        }
+        if self.obs.is_some() {
+            graphiti_obs::counter("sim.firings").add(firings);
+            graphiti_obs::counter("sim.cycles").add(last_active + 1);
+            for (name, count) in &firings_by_node {
+                graphiti_obs::counter(&format!("sim.fire.{name}")).add(*count);
             }
         }
         let outputs = self
@@ -758,9 +920,9 @@ impl Simulator {
                 .nodes
                 .iter()
                 .map(|n| match &n.unit {
-                    Unit::Piped { pipe, .. } | Unit::Pure { pipe, .. } | Unit::Load { pipe, .. } => {
-                        pipe.len()
-                    }
+                    Unit::Piped { pipe, .. }
+                    | Unit::Pure { pipe, .. }
+                    | Unit::Load { pipe, .. } => pipe.len(),
                     Unit::Buffer { q, .. } => q.len(),
                     Unit::Tagger { state } => state.len(),
                     _ => 0,

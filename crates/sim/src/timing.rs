@@ -134,8 +134,7 @@ pub fn clock_period(
     let mut arrival: BTreeMap<NodeId, f64> = BTreeMap::new();
     // Topological processing of the combinational subgraph: repeat sweeps
     // until a fixpoint (the subgraph is acyclic, so |V| sweeps suffice).
-    let nodes: Vec<(NodeId, CompKind)> =
-        g.nodes().map(|(n, k)| (n.clone(), k.clone())).collect();
+    let nodes: Vec<(NodeId, CompKind)> = g.nodes().map(|(n, k)| (n.clone(), k.clone())).collect();
     for (n, _) in &nodes {
         arrival.insert(n.clone(), 0.0);
     }
@@ -214,8 +213,7 @@ pub fn arrival_times(
     if has_combinational_cycle(g, &seq_check) {
         return Err(TimingError::CombinationalLoop);
     }
-    let nodes: Vec<(NodeId, CompKind)> =
-        g.nodes().map(|(n, k)| (n.clone(), k.clone())).collect();
+    let nodes: Vec<(NodeId, CompKind)> = g.nodes().map(|(n, k)| (n.clone(), k.clone())).collect();
     let mut arrival: BTreeMap<NodeId, f64> = BTreeMap::new();
     for (n, _) in &nodes {
         arrival.insert(n.clone(), 0.0);
@@ -320,7 +318,7 @@ mod tests {
         small.expose_output("c", ep("t", "tagged")).unwrap();
         small.expose_output("d", ep("t", "out")).unwrap();
         let mut big = small.clone();
-        if let Some(_) = big.kind("t") {
+        if big.kind("t").is_some() {
             big.remove_node("t").unwrap();
             big.add_node("t", CompKind::TaggerUntagger { tags: 64 }).unwrap();
             big.expose_input("a", ep("t", "in")).unwrap();

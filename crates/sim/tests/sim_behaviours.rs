@@ -88,8 +88,8 @@ fn tag_exhaustion_backpressures_but_recovers() {
     g.connect(ep("b", "out"), ep("t", "retag")).unwrap();
     g.expose_output("y", ep("t", "out")).unwrap();
     let vals: Vec<Value> = (0..3).map(Value::Int).collect();
-    let r = simulate(&g, &feeds(&[("x", vals.clone())]), Memory::new(), SimConfig::default())
-        .unwrap();
+    let r =
+        simulate(&g, &feeds(&[("x", vals.clone())]), Memory::new(), SimConfig::default()).unwrap();
     assert_eq!(r.outputs["y"], vals);
     assert_eq!(r.leftover_tokens, 0);
 }

@@ -15,9 +15,7 @@
 
 #![warn(missing_docs)]
 
-use graphiti_frontend::{
-    eval_expr, Expr, InterpError, Memory, OuterLoop, Program, StoreStmt,
-};
+use graphiti_frontend::{eval_expr, Expr, InterpError, Memory, OuterLoop, Program, StoreStmt};
 use graphiti_ir::{Op, Value};
 use graphiti_sim::Area;
 use std::collections::BTreeMap;
@@ -130,12 +128,7 @@ fn section_demand(exprs: &[&Expr], stores: &[&StoreStmt]) -> Demand {
 /// dependence critical path and each unit class's busy time divided by its
 /// unit count, plus one FSM transition state.
 fn schedule_length(d: &Demand) -> u64 {
-    let resource = d
-        .busy
-        .iter()
-        .map(|(c, busy)| busy.div_ceil(fu_units(*c)))
-        .max()
-        .unwrap_or(0);
+    let resource = d.busy.iter().map(|(c, busy)| busy.div_ceil(fu_units(*c))).max().unwrap_or(0);
     // Three control states: operand fetch, FSM transition, writeback.
     d.critical.max(resource) + 3
 }
@@ -200,13 +193,8 @@ fn run_kernel_costed(k: &OuterLoop, mem: &mut Memory) -> Result<(u64, Demand), I
     // Precompute schedule lengths.
     let init_exprs: Vec<&Expr> = k.inner.vars.iter().map(|(_, e)| e).collect();
     let init_d = section_demand(&init_exprs, &[]);
-    let body_exprs: Vec<&Expr> = k
-        .inner
-        .update
-        .iter()
-        .map(|(_, e)| e)
-        .chain(std::iter::once(&k.inner.cond))
-        .collect();
+    let body_exprs: Vec<&Expr> =
+        k.inner.update.iter().map(|(_, e)| e).chain(std::iter::once(&k.inner.cond)).collect();
     let body_stores: Vec<&StoreStmt> = k.inner.effects.iter().collect();
     let body_d = section_demand(&body_exprs, &body_stores);
     let epi_stores: Vec<&StoreStmt> = k.epilogue.iter().collect();
@@ -253,14 +241,12 @@ fn run_kernel_costed(k: &OuterLoop, mem: &mut Memory) -> Result<(u64, Demand), I
         let mut epi_env = state;
         epi_env.insert(k.var.clone(), Value::Int(i));
         for st in &k.epilogue {
-            let idx =
-                eval_expr(&st.index, &epi_env, mem)?.as_int().ok_or(InterpError::BadIndex)?;
+            let idx = eval_expr(&st.index, &epi_env, mem)?.as_int().ok_or(InterpError::BadIndex)?;
             let v = eval_expr(&st.value, &epi_env, mem)?;
             let arr = mem
                 .get_mut(&st.array)
                 .ok_or_else(|| InterpError::UnknownArray(st.array.clone()))?;
-            *arr.get_mut(idx as usize)
-                .ok_or(InterpError::OutOfBounds(st.array.clone(), idx))? = v;
+            *arr.get_mut(idx as usize).ok_or(InterpError::OutOfBounds(st.array.clone(), idx))? = v;
         }
         cycles += epi_len;
     }
@@ -307,10 +293,7 @@ mod tests {
         Program {
             name: "accum".into(),
             arrays: [
-                (
-                    "a".to_string(),
-                    (0..trip * m).map(|x| Value::from_f64(x as f64)).collect(),
-                ),
+                ("a".to_string(), (0..trip * m).map(|x| Value::from_f64(x as f64)).collect()),
                 ("y".to_string(), vec![Value::from_f64(0.0); trip as usize]),
             ]
             .into_iter()
@@ -369,14 +352,8 @@ mod tests {
         let mk = |pairs: Vec<(i64, i64)>| Program {
             name: "gcd".into(),
             arrays: [
-                (
-                    "arr1".to_string(),
-                    pairs.iter().map(|(a, _)| Value::Int(*a)).collect(),
-                ),
-                (
-                    "arr2".to_string(),
-                    pairs.iter().map(|(_, b)| Value::Int(*b)).collect(),
-                ),
+                ("arr1".to_string(), pairs.iter().map(|(a, _)| Value::Int(*a)).collect()),
+                ("arr2".to_string(), pairs.iter().map(|(_, b)| Value::Int(*b)).collect()),
                 ("result".to_string(), vec![Value::Int(0); pairs.len()]),
             ]
             .into_iter()

@@ -46,10 +46,7 @@ fn order_sensitive_bicg(n: i64) -> Program {
     Program {
         name: "bicg-ordered".into(),
         arrays: [
-            (
-                "A".to_string(),
-                (0..n * n).map(|k| Value::from_f64((k % 5) as f64 + 1.0)).collect(),
-            ),
+            ("A".to_string(), (0..n * n).map(|k| Value::from_f64((k % 5) as f64 + 1.0)).collect()),
             ("s".to_string(), vec![Value::from_f64(0.0); n as usize]),
             ("q".to_string(), vec![Value::from_f64(0.0); n as usize]),
         ]

@@ -19,16 +19,11 @@ use std::collections::BTreeMap;
 /// iteration counts *and* exit with distinguishable values — a reordering
 /// of loop executions is then visible in the traces.
 fn countdown_loop() -> Result<ExprHigh, GraphError> {
-    let step = PureFn::comp(
-        PureFn::Op(Op::SubI),
-        PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(2))),
-    );
+    let step =
+        PureFn::comp(PureFn::Op(Op::SubI), PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(2))));
     let continue_cond =
         PureFn::comp(PureFn::Op(Op::GeI), PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(1))));
-    let f = PureFn::comp(
-        PureFn::par(PureFn::Id, continue_cond),
-        PureFn::comp(PureFn::Dup, step),
-    );
+    let f = PureFn::comp(PureFn::par(PureFn::Id, continue_cond), PureFn::comp(PureFn::Dup, step));
     let mut g = ExprHigh::new();
     g.add_node("mux", CompKind::Mux)?;
     g.add_node("body", CompKind::Pure { func: f })?;

@@ -5,7 +5,8 @@
 //! rewritten dot graph out. This binary plays that role:
 //!
 //! ```text
-//! graphiti-cli [--tags N] [--mark INIT_NODE] [--checked] [--stats] [INPUT.dot]
+//! graphiti-cli [--tags N] [--mark INIT_NODE] [--checked] [--stats]
+//!              [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]
 //! graphiti-cli --compile [PROGRAM.gsl]
 //! ```
 //!
@@ -20,7 +21,15 @@
 //! With `--compile` the input is a loop-nest *program* in the front-end's
 //! surface syntax instead of a dot circuit: each kernel is compiled, marked
 //! kernels are optimized (with their declared tag budgets), and the
-//! resulting circuits are printed as dot.
+//! resulting circuits are printed as dot. A `.gsl` input file implies
+//! `--compile`.
+//!
+//! `--metrics-out FILE` / `--trace-out FILE` install the `graphiti-obs`
+//! collection sink and write a metrics JSON document / Chrome trace-event
+//! file (loadable in Perfetto) when the run finishes. Either flag implies
+//! `--checked` (so refinement-check metrics exist), and in compile mode
+//! the optimized kernels are additionally simulated against the program's
+//! arrays so the profile includes simulator fire/stall counters.
 
 use graphiti::pipeline::{find_seq_loops, optimize_loop, PipelineOptions};
 use graphiti::prelude::*;
@@ -33,12 +42,22 @@ struct Args {
     checked: bool,
     stats: bool,
     compile: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
     input: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { tags: 8, mark: None, checked: false, stats: false, compile: false, input: None };
+    let mut args = Args {
+        tags: 8,
+        mark: None,
+        checked: false,
+        stats: false,
+        compile: false,
+        metrics_out: None,
+        trace_out: None,
+        input: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,9 +71,15 @@ fn parse_args() -> Result<Args, String> {
             "--checked" => args.checked = true,
             "--stats" => args.stats = true,
             "--compile" => args.compile = true,
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a file path")?);
+            }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().ok_or("--trace-out needs a file path")?);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked] [--stats] [INPUT.dot]\n       graphiti-cli --compile [PROGRAM.gsl]"
+                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked] [--stats] [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]\n       graphiti-cli --compile [PROGRAM.gsl]"
                         .to_string(),
                 )
             }
@@ -62,11 +87,48 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    if args.input.as_deref().is_some_and(|p| p.ends_with(".gsl")) {
+        args.compile = true;
+    }
+    if args.metrics_out.is_some() || args.trace_out.is_some() {
+        // A profile without refinement-check metrics would be misleading:
+        // observed runs are always checked.
+        args.checked = true;
+    }
     Ok(args)
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    let observing = args.metrics_out.is_some() || args.trace_out.is_some();
+    if observing {
+        graphiti::obs::enable();
+    }
+    let result = run_inner(&args);
+    if observing {
+        // Export whatever was collected even when the run failed: a
+        // partial profile is exactly what a failure investigation needs.
+        write_observations(&args)?;
+    }
+    result
+}
+
+fn write_observations(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.metrics_out {
+        graphiti::obs::write_metrics_json(path)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = &args.trace_out {
+        graphiti::obs::write_chrome_trace(path)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if args.stats {
+        eprint!("{}", graphiti::obs::summary_table());
+    }
+    Ok(())
+}
+
+fn run_inner(args: &Args) -> Result<(), String> {
     let src = match &args.input {
         Some(path) => {
             std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
@@ -81,7 +143,7 @@ fn run() -> Result<(), String> {
     };
 
     if args.compile {
-        return compile_mode(&src, &args);
+        return compile_mode(&src, args);
     }
 
     let g = parse_dot(&src).map_err(|e| e.to_string())?;
@@ -115,7 +177,10 @@ fn run() -> Result<(), String> {
         check: if args.checked { CheckMode::Checked } else { CheckMode::Off },
         ..Default::default()
     };
-    let (out, report) = optimize_loop(&g, &init, &opts).map_err(|e| e.to_string())?;
+    let (out, report) = {
+        let _span = graphiti::obs::span("optimize");
+        optimize_loop(&g, &init, &opts).map_err(|e| e.to_string())?
+    };
     if args.stats {
         eprintln!(
             "graphiti-cli: transformed = {}, rewrites = {}, pure-by-rewrites = {}",
@@ -148,6 +213,7 @@ fn run() -> Result<(), String> {
 fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
     let program = graphiti::frontend::parse_program(src).map_err(|e| e.to_string())?;
     let compiled = graphiti::frontend::compile(&program).map_err(|e| e.to_string())?;
+    let mut optimized: Vec<(String, ExprHigh)> = Vec::new();
     for kernel in &compiled.kernels {
         let out = match kernel.ooo_tags {
             Some(tags) => {
@@ -156,9 +222,11 @@ fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
                     check: if args.checked { CheckMode::Checked } else { CheckMode::Off },
                     ..Default::default()
                 };
-                let (g, report) =
+                let (g, report) = {
+                    let _span = graphiti::obs::span("optimize");
                     optimize_loop(&kernel.graph, &kernel.inner_init, &opts)
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| e.to_string())?
+                };
                 if args.stats {
                     eprintln!(
                         "graphiti-cli: kernel `{}`: transformed = {}, rewrites = {}",
@@ -177,6 +245,25 @@ fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
         };
         println!("// kernel {}", kernel.name);
         println!("{}", print_dot(&out));
+        optimized.push((kernel.name.clone(), out));
+    }
+    // Under --metrics-out / --trace-out, also run the kernels so the
+    // profile carries simulator fire/stall/latency data.
+    if graphiti::obs::enabled() {
+        let _span = graphiti::obs::span("simulate");
+        let mut mem = program.arrays.clone();
+        let feeds: std::collections::BTreeMap<String, Vec<Value>> =
+            [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+        for (name, g) in &optimized {
+            let (placed, _) = place_buffers(g);
+            let r = simulate(&placed, &feeds, mem, SimConfig::default())
+                .map_err(|e| format!("kernel `{name}` simulation: {e}"))?;
+            eprintln!(
+                "graphiti-cli: kernel `{name}` simulated: {} cycles, {} firings",
+                r.cycles, r.firings
+            );
+            mem = r.memory;
+        }
     }
     Ok(())
 }

@@ -21,6 +21,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`ir`] | `graphiti-ir` | ExprHigh / ExprLow, values, DOT interchange |
+//! | [`obs`] | `graphiti-obs` | metrics registry, timed spans, trace exporters |
 //! | [`sem`] | `graphiti-sem` | module semantics, denotation, refinement checking |
 //! | [`rewrite`] | `graphiti-rewrite` | rewriting engine, catalogue, e-graph oracle |
 //! | [`frontend`] | `graphiti-frontend` | loop-nest language → elastic circuits |
@@ -60,6 +61,7 @@ pub use graphiti_bench as bench;
 pub use graphiti_core as pipeline;
 pub use graphiti_frontend as frontend;
 pub use graphiti_ir as ir;
+pub use graphiti_obs as obs;
 pub use graphiti_rewrite as rewrite;
 pub use graphiti_sem as sem;
 pub use graphiti_sim as sim;
@@ -76,7 +78,5 @@ pub mod prelude {
     };
     pub use graphiti_rewrite::{catalog, CheckMode, Engine, Rewrite};
     pub use graphiti_sem::{check_refinement, denote_graph, Env, RefineConfig, Refinement};
-    pub use graphiti_sim::{
-        place_buffers, place_buffers_targeted, simulate, SimConfig, SimResult,
-    };
+    pub use graphiti_sim::{place_buffers, place_buffers_targeted, simulate, SimConfig, SimResult};
 }

@@ -36,7 +36,9 @@ fn run_cli(stdin: &str, extra_args: &[&str]) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary runs");
-    child.stdin.as_mut().expect("stdin").write_all(stdin.as_bytes()).expect("write");
+    // The CLI may exit before reading stdin (e.g. on a bad flag), which
+    // surfaces here as a broken pipe — not a test failure.
+    let _ = child.stdin.as_mut().expect("stdin").write_all(stdin.as_bytes());
     let out = child.wait_with_output().expect("cli completes");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),

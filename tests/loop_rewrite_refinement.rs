@@ -48,14 +48,10 @@ fn gcd_body() -> PureFn {
 
 /// Countdown body `f(x) = (x - 2, x - 2 >= 1)`: distinguishable exits.
 fn countdown_body() -> PureFn {
-    let step = PureFn::comp(
-        PureFn::Op(Op::SubI),
-        PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(2))),
-    );
-    let cond = PureFn::comp(
-        PureFn::Op(Op::GeI),
-        PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(1))),
-    );
+    let step =
+        PureFn::comp(PureFn::Op(Op::SubI), PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(2))));
+    let cond =
+        PureFn::comp(PureFn::Op(Op::GeI), PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(1))));
     PureFn::comp(PureFn::par(PureFn::Id, cond), PureFn::comp(PureFn::Dup, step))
 }
 

@@ -58,8 +58,7 @@ fn pipeline_graph_strategy() -> impl Strategy<Value = ExprHigh> {
             let (name, in_port, out_port) = match kind {
                 0 => {
                     let n = format!("buf{i}");
-                    g.add_node(&n, CompKind::Buffer { slots: 2, transparent: i % 2 == 0 })
-                        .unwrap();
+                    g.add_node(&n, CompKind::Buffer { slots: 2, transparent: i % 2 == 0 }).unwrap();
                     (n, "in", "out")
                 }
                 1 => {

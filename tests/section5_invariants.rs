@@ -24,14 +24,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Builds the canonical sequential countdown loop and its tagged rewrite.
 fn loops(tags: u32) -> (ExprHigh, ExprHigh) {
-    let step = PureFn::comp(
-        PureFn::Op(Op::SubI),
-        PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(2))),
-    );
-    let cond = PureFn::comp(
-        PureFn::Op(Op::GeI),
-        PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(1))),
-    );
+    let step =
+        PureFn::comp(PureFn::Op(Op::SubI), PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(2))));
+    let cond =
+        PureFn::comp(PureFn::Op(Op::GeI), PureFn::pair(PureFn::Id, PureFn::Const(Value::Int(1))));
     let f = PureFn::comp(PureFn::par(PureFn::Id, cond), PureFn::comp(PureFn::Dup, step));
     let mut g = ExprHigh::new();
     g.add_node("mux", CompKind::Mux).unwrap();
@@ -51,8 +47,7 @@ fn loops(tags: u32) -> (ExprHigh, ExprHigh) {
     g.expose_input("entry", ep("mux", "f")).unwrap();
     g.expose_output("exit", ep("br", "f")).unwrap();
     let mut engine = Engine::new();
-    let ooo =
-        engine.apply_first(&g, &catalog::ooo::loop_ooo(tags)).unwrap().expect("loop matches");
+    let ooo = engine.apply_first(&g, &catalog::ooo::loop_ooo(tags)).unwrap().expect("loop matches");
     (g, ooo)
 }
 
@@ -112,10 +107,7 @@ fn psi(s: &State, tags: u32) {
     }
     for (label, seen) in [("data", &data_seen), ("cond", &cond_seen)] {
         for (tag, count) in seen {
-            assert!(
-                count <= &1,
-                "tag {tag} appears on {count} in-flight {label} values:\n{s}"
-            );
+            assert!(count <= &1, "tag {tag} appears on {count} in-flight {label} values:\n{s}");
             assert!(order_set.contains(tag), "in-flight tag {tag} is not allocated");
         }
     }
@@ -135,7 +127,7 @@ fn psi_preserved_walk(tags: u32, inputs: &[i64], seed: u64) {
     for _ in 0..3000 {
         let mut actions: Vec<State> = Vec::new();
         if let Some(v) = pending.last() {
-            actions.extend(m.inputs[&in_port](&state, v).into_iter());
+            actions.extend(m.inputs[&in_port](&state, v));
         }
         let n_input_actions = actions.len();
         actions.extend(m.internal_step(&state));

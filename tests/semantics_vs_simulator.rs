@@ -69,12 +69,7 @@ fn deterministic_datapath_agrees() {
     g.connect(ep("c7", "out"), ep("m", "in1")).unwrap();
     g.connect(ep("m", "out"), ep("nz", "in0")).unwrap();
     g.expose_output("y", ep("nz", "out")).unwrap();
-    cross_check(
-        &g,
-        "x",
-        "y",
-        vec![Value::Int(14), Value::Int(15), Value::Int(0), Value::Int(3)],
-    );
+    cross_check(&g, "x", "y", vec![Value::Int(14), Value::Int(15), Value::Int(0), Value::Int(3)]);
 }
 
 #[test]
@@ -113,7 +108,6 @@ fn sequential_loop_agrees() {
     // The out-of-order rewrite keeps the visible behaviour deterministic
     // (the Untagger releases in order), so the cross-check still applies.
     let mut engine = Engine::new();
-    let ooo =
-        engine.apply_first(&g, &catalog::ooo::loop_ooo(2)).unwrap().expect("loop matches");
+    let ooo = engine.apply_first(&g, &catalog::ooo::loop_ooo(2)).unwrap().expect("loop matches");
     cross_check(&ooo, "entry", "exit", inputs);
 }

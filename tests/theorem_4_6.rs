@@ -15,11 +15,7 @@ fn io_module(g: &ExprHigh) -> Module {
 }
 
 fn small_cfg() -> RefineConfig {
-    RefineConfig {
-        domain: vec![Value::Int(0), Value::Int(1)],
-        max_depth: 8,
-        ..Default::default()
-    }
+    RefineConfig { domain: vec![Value::Int(0), Value::Int(1)], max_depth: 8, ..Default::default() }
 }
 
 /// A small circuit containing a fork-of-fork tree feeding sinks and an
@@ -43,10 +39,7 @@ fn fork_tree_graph() -> ExprHigh {
 fn whole_graph_refinement_after_fork_flatten() {
     let g = fork_tree_graph();
     let mut engine = Engine::new();
-    let g2 = engine
-        .apply_first(&g, &catalog::normalize::fork_flatten())
-        .unwrap()
-        .expect("match");
+    let g2 = engine.apply_first(&g, &catalog::normalize::fork_flatten()).unwrap().expect("match");
     // Conclusion of Theorem 4.6 on the full circuits.
     let before = io_module(&g);
     let after = io_module(&g2);
@@ -92,8 +85,7 @@ fn refinement_is_transitive_on_buffer_chains() {
     let chain = |n: usize| {
         let mut g = ExprHigh::new();
         for i in 0..n {
-            g.add_node(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false })
-                .unwrap();
+            g.add_node(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false }).unwrap();
         }
         g.expose_input("x", ep("b0", "in")).unwrap();
         for i in 0..n - 1 {
@@ -117,8 +109,7 @@ fn refinement_is_preserved_by_product_and_connect() {
     let wrap = |inner_n: usize| {
         let mut g = ExprHigh::new();
         for i in 0..inner_n {
-            g.add_node(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false })
-                .unwrap();
+            g.add_node(format!("b{i}"), CompKind::Buffer { slots: 1, transparent: false }).unwrap();
         }
         g.add_node("ctx", CompKind::Buffer { slots: 1, transparent: false }).unwrap();
         g.expose_input("x", ep("b0", "in")).unwrap();
@@ -139,10 +130,7 @@ fn substitution_on_exprlow_matches_engine_result() {
     // result equals the engine's output graph up to fresh names.
     let g = fork_tree_graph();
     let mut engine = Engine::new();
-    let g2 = engine
-        .apply_first(&g, &catalog::normalize::fork_flatten())
-        .unwrap()
-        .expect("match");
+    let g2 = engine.apply_first(&g, &catalog::normalize::fork_flatten()).unwrap().expect("match");
     // The flattened graph has exactly one fork with 3 ways.
     let forks: Vec<usize> = g2
         .nodes()
