@@ -1,0 +1,216 @@
+//! Compares two `--json` report documents (from `report --json` or
+//! `table2 --json`) and prints a delta table over cycle counts, harness
+//! wall-clock, and the scheduler-efficiency counters.
+//!
+//! ```text
+//! perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE]
+//! ```
+//!
+//! * exits non-zero if any (benchmark, flow) cycle count regressed by more
+//!   than the threshold (default 10%) — cycle counts are deterministic, so
+//!   this is a sound CI gate (wall-clock, which is not, is only reported);
+//! * `--emit FILE` — write a compact trend summary (the `BENCH_sim.json`
+//!   format) so the perf trajectory is tracked across PRs.
+
+use graphiti_bench::json::escape;
+use graphiti_bench::jsonin::{parse, Json};
+use std::fmt::Write as _;
+use std::process::exit;
+
+/// Everything perfdiff extracts from one report document.
+struct Report {
+    /// `benchmark/flow` → cycles, in document order.
+    cycles: Vec<(String, u64)>,
+    /// Harness wall-clock, if the document records it.
+    wall_seconds: Option<f64>,
+    /// Scheduler-efficiency counters, if a metrics snapshot is embedded.
+    sched: Vec<(String, u64)>,
+}
+
+/// Counters worth tracking across runs (subset of the obs registry).
+const SCHED_COUNTERS: [&str; 4] =
+    ["sim.firings", "sim.cycles", "sim.sched.examined", "sim.sched.worklist_pushes"];
+
+fn load(path: &str) -> Report {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfdiff: cannot read `{path}`: {e}");
+        exit(2);
+    });
+    let doc = parse(&text).unwrap_or_else(|e| {
+        eprintln!("perfdiff: `{path}` is not valid JSON: {e}");
+        exit(2);
+    });
+    let mut cycles = Vec::new();
+    for b in doc.get("benchmarks").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = b.get("name").and_then(Json::as_str).unwrap_or("?");
+        for (flow, m) in b.get("flows").and_then(Json::as_obj).unwrap_or(&[]) {
+            if let Some(c) = m.get("cycles").and_then(Json::as_u64) {
+                cycles.push((format!("{name}/{flow}"), c));
+            }
+        }
+    }
+    let wall_seconds = doc.get("wall_seconds").and_then(Json::as_f64);
+    let mut sched = Vec::new();
+    if let Some(counters) = doc.get("metrics").and_then(|m| m.get("counters")) {
+        for key in SCHED_COUNTERS {
+            if let Some(v) = counters.get(key).and_then(Json::as_u64) {
+                sched.push((key.to_string(), v));
+            }
+        }
+    }
+    Report { cycles, wall_seconds, sched }
+}
+
+fn pct(base: f64, cur: f64) -> Option<f64> {
+    (base > 0.0).then(|| (cur - base) / base * 100.0)
+}
+
+fn fmt_pct(p: Option<f64>) -> String {
+    match p {
+        Some(p) => format!("{p:+.2}%"),
+        None => "n/a".to_string(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut emit: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = it.next().and_then(|s| s.parse::<f64>().ok());
+                threshold = v.unwrap_or_else(|| {
+                    eprintln!("perfdiff: --threshold needs a number");
+                    exit(2);
+                });
+            }
+            "--emit" => {
+                emit = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("perfdiff: --emit needs a file path");
+                    exit(2);
+                }));
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => {
+                eprintln!("perfdiff: unknown argument `{other}`");
+                eprintln!(
+                    "usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE]"
+                );
+                exit(2);
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE]");
+        exit(2);
+    }
+    let base = load(&paths[0]);
+    let cur = load(&paths[1]);
+
+    let width = cur
+        .cycles
+        .iter()
+        .chain(base.cycles.iter())
+        .chain(cur.sched.iter())
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(12)
+        .max("benchmark/flow".len());
+    println!("{:<width$}  {:>12}  {:>12}  {:>9}", "benchmark/flow", "baseline", "current", "delta");
+    let mut regressions: Vec<(String, f64)> = Vec::new();
+    let mut rows = Vec::new();
+    for (key, c) in &cur.cycles {
+        match base.cycles.iter().find(|(k, _)| k == key) {
+            Some((_, b)) => {
+                let d = pct(*b as f64, *c as f64);
+                println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}", fmt_pct(d));
+                if let Some(d) = d {
+                    rows.push((key.clone(), *b, *c, d));
+                    if d > threshold {
+                        regressions.push((key.clone(), d));
+                    }
+                }
+            }
+            None => println!("{key:<width$}  {:>12}  {c:>12}  {:>9}", "-", "new"),
+        }
+    }
+    for (key, b) in &base.cycles {
+        if !cur.cycles.iter().any(|(k, _)| k == key) {
+            println!("{key:<width$}  {b:>12}  {:>12}  {:>9}", "-", "gone");
+        }
+    }
+
+    println!();
+    if let (Some(bw), Some(cw)) = (base.wall_seconds, cur.wall_seconds) {
+        println!(
+            "{:<width$}  {bw:>12.3}  {cw:>12.3}  {:>9}   (informational)",
+            "wall_seconds",
+            fmt_pct(pct(bw, cw)),
+        );
+    }
+    for (key, c) in &cur.sched {
+        if let Some((_, b)) = base.sched.iter().find(|(k, _)| k == key) {
+            println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}", fmt_pct(pct(*b as f64, *c as f64)));
+        } else {
+            println!("{key:<width$}  {:>12}  {c:>12}  {:>9}", "-", "new");
+        }
+    }
+
+    if let Some(path) = emit {
+        let mut out = String::from("{\n  \"cycles\": {\n");
+        for (i, (key, b, c, d)) in rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"baseline\": {b}, \"current\": {c}, \"delta_pct\": {d:.4}}}{}",
+                escape(key),
+                if i + 1 < rows.len() { "," } else { "" },
+            );
+        }
+        out.push_str("  },\n  \"wall_seconds\": {");
+        let _ = write!(
+            out,
+            "\"baseline\": {}, \"current\": {}",
+            base.wall_seconds.map_or("null".into(), |x| format!("{x}")),
+            cur.wall_seconds.map_or("null".into(), |x| format!("{x}")),
+        );
+        out.push_str("},\n  \"scheduler\": {\n");
+        for (i, (key, c)) in cur.sched.iter().enumerate() {
+            let b = base
+                .sched
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or("null".to_string(), |(_, b)| b.to_string());
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"baseline\": {b}, \"current\": {c}}}{}",
+                escape(key),
+                if i + 1 < cur.sched.len() { "," } else { "" },
+            );
+        }
+        let worst = regressions
+            .iter()
+            .map(|(_, d)| *d)
+            .fold(rows.iter().map(|(_, _, _, d)| *d).fold(f64::NEG_INFINITY, f64::max), f64::max);
+        let _ = write!(
+            out,
+            "  }},\n  \"threshold_pct\": {threshold},\n  \"max_cycle_delta_pct\": {}\n}}\n",
+            if worst.is_finite() { format!("{worst:.4}") } else { "null".to_string() },
+        );
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("perfdiff: cannot write `{path}`: {e}");
+            exit(2);
+        }
+        println!("\nwrote {path}");
+    }
+
+    if !regressions.is_empty() {
+        println!();
+        for (key, d) in &regressions {
+            println!("REGRESSION: {key} cycles {d:+.2}% (threshold {threshold}%)");
+        }
+        exit(1);
+    }
+}

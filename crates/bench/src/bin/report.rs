@@ -13,6 +13,7 @@
 //!   and write one `DIR/<bench>.metrics.json` profile per benchmark run.
 
 use graphiti_bench::{ablations, evaluate, evaluate_suite, json, suite, tables, BenchResult};
+use std::time::Instant;
 
 fn render_tables(results: &[BenchResult], to_stderr: bool) {
     let mut doc = String::from("# Graphiti evaluation report\n\n");
@@ -52,6 +53,7 @@ fn main() {
     }
 
     let programs = suite::evaluation_suite();
+    let t0 = Instant::now();
     let results = match &metrics_dir {
         Some(dir) => {
             // One metrics file per benchmark run: reset the registry
@@ -77,14 +79,12 @@ fn main() {
         }
     };
 
+    let wall = t0.elapsed().as_secs_f64();
+
     if json_out {
         // With --metrics-dir the registry only holds the last benchmark,
         // so the combined document omits the (misleading) aggregate.
-        if metrics_dir.is_some() {
-            print!("{}", json::results_json(&results));
-        } else {
-            print!("{}", json::results_with_metrics_json(&results));
-        }
+        print!("{}", json::report_json(&results, wall, metrics_dir.is_none()));
         render_tables(&results, true);
     } else {
         render_tables(&results, false);

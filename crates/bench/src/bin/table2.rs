@@ -1,20 +1,42 @@
 //! Regenerates the paper's `table2` artefact at the default problem sizes.
 //!
-//! With `--json`, prints the results as a JSON document instead (evaluated
-//! with the `graphiti-obs` sink enabled, so the document embeds a metrics
-//! snapshot alongside the table numbers).
+//! ```text
+//! table2 [--json] [--small]
+//! ```
+//!
+//! * `--json` — print the results as a JSON document instead (evaluated
+//!   with the `graphiti-obs` sink enabled, so the document embeds a
+//!   metrics snapshot — including the scheduler-efficiency counters —
+//!   alongside the table numbers and harness wall-clock, in the shape
+//!   `perfdiff` consumes).
+//! * `--small` — run the reduced-size suite (CI perf smoke).
 
-use graphiti_bench::{evaluate_suite, json, suite, tables};
+use graphiti_bench::{evaluate_suite, json, small_suite, suite, tables};
+use std::time::Instant;
 
 fn main() {
-    let json_out = std::env::args().skip(1).any(|a| a == "--json");
+    let mut json_out = false;
+    let mut small = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json_out = true,
+            "--small" => small = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: table2 [--json] [--small]");
+                std::process::exit(2);
+            }
+        }
+    }
     if json_out {
         graphiti_obs::enable();
     }
-    let programs = suite::evaluation_suite();
+    let programs = if small { small_suite() } else { suite::evaluation_suite() };
+    let t0 = Instant::now();
     let results = evaluate_suite(&programs).expect("evaluation succeeds");
+    let wall = t0.elapsed().as_secs_f64();
     if json_out {
-        print!("{}", json::results_with_metrics_json(&results));
+        print!("{}", json::report_json(&results, wall, true));
     } else {
         print!("{}", tables::table2(&results));
         println!();

@@ -150,88 +150,176 @@ fn metrics(
     }
 }
 
-/// Evaluates one benchmark across all four flows.
+/// Prepared per-benchmark context shared by the four flow jobs: the
+/// reference memory, the compiled kernels, and the §6.3 graph statistic.
+/// Everything inside is plain data, so one context can be shared across
+/// worker threads.
+struct BenchCtx<'a> {
+    program: &'a Program,
+    expected: Memory,
+    kernels: Vec<KernelCircuit>,
+    graph_nodes: usize,
+}
+
+/// The result of one (benchmark, flow) job: the metrics cell plus the
+/// rewrite statistics, which only the GRAPHITI flow produces.
+struct FlowOutcome {
+    metrics: FlowMetrics,
+    rewrites: usize,
+    rewrite_seconds: f64,
+    refused: bool,
+}
+
+impl FlowOutcome {
+    fn plain(metrics: FlowMetrics) -> FlowOutcome {
+        FlowOutcome { metrics, rewrites: 0, rewrite_seconds: 0.0, refused: false }
+    }
+}
+
+/// All four flows, in the order jobs are spawned per benchmark.
+const FLOWS: [Flow; 4] = [Flow::DfIo, Flow::Graphiti, Flow::DfOoo, Flow::Vericert];
+
+fn prepare(p: &Program) -> Result<BenchCtx<'_>, EvalError> {
+    let expected = run_program(p).map_err(|e| EvalError::Other(e.to_string()))?;
+    let compiled = compile(p).map_err(|e| EvalError::Compile(e.to_string()))?;
+    let graph_nodes = compiled.kernels.iter().map(|k| k.graph.node_count()).max().unwrap_or(0);
+    Ok(BenchCtx { program: p, expected, kernels: compiled.kernels, graph_nodes })
+}
+
+/// Runs one flow of one benchmark. Independent of every other (benchmark,
+/// flow) pair, so the suite fans these out across the worker pool.
+fn run_flow(ctx: &BenchCtx<'_>, flow: Flow) -> Result<FlowOutcome, EvalError> {
+    let kernels: &[KernelCircuit] = &ctx.kernels;
+    match flow {
+        // DF-IO: the compiled circuits as-is.
+        Flow::DfIo => {
+            let graphs: Vec<ExprHigh> = kernels.iter().map(|k| k.graph.clone()).collect();
+            let (c, cp, a, mem) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
+            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected)))
+        }
+        // GRAPHITI: the verified pipeline per marked kernel.
+        Flow::Graphiti => {
+            let mut rewrites = 0usize;
+            let mut refused = false;
+            let t0 = Instant::now();
+            let mut graphs = Vec::new();
+            for k in kernels {
+                match k.ooo_tags {
+                    Some(tags) => {
+                        let opts = PipelineOptions { tags, ..Default::default() };
+                        let (g, report) = optimize_loop(&k.graph, &k.inner_init, &opts)
+                            .map_err(|e| EvalError::Other(e.to_string()))?;
+                        rewrites += report.rewrites;
+                        refused |= !report.transformed;
+                        graphs.push(g);
+                    }
+                    None => graphs.push(k.graph.clone()),
+                }
+            }
+            let rewrite_seconds = t0.elapsed().as_secs_f64();
+            let (c, cp, a, mem) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
+            Ok(FlowOutcome {
+                metrics: metrics(c, cp, a, &mem, &ctx.expected),
+                rewrites,
+                rewrite_seconds,
+                refused,
+            })
+        }
+        // DF-OoO: unverified surgery (no refusal; reproduces the bicg bug).
+        Flow::DfOoo => {
+            let mut graphs = Vec::new();
+            for k in kernels {
+                match k.ooo_tags {
+                    Some(tags) => {
+                        let opts = PipelineOptions { tags, ..Default::default() };
+                        let g = dfooo_loop(&k.graph, &k.inner_init, &opts)
+                            .map_err(|e| EvalError::Other(e.to_string()))?;
+                        graphs.push(g);
+                    }
+                    None => graphs.push(k.graph.clone()),
+                }
+            }
+            let (c, cp, a, mem) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
+            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected)))
+        }
+        // Vericert: static baseline.
+        Flow::Vericert => {
+            let st = run_static(ctx.program).map_err(|e| EvalError::Other(e.to_string()))?;
+            Ok(FlowOutcome::plain(FlowMetrics {
+                cycles: st.cycles,
+                clock_period_ns: st.clock_period,
+                exec_time_ns: st.cycles as f64 * st.clock_period,
+                lut: st.area.lut,
+                ff: st.area.ff,
+                dsp: st.area.dsp,
+                correct: st.memory == ctx.expected,
+            }))
+        }
+    }
+}
+
+/// Folds the four flow outcomes of one benchmark into its result row.
+fn assemble(ctx: &BenchCtx<'_>, outcomes: Vec<(Flow, FlowOutcome)>) -> BenchResult {
+    let mut flows = BTreeMap::new();
+    let mut rewrites = 0;
+    let mut rewrite_seconds = 0.0;
+    let mut refused = false;
+    for (flow, o) in outcomes {
+        flows.insert(flow, o.metrics);
+        rewrites += o.rewrites;
+        rewrite_seconds += o.rewrite_seconds;
+        refused |= o.refused;
+    }
+    BenchResult {
+        name: ctx.program.name.clone(),
+        flows,
+        rewrites,
+        rewrite_seconds,
+        refused,
+        graph_nodes: ctx.graph_nodes,
+    }
+}
+
+/// Evaluates one benchmark across all four flows, serially on the calling
+/// thread. Used for instrumented per-benchmark profiling (where the
+/// process-global `graphiti-obs` registry must not see concurrent
+/// benchmarks) and by [`evaluate_suite`]'s workers.
 ///
 /// # Errors
 ///
 /// Fails on compilation or simulation errors; refusals and incorrect
 /// results (the DF-OoO bicg bug) are *recorded*, not errors.
 pub fn evaluate(p: &Program) -> Result<BenchResult, EvalError> {
-    let expected = run_program(p).map_err(|e| EvalError::Other(e.to_string()))?;
-    let compiled = compile(p).map_err(|e| EvalError::Compile(e.to_string()))?;
-    let kernels: &[KernelCircuit] = &compiled.kernels;
-    let graph_nodes = kernels.iter().map(|k| k.graph.node_count()).max().unwrap_or(0);
-
-    let mut flows = BTreeMap::new();
-
-    // DF-IO: the compiled circuits as-is.
-    let io_graphs: Vec<ExprHigh> = kernels.iter().map(|k| k.graph.clone()).collect();
-    let (c, cp, a, mem) = run_dataflow(&io_graphs, p.arrays.clone())?;
-    flows.insert(Flow::DfIo, metrics(c, cp, a, &mem, &expected));
-
-    // GRAPHITI: the verified pipeline per marked kernel.
-    let mut rewrites = 0usize;
-    let mut refused = false;
-    let t0 = Instant::now();
-    let mut graphiti_graphs = Vec::new();
-    for k in kernels {
-        match k.ooo_tags {
-            Some(tags) => {
-                let opts = PipelineOptions { tags, ..Default::default() };
-                let (g, report) = optimize_loop(&k.graph, &k.inner_init, &opts)
-                    .map_err(|e| EvalError::Other(e.to_string()))?;
-                rewrites += report.rewrites;
-                refused |= !report.transformed;
-                graphiti_graphs.push(g);
-            }
-            None => graphiti_graphs.push(k.graph.clone()),
-        }
+    let ctx = prepare(p)?;
+    let mut outcomes = Vec::with_capacity(FLOWS.len());
+    for flow in FLOWS {
+        outcomes.push((flow, run_flow(&ctx, flow)?));
     }
-    let rewrite_seconds = t0.elapsed().as_secs_f64();
-    let (c, cp, a, mem) = run_dataflow(&graphiti_graphs, p.arrays.clone())?;
-    flows.insert(Flow::Graphiti, metrics(c, cp, a, &mem, &expected));
-
-    // DF-OoO: unverified surgery (no refusal; reproduces the bicg bug).
-    let mut dfooo_graphs = Vec::new();
-    for k in kernels {
-        match k.ooo_tags {
-            Some(tags) => {
-                let opts = PipelineOptions { tags, ..Default::default() };
-                let g = dfooo_loop(&k.graph, &k.inner_init, &opts)
-                    .map_err(|e| EvalError::Other(e.to_string()))?;
-                dfooo_graphs.push(g);
-            }
-            None => dfooo_graphs.push(k.graph.clone()),
-        }
-    }
-    let (c, cp, a, mem) = run_dataflow(&dfooo_graphs, p.arrays.clone())?;
-    flows.insert(Flow::DfOoo, metrics(c, cp, a, &mem, &expected));
-
-    // Vericert: static baseline.
-    let st = run_static(p).map_err(|e| EvalError::Other(e.to_string()))?;
-    flows.insert(
-        Flow::Vericert,
-        FlowMetrics {
-            cycles: st.cycles,
-            clock_period_ns: st.clock_period,
-            exec_time_ns: st.cycles as f64 * st.clock_period,
-            lut: st.area.lut,
-            ff: st.area.ff,
-            dsp: st.area.dsp,
-            correct: st.memory == expected,
-        },
-    );
-
-    Ok(BenchResult { name: p.name.clone(), flows, rewrites, rewrite_seconds, refused, graph_nodes })
+    Ok(assemble(&ctx, outcomes))
 }
 
-/// Evaluates the whole suite (Table 2 row order).
+/// Evaluates the whole suite (Table 2 row order), fanning the independent
+/// (benchmark, flow) jobs out across a scoped worker pool sized by
+/// `available_parallelism` (override with `GRAPHITI_JOBS`). Results are
+/// reassembled by input index, so the output order — and every metric in
+/// it — is identical to a serial run.
 ///
 /// # Errors
 ///
-/// Propagates the first benchmark failure.
+/// Propagates the first benchmark failure, in deterministic (suite, flow)
+/// order.
 pub fn evaluate_suite(suite: &[Program]) -> Result<Vec<BenchResult>, EvalError> {
-    suite.iter().map(evaluate).collect()
+    let ctxs: Vec<BenchCtx<'_>> = suite.iter().map(prepare).collect::<Result<_, _>>()?;
+    let jobs: Vec<(usize, Flow)> =
+        (0..ctxs.len()).flat_map(|b| FLOWS.into_iter().map(move |f| (b, f))).collect();
+    let outcomes =
+        graphiti_pool::parallel_map(jobs, |(b, flow)| (b, flow, run_flow(&ctxs[b], flow)));
+    let mut per_bench: Vec<Vec<(Flow, FlowOutcome)>> =
+        (0..ctxs.len()).map(|_| Vec::with_capacity(FLOWS.len())).collect();
+    for (b, flow, outcome) in outcomes {
+        per_bench[b].push((flow, outcome?));
+    }
+    Ok(ctxs.iter().zip(per_bench).map(|(ctx, outcomes)| assemble(ctx, outcomes)).collect())
 }
 
 /// Geometric mean helper.

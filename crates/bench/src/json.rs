@@ -38,17 +38,25 @@ fn num(x: f64) -> String {
 /// Renders benchmark results as a JSON document:
 /// `{"benchmarks": [{"name", "flows": {...}, "rewrites", ...}]}`.
 pub fn results_json(results: &[BenchResult]) -> String {
-    render(results, None)
+    render(results, None, None)
 }
 
 /// Like [`results_json`], but with a `"metrics"` member holding the
 /// current [`graphiti_obs`] registry snapshot — call with the sink
 /// enabled so the evaluation's counters and histograms are populated.
 pub fn results_with_metrics_json(results: &[BenchResult]) -> String {
-    render(results, Some(graphiti_obs::metrics_json()))
+    render(results, None, Some(graphiti_obs::metrics_json()))
 }
 
-fn render(results: &[BenchResult], metrics: Option<String>) -> String {
+/// The full report shape consumed by `perfdiff`: benchmark results, the
+/// harness wall-clock in seconds, and (when `with_metrics`) the current
+/// `graphiti-obs` registry snapshot with the scheduler-efficiency
+/// counters.
+pub fn report_json(results: &[BenchResult], wall_seconds: f64, with_metrics: bool) -> String {
+    render(results, Some(wall_seconds), with_metrics.then(graphiti_obs::metrics_json))
+}
+
+fn render(results: &[BenchResult], wall_seconds: Option<f64>, metrics: Option<String>) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -78,6 +86,9 @@ fn render(results: &[BenchResult], metrics: Option<String>) -> String {
         out.push_str(&format!("    }}{}\n", if i + 1 < results.len() { "," } else { "" }));
     }
     out.push_str("  ]");
+    if let Some(wall) = wall_seconds {
+        out.push_str(&format!(",\n  \"wall_seconds\": {}", num(wall)));
+    }
     if let Some(doc) = metrics {
         out.push_str(",\n  \"metrics\": ");
         out.push_str(doc.trim_end());

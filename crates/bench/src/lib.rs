@@ -11,19 +11,24 @@
 //!   statistics, with the paper's published values printed alongside.
 //! * [`json`] — structured (machine-readable) rendering of the same
 //!   results, optionally embedding a `graphiti-obs` metrics snapshot.
+//! * [`jsonin`] — the matching minimal JSON reader, used by `perfdiff` to
+//!   compare two `--json` report documents.
 //!
 //! * [`ablations`] — tag-budget, buffer-slack, and clock-period-target
 //!   sweeps for the design choices DESIGN.md calls out.
 //!
-//! Binaries: `table2`, `table3`, `fig8`, `stats`, and `ablations`
-//! regenerate each artefact at the default problem sizes; criterion benches
-//! exercise the same code paths at reduced sizes.
+//! Binaries: `table2`, `table3`, `fig8`, `stats`, `ablations`, and
+//! `report` regenerate each artefact at the default problem sizes;
+//! `perfdiff` compares two `--json` reports and gates on cycle-count
+//! regressions; criterion benches exercise the same code paths at
+//! reduced sizes.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod eval;
 pub mod json;
+pub mod jsonin;
 pub mod suite;
 pub mod tables;
 

@@ -1,0 +1,158 @@
+//! Differential testing of the two simulator schedulers.
+//!
+//! The event-driven worklist scheduler claims *exact* equivalence with the
+//! retained reference sweep — not just the same outputs, but the same cycle
+//! counts, final memory, and per-node firing totals. These tests pin that
+//! claim against the full seven-kernel suite (in-order and after the
+//! verified out-of-order transformation) and against randomly generated
+//! front-end kernels.
+
+use graphiti_core::{optimize_loop, PipelineOptions};
+use graphiti_frontend::{compile, run_program, Expr, InnerLoop, OuterLoop, Program, StoreStmt};
+use graphiti_ir::{Op, Value};
+use graphiti_sim::{place_buffers, simulate, Scheduler, SimConfig, SimResult};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn start_feed() -> BTreeMap<String, Vec<Value>> {
+    [("start".to_string(), vec![Value::Unit])].into_iter().collect()
+}
+
+fn run_with(
+    g: &graphiti_ir::ExprHigh,
+    mem: graphiti_frontend::Memory,
+    scheduler: Scheduler,
+) -> SimResult {
+    let cfg = SimConfig { scheduler, ..SimConfig::default() };
+    simulate(g, &start_feed(), mem, cfg).expect("simulation succeeds")
+}
+
+/// Asserts the two schedulers agree on every observable of `g`, then
+/// returns the (common) final memory so kernel sequences can be chained.
+fn assert_schedulers_agree(
+    g: &graphiti_ir::ExprHigh,
+    mem: graphiti_frontend::Memory,
+    what: &str,
+) -> graphiti_frontend::Memory {
+    let ev = run_with(g, mem.clone(), Scheduler::EventDriven);
+    let sw = run_with(g, mem, Scheduler::ReferenceSweep);
+    assert_eq!(ev.cycles, sw.cycles, "{what}: cycles differ");
+    assert_eq!(ev.outputs, sw.outputs, "{what}: outputs differ");
+    assert_eq!(ev.memory, sw.memory, "{what}: memory differs");
+    assert_eq!(ev.firings, sw.firings, "{what}: total firings differ");
+    assert_eq!(ev.firings_by_node, sw.firings_by_node, "{what}: per-node firings differ");
+    assert_eq!(ev.leftover_tokens, sw.leftover_tokens, "{what}: leftover tokens differ");
+    ev.memory
+}
+
+/// The seven kernels at reduced sizes (the CI smoke sizes plus gcd).
+fn seven_kernels() -> Vec<Program> {
+    let mut v = graphiti_bench::small_suite();
+    v.push(graphiti_bench::suite::gcd(4));
+    v
+}
+
+/// In-order variant: the compiled kernels as-is, both schedulers, all
+/// observables equal, and the final memory matches the interpreter.
+#[test]
+fn schedulers_agree_on_all_kernels_in_order() {
+    for p in seven_kernels() {
+        let expected = run_program(&p).unwrap();
+        let compiled = compile(&p).unwrap();
+        let mut mem = p.arrays.clone();
+        for k in &compiled.kernels {
+            let (placed, _) = place_buffers(&k.graph);
+            mem = assert_schedulers_agree(&placed, mem, &format!("{} (in order)", p.name));
+        }
+        assert_eq!(mem, expected, "{}: in-order result wrong", p.name);
+    }
+}
+
+/// Out-of-order variant: each marked kernel is run through the verified
+/// pipeline first (bicg's refusal leaves it in order — also worth testing).
+#[test]
+fn schedulers_agree_on_all_kernels_out_of_order() {
+    for p in seven_kernels() {
+        let compiled = compile(&p).unwrap();
+        let mut mem = p.arrays.clone();
+        for k in &compiled.kernels {
+            let g = match k.ooo_tags {
+                Some(tags) => {
+                    let opts = PipelineOptions { tags, ..Default::default() };
+                    optimize_loop(&k.graph, &k.inner_init, &opts).unwrap().0
+                }
+                None => k.graph.clone(),
+            };
+            let (placed, _) = place_buffers(&g);
+            mem = assert_schedulers_agree(&placed, mem, &format!("{} (ooo)", p.name));
+        }
+    }
+}
+
+/// Random integer kernels (same shape as the front-end codegen fuzz
+/// strategy): expressions over `j`/`acc` with select, compiled and run
+/// under both schedulers.
+fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf =
+        prop_oneof![(-4i64..5).prop_map(Expr::int), Just(Expr::var("j")), Just(Expr::var("acc")),];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::AddI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::SubI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::MulI, a, b)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::sel(
+                Expr::bin(Op::LtI, c, Expr::int(0)),
+                t,
+                f
+            )),
+        ]
+    })
+}
+
+fn kernel_strategy() -> impl Strategy<Value = Program> {
+    (int_expr(3), 1i64..4, 1i64..5, -3i64..4).prop_map(|(update, trip, bound, init_acc)| {
+        let inner = InnerLoop {
+            vars: vec![("j".into(), Expr::var("i")), ("acc".into(), Expr::int(init_acc))],
+            update: vec![
+                ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+                ("acc".into(), update),
+            ],
+            cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(bound + 4)),
+            effects: vec![],
+        };
+        Program {
+            name: "fuzz".into(),
+            arrays: [("out".to_string(), vec![Value::Int(0); trip as usize])].into_iter().collect(),
+            kernels: vec![OuterLoop {
+                var: "i".into(),
+                trip,
+                inner,
+                epilogue: vec![StoreStmt {
+                    array: "out".into(),
+                    index: Expr::var("i"),
+                    value: Expr::var("acc"),
+                }],
+                ooo_tags: None,
+            }],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn schedulers_agree_on_random_kernels(p in kernel_strategy()) {
+        let compiled = compile(&p).unwrap();
+        let (placed, _) = place_buffers(&compiled.kernels[0].graph);
+        let ev = run_with(&placed, p.arrays.clone(), Scheduler::EventDriven);
+        let sw = run_with(&placed, p.arrays.clone(), Scheduler::ReferenceSweep);
+        prop_assert_eq!(ev.cycles, sw.cycles);
+        prop_assert_eq!(&ev.outputs, &sw.outputs);
+        prop_assert_eq!(&ev.memory, &sw.memory);
+        prop_assert_eq!(&ev.firings_by_node, &sw.firings_by_node);
+        // And the event-driven run is still *correct*, not just consistent.
+        let expected = run_program(&p).unwrap();
+        prop_assert_eq!(&ev.memory["out"], &expected["out"]);
+    }
+}

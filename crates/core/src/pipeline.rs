@@ -22,7 +22,7 @@ use crate::loops::{loop_body_region, loop_with_init, SeqLoop};
 use graphiti_ir::{ep, Attachment, CompKind, Endpoint, ExprHigh, NodeId, PureFn};
 use graphiti_rewrite::{
     catalog, extract_region_function, simplify, wire_consumer, CheckMode, Engine, ExtractError,
-    Match, Replacement, Rewrite, RewriteError,
+    Match, Obligation, Replacement, Rewrite, RewriteError,
 };
 use graphiti_sem::RefineConfig;
 use std::collections::{BTreeMap, BTreeSet};
@@ -85,6 +85,11 @@ pub struct PipelineReport {
     /// Whether phase 3 finished purely by catalogue rewrites (no oracle
     /// region collapse needed).
     pub pure_by_rewrites: bool,
+    /// Refinement obligations collected in [`CheckMode::Deferred`] (empty
+    /// in the other modes), in application order. Discharge them with
+    /// [`graphiti_rewrite::verify::discharge`] — the independent checks
+    /// run on worker threads.
+    pub obligations: Vec<Obligation>,
 }
 
 /// Pipeline errors (engine failures, not refusals).
@@ -114,6 +119,24 @@ fn engine_for(opts: &PipelineOptions) -> Engine {
     match opts.check {
         CheckMode::Off => Engine::new(),
         CheckMode::Checked => Engine::checked(opts.refine_cfg.clone()),
+        CheckMode::Deferred => Engine::deferring(opts.refine_cfg.clone()),
+    }
+}
+
+/// Assembles a report, draining the engine's deferred obligations (if any)
+/// into it.
+fn report_of(
+    engine: &mut Engine,
+    transformed: bool,
+    refusal: Option<Refusal>,
+    pure_by_rewrites: bool,
+) -> PipelineReport {
+    PipelineReport {
+        transformed,
+        refusal,
+        rewrites: engine.rewrites_applied(),
+        pure_by_rewrites,
+        obligations: std::mem::take(&mut engine.obligations),
     }
 }
 
@@ -280,12 +303,7 @@ pub fn optimize_loop(
         None => {
             return Ok((
                 original,
-                PipelineReport {
-                    transformed: false,
-                    refusal: Some(Refusal::LoopNotFound),
-                    rewrites: engine.rewrites_applied(),
-                    pure_by_rewrites: false,
-                },
+                report_of(&mut engine, false, Some(Refusal::LoopNotFound), false),
             ))
         }
     };
@@ -295,12 +313,12 @@ pub fn optimize_loop(
     if let Some(impure) = region0.iter().find(|n| !g.kind(n).expect("node").is_effect_free()) {
         return Ok((
             original,
-            PipelineReport {
-                transformed: false,
-                refusal: Some(Refusal::ImpureBody(format!("store at `{impure}`"))),
-                rewrites: engine.rewrites_applied(),
-                pure_by_rewrites: false,
-            },
+            report_of(
+                &mut engine,
+                false,
+                Some(Refusal::ImpureBody(format!("store at `{impure}`"))),
+                false,
+            ),
         ));
     }
     let body_input = match wire_consumer(&g, &ep(l.mux.clone(), "out")) {
@@ -308,12 +326,7 @@ pub fn optimize_loop(
         None => {
             return Ok((
                 original,
-                PipelineReport {
-                    transformed: false,
-                    refusal: Some(Refusal::LoopNotFound),
-                    rewrites: engine.rewrites_applied(),
-                    pure_by_rewrites: false,
-                },
+                report_of(&mut engine, false, Some(Refusal::LoopNotFound), false),
             ))
         }
     };
@@ -323,12 +336,7 @@ pub fn optimize_loop(
         _ => {
             return Ok((
                 original,
-                PipelineReport {
-                    transformed: false,
-                    refusal: Some(Refusal::LoopNotFound),
-                    rewrites: engine.rewrites_applied(),
-                    pure_by_rewrites: false,
-                },
+                report_of(&mut engine, false, Some(Refusal::LoopNotFound), false),
             ))
         }
     };
@@ -337,12 +345,7 @@ pub fn optimize_loop(
         _ => {
             return Ok((
                 original,
-                PipelineReport {
-                    transformed: false,
-                    refusal: Some(Refusal::LoopNotFound),
-                    rewrites: engine.rewrites_applied(),
-                    pure_by_rewrites: false,
-                },
+                report_of(&mut engine, false, Some(Refusal::LoopNotFound), false),
             ))
         }
     };
@@ -388,12 +391,7 @@ pub fn optimize_loop(
         None => {
             return Ok((
                 original,
-                PipelineReport {
-                    transformed: false,
-                    refusal: Some(Refusal::LoopNotFound),
-                    rewrites: engine.rewrites_applied(),
-                    pure_by_rewrites: false,
-                },
+                report_of(&mut engine, false, Some(Refusal::LoopNotFound), false),
             ))
         }
     };
@@ -423,23 +421,23 @@ pub fn optimize_loop(
             Err(ExtractError::Impure(n)) => {
                 return Ok((
                     original,
-                    PipelineReport {
-                        transformed: false,
-                        refusal: Some(Refusal::ImpureBody(format!("store at `{n}`"))),
-                        rewrites: engine.rewrites_applied(),
-                        pure_by_rewrites: false,
-                    },
+                    report_of(
+                        &mut engine,
+                        false,
+                        Some(Refusal::ImpureBody(format!("store at `{n}`"))),
+                        false,
+                    ),
                 ))
             }
             Err(e) => {
                 return Ok((
                     original,
-                    PipelineReport {
-                        transformed: false,
-                        refusal: Some(Refusal::NotReducible(e.to_string())),
-                        rewrites: engine.rewrites_applied(),
-                        pure_by_rewrites: false,
-                    },
+                    report_of(
+                        &mut engine,
+                        false,
+                        Some(Refusal::NotReducible(e.to_string())),
+                        false,
+                    ),
                 ))
             }
         };
@@ -460,14 +458,14 @@ pub fn optimize_loop(
             _ => {
                 return Ok((
                     original,
-                    PipelineReport {
-                        transformed: false,
-                        refusal: Some(Refusal::NotReducible(
+                    report_of(
+                        &mut engine,
+                        false,
+                        Some(Refusal::NotReducible(
                             "region outputs do not line up with branch/fork".into(),
                         )),
-                        rewrites: engine.rewrites_applied(),
-                        pure_by_rewrites: false,
-                    },
+                        false,
+                    ),
                 ))
             }
         };
@@ -492,12 +490,12 @@ pub fn optimize_loop(
         None => {
             return Ok((
                 original,
-                PipelineReport {
-                    transformed: false,
-                    refusal: Some(Refusal::NotReducible("canonical loop shape not reached".into())),
-                    rewrites: engine.rewrites_applied(),
+                report_of(
+                    &mut engine,
+                    false,
+                    Some(Refusal::NotReducible("canonical loop shape not reached".into())),
                     pure_by_rewrites,
-                },
+                ),
             ))
         }
     };
@@ -533,13 +531,5 @@ pub fn optimize_loop(
         None => unreachable!("targeted expansion always matches"),
     };
 
-    Ok((
-        g,
-        PipelineReport {
-            transformed: true,
-            refusal: None,
-            rewrites: engine.rewrites_applied(),
-            pure_by_rewrites,
-        },
-    ))
+    Ok((g, report_of(&mut engine, true, None, pure_by_rewrites)))
 }

@@ -68,6 +68,33 @@ fn checked_pipeline_completes_and_transforms() {
     assert_eq!(g.node_count(), g2.node_count());
 }
 
+/// Deferred mode: same graph out as inline-checked mode, with the
+/// obligations batched up and discharged in parallel afterwards instead of
+/// checked while rewriting. (Verdict-for-verdict equality between the two
+/// modes is proven at the engine level in `graphiti_rewrite::verify`.)
+#[test]
+fn deferred_discharge_matches_inline_checking() {
+    let kc = compile_kernel(&pure_gcd_kernel(), "gcd").unwrap();
+    let base = PipelineOptions { tags: 2, refine_cfg: tight_cfg(), ..Default::default() };
+
+    let checked = PipelineOptions { check: CheckMode::Checked, ..base.clone() };
+    let (g_inline, r_inline) = optimize_loop(&kc.graph, &kc.inner_init, &checked).unwrap();
+    assert!(r_inline.obligations.is_empty(), "inline mode defers nothing");
+
+    let deferred = PipelineOptions { check: CheckMode::Deferred, ..base };
+    let (g_def, r_def) = optimize_loop(&kc.graph, &kc.inner_init, &deferred).unwrap();
+
+    assert_eq!(g_inline, g_def);
+    assert!(r_def.transformed);
+    assert!(!r_def.obligations.is_empty());
+    assert_eq!(r_def.rewrites, r_inline.rewrites);
+
+    let count = r_def.obligations.len();
+    let discharged = graphiti_rewrite::verify::discharge(r_def.obligations, &deferred.refine_cfg);
+    assert_eq!(discharged.len(), count);
+    assert!(graphiti_rewrite::verify::first_violation(&discharged).is_none());
+}
+
 #[test]
 fn checked_and_unchecked_agree_on_refusals() {
     use graphiti_frontend::StoreStmt;

@@ -203,6 +203,25 @@ pub enum CheckMode {
     /// For every application of a `verified` rewrite, run the bounded
     /// refinement check `⟦rhs⟧ ⊑ ⟦lhs⟧` and refuse on a counterexample.
     Checked,
+    /// Record each verified application's obligation (the lowered
+    /// `lhs`/`rhs` pair) in [`Engine::obligations`] instead of checking it
+    /// inline. Obligations are plain data, so they can be discharged later
+    /// on worker threads — see [`crate::verify::discharge`].
+    Deferred,
+}
+
+/// A deferred refinement obligation: one application of a verified rewrite,
+/// captured as the lowered expression pair the inline check would have
+/// denoted. `ExprLow` is plain data (`Send`), so obligations collected on
+/// the rewriting thread can be discharged in parallel.
+#[derive(Debug, Clone)]
+pub struct Obligation {
+    /// Name of the rewrite that incurred the obligation.
+    pub rewrite: String,
+    /// The matched left-hand side as a contiguous `ExprLow` group.
+    pub lhs: ExprLow,
+    /// The rendered replacement; the obligation is `⟦rhs⟧ ⊑ ⟦lhs⟧`.
+    pub rhs: ExprLow,
 }
 
 /// One recorded rewrite application.
@@ -226,6 +245,9 @@ pub struct Engine {
     pub refine_cfg: RefineConfig,
     /// Log of applications, in order.
     pub log: Vec<Applied>,
+    /// Obligations collected in [`CheckMode::Deferred`], in application
+    /// order; empty in the other modes.
+    pub obligations: Vec<Obligation>,
     fresh_counter: usize,
 }
 
@@ -242,13 +264,23 @@ impl Engine {
             mode: CheckMode::Off,
             refine_cfg: RefineConfig::default(),
             log: Vec::new(),
+            obligations: Vec::new(),
             fresh_counter: 0,
         }
     }
 
     /// An engine in checked mode with the given bounds.
     pub fn checked(refine_cfg: RefineConfig) -> Engine {
-        Engine { mode: CheckMode::Checked, refine_cfg, log: Vec::new(), fresh_counter: 0 }
+        Engine { mode: CheckMode::Checked, ..Engine::with_cfg(refine_cfg) }
+    }
+
+    /// An engine that defers obligations instead of checking inline.
+    pub fn deferring(refine_cfg: RefineConfig) -> Engine {
+        Engine { mode: CheckMode::Deferred, ..Engine::with_cfg(refine_cfg) }
+    }
+
+    fn with_cfg(refine_cfg: RefineConfig) -> Engine {
+        Engine { refine_cfg, ..Engine::new() }
     }
 
     /// Number of rewrite applications so far.
@@ -312,14 +344,9 @@ impl Engine {
         let e_lhs = extract_group(&lowered.expr, whole).clone();
         let e_rhs = self.render_rhs(g, &repl)?;
 
-        let verdict = if self.mode == CheckMode::Checked && rw.verified {
-            // Times denotation + refinement checking; the checker itself
-            // records `refine.*` state counts when collection is enabled.
-            let _check_span = graphiti_obs::span("refine_check");
-            let env = Env::standard();
-            let lhs_mod = denote(&e_lhs, &env);
-            let rhs_mod = match &e_rhs {
-                Some(e) => denote(e, &env),
+        let verdict = if self.mode != CheckMode::Off && rw.verified {
+            let rhs = match &e_rhs {
+                Some(e) => e,
                 None => {
                     // A passthrough with no expressible rhs cannot be
                     // checked; treat as bound-reached.
@@ -328,14 +355,34 @@ impl Engine {
                     ));
                 }
             };
-            let r = check_refinement(&rhs_mod, &lhs_mod, &self.refine_cfg);
-            if let Refinement::Fails { trace } = &r {
-                return Err(RewriteError::RefinementViolated {
-                    rewrite: rw.name.to_string(),
-                    trace: trace.clone(),
-                });
+            match self.mode {
+                CheckMode::Checked => {
+                    // Times denotation + refinement checking; the checker
+                    // itself records `refine.*` state counts when
+                    // collection is enabled.
+                    let _check_span = graphiti_obs::span("refine_check");
+                    let env = Env::standard();
+                    let lhs_mod = denote(&e_lhs, &env);
+                    let rhs_mod = denote(rhs, &env);
+                    let r = check_refinement(&rhs_mod, &lhs_mod, &self.refine_cfg);
+                    if let Refinement::Fails { trace } = &r {
+                        return Err(RewriteError::RefinementViolated {
+                            rewrite: rw.name.to_string(),
+                            trace: trace.clone(),
+                        });
+                    }
+                    Some(r)
+                }
+                CheckMode::Deferred => {
+                    self.obligations.push(Obligation {
+                        rewrite: rw.name.to_string(),
+                        lhs: e_lhs.clone(),
+                        rhs: rhs.clone(),
+                    });
+                    None
+                }
+                CheckMode::Off => unreachable!("guarded above"),
             }
-            Some(r)
         } else {
             None
         };

@@ -16,6 +16,10 @@
 //! * [`extract_region_function`] and [`simplify`]/[`EGraph`] are the
 //!   untrusted oracles used by pure generation (§3.2), standing in for the
 //!   paper's egg-based oracle.
+//! * [`verify`] discharges deferred refinement obligations in parallel:
+//!   an engine in [`CheckMode::Deferred`] records each verified
+//!   application's lowered `lhs`/`rhs` pair, and [`verify::discharge`]
+//!   fans the independent bounded checks out across worker threads.
 //!
 //! # Example
 //!
@@ -42,10 +46,11 @@ pub mod catalog;
 mod egraph;
 mod engine;
 mod extract;
+pub mod verify;
 
 pub use egraph::{simplify, ClassId, EGraph, ENode};
 pub use engine::{
-    wire_consumer, wire_driver, Applied, CheckMode, Engine, Match, Replacement, Rewrite,
-    RewriteError,
+    wire_consumer, wire_driver, Applied, CheckMode, Engine, Match, Obligation, Replacement,
+    Rewrite, RewriteError,
 };
 pub use extract::{extract_region_function, ExtractError, RegionFunction};

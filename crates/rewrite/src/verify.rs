@@ -1,0 +1,111 @@
+//! Parallel discharge of deferred refinement obligations.
+//!
+//! An [`Engine`](crate::Engine) in [`CheckMode::Deferred`](crate::CheckMode)
+//! records each verified application's obligation — the lowered `lhs`/`rhs`
+//! pair the inline check would have denoted — instead of checking it while
+//! rewriting. The pairs are plain [`ExprLow`](graphiti_ir::ExprLow) data, so
+//! a batch collected on the rewriting thread can be denoted and checked on
+//! worker threads here. Verdicts come back in obligation order, so a
+//! deferred run reports exactly what the equivalent inline run would have
+//! (denotation and checking are deterministic in the expression pair).
+//!
+//! Deferring does *not* change which graph the engine produces: the rewrite
+//! is applied optimistically and the violation, if any, surfaces when the
+//! batch is discharged. Use it where the checked pipeline's answer is
+//! "did every obligation hold?" rather than "stop at the first violation" —
+//! catalogue audits, CI, the `--checked-deferred` CLI mode.
+
+use crate::engine::Obligation;
+use graphiti_sem::{check_refinement, denote, Env, RefineConfig, Refinement};
+
+/// The verdict for one discharged obligation.
+#[derive(Debug, Clone)]
+pub struct Discharged {
+    /// Name of the rewrite that incurred the obligation.
+    pub rewrite: String,
+    /// The bounded checker's verdict for `⟦rhs⟧ ⊑ ⟦lhs⟧`.
+    pub verdict: Refinement,
+}
+
+/// Discharges a batch of obligations, fanning the independent checks out
+/// across worker threads (sized by `std::thread::available_parallelism`,
+/// overridable with `GRAPHITI_JOBS`). Verdicts are returned in obligation
+/// order regardless of which worker ran each check.
+pub fn discharge(obligations: Vec<Obligation>, cfg: &RefineConfig) -> Vec<Discharged> {
+    graphiti_pool::parallel_map(obligations, |ob| {
+        let _span = graphiti_obs::span("refine_check");
+        let env = Env::standard();
+        let lhs = denote(&ob.lhs, &env);
+        let rhs = denote(&ob.rhs, &env);
+        Discharged { rewrite: ob.rewrite, verdict: check_refinement(&rhs, &lhs, cfg) }
+    })
+}
+
+/// The first violation in a batch of verdicts, if any.
+pub fn first_violation(verdicts: &[Discharged]) -> Option<&Discharged> {
+    verdicts.iter().find(|d| !d.verdict.is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, CheckMode, Engine};
+    use graphiti_ir::{ep, CompKind, ExprHigh};
+
+    /// A fork tree `f1 -> f2` that fork-flatten (a verified rewrite)
+    /// collapses; the engine in deferred mode must record the obligation
+    /// and `discharge` must find it holds.
+    fn fork_tree() -> ExprHigh {
+        let mut g = ExprHigh::new();
+        g.add_node("f1", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("f2", CompKind::Fork { ways: 2 }).unwrap();
+        g.expose_input("x", ep("f1", "in")).unwrap();
+        g.connect(ep("f1", "out0"), ep("f2", "in")).unwrap();
+        g.expose_output("a", ep("f1", "out1")).unwrap();
+        g.expose_output("b", ep("f2", "out0")).unwrap();
+        g.expose_output("c", ep("f2", "out1")).unwrap();
+        g
+    }
+
+    #[test]
+    fn deferred_mode_collects_and_discharges() {
+        let g = fork_tree();
+        let rw = catalog::normalize::fork_flatten();
+
+        let mut inline = Engine::checked(RefineConfig::default());
+        let g_inline = inline.apply_first(&g, &rw).unwrap().expect("match");
+
+        let mut deferred = Engine::deferring(RefineConfig::default());
+        assert_eq!(deferred.mode, CheckMode::Deferred);
+        let g_deferred = deferred.apply_first(&g, &rw).unwrap().expect("match");
+
+        // Same graph out, obligation captured instead of checked.
+        assert_eq!(g_inline, g_deferred);
+        assert_eq!(deferred.obligations.len(), 1);
+        assert!(deferred.log[0].verdict.is_none());
+
+        let verdicts = discharge(std::mem::take(&mut deferred.obligations), &deferred.refine_cfg);
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].rewrite, rw.name);
+        // The parallel verdict matches the inline one.
+        assert_eq!(Some(&verdicts[0].verdict), inline.log[0].verdict.as_ref());
+        assert!(first_violation(&verdicts).is_none());
+    }
+
+    #[test]
+    fn discharge_preserves_obligation_order() {
+        let g = fork_tree();
+        let rw = catalog::normalize::fork_flatten();
+        let mut eng = Engine::deferring(RefineConfig::default());
+        // Two applications: flatten once, then the result still has the
+        // obligation list in application order even if workers finish
+        // out of order.
+        let g2 = eng.apply_first(&g, &rw).unwrap().expect("match");
+        let _ = eng.apply_first(&g2, &rw).unwrap();
+        let names: Vec<String> = eng.obligations.iter().map(|o| o.rewrite.clone()).collect();
+        let verdicts = discharge(std::mem::take(&mut eng.obligations), &eng.refine_cfg);
+        let got: Vec<String> = verdicts.iter().map(|d| d.rewrite.clone()).collect();
+        assert_eq!(names, got);
+        assert!(verdicts.iter().all(|d| d.verdict.is_ok()));
+    }
+}

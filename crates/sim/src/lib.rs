@@ -48,7 +48,8 @@ pub use area::{circuit_area, component_area, op_area, Area};
 pub use memory::{mem_read, mem_write, MemError, Memory};
 pub use place::{has_combinational_cycle, place_buffers, place_buffers_targeted, PlacementStats};
 pub use sim::{
-    op_latency, purefn_latency, simulate, SimConfig, SimError, SimResult, Simulator, TraceEvent,
+    op_latency, purefn_latency, simulate, Scheduler, SimConfig, SimError, SimResult, Simulator,
+    TraceEvent,
 };
 pub use timing::{
     arrival_times, clock_period, elastic_clock_period, elastic_timing, is_sequential, NodeTiming,

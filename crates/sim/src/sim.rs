@@ -18,15 +18,43 @@
 //!   §6.2 manifests: an incorrectly reordered circuit produces wrong memory
 //!   contents, not a simulator error).
 //!
-//! Within a cycle, components are swept repeatedly until no one can fire;
+//! Within a cycle, components transact repeatedly until no one can fire;
 //! per-cycle firing caps make this terminate. Idle stretches (waiting for a
 //! deep FP pipeline) are fast-forwarded.
+//!
+//! Two schedulers implement that contract (selected by
+//! [`SimConfig::scheduler`], see DESIGN.md §"Event-driven scheduler"):
+//!
+//! * [`Scheduler::EventDriven`] (default) keeps a dirty worklist seeded from
+//!   channel activity: after each fire only the consumers of channels that
+//!   gained tokens, the producers of channels that drained, and the firing
+//!   node itself are re-examined, and latency pipelines re-arm their node
+//!   with a timer at the expiry cycle. The worklist is drained in node-index
+//!   order, round by round, which makes the firing sequence — and therefore
+//!   every observable result — bit-identical to the sweep.
+//! * [`Scheduler::ReferenceSweep`] is the original sweep-until-fixpoint loop,
+//!   retained as the executable specification for differential testing.
 
 use crate::memory::{mem_read, mem_write, MemError, Memory};
-use graphiti_ir::{CompKind, ExprHigh, Op, PureFn, Value};
-use graphiti_sem::{retag, untag_all, TaggerState};
-use std::collections::{BTreeMap, VecDeque};
+use graphiti_ir::{CompKind, ExprHigh, Op, PureFn, Tag, Value};
+use graphiti_sem::{retag, TaggerState};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
+
+/// Which scheduling core drives the simulation. Both produce identical
+/// results (cycles, outputs, memory, per-node firings); the sweep exists as
+/// the executable specification the event-driven core is tested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Dirty-worklist core: only nodes whose channels changed (or whose
+    /// pipeline timer expired) are re-examined.
+    #[default]
+    EventDriven,
+    /// Original sweep-until-fixpoint core: every node is examined every
+    /// pass of every cycle.
+    ReferenceSweep,
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -41,11 +69,18 @@ pub struct SimConfig {
     /// list filters which components emit per-fire Chrome trace events
     /// (empty: all components).
     pub trace_nodes: Vec<String>,
+    /// Scheduling core (event-driven by default).
+    pub scheduler: Scheduler,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_cycles: 50_000_000, load_latency: 2, trace_nodes: Vec::new() }
+        SimConfig {
+            max_cycles: 50_000_000,
+            load_latency: 2,
+            trace_nodes: Vec::new(),
+            scheduler: Scheduler::default(),
+        }
     }
 }
 
@@ -181,14 +216,38 @@ enum Unit {
 
 /// Mutable per-run observation state (instrumented runs only).
 struct ObsRunState {
-    /// Which nodes fired at least once in the current cycle.
-    fired: Vec<bool>,
     /// Tokens still waiting in the external input channels.
     in_remaining: usize,
     /// Tokens already counted at the external output channels.
     out_seen: usize,
     /// Consumption cycles of in-flight tokens, oldest first.
     consumed_at: VecDeque<u64>,
+}
+
+/// Mutable per-run state shared by both scheduling cores.
+struct RunState {
+    /// Current cycle.
+    now: u64,
+    /// Total fires so far.
+    firings: u64,
+    /// Last cycle in which anything fired.
+    last_active: u64,
+    /// Fires per node, indexed by node id (folded into the
+    /// `BTreeMap<String, u64>` API shape once at the end of the run).
+    firings_by_node: Vec<u64>,
+    /// Which nodes fired at least once in the current cycle.
+    fired: Vec<bool>,
+    /// The indices set in `fired`, for allocation-free per-cycle resets.
+    fired_list: Vec<u32>,
+    /// Total node examinations (scheduler-efficiency metric).
+    examined: u64,
+    /// Node examinations in the current cycle.
+    examined_cycle: u64,
+    /// Total worklist insertions (scheduler-efficiency metric; zero for
+    /// the reference sweep, which has no worklist).
+    pushes: u64,
+    /// Observation state, present only on instrumented runs.
+    obs_run: Option<ObsRunState>,
 }
 
 #[derive(Debug)]
@@ -219,6 +278,10 @@ struct SimObs {
     starved_total: graphiti_obs::Counter,
     /// `sim.token_latency_cycles`: source-to-sink latency distribution.
     latency: graphiti_obs::Histogram,
+    /// `sim.sched.examined_per_cycle`: node examinations per active cycle
+    /// (scheduler efficiency: the sweep examines every node every pass, the
+    /// event-driven core only dirty ones).
+    sched_examined: graphiti_obs::Histogram,
 }
 
 impl SimObs {
@@ -252,6 +315,7 @@ impl SimObs {
             stall_total: graphiti_obs::counter("sim.stall_cycles"),
             starved_total: graphiti_obs::counter("sim.starved_cycles"),
             latency: graphiti_obs::histogram("sim.token_latency_cycles"),
+            sched_examined: graphiti_obs::histogram("sim.sched.examined_per_cycle"),
         }
     }
 }
@@ -264,9 +328,69 @@ pub struct Simulator {
     output_chans: BTreeMap<String, ChanId>,
     memory: Memory,
     cfg: SimConfig,
-    trace: Vec<TraceEvent>,
+    /// Raw trace events `(cycle, node index, consumed values)`; node names
+    /// are resolved once at export instead of cloned per fire.
+    trace: Vec<(u64, u32, Vec<Value>)>,
+    /// Per node: does [`SimConfig::trace_nodes`] select it (precomputed so
+    /// the fire path avoids a linear scan).
+    traced: Vec<bool>,
+    /// Per channel: the node that reads it, if any (fanout table for the
+    /// event-driven scheduler; channels are single-consumer).
+    consumer_of: Vec<Option<u32>>,
+    /// Per channel: the node that writes it, if any (single-producer).
+    producer_of: Vec<Option<u32>>,
+    /// Reusable operand buffer for multi-input fires (Comb/Piped), so the
+    /// hot path performs no per-fire allocation after warm-up.
+    scratch: Vec<Value>,
     obs: Option<SimObs>,
 }
+
+/// The common tag across the front tokens of `ins`, by reference.
+///
+/// `None` means the transition is disabled: some input has no token, or the
+/// operands mix tags (two different tags, or tagged alongside untagged) —
+/// the same contract as [`graphiti_sem::untag_all`], without cloning any
+/// payload.
+fn fronts_tag(chans: &[Channel], ins: &[ChanId]) -> Option<Option<Tag>> {
+    let mut tag: Option<Tag> = None;
+    let mut any_untagged = false;
+    for &c in ins {
+        match chans[c].front()?.untag().0 {
+            Some(t) => match tag {
+                None => tag = Some(t),
+                Some(t0) if t0 == t => {}
+                Some(_) => return None,
+            },
+            None => any_untagged = true,
+        }
+    }
+    if tag.is_some() && any_untagged {
+        return None;
+    }
+    Some(tag)
+}
+
+/// Detaches a value's tag without cloning the payload.
+fn take_tag(v: Value) -> (Option<Tag>, Value) {
+    match v {
+        Value::Tagged(t, inner) => (Some(t), *inner),
+        v => (None, v),
+    }
+}
+
+/// Inputs to [`Simulator::step_unit`] beyond the unit itself: the node's
+/// per-cycle acceptance/emission caps, and whether consumed operand values
+/// must be captured for the trace/observability layer.
+#[derive(Clone, Copy)]
+struct StepFlags {
+    accepted: bool,
+    emitted: bool,
+    want_trace: bool,
+}
+
+/// What a [`Simulator::step_unit`] call produced: `(fired, accepted,
+/// emitted, traced input values)`.
+type StepOutcome = (bool, bool, bool, Option<Vec<Value>>);
 
 impl Simulator {
     /// Builds a simulator for a circuit over the given memory.
@@ -355,6 +479,17 @@ impl Simulator {
                 emitted: false,
             });
         }
+        let mut consumer_of: Vec<Option<u32>> = vec![None; chans.len()];
+        let mut producer_of: Vec<Option<u32>> = vec![None; chans.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            for &c in &n.ins {
+                consumer_of[c] = Some(i as u32);
+            }
+            for &c in &n.outs {
+                producer_of[c] = Some(i as u32);
+            }
+        }
+        let traced = nodes.iter().map(|n| cfg.trace_nodes.contains(&n.name)).collect();
         let obs = graphiti_obs::enabled().then(|| SimObs::new(&nodes, &cfg));
         Ok(Simulator {
             nodes,
@@ -364,14 +499,18 @@ impl Simulator {
             memory,
             cfg,
             trace: Vec::new(),
+            traced,
+            consumer_of,
+            producer_of,
+            scratch: Vec::new(),
             obs,
         })
     }
 
     /// Records an acceptance event if the node is traced.
     fn record(&mut self, i: usize, now: u64, values: Vec<Value>) {
-        if self.cfg.trace_nodes.iter().any(|n| *n == self.nodes[i].name) {
-            self.trace.push(TraceEvent { cycle: now, node: self.nodes[i].name.clone(), values });
+        if self.traced[i] {
+            self.trace.push((now, i as u32, values));
         }
     }
 
@@ -386,80 +525,124 @@ impl Simulator {
     /// Attempts all enabled transactions of node `i`; returns whether any
     /// fired.
     fn step(&mut self, i: usize, now: u64) -> Result<bool, SimError> {
-        let (ins, outs) = (self.nodes[i].ins.clone(), self.nodes[i].outs.clone());
+        // Split borrows: temporarily take the unit and port lists out so
+        // the transaction body can borrow channels and memory freely —
+        // without cloning `ins`/`outs` on every candidate fire.
+        let ins = std::mem::take(&mut self.nodes[i].ins);
+        let outs = std::mem::take(&mut self.nodes[i].outs);
+        let mut unit = std::mem::replace(&mut self.nodes[i].unit, Unit::Sink);
+        let accepted = self.nodes[i].accepted;
+        let emitted = self.nodes[i].emitted;
+        // Consumed operand values are only materialised when someone will
+        // look at them — the trace or the observability layer.
+        let want_trace = self.traced[i] || self.obs.as_ref().is_some_and(|o| o.trace_node[i]);
+        let flags = StepFlags { accepted, emitted, want_trace };
+        let res = self.step_unit(&mut unit, &ins, &outs, now, flags);
+        let n = &mut self.nodes[i];
+        n.unit = unit;
+        n.ins = ins;
+        n.outs = outs;
+        let (fired, accepted, emitted, traced_values) = res?;
+        let n = &mut self.nodes[i];
+        n.accepted = accepted;
+        n.emitted = emitted;
+        if fired {
+            if let Some(obs) = &self.obs {
+                if obs.trace_node[i] {
+                    let args = match &traced_values {
+                        Some(vs) => {
+                            let rendered =
+                                vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+                            vec![("values".to_string(), rendered)]
+                        }
+                        None => Vec::new(),
+                    };
+                    // Simulated-time track: 1 cycle = 1 µs, one lane per node.
+                    graphiti_obs::emit_complete(
+                        graphiti_obs::PID_SIM,
+                        i as u32,
+                        &self.nodes[i].name,
+                        now,
+                        1,
+                        args,
+                    );
+                }
+            }
+        }
+        if let Some(values) = traced_values {
+            self.record(i, now, values);
+        }
+        Ok(fired)
+    }
+
+    /// The transaction body of [`step`](Simulator::step): attempts every
+    /// enabled sub-transaction of `unit`, returning `(fired, accepted,
+    /// emitted, traced input values)`. Operand values are only cloned out
+    /// when `want_trace` is set; otherwise every arm moves tokens without
+    /// allocating.
+    fn step_unit(
+        &mut self,
+        unit: &mut Unit,
+        ins: &[ChanId],
+        outs: &[ChanId],
+        now: u64,
+        flags: StepFlags,
+    ) -> Result<StepOutcome, SimError> {
+        let StepFlags { mut accepted, mut emitted, want_trace } = flags;
         let mut fired = false;
 
-        macro_rules! front {
-            ($k:expr) => {
-                self.chans[ins[$k]].front().cloned()
-            };
-        }
         macro_rules! space {
             ($k:expr) => {
                 self.chans[outs[$k]].has_space()
             };
         }
 
-        // Split borrows: temporarily take the unit out.
-        let mut unit = std::mem::replace(&mut self.nodes[i].unit, Unit::Sink);
-        let mut accepted = self.nodes[i].accepted;
-        let mut emitted = self.nodes[i].emitted;
         let mut traced_values: Option<Vec<Value>> = None;
 
-        match &mut unit {
+        match unit {
             Unit::Fork => {
-                if !accepted {
-                    if let Some(v) = front!(0) {
-                        if (0..outs.len()).all(|k| space!(k)) {
-                            self.pop(ins[0]);
-                            for &out in &outs {
-                                self.push(out, v.clone());
-                            }
-                            accepted = true;
-                            fired = true;
-                        }
+                if !accepted
+                    && self.chans[ins[0]].front().is_some()
+                    && (0..outs.len()).all(|k| space!(k))
+                {
+                    let v = self.pop(ins[0]);
+                    for &out in &outs[1..] {
+                        self.push(out, v.clone());
                     }
+                    self.push(outs[0], v);
+                    accepted = true;
+                    fired = true;
                 }
             }
             Unit::Join => {
-                if !accepted {
-                    if let (Some(a), Some(b)) = (front!(0), front!(1)) {
-                        if space!(0) {
-                            if let Some((tag, ps)) = untag_all(&[a, b]) {
-                                self.pop(ins[0]);
-                                self.pop(ins[1]);
-                                self.push(
-                                    outs[0],
-                                    retag(tag, Value::pair(ps[0].clone(), ps[1].clone())),
-                                );
-                                accepted = true;
-                                fired = true;
-                            }
-                        }
+                if !accepted && space!(0) {
+                    if let Some(tag) = fronts_tag(&self.chans, ins) {
+                        let (_, a) = take_tag(self.pop(ins[0]));
+                        let (_, b) = take_tag(self.pop(ins[1]));
+                        self.push(outs[0], retag(tag, Value::pair(a, b)));
+                        accepted = true;
+                        fired = true;
                     }
                 }
             }
             Unit::Split => {
-                if !accepted {
-                    if let Some(v) = front!(0) {
-                        if space!(0) && space!(1) {
-                            let (tag, payload) = v.untag();
-                            if let Some((a, b)) = payload.clone().into_pair() {
-                                self.pop(ins[0]);
-                                self.push(outs[0], retag(tag, a));
-                                self.push(outs[1], retag(tag, b));
-                                accepted = true;
-                                fired = true;
-                            } else {
-                                return Err(SimError::Eval(format!("split received non-pair {v}")));
-                            }
+                if !accepted && space!(0) && space!(1) {
+                    if let Some(v) = self.chans[ins[0]].front() {
+                        if !matches!(v.untag().1, Value::Pair(..)) {
+                            return Err(SimError::Eval(format!("split received non-pair {v}")));
                         }
+                        let (tag, payload) = take_tag(self.pop(ins[0]));
+                        let (a, b) = payload.into_pair().expect("checked pair");
+                        self.push(outs[0], retag(tag, a));
+                        self.push(outs[1], retag(tag, b));
+                        accepted = true;
+                        fired = true;
                     }
                 }
             }
             Unit::Mux => {
                 if !accepted {
-                    if let Some(c) = front!(0) {
+                    if let Some(c) = self.chans[ins[0]].front() {
                         let b = c.untag().1.as_bool().ok_or_else(|| {
                             SimError::Eval(format!("mux condition not boolean: {c}"))
                         })?;
@@ -475,8 +658,8 @@ impl Simulator {
                 }
             }
             Unit::Branch => {
-                if !accepted {
-                    if let (Some(c), Some(_)) = (front!(0), front!(1)) {
+                if !accepted && self.chans[ins[1]].front().is_some() {
+                    if let Some(c) = self.chans[ins[0]].front() {
                         let b = c.untag().1.as_bool().ok_or_else(|| {
                             SimError::Eval(format!("branch condition not boolean: {c}"))
                         })?;
@@ -529,36 +712,34 @@ impl Simulator {
                 }
             }
             Unit::Constant(v) => {
-                if !accepted {
-                    if let Some(c) = front!(0) {
-                        if space!(0) {
-                            let (tag, _) = c.untag();
-                            self.pop(ins[0]);
-                            self.push(outs[0], retag(tag, v.clone()));
-                            accepted = true;
-                            fired = true;
-                        }
+                if !accepted && space!(0) {
+                    if let Some(c) = self.chans[ins[0]].front() {
+                        let tag = c.untag().0;
+                        self.pop(ins[0]);
+                        self.push(outs[0], retag(tag, v.clone()));
+                        accepted = true;
+                        fired = true;
                     }
                 }
             }
             Unit::Comb(op) => {
-                if !accepted {
-                    let fronts: Option<Vec<Value>> = (0..ins.len()).map(|k| front!(k)).collect();
-                    if let Some(fs) = fronts {
-                        if space!(0) {
-                            if let Some((tag, payloads)) = untag_all(&fs) {
-                                let r = op
-                                    .eval(&payloads)
-                                    .map_err(|e| SimError::Eval(e.to_string()))?;
-                                for &chan in &ins {
-                                    self.pop(chan);
-                                }
-                                self.push(outs[0], retag(tag, r));
-                                accepted = true;
-                                fired = true;
-                                traced_values = Some(fs);
-                            }
+                if !accepted && space!(0) {
+                    if let Some(tag) = fronts_tag(&self.chans, ins) {
+                        if want_trace {
+                            traced_values = Some(
+                                ins.iter()
+                                    .map(|&c| self.chans[c].front().expect("checked front").clone())
+                                    .collect(),
+                            );
                         }
+                        let mut payloads = std::mem::take(&mut self.scratch);
+                        payloads.extend(ins.iter().map(|&c| take_tag(self.pop(c)).1));
+                        let r = op.eval(&payloads).map_err(|e| SimError::Eval(e.to_string()))?;
+                        payloads.clear();
+                        self.scratch = payloads;
+                        self.push(outs[0], retag(tag, r));
+                        accepted = true;
+                        fired = true;
                     }
                 }
             }
@@ -574,19 +755,22 @@ impl Simulator {
                     }
                 }
                 if !accepted && pipe.len() < (*lat as usize + 1) {
-                    let fronts: Option<Vec<Value>> = (0..ins.len()).map(|k| front!(k)).collect();
-                    if let Some(fs) = fronts {
-                        if let Some((tag, payloads)) = untag_all(&fs) {
-                            let r =
-                                op.eval(&payloads).map_err(|e| SimError::Eval(e.to_string()))?;
-                            for &chan in &ins {
-                                self.pop(chan);
-                            }
-                            pipe.push_back((retag(tag, r), now + *lat));
-                            accepted = true;
-                            fired = true;
-                            traced_values = Some(fs);
+                    if let Some(tag) = fronts_tag(&self.chans, ins) {
+                        if want_trace {
+                            traced_values = Some(
+                                ins.iter()
+                                    .map(|&c| self.chans[c].front().expect("checked front").clone())
+                                    .collect(),
+                            );
                         }
+                        let mut payloads = std::mem::take(&mut self.scratch);
+                        payloads.extend(ins.iter().map(|&c| take_tag(self.pop(c)).1));
+                        let r = op.eval(&payloads).map_err(|e| SimError::Eval(e.to_string()))?;
+                        payloads.clear();
+                        self.scratch = payloads;
+                        pipe.push_back((retag(tag, r), now + *lat));
+                        accepted = true;
+                        fired = true;
                     }
                 }
             }
@@ -602,7 +786,7 @@ impl Simulator {
                     }
                 }
                 if !accepted && pipe.len() < (*lat as usize + 1) {
-                    if let Some(v) = front!(0) {
+                    if let Some(v) = self.chans[ins[0]].front() {
                         let (tag, payload) = v.untag();
                         let mem = &self.memory;
                         let r = func
@@ -650,15 +834,16 @@ impl Simulator {
                     fired = true;
                 }
                 // Accept a completion.
-                if let Some(v) = self.chans[ins[1]].front().cloned() {
-                    if let Some((tag, payload)) = v.clone().into_tagged() {
-                        if state.order.contains(&tag) && !state.done.contains_key(&tag) {
-                            self.pop(ins[1]);
-                            state.done.insert(tag, payload);
-                            fired = true;
+                if let Some(v) = self.chans[ins[1]].front() {
+                    match v.untag().0 {
+                        Some(tag) => {
+                            if state.order.contains(&tag) && !state.done.contains_key(&tag) {
+                                let (_, payload) = take_tag(self.pop(ins[1]));
+                                state.done.insert(tag, payload);
+                                fired = true;
+                            }
                         }
-                    } else {
-                        return Err(SimError::Eval(format!("untagged completion {v}")));
+                        None => return Err(SimError::Eval(format!("untagged completion {v}"))),
                     }
                 }
                 // Emit a freshly tagged token into the region.
@@ -698,9 +883,9 @@ impl Simulator {
                     }
                 }
                 if !accepted && pipe.len() < (*lat as usize + 1) {
-                    if let Some(addr) = front!(0) {
-                        let (tag, _) = addr.untag();
-                        let v = mem_read(&self.memory, mem, &addr)?;
+                    if let Some(addr) = self.chans[ins[0]].front() {
+                        let tag = addr.untag().0;
+                        let v = mem_read(&self.memory, mem, addr)?;
                         self.pop(ins[0]);
                         pipe.push_back((retag(tag, v), now + *lat));
                         accepted = true;
@@ -709,59 +894,25 @@ impl Simulator {
                 }
             }
             Unit::Store { mem } => {
-                if !accepted {
-                    if let (Some(addr), Some(data)) = (front!(0), front!(1)) {
-                        if space!(0) && untag_all(&[addr.clone(), data.clone()]).is_some() {
-                            let mem = mem.clone();
-                            self.pop(ins[0]);
-                            let data = self.pop(ins[1]);
-                            mem_write(&mut self.memory, &mem, &addr, &data)?;
-                            let (tag, _) = addr.untag();
-                            self.push(outs[0], retag(tag, Value::Unit));
-                            accepted = true;
-                            fired = true;
-                        }
-                    }
+                if !accepted && space!(0) && fronts_tag(&self.chans, ins).is_some() {
+                    let addr = self.pop(ins[0]);
+                    let data = self.pop(ins[1]);
+                    mem_write(&mut self.memory, mem, &addr, &data)?;
+                    let tag = addr.untag().0;
+                    self.push(outs[0], retag(tag, Value::Unit));
+                    accepted = true;
+                    fired = true;
                 }
             }
         }
 
-        self.nodes[i].unit = unit;
-        self.nodes[i].accepted = accepted;
-        self.nodes[i].emitted = emitted;
-        if fired {
-            if let Some(obs) = &self.obs {
-                if obs.trace_node[i] {
-                    let args = match &traced_values {
-                        Some(vs) => {
-                            let rendered =
-                                vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
-                            vec![("values".to_string(), rendered)]
-                        }
-                        None => Vec::new(),
-                    };
-                    // Simulated-time track: 1 cycle = 1 µs, one lane per node.
-                    graphiti_obs::emit_complete(
-                        graphiti_obs::PID_SIM,
-                        i as u32,
-                        &self.nodes[i].name,
-                        now,
-                        1,
-                        args,
-                    );
-                }
-            }
-        }
-        if let Some(values) = traced_values {
-            self.record(i, now, values);
-        }
-        Ok(fired)
+        Ok((fired, accepted, emitted, traced_values))
     }
 
     /// One end-of-cycle observation pass (instrumented runs only):
     /// records buffer occupancy, back-pressure/starvation stalls, and
     /// source-to-sink token latencies for the cycle that just ran.
-    fn observe_cycle(&self, obs: &SimObs, st: &mut ObsRunState, now: u64) {
+    fn observe_cycle(&self, obs: &SimObs, st: &mut ObsRunState, fired: &[bool], now: u64) {
         for (i, n) in self.nodes.iter().enumerate() {
             if let Some(h) = &obs.occupancy[i] {
                 let len = match &n.unit {
@@ -774,7 +925,7 @@ impl Simulator {
                 };
                 h.record(len as u64);
             }
-            if !st.fired[i] && !n.ins.is_empty() {
+            if !fired[i] && !n.ins.is_empty() {
                 let ready = n.ins.iter().filter(|&&c| self.chans[c].front().is_some()).count();
                 if ready == n.ins.len() {
                     // Operands present but nothing fired: the node is
@@ -828,6 +979,31 @@ impl Simulator {
         min
     }
 
+    /// Ready cycle of the head token of node `i`'s internal queue, if any.
+    fn front_ready(&self, i: usize) -> Option<u64> {
+        match &self.nodes[i].unit {
+            Unit::Piped { pipe, .. } | Unit::Pure { pipe, .. } | Unit::Load { pipe, .. } => {
+                pipe.front().map(|&(_, t)| t)
+            }
+            Unit::Buffer { q, .. } => q.front().map(|&(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Closes an active cycle: records scheduler/occupancy/stall metrics
+    /// (instrumented runs only) and advances the clock.
+    fn end_active_cycle(&self, st: &mut RunState) {
+        if let Some(obs) = &self.obs {
+            obs.sched_examined.record(st.examined_cycle);
+            if let Some(ost) = &mut st.obs_run {
+                self.observe_cycle(obs, ost, &st.fired, st.now);
+            }
+        }
+        st.examined_cycle = 0;
+        st.last_active = st.now;
+        st.now += 1;
+    }
+
     /// Runs to quiescence.
     ///
     /// # Errors
@@ -843,38 +1019,56 @@ impl Simulator {
                 self.chans[chan].q.push_back(v.clone());
             }
         }
-        let mut now: u64 = 0;
-        let mut firings: u64 = 0;
-        let mut last_active: u64 = 0;
-        let mut firings_by_node: BTreeMap<String, u64> = BTreeMap::new();
-        // Per-run observation state, allocated only when a sink is
-        // installed; the uninstrumented loop does none of this work.
-        let mut obs_run = self.obs.is_some().then(|| ObsRunState {
-            fired: vec![false; self.nodes.len()],
-            in_remaining: self.input_chans.values().map(|&c| self.chans[c].q.len()).sum(),
-            out_seen: self.output_chans.values().map(|&c| self.chans[c].q.len()).sum(),
-            consumed_at: VecDeque::new(),
-        });
+        let n = self.nodes.len();
+        let mut st = RunState {
+            now: 0,
+            firings: 0,
+            last_active: 0,
+            firings_by_node: vec![0; n],
+            fired: vec![false; n],
+            fired_list: Vec::with_capacity(n),
+            examined: 0,
+            examined_cycle: 0,
+            pushes: 0,
+            // Per-run observation state, allocated only when a sink is
+            // installed; the uninstrumented loop does none of this work.
+            obs_run: self.obs.is_some().then(|| ObsRunState {
+                in_remaining: self.input_chans.values().map(|&c| self.chans[c].q.len()).sum(),
+                out_seen: self.output_chans.values().map(|&c| self.chans[c].q.len()).sum(),
+                consumed_at: VecDeque::new(),
+            }),
+        };
+        match self.cfg.scheduler {
+            Scheduler::EventDriven => self.run_event(&mut st)?,
+            Scheduler::ReferenceSweep => self.run_sweep(&mut st)?,
+        }
+        Ok(self.finish(st))
+    }
+
+    /// The reference scheduler: sweeps all nodes in index order until a
+    /// whole pass fires nothing, cycle by cycle. Kept as the executable
+    /// specification for the event-driven core.
+    fn run_sweep(&mut self, st: &mut RunState) -> Result<(), SimError> {
         loop {
-            for n in &mut self.nodes {
-                n.accepted = false;
-                n.emitted = false;
+            for node in &mut self.nodes {
+                node.accepted = false;
+                node.emitted = false;
             }
-            if let Some(st) = &mut obs_run {
-                st.fired.iter_mut().for_each(|f| *f = false);
+            for f in st.fired.iter_mut() {
+                *f = false;
             }
             let mut any = false;
             loop {
                 let mut progress = false;
                 for i in 0..self.nodes.len() {
-                    if self.step(i, now)? {
+                    st.examined += 1;
+                    st.examined_cycle += 1;
+                    if self.step(i, st.now)? {
                         progress = true;
                         any = true;
-                        firings += 1;
-                        *firings_by_node.entry(self.nodes[i].name.clone()).or_insert(0) += 1;
-                        if let Some(st) = &mut obs_run {
-                            st.fired[i] = true;
-                        }
+                        st.firings += 1;
+                        st.firings_by_node[i] += 1;
+                        st.fired[i] = true;
                     }
                 }
                 if !progress {
@@ -882,33 +1076,214 @@ impl Simulator {
                 }
             }
             if any {
-                if let (Some(obs), Some(st)) = (&self.obs, &mut obs_run) {
-                    self.observe_cycle(obs, st, now);
-                }
-                last_active = now;
-                now += 1;
+                self.end_active_cycle(st);
             } else {
-                match self.next_pending(now) {
-                    Some(t) => now = t,
+                st.examined_cycle = 0;
+                match self.next_pending(st.now) {
+                    Some(t) => st.now = t,
                     None => break,
                 }
             }
-            if now > self.cfg.max_cycles {
+            if st.now > self.cfg.max_cycles {
                 return Err(SimError::Timeout(self.cfg.max_cycles));
             }
         }
+        Ok(())
+    }
+
+    /// The event-driven scheduler.
+    ///
+    /// Invariant: a node that is not on the worklist cannot fire until one
+    /// of its channels changes, its per-cycle firing caps reset, or the
+    /// clock reaches its pipeline head's ready cycle — and each of those
+    /// events inserts it (channel events via the fanout tables, cap resets
+    /// via the fired list at the cycle boundary, maturities via timers).
+    ///
+    /// To stay bit-identical to the sweep, the worklist is drained in
+    /// node-index order, round by round: `cur` is the analogue of the
+    /// current sweep pass, `nxt` of the following one. When node `i` fires,
+    /// an affected node `j` is queued into `cur` if `j > i` (the sweep
+    /// would still reach it this pass) and into `nxt` otherwise. Since a
+    /// channel has exactly one producer and one consumer, a node's
+    /// fireability only changes through events this marking covers, so
+    /// examinations — and therefore fires — happen at exactly the same
+    /// (pass, index) positions as in the sweep.
+    fn run_event(&mut self, st: &mut RunState) -> Result<(), SimError> {
+        let n = self.nodes.len();
+        let mut cur: BinaryHeap<Reverse<u32>> = BinaryHeap::with_capacity(n);
+        let mut nxt: BinaryHeap<Reverse<u32>> = BinaryHeap::with_capacity(n);
+        // Cycle 0 examines everything: externally fed nodes, Init and
+        // Constant generators all become fireable without a prior channel
+        // event.
+        let mut in_cur = vec![true; n];
+        let mut in_nxt = vec![false; n];
+        cur.extend((0..n as u32).map(Reverse));
+        // (ready cycle, node) for pipeline heads maturing in the future.
+        let mut timers: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        st.pushes += n as u64;
+        loop {
+            let mut any = false;
+            loop {
+                while let Some(Reverse(i)) = cur.pop() {
+                    let iu = i as usize;
+                    in_cur[iu] = false;
+                    st.examined += 1;
+                    st.examined_cycle += 1;
+                    if !self.step(iu, st.now)? {
+                        continue;
+                    }
+                    any = true;
+                    st.firings += 1;
+                    st.firings_by_node[iu] += 1;
+                    if !st.fired[iu] {
+                        st.fired[iu] = true;
+                        st.fired_list.push(i);
+                    }
+                    macro_rules! mark {
+                        ($j:expr) => {{
+                            let j: u32 = $j;
+                            let ju = j as usize;
+                            if j > i {
+                                if !in_cur[ju] {
+                                    in_cur[ju] = true;
+                                    cur.push(Reverse(j));
+                                    st.pushes += 1;
+                                }
+                            } else if !in_nxt[ju] {
+                                in_nxt[ju] = true;
+                                nxt.push(Reverse(j));
+                                st.pushes += 1;
+                            }
+                        }};
+                    }
+                    // The fire changed internal state (and possibly several
+                    // channels): recheck the node itself next round, plus
+                    // the consumers of its outputs and the producers of its
+                    // inputs.
+                    mark!(i);
+                    for k in 0..self.nodes[iu].outs.len() {
+                        if let Some(j) = self.out_consumer(iu, k) {
+                            mark!(j);
+                        }
+                    }
+                    for k in 0..self.nodes[iu].ins.len() {
+                        if let Some(j) = self.in_producer(iu, k) {
+                            mark!(j);
+                        }
+                    }
+                    // A token parked in a latency pipeline re-arms the node
+                    // at its maturity cycle.
+                    if let Some(t) = self.front_ready(iu) {
+                        if t > st.now {
+                            timers.push(Reverse((t, i)));
+                        }
+                    }
+                }
+                if nxt.is_empty() {
+                    break;
+                }
+                std::mem::swap(&mut cur, &mut nxt);
+                std::mem::swap(&mut in_cur, &mut in_nxt);
+            }
+            if any {
+                self.end_active_cycle(st);
+                // Per-cycle firing caps reset for nodes that fired, so they
+                // may fire again: seed the new cycle with them.
+                for &i in &st.fired_list {
+                    let iu = i as usize;
+                    self.nodes[iu].accepted = false;
+                    self.nodes[iu].emitted = false;
+                    st.fired[iu] = false;
+                    if !in_cur[iu] {
+                        in_cur[iu] = true;
+                        cur.push(Reverse(i));
+                        st.pushes += 1;
+                    }
+                }
+                st.fired_list.clear();
+                // Wake nodes whose pipeline head matures this cycle.
+                while let Some(&Reverse((t, j))) = timers.peek() {
+                    if t > st.now {
+                        break;
+                    }
+                    timers.pop();
+                    let ju = j as usize;
+                    if !in_cur[ju] {
+                        in_cur[ju] = true;
+                        cur.push(Reverse(j));
+                        st.pushes += 1;
+                    }
+                }
+            } else {
+                st.examined_cycle = 0;
+                match self.next_pending(st.now) {
+                    Some(t) => {
+                        // Idle fast-forward: jump to the next maturity and
+                        // wake every node whose pipeline head is then ready.
+                        st.now = t;
+                        for (iu, ic) in in_cur.iter_mut().enumerate() {
+                            if let Some(r) = self.front_ready(iu) {
+                                if r <= st.now && !*ic {
+                                    *ic = true;
+                                    cur.push(Reverse(iu as u32));
+                                    st.pushes += 1;
+                                }
+                            }
+                        }
+                        // Timers at or before the new clock are subsumed by
+                        // the wake-up above.
+                        while let Some(&Reverse((t2, _))) = timers.peek() {
+                            if t2 > st.now {
+                                break;
+                            }
+                            timers.pop();
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if st.now > self.cfg.max_cycles {
+                return Err(SimError::Timeout(self.cfg.max_cycles));
+            }
+        }
+        Ok(())
+    }
+
+    /// The node consuming output port `k` of node `i`, if the channel has
+    /// an internal reader.
+    fn out_consumer(&self, i: usize, k: usize) -> Option<u32> {
+        self.consumer_of[self.nodes[i].outs[k]]
+    }
+
+    /// The node producing input port `k` of node `i`, if the channel has an
+    /// internal writer.
+    fn in_producer(&self, i: usize, k: usize) -> Option<u32> {
+        self.producer_of[self.nodes[i].ins[k]]
+    }
+
+    /// Folds run state into the public [`SimResult`] shape: resolves node
+    /// ids to names (trace events, per-node firings), drains the external
+    /// output channels, and flushes scheduler metrics.
+    fn finish(mut self, st: RunState) -> SimResult {
+        let firings_by_node: BTreeMap<String, u64> = self
+            .nodes
+            .iter()
+            .zip(&st.firings_by_node)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(node, &c)| (node.name.clone(), c))
+            .collect();
         if self.obs.is_some() {
-            graphiti_obs::counter("sim.firings").add(firings);
-            graphiti_obs::counter("sim.cycles").add(last_active + 1);
+            graphiti_obs::counter("sim.firings").add(st.firings);
+            graphiti_obs::counter("sim.cycles").add(st.last_active + 1);
+            graphiti_obs::counter("sim.sched.examined").add(st.examined);
+            graphiti_obs::counter("sim.sched.worklist_pushes").add(st.pushes);
+            if let Some(rate) = st.firings.saturating_mul(1000).checked_div(st.examined) {
+                graphiti_obs::gauge("sim.sched.fires_per_1k_examined").set(rate as i64);
+            }
             for (name, count) in &firings_by_node {
                 graphiti_obs::counter(&format!("sim.fire.{name}")).add(*count);
             }
         }
-        let outputs = self
-            .output_chans
-            .iter()
-            .map(|(name, &c)| (name.clone(), self.chans[c].q.iter().cloned().collect()))
-            .collect();
         let leftover = self
             .chans
             .iter()
@@ -928,15 +1303,28 @@ impl Simulator {
                     _ => 0,
                 })
                 .sum::<usize>();
-        Ok(SimResult {
-            cycles: last_active + 1,
+        let output_chans = std::mem::take(&mut self.output_chans);
+        let outputs = output_chans
+            .into_iter()
+            .map(|(name, c)| (name, Vec::from(std::mem::take(&mut self.chans[c].q))))
+            .collect();
+        let trace = std::mem::take(&mut self.trace)
+            .into_iter()
+            .map(|(cycle, i, values)| TraceEvent {
+                cycle,
+                node: self.nodes[i as usize].name.clone(),
+                values,
+            })
+            .collect();
+        SimResult {
+            cycles: st.last_active + 1,
             outputs,
             memory: self.memory,
-            firings,
+            firings: st.firings,
             leftover_tokens: leftover,
             firings_by_node,
-            trace: self.trace,
-        })
+            trace,
+        }
     }
 }
 
@@ -1071,6 +1459,42 @@ mod tests {
         let r = simulate(&g, &fs, Memory::new(), SimConfig::default()).unwrap();
         assert_eq!(r.outputs["t"], vec![Value::Int(1)]);
         assert_eq!(r.outputs["f"], vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn schedulers_agree_on_tagged_pipeline() {
+        // Tagger + pipelined FU + buffer exercise every event source the
+        // worklist must cover: channel pushes/pops, per-cycle cap resets,
+        // and pipeline maturities (including idle fast-forward).
+        let mut g = ExprHigh::new();
+        g.add_node("t", CompKind::TaggerUntagger { tags: 2 }).unwrap();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("a", CompKind::Operator { op: Op::AddF }).unwrap();
+        g.add_node("b", CompKind::Buffer { slots: 4, transparent: false }).unwrap();
+        g.expose_input("x", ep("t", "in")).unwrap();
+        g.connect(ep("t", "tagged"), ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("a", "in0")).unwrap();
+        g.connect(ep("f", "out1"), ep("a", "in1")).unwrap();
+        g.connect(ep("a", "out"), ep("b", "in")).unwrap();
+        g.connect(ep("b", "out"), ep("t", "retag")).unwrap();
+        g.expose_output("y", ep("t", "out")).unwrap();
+        let vals: Vec<Value> = (0..6).map(|i| Value::from_f64(i as f64)).collect();
+        let run = |scheduler| {
+            simulate(
+                &g,
+                &feeds("x", vals.clone()),
+                Memory::new(),
+                SimConfig { scheduler, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let ev = run(Scheduler::EventDriven);
+        let sw = run(Scheduler::ReferenceSweep);
+        assert_eq!(ev.cycles, sw.cycles);
+        assert_eq!(ev.outputs, sw.outputs);
+        assert_eq!(ev.firings, sw.firings);
+        assert_eq!(ev.firings_by_node, sw.firings_by_node);
+        assert_eq!(ev.leftover_tokens, sw.leftover_tokens);
     }
 
     #[test]

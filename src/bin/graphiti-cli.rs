@@ -5,8 +5,8 @@
 //! rewritten dot graph out. This binary plays that role:
 //!
 //! ```text
-//! graphiti-cli [--tags N] [--mark INIT_NODE] [--checked] [--stats]
-//!              [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]
+//! graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred]
+//!              [--stats] [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]
 //! graphiti-cli --compile [PROGRAM.gsl]
 //! ```
 //!
@@ -24,6 +24,12 @@
 //! resulting circuits are printed as dot. A `.gsl` input file implies
 //! `--compile`.
 //!
+//! `--checked` discharges each verified rewrite's refinement obligation
+//! inline while the pipeline runs; `--checked-deferred` collects the
+//! obligations instead and discharges the whole batch on worker threads
+//! after the (sequential) rewriting finishes — same verdicts, and the
+//! independent checks overlap.
+//!
 //! `--metrics-out FILE` / `--trace-out FILE` install the `graphiti-obs`
 //! collection sink and write a metrics JSON document / Chrome trace-event
 //! file (loadable in Perfetto) when the run finishes. Either flag implies
@@ -40,6 +46,7 @@ struct Args {
     tags: u32,
     mark: Option<String>,
     checked: bool,
+    deferred: bool,
     stats: bool,
     compile: bool,
     metrics_out: Option<String>,
@@ -52,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         tags: 8,
         mark: None,
         checked: false,
+        deferred: false,
         stats: false,
         compile: false,
         metrics_out: None,
@@ -69,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
                 args.mark = Some(it.next().ok_or("--mark needs an Init node name")?);
             }
             "--checked" => args.checked = true,
+            "--checked-deferred" => args.deferred = true,
             "--stats" => args.stats = true,
             "--compile" => args.compile = true,
             "--metrics-out" => {
@@ -79,7 +88,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked] [--stats] [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]\n       graphiti-cli --compile [PROGRAM.gsl]"
+                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]\n       graphiti-cli --compile [PROGRAM.gsl]"
                         .to_string(),
                 )
             }
@@ -90,7 +99,7 @@ fn parse_args() -> Result<Args, String> {
     if args.input.as_deref().is_some_and(|p| p.ends_with(".gsl")) {
         args.compile = true;
     }
-    if args.metrics_out.is_some() || args.trace_out.is_some() {
+    if (args.metrics_out.is_some() || args.trace_out.is_some()) && !args.deferred {
         // A profile without refinement-check metrics would be misleading:
         // observed runs are always checked.
         args.checked = true;
@@ -125,6 +134,38 @@ fn write_observations(args: &Args) -> Result<(), String> {
     if args.stats {
         eprint!("{}", graphiti::obs::summary_table());
     }
+    Ok(())
+}
+
+fn check_mode(args: &Args) -> CheckMode {
+    if args.deferred {
+        CheckMode::Deferred
+    } else if args.checked {
+        CheckMode::Checked
+    } else {
+        CheckMode::Off
+    }
+}
+
+/// Discharges a deferred obligation batch in parallel, failing on the
+/// first violation.
+fn discharge_deferred(
+    context: &str,
+    obligations: Vec<graphiti::rewrite::Obligation>,
+    cfg: &graphiti::sem::RefineConfig,
+) -> Result<(), String> {
+    if obligations.is_empty() {
+        return Ok(());
+    }
+    let n = obligations.len();
+    let verdicts = graphiti::rewrite::verify::discharge(obligations, cfg);
+    if let Some(v) = graphiti::rewrite::verify::first_violation(&verdicts) {
+        return Err(format!(
+            "graphiti-cli: {context}: deferred obligation of `{}` failed: {:?}",
+            v.rewrite, v.verdict
+        ));
+    }
+    eprintln!("graphiti-cli: {context}: discharged {n} deferred obligations in parallel; all hold");
     Ok(())
 }
 
@@ -172,15 +213,12 @@ fn run_inner(args: &Args) -> Result<(), String> {
         }
     };
 
-    let opts = PipelineOptions {
-        tags: args.tags,
-        check: if args.checked { CheckMode::Checked } else { CheckMode::Off },
-        ..Default::default()
-    };
-    let (out, report) = {
+    let opts = PipelineOptions { tags: args.tags, check: check_mode(args), ..Default::default() };
+    let (out, mut report) = {
         let _span = graphiti::obs::span("optimize");
         optimize_loop(&g, &init, &opts).map_err(|e| e.to_string())?
     };
+    discharge_deferred("circuit", std::mem::take(&mut report.obligations), &opts.refine_cfg)?;
     if args.stats {
         eprintln!(
             "graphiti-cli: transformed = {}, rewrites = {}, pure-by-rewrites = {}",
@@ -217,16 +255,17 @@ fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
     for kernel in &compiled.kernels {
         let out = match kernel.ooo_tags {
             Some(tags) => {
-                let opts = PipelineOptions {
-                    tags,
-                    check: if args.checked { CheckMode::Checked } else { CheckMode::Off },
-                    ..Default::default()
-                };
-                let (g, report) = {
+                let opts = PipelineOptions { tags, check: check_mode(args), ..Default::default() };
+                let (g, mut report) = {
                     let _span = graphiti::obs::span("optimize");
                     optimize_loop(&kernel.graph, &kernel.inner_init, &opts)
                         .map_err(|e| e.to_string())?
                 };
+                discharge_deferred(
+                    &format!("kernel `{}`", kernel.name),
+                    std::mem::take(&mut report.obligations),
+                    &opts.refine_cfg,
+                )?;
                 if args.stats {
                     eprintln!(
                         "graphiti-cli: kernel `{}`: transformed = {}, rewrites = {}",

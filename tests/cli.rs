@@ -141,6 +141,14 @@ fn cli_compile_mode_emits_optimized_dot() {
 }
 
 #[test]
+fn cli_checked_deferred_discharges_in_parallel() {
+    let (stdout, stderr, ok) = run_cli(SEQUENTIAL_LOOP, &["--tags", "4", "--checked-deferred"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("type=\"tagger\""), "{stdout}");
+    assert!(stderr.contains("deferred obligations in parallel; all hold"), "{stderr}");
+}
+
+#[test]
 fn cli_compile_mode_rejects_bad_programs() {
     let (_, stderr, ok) = run_cli("kernel for i in {", &["--compile"]);
     assert!(!ok);
