@@ -8,7 +8,9 @@
 //! numbers quantify what a profile costs when you do ask for one.
 //!
 //! Run with `cargo bench --bench obs_overhead`; compare the
-//! `sim/obs_disabled` and `sim/obs_enabled` lines.
+//! `sim/obs_disabled` and `sim/obs_enabled` lines. The
+//! `sim/waveform_enabled` line prices the cycle-accurate VCD recorder
+//! and stall attribution against the same disabled baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphiti_frontend::compile;
@@ -49,6 +51,17 @@ fn bench_obs_overhead(c: &mut Criterion) {
         })
     });
     graphiti_obs::disable();
+
+    // What a full cycle-accurate capture costs: waveform recording plus
+    // stall attribution, with the obs sink off so the delta against
+    // `obs_disabled` isolates the recorder itself.
+    group.bench_function("waveform_enabled", |b| {
+        b.iter(|| {
+            let cfg = SimConfig { waveform: true, attribute_stalls: true, ..SimConfig::default() };
+            let r = simulate(&placed, &feeds, p.arrays.clone(), cfg).expect("simulates");
+            black_box(r.waveform.as_ref().map(String::len));
+        })
+    });
 
     group.finish();
 }

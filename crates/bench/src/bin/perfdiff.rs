@@ -4,11 +4,16 @@
 //!
 //! ```text
 //! perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE]
+//!          [--no-stall-gate]
 //! ```
 //!
-//! * exits non-zero if any (benchmark, flow) cycle count regressed by more
-//!   than the threshold (default 10%) — cycle counts are deterministic, so
-//!   this is a sound CI gate (wall-clock, which is not, is only reported);
+//! * exits non-zero if any (benchmark, flow) cycle count — or either of
+//!   the suite-wide `sim.stall_cycles` / `sim.starved_cycles` totals —
+//!   regressed by more than the threshold (default 10%); both are
+//!   deterministic, so this is a sound CI gate (wall-clock, which is not,
+//!   is only reported);
+//! * `--no-stall-gate` — keep reporting the stall/starve deltas but do
+//!   not fail on them (for PRs that intentionally trade waiting cycles);
 //! * `--emit FILE` — write a compact trend summary (the `BENCH_sim.json`
 //!   format) so the perf trajectory is tracked across PRs.
 
@@ -25,11 +30,17 @@ struct Report {
     wall_seconds: Option<f64>,
     /// Scheduler-efficiency counters, if a metrics snapshot is embedded.
     sched: Vec<(String, u64)>,
+    /// Suite-wide stall/starve totals, if a metrics snapshot is embedded.
+    stall: Vec<(String, u64)>,
 }
 
 /// Counters worth tracking across runs (subset of the obs registry).
 const SCHED_COUNTERS: [&str; 4] =
     ["sim.firings", "sim.cycles", "sim.sched.examined", "sim.sched.worklist_pushes"];
+
+/// Deterministic waiting-cycle totals, gated like cycle counts (a jump
+/// here means circuits wait more even if end-to-end cycles hide it).
+const STALL_COUNTERS: [&str; 2] = ["sim.stall_cycles", "sim.starved_cycles"];
 
 fn load(path: &str) -> Report {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -51,14 +62,20 @@ fn load(path: &str) -> Report {
     }
     let wall_seconds = doc.get("wall_seconds").and_then(Json::as_f64);
     let mut sched = Vec::new();
+    let mut stall = Vec::new();
     if let Some(counters) = doc.get("metrics").and_then(|m| m.get("counters")) {
         for key in SCHED_COUNTERS {
             if let Some(v) = counters.get(key).and_then(Json::as_u64) {
                 sched.push((key.to_string(), v));
             }
         }
+        for key in STALL_COUNTERS {
+            if let Some(v) = counters.get(key).and_then(Json::as_u64) {
+                stall.push((key.to_string(), v));
+            }
+        }
     }
-    Report { cycles, wall_seconds, sched }
+    Report { cycles, wall_seconds, sched, stall }
 }
 
 fn pct(base: f64, cur: f64) -> Option<f64> {
@@ -77,9 +94,11 @@ fn main() {
     let mut paths = Vec::new();
     let mut threshold = 10.0f64;
     let mut emit: Option<String> = None;
+    let mut stall_gate = true;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--no-stall-gate" => stall_gate = false,
             "--threshold" => {
                 let v = it.next().and_then(|s| s.parse::<f64>().ok());
                 threshold = v.unwrap_or_else(|| {
@@ -97,14 +116,18 @@ fn main() {
             other => {
                 eprintln!("perfdiff: unknown argument `{other}`");
                 eprintln!(
-                    "usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE]"
+                    "usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE] \
+                     [--no-stall-gate]"
                 );
                 exit(2);
             }
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE]");
+        eprintln!(
+            "usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE] \
+             [--no-stall-gate]"
+        );
         exit(2);
     }
     let base = load(&paths[0]);
@@ -115,6 +138,7 @@ fn main() {
         .iter()
         .chain(base.cycles.iter())
         .chain(cur.sched.iter())
+        .chain(cur.stall.iter())
         .map(|(k, _)| k.len())
         .max()
         .unwrap_or(12)
@@ -130,7 +154,7 @@ fn main() {
                 if let Some(d) = d {
                     rows.push((key.clone(), *b, *c, d));
                     if d > threshold {
-                        regressions.push((key.clone(), d));
+                        regressions.push((format!("{key} cycles"), d));
                     }
                 }
             }
@@ -156,6 +180,23 @@ fn main() {
             println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}", fmt_pct(pct(*b as f64, *c as f64)));
         } else {
             println!("{key:<width$}  {:>12}  {c:>12}  {:>9}", "-", "new");
+        }
+    }
+    for (key, c) in &cur.stall {
+        match base.stall.iter().find(|(k, _)| k == key) {
+            Some((_, b)) => {
+                let d = pct(*b as f64, *c as f64);
+                let note = if stall_gate { "" } else { "   (ungated)" };
+                println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}{note}", fmt_pct(d));
+                if stall_gate {
+                    if let Some(d) = d {
+                        if d > threshold {
+                            regressions.push((key.clone(), d));
+                        }
+                    }
+                }
+            }
+            None => println!("{key:<width$}  {:>12}  {c:>12}  {:>9}", "-", "new"),
         }
     }
 
@@ -190,6 +231,20 @@ fn main() {
                 if i + 1 < cur.sched.len() { "," } else { "" },
             );
         }
+        out.push_str("  },\n  \"stalls\": {\n");
+        for (i, (key, c)) in cur.stall.iter().enumerate() {
+            let b = base
+                .stall
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or("null".to_string(), |(_, b)| b.to_string());
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"baseline\": {b}, \"current\": {c}}}{}",
+                escape(key),
+                if i + 1 < cur.stall.len() { "," } else { "" },
+            );
+        }
         let worst = regressions
             .iter()
             .map(|(_, d)| *d)
@@ -209,7 +264,7 @@ fn main() {
     if !regressions.is_empty() {
         println!();
         for (key, d) in &regressions {
-            println!("REGRESSION: {key} cycles {d:+.2}% (threshold {threshold}%)");
+            println!("REGRESSION: {key} {d:+.2}% (threshold {threshold}%)");
         }
         exit(1);
     }

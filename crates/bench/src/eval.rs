@@ -10,6 +10,7 @@ use graphiti_frontend::{compile, run_program, KernelCircuit, Memory, Program};
 use graphiti_ir::{ExprHigh, Value};
 use graphiti_sim::{
     circuit_area, elastic_clock_period, place_buffers_targeted, simulate, SimConfig, SimError,
+    StallReport,
 };
 use graphiti_static::run_static;
 use std::collections::BTreeMap;
@@ -40,6 +41,49 @@ impl fmt::Display for Flow {
     }
 }
 
+/// How many critical channels a [`StallSummary`] keeps per flow.
+pub const CRITICAL_CHANNELS_KEPT: usize = 5;
+
+/// Stall-cause summary of one flow, merged over its kernel simulations
+/// (embedded into the `--json` reports; see `graphiti_sim::StallReport`
+/// for the full per-run attribution).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallSummary {
+    /// Node-cycles lost to back-pressure across all kernels.
+    pub stall_cycles: u64,
+    /// Node-cycles lost to missing operands across all kernels.
+    pub starved_cycles: u64,
+    /// Lost node-cycles per root cause (kebab-case names). Sums to
+    /// `stall_cycles + starved_cycles`.
+    pub causes: BTreeMap<String, u64>,
+    /// Top [`CRITICAL_CHANNELS_KEPT`] channels by node-cycles lost along
+    /// chains through them, descending.
+    pub critical_channels: Vec<(String, u64)>,
+}
+
+impl StallSummary {
+    /// Merges per-kernel attribution reports into one flow summary.
+    fn merge(reports: &[StallReport]) -> StallSummary {
+        let mut s = StallSummary::default();
+        let mut channels: BTreeMap<String, u64> = BTreeMap::new();
+        for r in reports {
+            s.stall_cycles += r.stall_cycles;
+            s.starved_cycles += r.starved_cycles;
+            for (cause, n) in r.cause_totals() {
+                *s.causes.entry(cause.to_string()).or_insert(0) += n;
+            }
+            for (name, n) in &r.channels {
+                *channels.entry(name.clone()).or_insert(0) += n;
+            }
+        }
+        let mut ranked: Vec<(String, u64)> = channels.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(CRITICAL_CHANNELS_KEPT);
+        s.critical_channels = ranked;
+        s
+    }
+}
+
 /// Metrics of one flow on one benchmark (one row-group cell of Tables 2/3).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowMetrics {
@@ -57,6 +101,10 @@ pub struct FlowMetrics {
     pub dsp: u64,
     /// Whether the final memory matched the reference interpreter.
     pub correct: bool,
+    /// Stall-cause attribution, merged over the flow's kernels. `None`
+    /// for the statically scheduled Vericert flow (no elastic handshakes
+    /// to attribute).
+    pub stalls: Option<StallSummary>,
 }
 
 /// The full result for one benchmark.
@@ -110,26 +158,31 @@ impl From<SimError> for EvalError {
 pub const CP_TARGET_NS: f64 = 6.5;
 
 /// Runs a sequence of kernel graphs against shared memory, returning
-/// `(total cycles, max clock period, total area, final memory)`.
+/// `(total cycles, max clock period, total area, final memory, stalls)`.
+/// Stall attribution is always on here: the walks only run on waiting
+/// node-cycles, and every `--json` report embeds the cause summary.
 fn run_dataflow(
     graphs: &[ExprHigh],
     initial: Memory,
-) -> Result<(u64, f64, graphiti_sim::Area, Memory), EvalError> {
+) -> Result<(u64, f64, graphiti_sim::Area, Memory, StallSummary), EvalError> {
     let mut mem = initial;
     let mut cycles = 0u64;
     let mut cp: f64 = 0.0;
     let mut area = graphiti_sim::Area::default();
+    let mut reports = Vec::with_capacity(graphs.len());
     for g in graphs {
         let (placed, _) = place_buffers_targeted(g, CP_TARGET_NS);
         cp = cp.max(elastic_clock_period(&placed).map_err(|e| EvalError::Other(e.to_string()))?);
         area = area + circuit_area(&placed);
         let feeds: BTreeMap<String, Vec<Value>> =
             [("start".to_string(), vec![Value::Unit])].into_iter().collect();
-        let r = simulate(&placed, &feeds, mem, SimConfig::default())?;
+        let cfg = SimConfig { attribute_stalls: true, ..SimConfig::default() };
+        let r = simulate(&placed, &feeds, mem, cfg)?;
         cycles += r.cycles;
         mem = r.memory;
+        reports.push(r.stalls.expect("attribution requested"));
     }
-    Ok((cycles, cp, area, mem))
+    Ok((cycles, cp, area, mem, StallSummary::merge(&reports)))
 }
 
 fn metrics(
@@ -138,6 +191,7 @@ fn metrics(
     area: graphiti_sim::Area,
     mem: &Memory,
     expected: &Memory,
+    stalls: Option<StallSummary>,
 ) -> FlowMetrics {
     FlowMetrics {
         cycles,
@@ -147,6 +201,7 @@ fn metrics(
         ff: area.ff,
         dsp: area.dsp,
         correct: mem == expected,
+        stalls,
     }
 }
 
@@ -194,8 +249,8 @@ fn run_flow(ctx: &BenchCtx<'_>, flow: Flow) -> Result<FlowOutcome, EvalError> {
         // DF-IO: the compiled circuits as-is.
         Flow::DfIo => {
             let graphs: Vec<ExprHigh> = kernels.iter().map(|k| k.graph.clone()).collect();
-            let (c, cp, a, mem) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
-            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected)))
+            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
+            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected, Some(st))))
         }
         // GRAPHITI: the verified pipeline per marked kernel.
         Flow::Graphiti => {
@@ -217,9 +272,9 @@ fn run_flow(ctx: &BenchCtx<'_>, flow: Flow) -> Result<FlowOutcome, EvalError> {
                 }
             }
             let rewrite_seconds = t0.elapsed().as_secs_f64();
-            let (c, cp, a, mem) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
+            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
             Ok(FlowOutcome {
-                metrics: metrics(c, cp, a, &mem, &ctx.expected),
+                metrics: metrics(c, cp, a, &mem, &ctx.expected, Some(st)),
                 rewrites,
                 rewrite_seconds,
                 refused,
@@ -239,10 +294,10 @@ fn run_flow(ctx: &BenchCtx<'_>, flow: Flow) -> Result<FlowOutcome, EvalError> {
                     None => graphs.push(k.graph.clone()),
                 }
             }
-            let (c, cp, a, mem) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
-            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected)))
+            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
+            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected, Some(st))))
         }
-        // Vericert: static baseline.
+        // Vericert: static baseline (no elastic handshakes to attribute).
         Flow::Vericert => {
             let st = run_static(ctx.program).map_err(|e| EvalError::Other(e.to_string()))?;
             Ok(FlowOutcome::plain(FlowMetrics {
@@ -253,6 +308,7 @@ fn run_flow(ctx: &BenchCtx<'_>, flow: Flow) -> Result<FlowOutcome, EvalError> {
                 ff: st.area.ff,
                 dsp: st.area.dsp,
                 correct: st.memory == ctx.expected,
+                stalls: None,
             }))
         }
     }
@@ -376,6 +432,28 @@ mod tests {
         assert!(gr.ff > io.ff);
         assert_eq!(gr.dsp, io.dsp, "DSPs identical across dataflow flows");
         assert_eq!(vc.dsp, 5);
+    }
+
+    #[test]
+    fn dataflow_flows_carry_stall_summaries() {
+        let p = suite::gcd(4);
+        let r = evaluate(&p).unwrap();
+        for flow in [Flow::DfIo, Flow::Graphiti, Flow::DfOoo] {
+            let s = r.flows[&flow].stalls.as_ref().expect("dataflow flows attribute stalls");
+            // The cause map partitions the lost node-cycles...
+            assert_eq!(
+                s.causes.values().sum::<u64>(),
+                s.stall_cycles + s.starved_cycles,
+                "{flow}: cause sums diverge"
+            );
+            // ...and the channel ranking is bounded and populated whenever
+            // any cycle was lost.
+            assert!(s.critical_channels.len() <= CRITICAL_CHANNELS_KEPT);
+            if s.stall_cycles + s.starved_cycles > 0 {
+                assert!(!s.critical_channels.is_empty() || !s.causes.is_empty());
+            }
+        }
+        assert!(r.flows[&Flow::Vericert].stalls.is_none(), "static flow has no handshakes");
     }
 
     #[test]

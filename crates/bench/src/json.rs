@@ -7,7 +7,7 @@
 //! document produced by [`graphiti_obs::metrics_json`] so a profile
 //! travels alongside the headline numbers.
 
-use crate::eval::BenchResult;
+use crate::eval::{BenchResult, StallSummary};
 
 /// Escapes `s` for inclusion in a JSON string literal (without quotes).
 pub fn escape(s: &str) -> String {
@@ -56,6 +56,27 @@ pub fn report_json(results: &[BenchResult], wall_seconds: f64, with_metrics: boo
     render(results, Some(wall_seconds), with_metrics.then(graphiti_obs::metrics_json))
 }
 
+/// Renders a flow's stall-cause summary as a `, "stalls": {...}` member.
+fn stalls_json(s: &StallSummary) -> String {
+    let causes = s
+        .causes
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let channels = s
+        .critical_channels
+        .iter()
+        .map(|(k, v)| format!("{{\"channel\": \"{}\", \"lost_cycles\": {v}}}", escape(k)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        ", \"stalls\": {{\"stall_cycles\": {}, \"starved_cycles\": {}, \
+         \"causes\": {{{causes}}}, \"critical_channels\": [{channels}]}}",
+        s.stall_cycles, s.starved_cycles,
+    )
+}
+
 fn render(results: &[BenchResult], wall_seconds: Option<f64>, metrics: Option<String>) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -66,7 +87,7 @@ fn render(results: &[BenchResult], wall_seconds: Option<f64>, metrics: Option<St
             out.push_str(&format!(
                 "        \"{}\": {{\"cycles\": {}, \"clock_period_ns\": {}, \
                  \"exec_time_ns\": {}, \"lut\": {}, \"ff\": {}, \"dsp\": {}, \
-                 \"correct\": {}}}{}\n",
+                 \"correct\": {}{}}}{}\n",
                 escape(&flow.to_string()),
                 m.cycles,
                 num(m.clock_period_ns),
@@ -75,6 +96,7 @@ fn render(results: &[BenchResult], wall_seconds: Option<f64>, metrics: Option<St
                 m.ff,
                 m.dsp,
                 m.correct,
+                m.stalls.as_ref().map(stalls_json).unwrap_or_default(),
                 if j + 1 < r.flows.len() { "," } else { "" },
             ));
         }
@@ -115,6 +137,12 @@ mod tests {
                 ff: 20,
                 dsp: 1,
                 correct: true,
+                stalls: Some(StallSummary {
+                    stall_cycles: 3,
+                    starved_cycles: 4,
+                    causes: [("starved-by-source".to_string(), 7)].into_iter().collect(),
+                    critical_channels: vec![("in.b".to_string(), 7)],
+                }),
             },
         );
         BenchResult {
@@ -133,6 +161,9 @@ mod tests {
         assert!(doc.contains("\"gcd \\\"quoted\\\"\""));
         assert!(doc.contains("\"cycles\": 42"));
         assert!(doc.contains("\"correct\": true"));
+        assert!(doc.contains("\"stalls\": {\"stall_cycles\": 3, \"starved_cycles\": 4"));
+        assert!(doc.contains("\"starved-by-source\": 7"));
+        assert!(doc.contains("{\"channel\": \"in.b\", \"lost_cycles\": 7}"));
         let (mut depth, mut min_depth) = (0i64, 0i64);
         let mut in_str = false;
         let mut escaped = false;

@@ -32,7 +32,9 @@ pub mod jsonin;
 pub mod suite;
 pub mod tables;
 
-pub use eval::{evaluate, evaluate_suite, geomean, BenchResult, EvalError, Flow, FlowMetrics};
+pub use eval::{
+    evaluate, evaluate_suite, geomean, BenchResult, EvalError, Flow, FlowMetrics, StallSummary,
+};
 
 /// A reduced-size suite for quick runs (unit tests, criterion benches).
 pub fn small_suite() -> Vec<graphiti_frontend::Program> {

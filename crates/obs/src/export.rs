@@ -40,7 +40,7 @@ pub(crate) fn json_escape(s: &str) -> String {
 ///   "histograms": {
 ///     "sim.token_latency_cycles": {
 ///       "count": 10, "sum": 55, "max": 9,
-///       "p50": 7, "p90": 15, "p99": 15,
+///       "p50": 7, "p90": 15, "p95": 15, "p99": 15,
 ///       "buckets": [ { "le": 0, "count": 1 }, { "le": 3, "count": 4 } ]
 ///     }
 ///   }
@@ -66,13 +66,14 @@ pub fn metrics_json() -> String {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
-            "{sep}\n    \"{}\": {{ \"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+            "{sep}\n    \"{}\": {{ \"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
             json_escape(name),
             h.count,
             h.sum,
             h.max,
             h.p50,
             h.p90,
+            h.p95,
             h.p99,
         );
         let mut first = true;
@@ -167,8 +168,8 @@ pub fn summary_table() -> String {
             let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
             let _ = writeln!(
                 out,
-                "  {name:<width$}  count={} mean={mean:.1} p50<={} p90<={} p99<={} max={}",
-                h.count, h.p50, h.p90, h.p99, h.max
+                "  {name:<width$}  count={} mean={mean:.1} p50<={} p90<={} p95<={} p99<={} max={}",
+                h.count, h.p50, h.p90, h.p95, h.p99, h.max
             );
         }
     }

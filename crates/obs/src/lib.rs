@@ -10,7 +10,9 @@
 //! * **exporters**: a metrics JSON document ([`metrics_json`]), a Chrome
 //!   trace-event file loadable in Perfetto / `chrome://tracing`
 //!   ([`chrome_trace_json`]), and a human-readable summary table
-//!   ([`summary_table`]).
+//!   ([`summary_table`]);
+//! * a **VCD waveform writer and parser** ([`vcd`]) used by the simulator
+//!   to dump per-channel `valid`/`ready`/`tag` waves for GTKWave/Surfer.
 //!
 //! The whole layer costs nothing until a sink is installed: every
 //! instrumentation site first checks [`enabled`], a single relaxed atomic
@@ -32,6 +34,7 @@ use std::time::Instant;
 mod export;
 mod span;
 mod trace;
+pub mod vcd;
 
 pub use export::{
     chrome_trace_json, metrics_json, summary_table, write_chrome_trace, write_metrics_json,
@@ -304,6 +307,7 @@ pub(crate) struct HistogramSnapshot {
     pub buckets: [u64; HISTOGRAM_BUCKETS],
     pub p50: u64,
     pub p90: u64,
+    pub p95: u64,
     pub p99: u64,
 }
 
@@ -323,6 +327,7 @@ pub(crate) fn snapshot() -> Snapshot {
                     buckets: h.bucket_counts(),
                     p50: h.quantile(0.50),
                     p90: h.quantile(0.90),
+                    p95: h.quantile(0.95),
                     p99: h.quantile(0.99),
                 },
             )),

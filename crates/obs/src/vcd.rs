@@ -1,0 +1,350 @@
+//! A Value Change Dump (VCD, IEEE 1364) writer and parser.
+//!
+//! The simulator records every selected channel's `valid`/`ready`/`tag`
+//! state once per cycle through [`VcdWriter`]; the resulting document
+//! opens directly in GTKWave or Surfer. The writer is **change-based**:
+//! [`VcdWriter::change`] drops samples equal to the signal's last
+//! recorded value, so quiescent stretches cost nothing and two runs that
+//! visit the same states produce byte-identical dumps.
+//!
+//! [`parse`] reads a dump back into a [`VcdDump`], enough to replay a
+//! recorded waveform against live simulator state in tests and for the
+//! CI round-trip check (`graphiti-cli vcd-check`).
+//!
+//! Only the subset of VCD the writer emits is supported: one flat
+//! `top` scope, `wire` variables, scalar (`0`/`1`/`x`) and binary vector
+//! (`b...`) value changes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A recorded signal value: a defined bit pattern or all-unknown (`x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcdValue {
+    /// A defined value, LSB-aligned in a `u64`.
+    Bits(u64),
+    /// Unknown (`x`) — e.g. a tag lane while no tagged token is present.
+    X,
+}
+
+/// Identifies a signal registered with [`VcdWriter::add_wire`].
+pub type SignalId = usize;
+
+struct SignalDef {
+    name: String,
+    width: u32,
+}
+
+/// Builds a VCD document from monotonically timed value changes.
+///
+/// Times passed to [`change`](VcdWriter::change) must be non-decreasing;
+/// changes are rendered grouped by timestamp in insertion order.
+#[derive(Default)]
+pub struct VcdWriter {
+    signals: Vec<SignalDef>,
+    last: Vec<Option<VcdValue>>,
+    changes: Vec<(u64, SignalId, VcdValue)>,
+}
+
+/// The short ASCII identifier code VCD assigns to signal `i` (base-94
+/// over the printable range `!`..`~`).
+fn id_code(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Replaces characters that confuse VCD tooling (whitespace, hierarchy
+/// separators) so arbitrary channel names survive as identifiers.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '.' { c } else { '_' })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+impl VcdWriter {
+    /// An empty writer.
+    pub fn new() -> VcdWriter {
+        VcdWriter::default()
+    }
+
+    /// Declares a wire of `width` bits and returns its signal id. The
+    /// name is sanitized to `[A-Za-z0-9_.]`.
+    pub fn add_wire(&mut self, name: &str, width: u32) -> SignalId {
+        let id = self.signals.len();
+        self.signals.push(SignalDef { name: sanitize(name), width: width.clamp(1, 64) });
+        self.last.push(None);
+        id
+    }
+
+    /// Records that `sig` holds `value` from time `time` on. Dropped if
+    /// the signal already holds that value (change-based capture).
+    pub fn change(&mut self, time: u64, sig: SignalId, value: VcdValue) {
+        if self.last[sig] == Some(value) {
+            return;
+        }
+        self.last[sig] = Some(value);
+        self.changes.push((time, sig, value));
+    }
+
+    /// Number of changes recorded so far (after dedup).
+    pub fn change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Renders the full VCD document. Deterministic: no dates or clocks,
+    /// so identical change sequences yield identical bytes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$version graphiti-obs vcd writer $end\n");
+        out.push_str("$timescale 1ns $end\n");
+        out.push_str("$scope module top $end\n");
+        for (i, s) in self.signals.iter().enumerate() {
+            let _ = writeln!(out, "$var wire {} {} {} $end", s.width, id_code(i), s.name);
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut current: Option<u64> = None;
+        for &(t, sig, v) in &self.changes {
+            if current != Some(t) {
+                let _ = writeln!(out, "#{t}");
+                current = Some(t);
+            }
+            let s = &self.signals[sig];
+            match (s.width, v) {
+                (1, VcdValue::Bits(b)) => {
+                    let _ = writeln!(out, "{}{}", if b & 1 == 1 { '1' } else { '0' }, id_code(sig));
+                }
+                (1, VcdValue::X) => {
+                    let _ = writeln!(out, "x{}", id_code(sig));
+                }
+                (_, VcdValue::Bits(b)) => {
+                    let _ = writeln!(out, "b{:b} {}", b, id_code(sig));
+                }
+                (_, VcdValue::X) => {
+                    let _ = writeln!(out, "bx {}", id_code(sig));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One declared signal of a parsed dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdSignalInfo {
+    /// Signal name as declared.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// The short identifier code used in the change section.
+    pub id: String,
+}
+
+/// A parsed VCD document.
+#[derive(Debug, Clone, Default)]
+pub struct VcdDump {
+    /// The `$timescale` text (e.g. `1ns`).
+    pub timescale: String,
+    /// Declared signals, in declaration order.
+    pub signals: Vec<VcdSignalInfo>,
+    /// Value changes per signal *name*, each sorted by time.
+    pub changes: BTreeMap<String, Vec<(u64, VcdValue)>>,
+}
+
+impl VcdDump {
+    /// The value signal `name` holds at time `t` (the last change at or
+    /// before `t`), or `None` if the signal has no change yet / at all.
+    pub fn value_at(&self, name: &str, t: u64) -> Option<VcdValue> {
+        let ch = self.changes.get(name)?;
+        ch.iter().take_while(|&&(ct, _)| ct <= t).last().map(|&(_, v)| v)
+    }
+
+    /// The latest timestamp carrying a change (0 for an empty dump).
+    pub fn end_time(&self) -> u64 {
+        self.changes.values().filter_map(|ch| ch.last().map(|&(t, _)| t)).max().unwrap_or(0)
+    }
+
+    /// Total number of value changes.
+    pub fn change_count(&self) -> usize {
+        self.changes.values().map(Vec::len).sum()
+    }
+}
+
+/// Errors raised while parsing a VCD document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdError {
+    /// Description of the failure.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for VcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcd line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VcdError {}
+
+fn perr<T>(line: usize, message: impl Into<String>) -> Result<T, VcdError> {
+    Err(VcdError { message: message.into(), line })
+}
+
+/// Parses a VCD document (the writer's subset; see module docs).
+///
+/// # Errors
+///
+/// Fails on malformed declarations, changes referencing undeclared
+/// identifier codes, or non-monotonic timestamps.
+pub fn parse(src: &str) -> Result<VcdDump, VcdError> {
+    let mut dump = VcdDump::default();
+    let mut by_id: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut now: u64 = 0;
+    let mut last_time: Option<u64> = None;
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let text = raw.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix('$') {
+            let mut words = rest.split_whitespace();
+            match words.next() {
+                Some("var") => {
+                    let toks: Vec<&str> = rest.split_whitespace().collect();
+                    // var wire <width> <id> <name> ... $end
+                    if toks.len() < 6 || toks.last() != Some(&"$end") {
+                        return perr(line, format!("malformed $var: `{text}`"));
+                    }
+                    let width: u32 = toks[2].parse().map_err(|_| VcdError {
+                        message: format!("bad width `{}`", toks[2]),
+                        line,
+                    })?;
+                    let id = toks[3].to_string();
+                    let name = toks[4..toks.len() - 1].join(" ");
+                    if by_id.insert(id.clone(), (name.clone(), width)).is_some() {
+                        return perr(line, format!("duplicate identifier `{id}`"));
+                    }
+                    dump.signals.push(VcdSignalInfo { name: name.clone(), width, id });
+                    dump.changes.entry(name).or_default();
+                }
+                Some("timescale") => {
+                    dump.timescale =
+                        rest.split_whitespace().skip(1).take_while(|w| *w != "$end").collect();
+                }
+                // $version/$scope/$upscope/$enddefinitions/$dumpvars/$comment/$end
+                Some(_) | None => {}
+            }
+            continue;
+        }
+        if let Some(t) = text.strip_prefix('#') {
+            now = t
+                .parse()
+                .map_err(|_| VcdError { message: format!("bad timestamp `#{t}`"), line })?;
+            if last_time.is_some_and(|p| now < p) {
+                return perr(line, format!("timestamp #{now} goes backwards"));
+            }
+            last_time = Some(now);
+            continue;
+        }
+        let (value, id) = if let Some(rest) = text.strip_prefix('b') {
+            let (bits, id) = rest
+                .split_once(' ')
+                .ok_or_else(|| VcdError { message: format!("malformed vector `{text}`"), line })?;
+            let v = if bits.contains(['x', 'X', 'z', 'Z']) {
+                VcdValue::X
+            } else {
+                VcdValue::Bits(u64::from_str_radix(bits, 2).map_err(|_| VcdError {
+                    message: format!("bad binary value `{bits}`"),
+                    line,
+                })?)
+            };
+            (v, id.trim().to_string())
+        } else {
+            let mut cs = text.chars();
+            let v = match cs.next() {
+                Some('0') => VcdValue::Bits(0),
+                Some('1') => VcdValue::Bits(1),
+                Some('x') | Some('X') | Some('z') | Some('Z') => VcdValue::X,
+                _ => return perr(line, format!("unrecognized change `{text}`")),
+            };
+            (v, cs.collect::<String>())
+        };
+        match by_id.get(&id) {
+            Some((name, _)) => dump.changes.get_mut(name).expect("declared").push((now, value)),
+            None => return perr(line, format!("change for undeclared identifier `{id}`")),
+        }
+    }
+    Ok(dump)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_cover_the_printable_range() {
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!\"");
+        assert_ne!(id_code(187), id_code(94));
+    }
+
+    #[test]
+    fn writer_dedups_and_renders_round_trip() {
+        let mut w = VcdWriter::new();
+        let v = w.add_wire("ch0 valid", 1);
+        let t = w.add_wire("ch0.tag", 32);
+        w.change(0, v, VcdValue::Bits(1));
+        w.change(0, t, VcdValue::X);
+        w.change(1, v, VcdValue::Bits(1)); // duplicate: dropped
+        w.change(2, v, VcdValue::Bits(0));
+        w.change(2, t, VcdValue::Bits(5));
+        assert_eq!(w.change_count(), 4);
+
+        let doc = w.render();
+        assert!(doc.contains("$var wire 1 ! ch0_valid $end"), "{doc}");
+        assert!(doc.contains("$var wire 32 \" ch0.tag $end"), "{doc}");
+        assert!(doc.contains("#0\n1!\nbx \"\n#2\n0!\nb101 \""), "{doc}");
+
+        let dump = parse(&doc).expect("parses");
+        assert_eq!(dump.timescale, "1ns");
+        assert_eq!(dump.signals.len(), 2);
+        assert_eq!(dump.change_count(), 4);
+        assert_eq!(dump.value_at("ch0_valid", 0), Some(VcdValue::Bits(1)));
+        assert_eq!(dump.value_at("ch0_valid", 1), Some(VcdValue::Bits(1)));
+        assert_eq!(dump.value_at("ch0_valid", 9), Some(VcdValue::Bits(0)));
+        assert_eq!(dump.value_at("ch0.tag", 0), Some(VcdValue::X));
+        assert_eq!(dump.value_at("ch0.tag", 2), Some(VcdValue::Bits(5)));
+        assert_eq!(dump.end_time(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse("$var wire 1 ! $end\n").is_err(), "too few var tokens");
+        assert!(parse("#0\n1!\n").is_err(), "undeclared id");
+        assert!(parse("$var wire 1 ! a $end\n$enddefinitions $end\n#5\n1!\n#3\n0!\n").is_err());
+        assert!(parse("$var wire 8 ! a $end\n#0\nb12 !\n").is_err(), "bad binary digits");
+    }
+
+    #[test]
+    fn empty_dump_parses() {
+        let w = VcdWriter::new();
+        let dump = parse(&w.render()).unwrap();
+        assert_eq!(dump.change_count(), 0);
+        assert_eq!(dump.end_time(), 0);
+    }
+}

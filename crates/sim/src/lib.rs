@@ -42,7 +42,9 @@ mod area;
 mod memory;
 mod place;
 mod sim;
+pub mod stall;
 mod timing;
+mod wave;
 
 pub use area::{circuit_area, component_area, op_area, Area};
 pub use memory::{mem_read, mem_write, MemError, Memory};
@@ -51,6 +53,7 @@ pub use sim::{
     op_latency, purefn_latency, simulate, Scheduler, SimConfig, SimError, SimResult, Simulator,
     TraceEvent,
 };
+pub use stall::{NodeWaitStats, StallCause, StallChain, StallReport, STALL_CAUSES};
 pub use timing::{
     arrival_times, clock_period, elastic_clock_period, elastic_timing, is_sequential, NodeTiming,
     TimingError,

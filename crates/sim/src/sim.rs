@@ -36,6 +36,8 @@
 //!   retained as the executable specification for differential testing.
 
 use crate::memory::{mem_read, mem_write, MemError, Memory};
+use crate::stall::{StallCause, StallReport, StallState};
+use crate::wave::WaveRecorder;
 use graphiti_ir::{CompKind, ExprHigh, Op, PureFn, Tag, Value};
 use graphiti_sem::{retag, TaggerState};
 use std::cmp::Reverse;
@@ -71,6 +73,15 @@ pub struct SimConfig {
     pub trace_nodes: Vec<String>,
     /// Scheduling core (event-driven by default).
     pub scheduler: Scheduler,
+    /// Capture every channel's valid/ready/tag handshake state per cycle
+    /// and render it as a VCD document in [`SimResult::waveform`]. When
+    /// [`trace_nodes`](SimConfig::trace_nodes) is non-empty, only
+    /// channels touching a listed component are captured.
+    pub waveform: bool,
+    /// Classify every stalled/starved node-cycle by walking its
+    /// blockage chain to the root cause and aggregate a
+    /// [`StallReport`] in [`SimResult::stalls`].
+    pub attribute_stalls: bool,
 }
 
 impl Default for SimConfig {
@@ -80,6 +91,8 @@ impl Default for SimConfig {
             load_latency: 2,
             trace_nodes: Vec::new(),
             scheduler: Scheduler::default(),
+            waveform: false,
+            attribute_stalls: false,
         }
     }
 }
@@ -162,6 +175,11 @@ pub struct SimResult {
     /// Recorded trace events `(cycle, node, consumed values)` for the
     /// components listed in [`SimConfig::trace_nodes`].
     pub trace: Vec<TraceEvent>,
+    /// The rendered VCD waveform (present iff [`SimConfig::waveform`]).
+    pub waveform: Option<String>,
+    /// Stall-cause attribution (present iff
+    /// [`SimConfig::attribute_stalls`]).
+    pub stalls: Option<StallReport>,
 }
 
 /// One recorded acceptance: a traced component consumed these input values
@@ -343,6 +361,24 @@ pub struct Simulator {
     /// hot path performs no per-fire allocation after warm-up.
     scratch: Vec<Value>,
     obs: Option<SimObs>,
+    /// Per channel: a human-readable name (`from.port-to.port`, `in.x`,
+    /// `out.y`). Built only when waveforms or attribution need it.
+    chan_names: Vec<String>,
+    /// Waveform recorder, present iff [`SimConfig::waveform`].
+    wave: Option<WaveRecorder>,
+    /// Stall-attribution state, present iff
+    /// [`SimConfig::attribute_stalls`].
+    stall: Option<StallState>,
+}
+
+/// Why a node lost a cycle (shared vocabulary of the metrics layer and
+/// the attribution engine, so their totals agree by construction).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Waiting {
+    /// All operands present, no fire: back-pressured by a full output.
+    Stalled,
+    /// Some operands present, some missing.
+    Starved,
 }
 
 /// The common tag across the front tokens of `ins`, by reference.
@@ -400,12 +436,19 @@ impl Simulator {
     /// Fails if the graph is incomplete.
     pub fn new(g: &ExprHigh, memory: Memory, cfg: SimConfig) -> Result<Simulator, SimError> {
         g.validate().map_err(|e| SimError::BadGraph(e.to_string()))?;
+        // Channel names feed the waveform signal list and the stall
+        // report; skipped entirely on plain runs.
+        let want_names = cfg.waveform || cfg.attribute_stalls;
+        let mut chan_names: Vec<String> = Vec::new();
         let mut chans: Vec<Channel> = Vec::new();
         let mut chan_of_out: BTreeMap<graphiti_ir::Endpoint, ChanId> = BTreeMap::new();
         let mut chan_of_in: BTreeMap<graphiti_ir::Endpoint, ChanId> = BTreeMap::new();
         for (from, to) in g.edges() {
             let id = chans.len();
             chans.push(Channel { cap: 1, q: VecDeque::new() });
+            if want_names {
+                chan_names.push(format!("{}.{}-{}.{}", from.node, from.port, to.node, to.port));
+            }
             chan_of_out.insert(from.clone(), id);
             chan_of_in.insert(to.clone(), id);
         }
@@ -413,6 +456,9 @@ impl Simulator {
         for (name, target) in g.inputs() {
             let id = chans.len();
             chans.push(Channel { cap: usize::MAX, q: VecDeque::new() });
+            if want_names {
+                chan_names.push(format!("in.{name}"));
+            }
             chan_of_in.insert(target.clone(), id);
             input_chans.insert(name.clone(), id);
         }
@@ -420,6 +466,9 @@ impl Simulator {
         for (name, source) in g.outputs() {
             let id = chans.len();
             chans.push(Channel { cap: usize::MAX, q: VecDeque::new() });
+            if want_names {
+                chan_names.push(format!("out.{name}"));
+            }
             chan_of_out.insert(source.clone(), id);
             output_chans.insert(name.clone(), id);
         }
@@ -491,6 +540,20 @@ impl Simulator {
         }
         let traced = nodes.iter().map(|n| cfg.trace_nodes.contains(&n.name)).collect();
         let obs = graphiti_obs::enabled().then(|| SimObs::new(&nodes, &cfg));
+        let wave = cfg.waveform.then(|| {
+            let selected = (0..chans.len())
+                .filter(|&c| {
+                    cfg.trace_nodes.is_empty()
+                        || [producer_of[c], consumer_of[c]]
+                            .iter()
+                            .flatten()
+                            .any(|&j| cfg.trace_nodes.contains(&nodes[j as usize].name))
+                })
+                .map(|c| (c, chan_names[c].clone()))
+                .collect();
+            WaveRecorder::new(selected)
+        });
+        let stall = cfg.attribute_stalls.then(|| StallState::new(nodes.len(), chans.len()));
         Ok(Simulator {
             nodes,
             chans,
@@ -504,6 +567,9 @@ impl Simulator {
             producer_of,
             scratch: Vec::new(),
             obs,
+            chan_names,
+            wave,
+            stall,
         })
     }
 
@@ -909,6 +975,25 @@ impl Simulator {
         Ok((fired, accepted, emitted, traced_values))
     }
 
+    /// Whether node `i` lost the cycle that just ended, and how. This
+    /// single predicate drives both the `sim.stall_cycles` /
+    /// `sim.starved_cycles` counters and the attribution engine, so the
+    /// per-cause sums match the totals by construction.
+    fn waiting_state(&self, i: usize, fired: &[bool]) -> Option<Waiting> {
+        let n = &self.nodes[i];
+        if fired[i] || n.ins.is_empty() {
+            return None;
+        }
+        let ready = n.ins.iter().filter(|&&c| self.chans[c].front().is_some()).count();
+        if ready == n.ins.len() {
+            Some(Waiting::Stalled)
+        } else if ready > 0 {
+            Some(Waiting::Starved)
+        } else {
+            None
+        }
+    }
+
     /// One end-of-cycle observation pass (instrumented runs only):
     /// records buffer occupancy, back-pressure/starvation stalls, and
     /// source-to-sink token latencies for the cycle that just ran.
@@ -925,16 +1010,15 @@ impl Simulator {
                 };
                 h.record(len as u64);
             }
-            if !fired[i] && !n.ins.is_empty() {
-                let ready = n.ins.iter().filter(|&&c| self.chans[c].front().is_some()).count();
-                if ready == n.ins.len() {
+            match self.waiting_state(i, fired) {
+                Some(Waiting::Stalled) => {
                     // Operands present but nothing fired: the node is
                     // back-pressured by a full output.
                     obs.stall_total.inc();
                     obs.stall_by_node[i].inc();
-                } else if ready > 0 {
-                    obs.starved_total.inc();
                 }
+                Some(Waiting::Starved) => obs.starved_total.inc(),
+                None => {}
             }
         }
         // Source-to-sink latency: pair the k-th token drained from the
@@ -990,14 +1074,112 @@ impl Simulator {
         }
     }
 
+    /// One end-of-cycle attribution pass: classifies every waiting
+    /// node-cycle by walking its blockage chain (DESIGN.md §3.8).
+    fn attribute_cycle(&self, ss: &mut StallState, fired: &[bool]) {
+        for i in 0..self.nodes.len() {
+            let cause = match self.waiting_state(i, fired) {
+                Some(Waiting::Stalled) => self.walk_downstream(i, ss),
+                Some(Waiting::Starved) => self.walk_upstream(i, ss),
+                None => continue,
+            };
+            ss.record(i, cause);
+        }
+    }
+
+    /// Follows the back-pressure chain of stalled node `start` downstream
+    /// along full channels to its root, filling `ss.path` with the
+    /// channels crossed.
+    fn walk_downstream(&self, start: usize, ss: &mut StallState) -> StallCause {
+        ss.epoch += 1;
+        ss.path.clear();
+        ss.visited[start] = ss.epoch;
+        let mut cur = start;
+        loop {
+            let Some(&c) = self.nodes[cur].outs.iter().find(|&&c| !self.chans[c].has_space())
+            else {
+                // No full output: held back by per-cycle firing caps, a
+                // full internal pipeline, or tag exhaustion.
+                return StallCause::BlockedDownstream;
+            };
+            ss.path.push(c as u32);
+            let Some(j) = self.consumer_of[c] else { return StallCause::BlockedDownstream };
+            let j = j as usize;
+            match &self.nodes[j].unit {
+                Unit::Sink => return StallCause::BlockedBySink,
+                Unit::Store { .. } | Unit::Load { .. } => return StallCause::MemoryDependency,
+                Unit::Buffer { slots, q, .. } if q.len() >= *slots => {
+                    return StallCause::BlockedByFullBuffer
+                }
+                _ => {}
+            }
+            if ss.visited[j] == ss.epoch {
+                // Cyclic back-pressure (a clogged loop ring).
+                return StallCause::BlockedDownstream;
+            }
+            ss.visited[j] = ss.epoch;
+            cur = j;
+        }
+    }
+
+    /// Follows the starvation chain of starved node `start` upstream
+    /// along empty channels to its root, filling `ss.path` with the
+    /// channels crossed.
+    fn walk_upstream(&self, start: usize, ss: &mut StallState) -> StallCause {
+        ss.epoch += 1;
+        ss.path.clear();
+        ss.visited[start] = ss.epoch;
+        let mut cur = start;
+        loop {
+            let Some(&c) = self.nodes[cur].ins.iter().find(|&&c| self.chans[c].front().is_none())
+            else {
+                // Every input of the producer holds a token, yet ours did
+                // not arrive: the producer is itself blocked.
+                return StallCause::StarvedUpstream;
+            };
+            ss.path.push(c as u32);
+            let Some(j) = self.producer_of[c] else {
+                // The empty channel is an external input: drained.
+                return StallCause::StarvedBySource;
+            };
+            let j = j as usize;
+            match &self.nodes[j].unit {
+                Unit::Load { pipe, .. } if !pipe.is_empty() => return StallCause::MemoryDependency,
+                Unit::Piped { pipe, .. } | Unit::Pure { pipe, .. } if !pipe.is_empty() => {
+                    return StallCause::PipelineLatency
+                }
+                Unit::Buffer { q, .. } if !q.is_empty() => return StallCause::PipelineLatency,
+                Unit::Tagger { state } if !state.is_empty() => return StallCause::PipelineLatency,
+                _ => {}
+            }
+            if ss.visited[j] == ss.epoch {
+                return StallCause::StarvedUpstream;
+            }
+            ss.visited[j] = ss.epoch;
+            cur = j;
+        }
+    }
+
     /// Closes an active cycle: records scheduler/occupancy/stall metrics
-    /// (instrumented runs only) and advances the clock.
-    fn end_active_cycle(&self, st: &mut RunState) {
+    /// (instrumented runs only), runs attribution and waveform capture
+    /// (when configured), and advances the clock.
+    fn end_active_cycle(&mut self, st: &mut RunState) {
         if let Some(obs) = &self.obs {
             obs.sched_examined.record(st.examined_cycle);
             if let Some(ost) = &mut st.obs_run {
                 self.observe_cycle(obs, ost, &st.fired, st.now);
             }
+        }
+        if let Some(mut ss) = self.stall.take() {
+            self.attribute_cycle(&mut ss, &st.fired);
+            self.stall = Some(ss);
+        }
+        if let Some(mut w) = self.wave.take() {
+            w.capture(st.now, |c| {
+                let ch = &self.chans[c];
+                (ch.front().is_some(), ch.has_space(), ch.front().and_then(|v| v.untag().0))
+            });
+            self.wave = Some(w);
         }
         st.examined_cycle = 0;
         st.last_active = st.now;
@@ -1272,7 +1454,17 @@ impl Simulator {
             .filter(|&(_, &c)| c > 0)
             .map(|(node, &c)| (node.name.clone(), c))
             .collect();
+        let waveform = self.wave.take().map(WaveRecorder::finish);
+        let stalls = self.stall.take().map(|ss| {
+            let node_names: Vec<String> = self.nodes.iter().map(|n| n.name.clone()).collect();
+            ss.finish(&node_names, &self.chan_names)
+        });
         if self.obs.is_some() {
+            if let Some(report) = &stalls {
+                for (cause, n) in report.cause_totals() {
+                    graphiti_obs::counter(&format!("sim.stall_cause.{cause}")).add(n);
+                }
+            }
             graphiti_obs::counter("sim.firings").add(st.firings);
             graphiti_obs::counter("sim.cycles").add(st.last_active + 1);
             graphiti_obs::counter("sim.sched.examined").add(st.examined);
@@ -1324,6 +1516,8 @@ impl Simulator {
             leftover_tokens: leftover,
             firings_by_node,
             trace,
+            waveform,
+            stalls,
         }
     }
 }

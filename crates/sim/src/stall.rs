@@ -1,0 +1,318 @@
+//! Stall-cause attribution: *why* a node lost a cycle.
+//!
+//! The observability layer counts how many node-cycles were lost to
+//! back-pressure (`sim.stall_cycles`) and missing operands
+//! (`sim.starved_cycles`), but a count cannot say where the pressure came
+//! from. This module classifies every lost node-cycle by walking the
+//! elastic handshake graph from the waiting node to the root of its
+//! blockage (see DESIGN.md §3.8):
+//!
+//! * a **stalled** node (all operands present, no fire) is walked
+//!   *downstream* along full channels until the walk reaches a Sink, a
+//!   memory port, a full Buffer, or can go no further;
+//! * a **starved** node (some operands present, some missing) is walked
+//!   *upstream* along empty channels until it reaches a drained external
+//!   input, a memory port, or a unit holding the missing token in a
+//!   latency pipeline.
+//!
+//! Every waiting node-cycle receives exactly one cause, so the per-cause
+//! counters sum to the `sim.stall_cycles` / `sim.starved_cycles` totals
+//! by construction — a property the test suite pins.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a node lost a cycle. The first four variants are back-pressure
+/// (stall) roots, the last three starvation roots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StallCause {
+    /// The back-pressure chain ends at a Sink that has hit its per-cycle
+    /// acceptance cap — the drain is the bottleneck.
+    BlockedBySink,
+    /// The chain ends at a Buffer whose slots are all occupied.
+    BlockedByFullBuffer,
+    /// The chain ends at a memory port (Load/Store) — an address or
+    /// commit queue is the bottleneck.
+    MemoryDependency,
+    /// The chain cannot be followed further (cyclic back-pressure around
+    /// a loop ring, per-cycle firing caps, or tag exhaustion).
+    BlockedDownstream,
+    /// The starvation chain ends at a drained external input: there is
+    /// simply no more work arriving.
+    StarvedBySource,
+    /// The missing operand is in flight inside a latency pipeline or an
+    /// opaque buffer and will mature in a later cycle.
+    PipelineLatency,
+    /// The chain cannot be followed further upstream (the producer is
+    /// itself blocked, or the chain is cyclic).
+    StarvedUpstream,
+}
+
+/// All causes, in report order.
+pub const STALL_CAUSES: [StallCause; 7] = [
+    StallCause::BlockedBySink,
+    StallCause::BlockedByFullBuffer,
+    StallCause::MemoryDependency,
+    StallCause::BlockedDownstream,
+    StallCause::StarvedBySource,
+    StallCause::PipelineLatency,
+    StallCause::StarvedUpstream,
+];
+
+impl StallCause {
+    /// Stable kebab-case name (used in reports, JSON, and metrics).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StallCause::BlockedBySink => "blocked-by-sink",
+            StallCause::BlockedByFullBuffer => "blocked-by-full-buffer",
+            StallCause::MemoryDependency => "memory-dependency",
+            StallCause::BlockedDownstream => "blocked-downstream",
+            StallCause::StarvedBySource => "starved-by-source",
+            StallCause::PipelineLatency => "pipeline-latency",
+            StallCause::StarvedUpstream => "starved-upstream",
+        }
+    }
+
+    /// Whether this cause classifies a back-pressure stall (as opposed
+    /// to a starvation).
+    pub fn is_stall(self) -> bool {
+        matches!(
+            self,
+            StallCause::BlockedBySink
+                | StallCause::BlockedByFullBuffer
+                | StallCause::MemoryDependency
+                | StallCause::BlockedDownstream
+        )
+    }
+
+    pub(crate) fn index(self) -> usize {
+        STALL_CAUSES.iter().position(|&c| c == self).expect("cause listed")
+    }
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Waiting statistics of one node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeWaitStats {
+    /// Node-cycles lost to back-pressure (operands ready, no fire).
+    pub stalled: u64,
+    /// Node-cycles lost waiting on missing operands.
+    pub starved: u64,
+    /// Lost node-cycles per root cause. Sums to `stalled + starved`.
+    pub causes: BTreeMap<StallCause, u64>,
+}
+
+/// One distinct blockage chain: the channel path from a waiting node to
+/// the root of its blockage, with how many node-cycles it cost in total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallChain {
+    /// Root cause at the end of the chain.
+    pub cause: StallCause,
+    /// Channel names from the waiting node towards the root.
+    pub path: Vec<String>,
+    /// Node-cycles attributed to this exact chain.
+    pub lost_cycles: u64,
+}
+
+/// The aggregated attribution result of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallReport {
+    /// Total stalled node-cycles (equals `sim.stall_cycles`).
+    pub stall_cycles: u64,
+    /// Total starved node-cycles (equals `sim.starved_cycles`).
+    pub starved_cycles: u64,
+    /// Per-node waiting statistics (nodes that never waited are absent).
+    pub by_node: BTreeMap<String, NodeWaitStats>,
+    /// Channels ranked by the node-cycles lost along chains through
+    /// them, descending.
+    pub channels: Vec<(String, u64)>,
+    /// Distinct blockage chains, ranked by lost node-cycles descending.
+    pub chains: Vec<StallChain>,
+    /// Chains dropped because the distinct-chain table overflowed.
+    pub dropped_chains: u64,
+}
+
+impl StallReport {
+    /// Total lost node-cycles per cause, summed over all nodes.
+    pub fn cause_totals(&self) -> BTreeMap<StallCause, u64> {
+        let mut totals = BTreeMap::new();
+        for stats in self.by_node.values() {
+            for (&cause, &n) in &stats.causes {
+                *totals.entry(cause).or_insert(0) += n;
+            }
+        }
+        totals
+    }
+
+    /// Renders the report as the human-readable `explain-stalls` text:
+    /// totals, cause breakdown, the top-`k` chains, and the top-`k`
+    /// critical channels.
+    pub fn render(&self, k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.stall_cycles + self.starved_cycles;
+        let _ = writeln!(
+            out,
+            "lost node-cycles: {total} ({} stalled, {} starved)",
+            self.stall_cycles, self.starved_cycles
+        );
+        if total == 0 {
+            return out;
+        }
+        out.push_str("causes:\n");
+        let totals = self.cause_totals();
+        let width = STALL_CAUSES.iter().map(|c| c.as_str().len()).max().unwrap_or(0);
+        for cause in STALL_CAUSES {
+            if let Some(&n) = totals.get(&cause) {
+                let pct = n as f64 / total as f64 * 100.0;
+                let _ = writeln!(out, "  {:<width$}  {n:>8}  {pct:>5.1}%", cause.as_str());
+            }
+        }
+        let _ = writeln!(out, "top {k} stall chains:");
+        for (i, ch) in self.chains.iter().take(k).enumerate() {
+            let path =
+                if ch.path.is_empty() { "(at node)".to_string() } else { ch.path.join(" -> ") };
+            let _ = writeln!(
+                out,
+                "  {:>2}. {:>8} node-cycles  {:<width$}  via {path}",
+                i + 1,
+                ch.lost_cycles,
+                ch.cause.as_str()
+            );
+        }
+        if self.dropped_chains > 0 {
+            let _ = writeln!(
+                out,
+                "  ({} node-cycles in chains beyond the {}-entry table)",
+                self.dropped_chains, MAX_DISTINCT_CHAINS
+            );
+        }
+        let _ = writeln!(out, "critical channels:");
+        for (name, lost) in self.channels.iter().take(k) {
+            let _ = writeln!(out, "  {lost:>8} node-cycles through {name}");
+        }
+        out
+    }
+}
+
+/// Upper bound on distinct chains kept (beyond it, lost cycles are still
+/// counted per cause/node/channel, only the exact path is dropped).
+pub(crate) const MAX_DISTINCT_CHAINS: usize = 4096;
+
+/// Mutable attribution state carried through a run (allocated only when
+/// [`crate::SimConfig::attribute_stalls`] is set).
+pub(crate) struct StallState {
+    /// Per node × cause counts (indexed by [`StallCause::index`]).
+    pub node_causes: Vec<[u64; STALL_CAUSES.len()]>,
+    /// Per node stalled totals.
+    pub node_stalled: Vec<u64>,
+    /// Per node starved totals.
+    pub node_starved: Vec<u64>,
+    /// Per channel: node-cycles lost along chains through it.
+    pub chan_lost: Vec<u64>,
+    /// Distinct (cause, channel path) chains with lost node-cycles.
+    pub chains: BTreeMap<(u8, Vec<u32>), u64>,
+    /// Node-cycles whose chains overflowed the table.
+    pub dropped_chains: u64,
+    /// Epoch-marked visited set for the chain walks.
+    pub visited: Vec<u64>,
+    /// Current walk epoch.
+    pub epoch: u64,
+    /// Reusable path scratch buffer.
+    pub path: Vec<u32>,
+}
+
+impl StallState {
+    pub(crate) fn new(nodes: usize, chans: usize) -> StallState {
+        StallState {
+            node_causes: vec![[0; STALL_CAUSES.len()]; nodes],
+            node_stalled: vec![0; nodes],
+            node_starved: vec![0; nodes],
+            chan_lost: vec![0; chans],
+            chains: BTreeMap::new(),
+            dropped_chains: 0,
+            visited: vec![0; nodes],
+            epoch: 0,
+            path: Vec::new(),
+        }
+    }
+
+    /// Records one attributed node-cycle: the waiting node, its root
+    /// cause, and the channel path walked to reach the root.
+    pub(crate) fn record(&mut self, node: usize, cause: StallCause) {
+        self.node_causes[node][cause.index()] += 1;
+        if cause.is_stall() {
+            self.node_stalled[node] += 1;
+        } else {
+            self.node_starved[node] += 1;
+        }
+        for &c in &self.path {
+            self.chan_lost[c as usize] += 1;
+        }
+        let key = (cause.index() as u8, self.path.clone());
+        if let Some(n) = self.chains.get_mut(&key) {
+            *n += 1;
+        } else if self.chains.len() < MAX_DISTINCT_CHAINS {
+            self.chains.insert(key, 1);
+        } else {
+            self.dropped_chains += 1;
+        }
+    }
+
+    /// Folds the state into the public report, resolving ids to names.
+    pub(crate) fn finish(self, node_names: &[String], chan_names: &[String]) -> StallReport {
+        let mut by_node = BTreeMap::new();
+        let (mut stall_cycles, mut starved_cycles) = (0u64, 0u64);
+        for (i, causes) in self.node_causes.iter().enumerate() {
+            stall_cycles += self.node_stalled[i];
+            starved_cycles += self.node_starved[i];
+            if self.node_stalled[i] + self.node_starved[i] == 0 {
+                continue;
+            }
+            let cause_map = STALL_CAUSES
+                .iter()
+                .filter(|c| causes[c.index()] > 0)
+                .map(|&c| (c, causes[c.index()]))
+                .collect();
+            by_node.insert(
+                node_names[i].clone(),
+                NodeWaitStats {
+                    stalled: self.node_stalled[i],
+                    starved: self.node_starved[i],
+                    causes: cause_map,
+                },
+            );
+        }
+        let mut channels: Vec<(String, u64)> = self
+            .chan_lost
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(c, &n)| (chan_names[c].clone(), n))
+            .collect();
+        channels.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut chains: Vec<StallChain> = self
+            .chains
+            .into_iter()
+            .map(|((cause, path), lost)| StallChain {
+                cause: STALL_CAUSES[cause as usize],
+                path: path.iter().map(|&c| chan_names[c as usize].clone()).collect(),
+                lost_cycles: lost,
+            })
+            .collect();
+        chains.sort_by(|a, b| b.lost_cycles.cmp(&a.lost_cycles).then_with(|| a.path.cmp(&b.path)));
+        StallReport {
+            stall_cycles,
+            starved_cycles,
+            by_node,
+            channels,
+            chains,
+            dropped_chains: self.dropped_chains,
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Waveform recorder: per-cycle channel handshake capture into VCD.
+//!
+//! Every selected channel contributes three wires — `<name>.valid` (a
+//! token is present), `<name>.ready` (the channel can accept one), and
+//! `<name>.tag` (the front token's tag, `x` when absent or untagged).
+//! Capture happens once per *active* cycle at the post-fixpoint channel
+//! state, which both scheduling cores reach identically, so dumps from
+//! [`crate::Scheduler::EventDriven`] and
+//! [`crate::Scheduler::ReferenceSweep`] are byte-identical. Idle
+//! stretches change no channel, so the change-based writer skips them
+//! for free.
+
+use graphiti_ir::Tag;
+use graphiti_obs::vcd::{SignalId, VcdValue, VcdWriter};
+
+/// Records selected channels' handshake state, one sample per active
+/// cycle, into a [`VcdWriter`].
+pub(crate) struct WaveRecorder {
+    /// `(channel id, [valid, ready, tag] signal ids)` per selected channel.
+    chans: Vec<(usize, [SignalId; 3])>,
+    writer: VcdWriter,
+}
+
+impl WaveRecorder {
+    /// Declares the three wires of every `(channel id, name)` pair.
+    pub(crate) fn new(selected: Vec<(usize, String)>) -> WaveRecorder {
+        let mut writer = VcdWriter::new();
+        let chans = selected
+            .into_iter()
+            .map(|(c, name)| {
+                let valid = writer.add_wire(&format!("{name}.valid"), 1);
+                let ready = writer.add_wire(&format!("{name}.ready"), 1);
+                let tag = writer.add_wire(&format!("{name}.tag"), Tag::BITS);
+                (c, [valid, ready, tag])
+            })
+            .collect();
+        WaveRecorder { chans, writer }
+    }
+
+    /// Samples every selected channel at cycle `now`; `sample` maps a
+    /// channel id to `(valid, ready, front token's tag)`.
+    pub(crate) fn capture(
+        &mut self,
+        now: u64,
+        mut sample: impl FnMut(usize) -> (bool, bool, Option<Tag>),
+    ) {
+        for &(c, [valid, ready, tag]) in &self.chans {
+            let (v, r, t) = sample(c);
+            self.writer.change(now, valid, VcdValue::Bits(v as u64));
+            self.writer.change(now, ready, VcdValue::Bits(r as u64));
+            self.writer.change(now, tag, t.map_or(VcdValue::X, |t| VcdValue::Bits(t as u64)));
+        }
+    }
+
+    /// Renders the recorded waveform as a VCD document.
+    pub(crate) fn finish(self) -> String {
+        self.writer.render()
+    }
+}

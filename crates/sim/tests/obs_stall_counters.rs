@@ -1,0 +1,80 @@
+//! Contract between the attribution engine and the metrics layer: the
+//! per-cause counters must sum exactly to the `sim.stall_cycles` /
+//! `sim.starved_cycles` totals, because both are driven by the same
+//! waiting-state predicate.
+//!
+//! `graphiti-obs` state is process-global, so this lives in its own test
+//! binary with a single `#[test]` — no other test races the registry.
+
+use graphiti_ir::{ep, CompKind, ExprHigh, Op, Value};
+use graphiti_sim::{simulate, Memory, SimConfig, STALL_CAUSES};
+use std::collections::BTreeMap;
+
+#[test]
+fn stall_cause_counters_sum_to_obs_totals() {
+    graphiti_obs::reset();
+    graphiti_obs::enable();
+
+    // Unbalanced join (starves on the short `b` feed) plus an FP pipe
+    // keeping cycles active — both stall and starve counters move.
+    let mut g = ExprHigh::new();
+    g.add_node("j", CompKind::Join).unwrap();
+    g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+    g.add_node("m", CompKind::Operator { op: Op::MulF }).unwrap();
+    g.expose_input("a", ep("j", "in0")).unwrap();
+    g.expose_input("b", ep("j", "in1")).unwrap();
+    g.expose_output("y", ep("j", "out")).unwrap();
+    g.expose_input("x", ep("f", "in")).unwrap();
+    g.connect(ep("f", "out0"), ep("m", "in0")).unwrap();
+    g.connect(ep("f", "out1"), ep("m", "in1")).unwrap();
+    g.expose_output("z", ep("m", "out")).unwrap();
+
+    let floats = |n: usize| (0..n).map(|i| Value::from_f64(i as f64)).collect::<Vec<_>>();
+    let feeds: BTreeMap<String, Vec<Value>> =
+        [("a".to_string(), floats(3)), ("b".to_string(), floats(1)), ("x".to_string(), floats(5))]
+            .into_iter()
+            .collect();
+    let r = simulate(
+        &g,
+        &feeds,
+        Memory::new(),
+        SimConfig { attribute_stalls: true, ..Default::default() },
+    )
+    .unwrap();
+    let report = r.stalls.expect("attribution requested");
+
+    // The report totals equal the registry totals...
+    let stall_total = graphiti_obs::counter("sim.stall_cycles").get();
+    let starved_total = graphiti_obs::counter("sim.starved_cycles").get();
+    assert_eq!(report.stall_cycles, stall_total);
+    assert_eq!(report.starved_cycles, starved_total);
+    assert!(starved_total > 0, "the unbalanced join must starve");
+
+    // ...the exported per-cause counters partition them...
+    let mut stall_causes = 0;
+    let mut starve_causes = 0;
+    for cause in STALL_CAUSES {
+        let n = graphiti_obs::counter(&format!("sim.stall_cause.{cause}")).get();
+        if cause.is_stall() {
+            stall_causes += n;
+        } else {
+            starve_causes += n;
+        }
+    }
+    assert_eq!(stall_causes, stall_total);
+    assert_eq!(starve_causes, starved_total);
+
+    // ...and per node the causes sum to that node's waiting cycles, with
+    // the per-node stall counters agreeing with the registry.
+    for (node, stats) in &report.by_node {
+        assert_eq!(stats.causes.values().sum::<u64>(), stats.stalled + stats.starved);
+        assert_eq!(
+            graphiti_obs::counter(&format!("sim.stall_cycles.{node}")).get(),
+            stats.stalled,
+            "per-node stall counter diverged for {node}"
+        );
+    }
+
+    graphiti_obs::disable();
+    graphiti_obs::reset();
+}

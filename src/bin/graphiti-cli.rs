@@ -7,7 +7,9 @@
 //! ```text
 //! graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred]
 //!              [--stats] [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]
-//! graphiti-cli --compile [PROGRAM.gsl]
+//! graphiti-cli --compile [--vcd-out FILE] [--trace-nodes a,b,c] [PROGRAM.gsl]
+//! graphiti-cli explain-stalls [--top K] [PROGRAM.gsl]
+//! graphiti-cli vcd-check FILE.vcd
 //! ```
 //!
 //! * reads a circuit in the dot dialect (stdin when no file is given),
@@ -36,11 +38,36 @@
 //! `--checked` (so refinement-check metrics exist), and in compile mode
 //! the optimized kernels are additionally simulated against the program's
 //! arrays so the profile includes simulator fire/stall counters.
+//!
+//! Waveforms and stall attribution (compile mode only, since only `.gsl`
+//! programs carry the arrays needed to actually run the circuit):
+//!
+//! * `--vcd-out FILE` simulates each kernel with waveform capture and
+//!   writes a VCD document (openable in GTKWave/Surfer); with several
+//!   kernels the kernel name is inserted before the extension.
+//! * `--trace-nodes a,b,c` narrows both the acceptance trace and the
+//!   captured waveform signals to channels touching the listed nodes.
+//! * `explain-stalls` simulates each kernel with stall attribution and
+//!   prints the top-K blockage chains with per-cause breakdowns
+//!   (`--top K`, default 10) instead of dot output.
+//! * `vcd-check FILE` parses a previously dumped VCD and reports its
+//!   signal/change/time summary — the CI round-trip gate.
 
 use graphiti::pipeline::{find_seq_loops, optimize_loop, PipelineOptions};
 use graphiti::prelude::*;
 use std::io::Read;
 use std::process::ExitCode;
+
+/// What the invocation asks for (selected by the first positional word).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Default: rewrite a dot circuit (or compile a `.gsl` program).
+    Rewrite,
+    /// Simulate each kernel with stall attribution and print the report.
+    ExplainStalls,
+    /// Parse a VCD file and print its summary (round-trip check).
+    VcdCheck,
+}
 
 struct Args {
     tags: u32,
@@ -51,6 +78,10 @@ struct Args {
     compile: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    vcd_out: Option<String>,
+    trace_nodes: Vec<String>,
+    top: usize,
+    mode: Mode,
     input: Option<String>,
 }
 
@@ -64,9 +95,14 @@ fn parse_args() -> Result<Args, String> {
         compile: false,
         metrics_out: None,
         trace_out: None,
+        vcd_out: None,
+        trace_nodes: Vec::new(),
+        top: 10,
+        mode: Mode::Rewrite,
         input: None,
     };
     let mut it = std::env::args().skip(1);
+    let mut first_positional = true;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tags" => {
@@ -86,18 +122,51 @@ fn parse_args() -> Result<Args, String> {
             "--trace-out" => {
                 args.trace_out = Some(it.next().ok_or("--trace-out needs a file path")?);
             }
+            "--vcd-out" => {
+                args.vcd_out = Some(it.next().ok_or("--vcd-out needs a file path")?);
+            }
+            "--trace-nodes" => {
+                let v = it.next().ok_or("--trace-nodes needs a comma-separated node list")?;
+                args.trace_nodes =
+                    v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(Into::into).collect();
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                args.top = v.parse().map_err(|_| format!("bad chain count `{v}`"))?;
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]\n       graphiti-cli --compile [PROGRAM.gsl]"
+                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]\n       graphiti-cli --compile [--vcd-out FILE] [--trace-nodes a,b,c] [PROGRAM.gsl]\n       graphiti-cli explain-stalls [--top K] [PROGRAM.gsl]\n       graphiti-cli vcd-check FILE.vcd"
                         .to_string(),
                 )
             }
-            other if !other.starts_with('-') => args.input = Some(other.to_string()),
+            "explain-stalls" if first_positional => {
+                args.mode = Mode::ExplainStalls;
+                first_positional = false;
+            }
+            "vcd-check" if first_positional => {
+                args.mode = Mode::VcdCheck;
+                first_positional = false;
+            }
+            other if !other.starts_with('-') => {
+                args.input = Some(other.to_string());
+                first_positional = false;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.input.as_deref().is_some_and(|p| p.ends_with(".gsl")) {
         args.compile = true;
+    }
+    if args.mode == Mode::ExplainStalls {
+        // Stall attribution needs a runnable program: only compile mode
+        // carries the arrays to feed the circuit.
+        args.compile = true;
+    }
+    if (args.vcd_out.is_some() || args.mode == Mode::ExplainStalls) && !args.compile {
+        return Err("waveforms and stall attribution need a `.gsl` program (compile mode): \
+                    dot circuits carry no input arrays to simulate"
+            .to_string());
     }
     if (args.metrics_out.is_some() || args.trace_out.is_some()) && !args.deferred {
         // A profile without refinement-check metrics would be misleading:
@@ -183,6 +252,9 @@ fn run_inner(args: &Args) -> Result<(), String> {
         }
     };
 
+    if args.mode == Mode::VcdCheck {
+        return vcd_check(&src, args);
+    }
     if args.compile {
         return compile_mode(&src, args);
     }
@@ -247,6 +319,34 @@ fn run_inner(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `vcd-check FILE`: parse a waveform dump back and print its summary;
+/// any malformation is a hard error (the CI round-trip gate).
+fn vcd_check(src: &str, args: &Args) -> Result<(), String> {
+    let file = args.input.as_deref().unwrap_or("<stdin>");
+    let dump = graphiti::obs::vcd::parse(src).map_err(|e| format!("{file}: {e}"))?;
+    println!(
+        "{file}: {} signals, {} changes, end time {} ({})",
+        dump.signals.len(),
+        dump.change_count(),
+        dump.end_time(),
+        if dump.timescale.is_empty() { "no timescale".to_string() } else { dump.timescale.clone() }
+    );
+    Ok(())
+}
+
+/// The VCD output path for one kernel: the requested path verbatim for a
+/// single-kernel program, otherwise the kernel name is inserted before
+/// the extension (`out.vcd` → `out.gcd.vcd`).
+fn vcd_path(requested: &str, kernel: &str, kernels: usize) -> String {
+    if kernels <= 1 {
+        return requested.to_string();
+    }
+    match requested.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{kernel}.{ext}"),
+        None => format!("{requested}.{kernel}"),
+    }
+}
+
 /// `--compile`: front-end program in, optimized dot circuits out.
 fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
     let program = graphiti::frontend::parse_program(src).map_err(|e| e.to_string())?;
@@ -282,25 +382,44 @@ fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
             }
             None => kernel.graph.clone(),
         };
-        println!("// kernel {}", kernel.name);
-        println!("{}", print_dot(&out));
+        if args.mode != Mode::ExplainStalls {
+            println!("// kernel {}", kernel.name);
+            println!("{}", print_dot(&out));
+        }
         optimized.push((kernel.name.clone(), out));
     }
-    // Under --metrics-out / --trace-out, also run the kernels so the
-    // profile carries simulator fire/stall/latency data.
-    if graphiti::obs::enabled() {
+    // Simulation pass: under --metrics-out / --trace-out (so the profile
+    // carries fire/stall/latency data), under --vcd-out (waveform
+    // capture), and in explain-stalls mode (attribution).
+    let explain = args.mode == Mode::ExplainStalls;
+    if graphiti::obs::enabled() || args.vcd_out.is_some() || explain {
         let _span = graphiti::obs::span("simulate");
         let mut mem = program.arrays.clone();
         let feeds: std::collections::BTreeMap<String, Vec<Value>> =
             [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+        let cfg = SimConfig {
+            trace_nodes: args.trace_nodes.clone(),
+            waveform: args.vcd_out.is_some(),
+            attribute_stalls: explain,
+            ..Default::default()
+        };
         for (name, g) in &optimized {
             let (placed, _) = place_buffers(g);
-            let r = simulate(&placed, &feeds, mem, SimConfig::default())
+            let r = simulate(&placed, &feeds, mem, cfg.clone())
                 .map_err(|e| format!("kernel `{name}` simulation: {e}"))?;
             eprintln!(
                 "graphiti-cli: kernel `{name}` simulated: {} cycles, {} firings",
                 r.cycles, r.firings
             );
+            if let (Some(requested), Some(vcd)) = (&args.vcd_out, &r.waveform) {
+                let path = vcd_path(requested, name, optimized.len());
+                std::fs::write(&path, vcd).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                eprintln!("graphiti-cli: kernel `{name}` waveform written to {path}");
+            }
+            if let Some(report) = &r.stalls {
+                println!("kernel `{name}` stall attribution:");
+                print!("{}", report.render(args.top));
+            }
             mem = r.memory;
         }
     }

@@ -156,6 +156,77 @@ fn cli_compile_mode_rejects_bad_programs() {
 }
 
 #[test]
+fn cli_vcd_out_writes_a_parsable_waveform() {
+    let dir = std::env::temp_dir().join(format!("graphiti_cli_vcd_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let vcd = dir.join("gcd.vcd");
+    let vcd_str = vcd.to_str().unwrap().to_string();
+    let (_, stderr, ok) = run_cli(GCD_PROGRAM, &["--compile", "--vcd-out", &vcd_str]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("waveform written"), "{stderr}");
+    let doc = std::fs::read_to_string(&vcd).expect("vcd file exists");
+    let dump = graphiti::obs::vcd::parse(&doc).expect("dump parses");
+    assert!(!dump.signals.is_empty());
+    assert!(dump.change_count() > 0);
+    // And vcd-check accepts its own output.
+    let (stdout, stderr, ok) = run_cli("", &["vcd-check", &vcd_str]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("signals"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_vcd_check_rejects_garbage() {
+    let (_, stderr, ok) = run_cli("this is not vcd\n#0\n1!\n", &["vcd-check"]);
+    assert!(!ok);
+    assert!(stderr.contains("vcd line"), "{stderr}");
+}
+
+#[test]
+fn cli_explain_stalls_prints_cause_breakdown() {
+    let (stdout, stderr, ok) = run_cli(GCD_PROGRAM, &["explain-stalls", "--top", "3"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("stall attribution"), "{stdout}");
+    assert!(stdout.contains("lost node-cycles:"), "{stdout}");
+    assert!(stdout.contains("critical channels:"), "{stdout}");
+    // Attribution mode replaces the dot output.
+    assert!(!stdout.contains("digraph"), "{stdout}");
+}
+
+#[test]
+fn cli_trace_nodes_narrows_the_waveform() {
+    let dir = std::env::temp_dir().join(format!("graphiti_cli_tn_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let vcd = dir.join("narrow.vcd");
+    let vcd_str = vcd.to_str().unwrap().to_string();
+    let (_, stderr, ok) =
+        run_cli(GCD_PROGRAM, &["--compile", "--vcd-out", &vcd_str, "--trace-nodes", "mux2"]);
+    assert!(ok, "stderr: {stderr}");
+    let narrow = graphiti::obs::vcd::parse(&std::fs::read_to_string(&vcd).unwrap()).unwrap();
+    let (_, _, ok) = run_cli(GCD_PROGRAM, &["--compile", "--vcd-out", &vcd_str]);
+    assert!(ok);
+    let full = graphiti::obs::vcd::parse(&std::fs::read_to_string(&vcd).unwrap()).unwrap();
+    assert!(!narrow.signals.is_empty(), "filter must keep the mux channels");
+    assert!(
+        narrow.signals.len() < full.signals.len(),
+        "filter must drop signals: {} vs {}",
+        narrow.signals.len(),
+        full.signals.len()
+    );
+    for sig in &narrow.signals {
+        assert!(sig.name.contains("mux2"), "unexpected signal {}", sig.name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_vcd_out_requires_compile_mode() {
+    let (_, stderr, ok) = run_cli(SEQUENTIAL_LOOP, &["--vcd-out", "/tmp/x.vcd"]);
+    assert!(!ok);
+    assert!(stderr.contains("compile mode"), "{stderr}");
+}
+
+#[test]
 fn cli_rejects_garbage_input() {
     let (_, stderr, ok) = run_cli("this is not dot", &[]);
     assert!(!ok);
