@@ -78,14 +78,26 @@ fn load(path: &str) -> Report {
     Report { cycles, wall_seconds, sched, stall }
 }
 
-fn pct(base: f64, cur: f64) -> Option<f64> {
-    (base > 0.0).then(|| (cur - base) / base * 100.0)
+/// Relative delta in percent. A zero baseline is not a silent `n/a`: a
+/// flow that went 0 → 0 is unchanged (+0.00%), while 0 → anything is an
+/// infinite regression that must still trip the gate.
+fn pct(base: f64, cur: f64) -> f64 {
+    if base > 0.0 {
+        (cur - base) / base * 100.0
+    } else if cur == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    }
 }
 
-fn fmt_pct(p: Option<f64>) -> String {
-    match p {
-        Some(p) => format!("{p:+.2}%"),
-        None => "n/a".to_string(),
+fn fmt_pct(p: f64) -> String {
+    if p.is_finite() {
+        format!("{p:+.2}%")
+    } else if p == f64::INFINITY {
+        "+inf%".to_string()
+    } else {
+        "n/a".to_string()
     }
 }
 
@@ -151,11 +163,9 @@ fn main() {
             Some((_, b)) => {
                 let d = pct(*b as f64, *c as f64);
                 println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}", fmt_pct(d));
-                if let Some(d) = d {
-                    rows.push((key.clone(), *b, *c, d));
-                    if d > threshold {
-                        regressions.push((format!("{key} cycles"), d));
-                    }
+                rows.push((key.clone(), *b, *c, d));
+                if d > threshold {
+                    regressions.push((format!("{key} cycles"), d));
                 }
             }
             None => println!("{key:<width$}  {:>12}  {c:>12}  {:>9}", "-", "new"),
@@ -163,7 +173,7 @@ fn main() {
     }
     for (key, b) in &base.cycles {
         if !cur.cycles.iter().any(|(k, _)| k == key) {
-            println!("{key:<width$}  {b:>12}  {:>12}  {:>9}", "-", "gone");
+            println!("{key:<width$}  {b:>12}  {:>12}  {:>9}", "-", "removed");
         }
     }
 
@@ -188,12 +198,8 @@ fn main() {
                 let d = pct(*b as f64, *c as f64);
                 let note = if stall_gate { "" } else { "   (ungated)" };
                 println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}{note}", fmt_pct(d));
-                if stall_gate {
-                    if let Some(d) = d {
-                        if d > threshold {
-                            regressions.push((key.clone(), d));
-                        }
-                    }
+                if stall_gate && d > threshold {
+                    regressions.push((key.clone(), d));
                 }
             }
             None => println!("{key:<width$}  {:>12}  {c:>12}  {:>9}", "-", "new"),
@@ -203,9 +209,12 @@ fn main() {
     if let Some(path) = emit {
         let mut out = String::from("{\n  \"cycles\": {\n");
         for (i, (key, b, c, d)) in rows.iter().enumerate() {
+            // JSON has no Infinity/NaN literal; non-finite deltas (the
+            // 0-cycle-baseline case) are emitted as null.
+            let delta = if d.is_finite() { format!("{d:.4}") } else { "null".to_string() };
             let _ = writeln!(
                 out,
-                "    \"{}\": {{\"baseline\": {b}, \"current\": {c}, \"delta_pct\": {d:.4}}}{}",
+                "    \"{}\": {{\"baseline\": {b}, \"current\": {c}, \"delta_pct\": {delta}}}{}",
                 escape(key),
                 if i + 1 < rows.len() { "," } else { "" },
             );
@@ -248,7 +257,9 @@ fn main() {
         let worst = regressions
             .iter()
             .map(|(_, d)| *d)
-            .fold(rows.iter().map(|(_, _, _, d)| *d).fold(f64::NEG_INFINITY, f64::max), f64::max);
+            .chain(rows.iter().map(|(_, _, _, d)| *d))
+            .filter(|d| d.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
         let _ = write!(
             out,
             "  }},\n  \"threshold_pct\": {threshold},\n  \"max_cycle_delta_pct\": {}\n}}\n",

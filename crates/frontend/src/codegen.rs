@@ -34,6 +34,12 @@ pub enum CodegenError {
     SupplyExhausted(String),
     /// The kernel references an update for an unknown state variable.
     MalformedKernel(String),
+    /// Two store statements target the same array. The circuit has no
+    /// load-store queue, so distinct store sites to one array can commit
+    /// out of program order (e.g. a body store whose data rides a
+    /// latency-2 load lands *after* the epilogue store of the same
+    /// invocation); the kernel is rejected instead of miscompiled.
+    StoreRace(String),
 }
 
 impl fmt::Display for CodegenError {
@@ -44,6 +50,11 @@ impl fmt::Display for CodegenError {
                 write!(f, "internal use-count mismatch for variable `{v}`")
             }
             CodegenError::MalformedKernel(m) => write!(f, "malformed kernel: {m}"),
+            CodegenError::StoreRace(a) => write!(
+                f,
+                "array `{a}` is stored by more than one store statement; without a \
+                 load-store queue the sites can commit out of program order"
+            ),
         }
     }
 }
@@ -367,6 +378,18 @@ pub fn compile_kernel(k: &OuterLoop, name: &str) -> Result<KernelCircuit, Codege
     let inner: &InnerLoop = &k.inner;
     let outer = k.var.clone();
     let decouple = k.ooo_tags.unwrap_or(1) as usize + 8;
+
+    // One store site per array: Store components are mutually unordered
+    // (each `done` is sunk), so a second site on the same array races the
+    // first — the simulator would commit them in data-arrival order, not
+    // program order.
+    let mut store_sites: BTreeMap<&str, usize> = BTreeMap::new();
+    for st in inner.effects.iter().chain(&k.epilogue) {
+        *store_sites.entry(st.array.as_str()).or_insert(0) += 1;
+    }
+    if let Some((arr, _)) = store_sites.iter().find(|(_, n)| **n > 1) {
+        return Err(CodegenError::StoreRace((*arr).to_string()));
+    }
 
     // --- Use counts of the outer induction token ---
     let mut outer_counts: BTreeMap<String, usize> = BTreeMap::new();

@@ -42,19 +42,52 @@ pub struct TextError {
     pub message: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column within the line (0 when the error concerns the
+    /// whole line).
+    pub col: usize,
 }
 
 impl fmt::Display for TextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
 impl std::error::Error for TextError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TextError> {
-    Err(TextError { message: message.into(), line })
+    Err(TextError { message: message.into(), line, col: 0 })
 }
+
+fn err_at<T>(line: usize, col: usize, message: impl Into<String>) -> Result<T, TextError> {
+    Err(TextError { message: message.into(), line, col })
+}
+
+/// The 1-based byte column of subslice `sub` within the line `raw` it was
+/// sliced from (used to turn substring-relative positions into absolute
+/// line columns).
+fn col_of(raw: &str, sub: &str) -> usize {
+    let raw_start = raw.as_ptr() as usize;
+    let sub_start = sub.as_ptr() as usize;
+    if (raw_start..raw_start + raw.len() + 1).contains(&sub_start) {
+        sub_start - raw_start + 1
+    } else {
+        0
+    }
+}
+
+/// Hard cap on `zeros`-declared array lengths: a hostile `.gsl` must not be
+/// able to request an arbitrarily large allocation.
+const MAX_ARRAY_LEN: usize = 1 << 20;
+
+/// Hard cap on declared tag budgets: `TaggerState` materialises the free-tag
+/// pool, so an unchecked `ooo tags 4294967295` is a multi-gigabyte
+/// allocation.
+const MAX_TAGS: u32 = 4096;
 
 // ---------- expression lexer/parser ----------
 
@@ -66,29 +99,32 @@ enum Tok {
     Sym(String),
 }
 
-fn lex_expr(src: &str, line: usize) -> Result<Vec<Tok>, TextError> {
-    let mut toks = Vec::new();
-    let cs: Vec<char> = src.chars().collect();
+/// Lexes an expression into `(token, 1-based byte column)` pairs; columns
+/// are offset by `base` so they stay absolute within the original line.
+fn lex_expr(src: &str, line: usize, base: usize) -> Result<Vec<(Tok, usize)>, TextError> {
+    let mut toks: Vec<(Tok, usize)> = Vec::new();
+    let cs: Vec<(usize, char)> = src.char_indices().collect();
+    let col = |char_pos: usize| base + cs.get(char_pos).map_or(src.len(), |&(byte, _)| byte);
     let mut i = 0;
     while i < cs.len() {
-        let c = cs[i];
+        let c = cs[i].1;
         if c.is_whitespace() {
             i += 1;
         } else if c.is_ascii_digit()
             || (c == '-'
                 && i + 1 < cs.len()
-                && cs[i + 1].is_ascii_digit()
-                && matches!(toks.last(), None | Some(Tok::Sym(_))))
+                && cs[i + 1].1.is_ascii_digit()
+                && matches!(toks.last(), None | Some((Tok::Sym(_), _))))
         {
             let start = i;
             i += 1;
             let mut is_float = false;
-            while i < cs.len() && (cs[i].is_ascii_digit() || cs[i] == '.') {
-                if cs[i] == '.' {
+            while i < cs.len() && (cs[i].1.is_ascii_digit() || cs[i].1 == '.') {
+                if cs[i].1 == '.' {
                     // `1.5` is a float but `1..` (range) is not ours; the
                     // expression grammar has no ranges, so any '.' directly
                     // followed by a digit makes a float.
-                    if i + 1 < cs.len() && cs[i + 1].is_ascii_digit() {
+                    if i + 1 < cs.len() && cs[i + 1].1.is_ascii_digit() {
                         is_float = true;
                     } else {
                         break;
@@ -96,60 +132,76 @@ fn lex_expr(src: &str, line: usize) -> Result<Vec<Tok>, TextError> {
                 }
                 i += 1;
             }
-            let text: String = cs[start..i].iter().collect();
+            let text: String = cs[start..i].iter().map(|&(_, c)| c).collect();
             if is_float {
-                toks.push(Tok::Float(
-                    text.parse()
-                        .map_err(|_| TextError { message: format!("bad float `{text}`"), line })?,
+                toks.push((
+                    Tok::Float(text.parse().map_err(|_| TextError {
+                        message: format!("bad float `{text}`"),
+                        line,
+                        col: col(start),
+                    })?),
+                    col(start),
                 ));
             } else {
-                toks.push(Tok::Int(
-                    text.parse().map_err(|_| TextError {
+                toks.push((
+                    Tok::Int(text.parse().map_err(|_| TextError {
                         message: format!("bad integer `{text}`"),
                         line,
-                    })?,
+                        col: col(start),
+                    })?),
+                    col(start),
                 ));
             }
         } else if c.is_alphanumeric() || c == '_' {
             let start = i;
-            while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+            while i < cs.len() && (cs[i].1.is_alphanumeric() || cs[i].1 == '_') {
                 i += 1;
             }
-            toks.push(Tok::Ident(cs[start..i].iter().collect()));
+            toks.push((Tok::Ident(cs[start..i].iter().map(|&(_, c)| c).collect()), col(start)));
         } else {
             // Multi-char operators: float variants with a trailing dot, and
             // two-char comparisons.
-            let two: String = cs[i..(i + 2).min(cs.len())].iter().collect();
+            let two: String = cs[i..(i + 2).min(cs.len())].iter().map(|&(_, c)| c).collect();
             let sym = match two.as_str() {
                 "+." | "-." | "*." | "/." | ">=" | "==" | "<." => two.clone(),
                 _ => c.to_string(),
             };
             // ">=." is three chars.
-            if sym == ">=" && i + 2 < cs.len() && cs[i + 2] == '.' {
-                toks.push(Tok::Sym(">=.".into()));
+            if sym == ">=" && i + 2 < cs.len() && cs[i + 2].1 == '.' {
+                toks.push((Tok::Sym(">=.".into()), col(i)));
                 i += 3;
                 continue;
             }
-            i += sym.len();
-            toks.push(Tok::Sym(sym));
+            // Advance by the symbol's *character* count: its byte length
+            // would skip neighbouring characters for non-ASCII input.
+            let start = i;
+            i += sym.chars().count();
+            toks.push((Tok::Sym(sym), col(start)));
         }
     }
     Ok(toks)
 }
 
 struct ExprParser<'a> {
-    toks: &'a [Tok],
+    toks: &'a [(Tok, usize)],
     pos: usize,
     line: usize,
+    /// Column reported when the token stream is exhausted.
+    end_col: usize,
 }
 
 impl<'a> ExprParser<'a> {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Column of the current token (end-of-input column when exhausted).
+    fn col(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.end_col, |&(_, c)| c)
     }
 
     fn bump(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).cloned();
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -169,7 +221,7 @@ impl<'a> ExprParser<'a> {
         if self.eat_sym(s) {
             Ok(())
         } else {
-            err(self.line, format!("expected `{s}`, found {:?}", self.peek()))
+            err_at(self.line, self.col(), format!("expected `{s}`, found {:?}", self.peek()))
         }
     }
 
@@ -246,6 +298,7 @@ impl<'a> ExprParser<'a> {
     }
 
     fn parse_atom(&mut self) -> Result<Expr, TextError> {
+        let at = self.col();
         match self.bump() {
             Some(Tok::Int(x)) => Ok(Expr::int(x)),
             Some(Tok::Float(x)) => Ok(Expr::f64(x)),
@@ -288,7 +341,7 @@ impl<'a> ExprParser<'a> {
                     }
                 }
             },
-            other => err(self.line, format!("unexpected token {other:?} in expression")),
+            other => err_at(self.line, at, format!("unexpected token {other:?} in expression")),
         }
     }
 }
@@ -299,11 +352,19 @@ impl<'a> ExprParser<'a> {
 ///
 /// Returns [`TextError`] with the supplied line number on malformed input.
 pub fn parse_expr(src: &str, line: usize) -> Result<Expr, TextError> {
-    let toks = lex_expr(src, line)?;
-    let mut p = ExprParser { toks: &toks, pos: 0, line };
+    parse_expr_at(src, line, 1)
+}
+
+/// [`parse_expr`] with a base column, so errors in expressions embedded in
+/// a longer line report absolute columns.
+fn parse_expr_at(src: &str, line: usize, base: usize) -> Result<Expr, TextError> {
+    let toks = lex_expr(src, line, base)?;
+    let mut p = ExprParser { toks: &toks, pos: 0, line, end_col: base + src.len() };
     let e = p.parse_cmp()?;
     if p.pos != toks.len() {
-        return err(line, format!("trailing tokens after expression: {:?}", &toks[p.pos..]));
+        let (trailing, col) = (&toks[p.pos..], p.col());
+        let rendered: Vec<&Tok> = trailing.iter().map(|(t, _)| t).collect();
+        return err_at(line, col, format!("trailing tokens after expression: {rendered:?}"));
     }
     Ok(e)
 }
@@ -318,12 +379,28 @@ fn split_eq(text: &str, line: usize) -> Result<(&str, &str), TextError> {
     }
 }
 
-/// `ARR[expr]` target of a store.
-fn parse_store_target(text: &str, line: usize) -> Result<(String, Expr), TextError> {
-    let open = text.find('[').ok_or(TextError { message: "expected `[`".into(), line })?;
-    let close = text.rfind(']').ok_or(TextError { message: "expected `]`".into(), line })?;
+/// `ARR[expr]` target of a store. `raw` is the full source line, for
+/// column reporting.
+fn parse_store_target(text: &str, raw: &str, line: usize) -> Result<(String, Expr), TextError> {
+    let open = text.find('[').ok_or(TextError {
+        message: "expected `[`".into(),
+        line,
+        col: col_of(raw, text),
+    })?;
+    // Search for the closing bracket only *after* the opening one: a line
+    // like `store ]a[ = 1` must be a parse error, not a reversed slice
+    // (which panics).
+    let close = text[open..].rfind(']').map(|c| open + c).ok_or(TextError {
+        message: "expected `]` after `[`".into(),
+        line,
+        col: col_of(raw, text) + open,
+    })?;
     let arr = text[..open].trim().to_string();
-    let idx = parse_expr(&text[open + 1..close], line)?;
+    if arr.is_empty() {
+        return err_at(line, col_of(raw, text), "store target needs an array name");
+    }
+    let inner = &text[open + 1..close];
+    let idx = parse_expr_at(inner, line, col_of(raw, inner))?;
     Ok((arr, idx))
 }
 
@@ -348,25 +425,39 @@ pub fn parse_program(src: &str) -> Result<Program, TextError> {
             let values = if let Some(zeros) = rhs.strip_prefix("zeros ") {
                 let mut parts = zeros.split_whitespace();
                 let ty = parts.next().unwrap_or("");
-                let n: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(TextError { message: "zeros needs a length".into(), line: line_no })?;
+                let n: usize = parts.next().and_then(|s| s.parse().ok()).ok_or(TextError {
+                    message: "zeros needs a length".into(),
+                    line: line_no,
+                    col: col_of(raw, rhs),
+                })?;
+                if n > MAX_ARRAY_LEN {
+                    return err_at(
+                        line_no,
+                        col_of(raw, rhs),
+                        format!("array length {n} exceeds the {MAX_ARRAY_LEN} cap"),
+                    );
+                }
                 match ty {
                     "int" => vec![Value::Int(0); n],
                     "f64" => vec![Value::from_f64(0.0); n],
                     other => return err(line_no, format!("unknown zeros type `{other}`")),
                 }
             } else {
-                let inner = rhs
-                    .strip_prefix('[')
-                    .and_then(|r| r.strip_suffix(']'))
-                    .ok_or(TextError { message: "expected `[...]`".into(), line: line_no })?;
+                let inner =
+                    rhs.strip_prefix('[').and_then(|r| r.strip_suffix(']')).ok_or(TextError {
+                        message: "expected `[...]`".into(),
+                        line: line_no,
+                        col: col_of(raw, rhs),
+                    })?;
                 inner
                     .split(',')
                     .filter(|s| !s.trim().is_empty())
                     .map(|s| {
-                        parse_value(s.trim()).map_err(|m| TextError { message: m, line: line_no })
+                        parse_value(s.trim()).map_err(|m| TextError {
+                            message: m,
+                            line: line_no,
+                            col: col_of(raw, s),
+                        })
                     })
                     .collect::<Result<Vec<_>, _>>()?
             };
@@ -383,15 +474,31 @@ pub fn parse_program(src: &str) -> Result<Program, TextError> {
                 return err(line_no, "expected `in`");
             }
             let range = parts.next().unwrap_or("");
-            let trip: i64 = range
-                .strip_prefix("0..")
-                .and_then(|s| s.parse().ok())
-                .ok_or(TextError { message: format!("bad range `{range}`"), line: line_no })?;
-            let ooo_tags = match (parts.next(), parts.next(), parts.next()) {
-                (Some("ooo"), Some("tags"), Some(n)) => Some(n.parse().map_err(|_| TextError {
-                    message: format!("bad tag count `{n}`"),
+            let trip: i64 =
+                range.strip_prefix("0..").and_then(|s| s.parse().ok()).ok_or(TextError {
+                    message: format!("bad range `{range}`"),
                     line: line_no,
-                })?),
+                    col: col_of(raw, range),
+                })?;
+            let ooo_tags = match (parts.next(), parts.next(), parts.next()) {
+                (Some("ooo"), Some("tags"), Some(n)) => {
+                    let tags: u32 = n.parse().map_err(|_| TextError {
+                        message: format!("bad tag count `{n}`"),
+                        line: line_no,
+                        col: col_of(raw, n),
+                    })?;
+                    if tags == 0 || tags > MAX_TAGS {
+                        // The tag pool is materialised, so an unchecked
+                        // budget is an allocation-size attack; zero tags
+                        // would deadlock the tagged region.
+                        return err_at(
+                            line_no,
+                            col_of(raw, n),
+                            format!("tag count {tags} outside 1..={MAX_TAGS}"),
+                        );
+                    }
+                    Some(tags)
+                }
                 (None, _, _) => None,
                 _ => return err(line_no, "expected `ooo tags N` or `{`"),
             };
@@ -408,9 +515,11 @@ pub fn parse_program(src: &str) -> Result<Program, TextError> {
                 ooo_tags,
             });
         } else if line == "}" {
-            let k = kernel
-                .take()
-                .ok_or(TextError { message: "`}` without kernel".into(), line: line_no })?;
+            let k = kernel.take().ok_or(TextError {
+                message: "`}` without kernel".into(),
+                line: line_no,
+                col: 0,
+            })?;
             if k.inner.vars.is_empty() {
                 return err(line_no, "kernel has no state variables");
             }
@@ -419,25 +528,33 @@ pub fn parse_program(src: &str) -> Result<Program, TextError> {
             }
             p.kernels.push(k);
         } else {
-            let k = kernel
-                .as_mut()
-                .ok_or(TextError { message: "statement outside kernel".into(), line: line_no })?;
+            let k = kernel.as_mut().ok_or(TextError {
+                message: "statement outside kernel".into(),
+                line: line_no,
+                col: 0,
+            })?;
             if let Some(rest) = line.strip_prefix("state ") {
                 let (name, rhs) = split_eq(rest, line_no)?;
-                k.inner.vars.push((name.to_string(), parse_expr(rhs, line_no)?));
+                k.inner
+                    .vars
+                    .push((name.to_string(), parse_expr_at(rhs, line_no, col_of(raw, rhs))?));
             } else if let Some(rest) = line.strip_prefix("update ") {
                 let (name, rhs) = split_eq(rest, line_no)?;
-                k.inner.update.push((name.to_string(), parse_expr(rhs, line_no)?));
+                k.inner
+                    .update
+                    .push((name.to_string(), parse_expr_at(rhs, line_no, col_of(raw, rhs))?));
             } else if let Some(rest) = line.strip_prefix("while ") {
-                k.inner.cond = parse_expr(rest, line_no)?;
+                k.inner.cond = parse_expr_at(rest, line_no, col_of(raw, rest))?;
             } else if let Some(rest) = line.strip_prefix("do store ") {
                 let (target, rhs) = split_eq(rest, line_no)?;
-                let (array, index) = parse_store_target(target, line_no)?;
-                k.inner.effects.push(StoreStmt { array, index, value: parse_expr(rhs, line_no)? });
+                let (array, index) = parse_store_target(target, raw, line_no)?;
+                let value = parse_expr_at(rhs, line_no, col_of(raw, rhs))?;
+                k.inner.effects.push(StoreStmt { array, index, value });
             } else if let Some(rest) = line.strip_prefix("store ") {
                 let (target, rhs) = split_eq(rest, line_no)?;
-                let (array, index) = parse_store_target(target, line_no)?;
-                k.epilogue.push(StoreStmt { array, index, value: parse_expr(rhs, line_no)? });
+                let (array, index) = parse_store_target(target, raw, line_no)?;
+                let value = parse_expr_at(rhs, line_no, col_of(raw, rhs))?;
+                k.epilogue.push(StoreStmt { array, index, value });
             } else {
                 return err(line_no, format!("unrecognized statement `{line}`"));
             }
@@ -476,14 +593,11 @@ pub fn print_expr(e: &Expr) -> String {
     match e {
         Expr::Const(Value::Int(x)) => x.to_string(),
         Expr::Const(Value::Bool(b)) => b.to_string(),
-        Expr::Const(v @ Value::F64(_)) => {
-            let f = v.as_f64().expect("float");
-            if f.fract() == 0.0 {
-                format!("{f:.1}")
-            } else {
-                format!("{f}")
-            }
-        }
+        Expr::Const(v @ Value::F64(_)) => match v.as_f64() {
+            Some(f) if f.fract() == 0.0 && f.is_finite() => format!("{f:.1}"),
+            Some(f) => format!("{f}"),
+            None => print_value(v),
+        },
         Expr::Const(v) => print_value(v),
         Expr::Var(v) => v.clone(),
         Expr::Load(a, idx) => format!("{a}[{}]", print_expr(idx)),

@@ -70,11 +70,41 @@ fn program_strategy() -> impl Strategy<Value = Program> {
     )
 }
 
+fn float_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        // Finite doubles with short and long decimal expansions; the
+        // printer must emit a spelling the lexer reads back exactly.
+        (-64i32..65).prop_map(|k| Expr::f64(f64::from(k) * 0.125)),
+        (-9i64..10).prop_map(|k| Expr::f64(k as f64)),
+        // Dense mantissas: the printer's shortest-roundtrip `{f}` arm.
+        (-(1i64 << 40)..(1i64 << 40)).prop_map(|k| Expr::f64(k as f64 / 1024.0 / 7.0)),
+        Just(Expr::var("acc")),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::AddF, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::MulF, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(Op::GeF, a, b)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::un(Op::IToF, Expr::sel(a, Expr::int(1), Expr::int(0)))),
+        ]
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn expression_print_parse_roundtrip(e in int_expr(4)) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed, 1)
+            .unwrap_or_else(|err| panic!("`{printed}` does not reparse: {err}"));
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn float_expression_print_parse_roundtrip(e in float_expr(3)) {
         let printed = print_expr(&e);
         let reparsed = parse_expr(&printed, 1)
             .unwrap_or_else(|err| panic!("`{printed}` does not reparse: {err}"));

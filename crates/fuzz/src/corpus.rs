@@ -1,0 +1,85 @@
+//! Persisted regression corpus.
+//!
+//! Every distinct failure a fuzz run finds is minimised and written to
+//! `crates/fuzz/corpus/<slug>.gsl` with its fingerprint in a header
+//! comment. `tests/corpus_replay.rs` replays the whole directory through
+//! all four oracles on every `cargo test`, so a fixed bug stays fixed.
+//! `corpus/malformed/` holds *intentionally broken* inputs (`.gsl` and
+//! `.vcd`) that the parsers must reject with an `Err`, never a panic.
+
+use graphiti_frontend::{parse_program, print_program, Program};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The in-repo corpus directory (resolved from the crate manifest, so
+/// the binary works from any working directory).
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// The malformed-input corpus (parser crash regressions).
+pub fn malformed_dir() -> PathBuf {
+    default_dir().join("malformed")
+}
+
+/// Turns a fingerprint into a filesystem-safe slug.
+pub fn slug(fingerprint: &str) -> String {
+    let mut s: String = fingerprint
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    while s.contains("--") {
+        s = s.replace("--", "-");
+    }
+    s.trim_matches('-').chars().take(80).collect()
+}
+
+/// Writes a minimised failing program into `dir`, named after its
+/// fingerprint. Returns the path written.
+pub fn save(dir: &Path, fingerprint: &str, detail: &str, p: &Program) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.gsl", slug(fingerprint)));
+    let mut text = String::new();
+    text.push_str(&format!("# fingerprint: {fingerprint}\n"));
+    for line in detail.lines() {
+        text.push_str(&format!("# detail: {line}\n"));
+    }
+    text.push_str(&print_program(p));
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Loads every `.gsl` case in `dir` (non-recursive, sorted), parsing each.
+/// A corpus file that no longer parses is itself a bug, so parse errors
+/// are returned, not skipped.
+pub fn load(dir: &Path) -> io::Result<Vec<(PathBuf, Result<Program, String>)>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "gsl") && p.is_file())
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let parsed = parse_program(&text).map_err(|e| e.to_string());
+        out.push((path, parsed));
+    }
+    Ok(out)
+}
+
+/// Loads every file in the malformed corpus as raw text, keyed by path.
+pub fn load_malformed(dir: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd.filter_map(Result::ok).map(|e| e.path()).filter(|p| p.is_file()).collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    paths.into_iter().map(|p| fs::read_to_string(&p).map(|t| (p, t))).collect()
+}

@@ -1,0 +1,23 @@
+//! Differential fuzzing harness for the Graphiti workspace.
+//!
+//! The crate generates random *well-formed* source programs (see
+//! [`gen`]), feeds them through four metamorphic oracles (see
+//! [`oracle`]), minimises any failure with a delta-debugging shrinker
+//! (see [`shrink`]), and deduplicates crashes by panic fingerprint
+//! (see [`triage`]).  Minimised failures are persisted under
+//! `crates/fuzz/corpus/` and replayed forever by `tests/corpus_replay.rs`.
+//!
+//! Well-formed-by-construction is the load-bearing idea: every
+//! generated kernel terminates (the loop condition counts a dedicated
+//! counter variable up to a bound), every array access is in bounds
+//! (indices are the outer loop variable or a constant below the trip
+//! count), and every divisor is a non-zero constant (dataflow `select`
+//! evaluates both arms eagerly, so a data-dependent divisor would be a
+//! fault of the *program*, not a bug in the tools).  Any panic or
+//! oracle disagreement is therefore a real defect.
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+pub mod triage;

@@ -1,0 +1,200 @@
+//! Delta-debugging shrinker for failing programs.
+//!
+//! Greedy fixpoint minimisation: propose structurally smaller candidate
+//! programs, keep the first one that *still fails the same way* (the
+//! caller's predicate — normally fingerprint equality), repeat until no
+//! candidate is accepted. Candidates are free to be nonsense (dropping a
+//! state variable can orphan references): an invalid candidate simply
+//! fails differently and is rejected, which keeps the proposal rules
+//! simple and the accepted chain sound.
+
+use graphiti_frontend::{Expr, Program};
+
+/// Hard cap on predicate evaluations, so shrinking a pathological case
+/// cannot dominate a fuzz run.
+const MAX_EVALS: usize = 2_000;
+
+fn children(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => vec![],
+        Expr::Load(_, i) => vec![(**i).clone()],
+        Expr::Un(_, a) => vec![(**a).clone()],
+        Expr::Bin(_, a, b) => vec![(**a).clone(), (**b).clone()],
+        Expr::Sel(c, t, f) => vec![(**c).clone(), (**t).clone(), (**f).clone()],
+    }
+}
+
+fn collect(e: &Expr, out: &mut Vec<Expr>) {
+    out.push(e.clone());
+    match e {
+        Expr::Const(_) | Expr::Var(_) => {}
+        Expr::Load(_, i) => collect(i, out),
+        Expr::Un(_, a) => collect(a, out),
+        Expr::Bin(_, a, b) => {
+            collect(a, out);
+            collect(b, out);
+        }
+        Expr::Sel(c, t, f) => {
+            collect(c, out);
+            collect(t, out);
+            collect(f, out);
+        }
+    }
+}
+
+/// Pre-order replacement of node `target` (shared counter `n`).
+fn replace_in(e: &mut Expr, n: &mut usize, target: usize, repl: &Expr) -> bool {
+    let here = *n;
+    *n += 1;
+    if here == target {
+        *e = repl.clone();
+        return true;
+    }
+    match e {
+        Expr::Const(_) | Expr::Var(_) => false,
+        Expr::Load(_, i) => replace_in(i, n, target, repl),
+        Expr::Un(_, a) => replace_in(a, n, target, repl),
+        Expr::Bin(_, a, b) => replace_in(a, n, target, repl) || replace_in(b, n, target, repl),
+        Expr::Sel(c, t, f) => {
+            replace_in(c, n, target, repl)
+                || replace_in(t, n, target, repl)
+                || replace_in(f, n, target, repl)
+        }
+    }
+}
+
+/// Every expression slot of the program, in a fixed order shared by
+/// [`all_sites`] and [`replace_site`].
+fn slots_mut(p: &mut Program) -> Vec<&mut Expr> {
+    let mut v: Vec<&mut Expr> = Vec::new();
+    for k in &mut p.kernels {
+        for (_, e) in &mut k.inner.vars {
+            v.push(e);
+        }
+        for (_, e) in &mut k.inner.update {
+            v.push(e);
+        }
+        v.push(&mut k.inner.cond);
+        for s in &mut k.inner.effects {
+            v.push(&mut s.index);
+            v.push(&mut s.value);
+        }
+        for s in &mut k.epilogue {
+            v.push(&mut s.index);
+            v.push(&mut s.value);
+        }
+    }
+    v
+}
+
+fn all_sites(p: &Program) -> Vec<Expr> {
+    let mut q = p.clone();
+    let mut out = Vec::new();
+    for e in slots_mut(&mut q) {
+        collect(e, &mut out);
+    }
+    out
+}
+
+fn replace_site(p: &Program, target: usize, repl: &Expr) -> Program {
+    let mut q = p.clone();
+    let mut n = 0usize;
+    for e in slots_mut(&mut q) {
+        if replace_in(e, &mut n, target, repl) {
+            break;
+        }
+    }
+    q
+}
+
+/// Structural candidates, roughly biggest-reduction-first (delta
+/// debugging's usual schedule): whole kernels, then state variables and
+/// effects, then loop extents, then single expression nodes.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+
+    if p.kernels.len() > 1 {
+        for i in 0..p.kernels.len() {
+            let mut q = p.clone();
+            q.kernels.remove(i);
+            out.push(q);
+        }
+    }
+
+    for (ki, k) in p.kernels.iter().enumerate() {
+        // Drop a state variable (and its update).
+        for vi in 0..k.inner.vars.len() {
+            let name = k.inner.vars[vi].0.clone();
+            let mut q = p.clone();
+            q.kernels[ki].inner.vars.remove(vi);
+            q.kernels[ki].inner.update.retain(|(n, _)| n != &name);
+            out.push(q);
+        }
+        if !k.inner.effects.is_empty() {
+            let mut q = p.clone();
+            q.kernels[ki].inner.effects.clear();
+            out.push(q);
+        }
+        if k.epilogue.len() > 1 {
+            let mut q = p.clone();
+            q.kernels[ki].epilogue.truncate(1);
+            out.push(q);
+        }
+        if k.trip > 1 {
+            let mut q = p.clone();
+            q.kernels[ki].trip = 1;
+            out.push(q);
+            let mut q = p.clone();
+            q.kernels[ki].trip = k.trip - 1;
+            out.push(q);
+        }
+        match k.ooo_tags {
+            Some(t) if t > 1 => {
+                let mut q = p.clone();
+                q.kernels[ki].ooo_tags = Some(1);
+                out.push(q);
+                let mut q = p.clone();
+                q.kernels[ki].ooo_tags = Some(t / 2);
+                out.push(q);
+            }
+            _ => {}
+        }
+    }
+
+    // Replace each expression node by one of its children, or a literal.
+    let sites = all_sites(p);
+    for (i, site) in sites.iter().enumerate() {
+        for c in children(site) {
+            out.push(replace_site(p, i, &c));
+        }
+        if !matches!(site, Expr::Const(_)) {
+            out.push(replace_site(p, i, &Expr::int(1)));
+        }
+    }
+    out
+}
+
+/// Minimises `p` under `still_fails`. The predicate must hold for `p`
+/// itself (the caller observed the failure); every accepted candidate
+/// preserves it, so the result fails the same way.
+pub fn shrink(p: &Program, still_fails: &mut dyn FnMut(&Program) -> bool) -> Program {
+    let mut cur = p.clone();
+    let mut evals = 0usize;
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&cur) {
+            if evals >= MAX_EVALS {
+                return cur;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Permanent regressions: every corpus case is replayed on every
+//! `cargo test`.
+//!
+//! * `corpus/*.gsl` — minimised well-formed programs from past fuzz
+//!   findings; each must pass all four metamorphic oracles.
+//! * `corpus/malformed/*` — hostile inputs that once panicked a parser
+//!   or miscompiled; each must now be *rejected with an error*, and in
+//!   no case may the toolchain panic.
+
+use graphiti_frontend::{compile, parse_program};
+use graphiti_fuzz::oracle::{check_program, OracleOpts};
+use graphiti_fuzz::{corpus, triage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn well_formed_corpus_passes_all_oracles() {
+    let cases = corpus::load(&corpus::default_dir()).expect("corpus readable");
+    assert!(!cases.is_empty(), "the corpus must ship with regression cases");
+    for (path, parsed) in cases {
+        let p = parsed.unwrap_or_else(|e| panic!("{}: no longer parses: {e}", path.display()));
+        let opts = OracleOpts { refinement: true };
+        let verdict = triage::catching(|| {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            check_program(&p, &mut rng, &opts)
+        });
+        match verdict {
+            Ok(Ok(())) => {}
+            Ok(Err(f)) => panic!("{}: oracle regression: {f}", path.display()),
+            Err(c) => {
+                panic!("{}: panic regression at {}: {}", path.display(), c.location, c.message)
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_corpus_is_rejected_without_panicking() {
+    let cases = corpus::load_malformed(&corpus::malformed_dir()).expect("corpus readable");
+    assert!(!cases.is_empty(), "the malformed corpus must ship with crash regressions");
+    for (path, text) in cases {
+        let name = path.display().to_string();
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        let outcome = triage::catching(|| match ext {
+            // A malformed program must die in the parser or in codegen —
+            // never reach simulation as a silently-miscompiled circuit.
+            "gsl" => match parse_program(&text) {
+                Err(e) => Ok(format!("parse: {e}")),
+                Ok(p) => match compile(&p) {
+                    Err(e) => Ok(format!("codegen: {e}")),
+                    Ok(_) => Err("accepted end to end".to_string()),
+                },
+            },
+            "vcd" => match graphiti_obs::vcd::parse(&text) {
+                Err(e) => Ok(format!("vcd: {e}")),
+                Ok(_) => Err("accepted".to_string()),
+            },
+            "json" => match graphiti_bench::jsonin::parse(&text) {
+                Err(e) => Ok(format!("json: {e}")),
+                Ok(_) => Err("accepted".to_string()),
+            },
+            other => Err(format!("unknown corpus extension `{other}`")),
+        });
+        match outcome {
+            Ok(Ok(_rejection)) => {}
+            Ok(Err(why)) => panic!("{name}: must be rejected, but was {why}"),
+            Err(c) => panic!("{name}: panicked at {}: {}", c.location, c.message),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Crash-proofing contracts on the untrusted-input paths: malformed
+//! `.gsl`, truncated VCD, and hostile bench JSON must all return `Err`
+//! with a useful diagnostic — never panic, never allocate absurdly.
+
+use graphiti_bench::jsonin;
+use graphiti_frontend::parse_program;
+use graphiti_obs::vcd;
+
+// --- .gsl ---------------------------------------------------------------
+
+#[test]
+fn gsl_reversed_store_brackets_is_an_error() {
+    let e = parse_program("program p\nkernel for i in 0..1 {\n  store ]a[ = 1\n}\n")
+        .expect_err("reversed brackets");
+    assert_eq!(e.line, 3, "{e}");
+}
+
+#[test]
+fn gsl_huge_zeros_length_is_capped() {
+    let e = parse_program("program p\narray a = zeros int 99999999999999\n")
+        .expect_err("absurd length");
+    assert!(e.to_string().contains("1048576"), "cap named in the message: {e}");
+}
+
+#[test]
+fn gsl_tag_budget_is_capped() {
+    for tags in ["0", "4097", "4294967295"] {
+        let src =
+            format!("program p\nkernel for i in 0..1 ooo tags {tags} {{\n  while nez(1)\n}}\n");
+        assert!(parse_program(&src).is_err(), "tags {tags} must be rejected");
+    }
+}
+
+#[test]
+fn gsl_errors_carry_line_and_column() {
+    let e =
+        parse_program("program p\narray a = [i:1]\n\nkernel for i in 0..1 {\n  state x = 1 +\n}\n")
+            .expect_err("dangling operator");
+    assert_eq!(e.line, 5, "{e}");
+    assert!(e.col > 0, "column points into the line: {e}");
+}
+
+#[test]
+fn gsl_garbage_bytes_never_panic() {
+    for src in ["\u{0}\u{0}\u{0}", "kernel {", "array = =", "program", "state x = ((((((((("] {
+        let _ = parse_program(src);
+    }
+}
+
+// --- VCD ----------------------------------------------------------------
+
+#[test]
+fn vcd_truncated_vector_change_is_an_error() {
+    let src = "$timescale 1ns $end\n$var wire 64 ! ch0 $end\n$enddefinitions $end\n#0\nb1011\n";
+    let e = vcd::parse(src).expect_err("vector change without an id");
+    assert_eq!(e.line, 5, "{e}");
+}
+
+#[test]
+fn vcd_undeclared_identifier_is_an_error() {
+    let src = "$var wire 1 ! clk $end\n$enddefinitions $end\n#0\n1!\n1\"\n";
+    let e = vcd::parse(src).expect_err("change for an undeclared id");
+    assert!(e.to_string().contains('"'), "{e}");
+}
+
+#[test]
+fn vcd_backwards_timestamp_is_an_error() {
+    let src = "$var wire 1 ! clk $end\n#5\n1!\n#3\n0!\n";
+    assert!(vcd::parse(src).is_err());
+}
+
+// --- bench JSON ---------------------------------------------------------
+
+#[test]
+fn json_deep_nesting_is_capped_not_a_stack_overflow() {
+    let bomb = "[".repeat(4_000);
+    let e = jsonin::parse(&bomb).expect_err("4000 levels of nesting");
+    assert!(e.to_string().contains("nest"), "depth cap named: {e}");
+}
+
+#[test]
+fn json_truncated_and_hostile_documents_are_errors() {
+    for src in ["{\"a\": [[[[[[", "{\"k\": 1e999999", "[1,", "\"\\u12", "{\"a\" 1}", ""] {
+        assert!(jsonin::parse(src).is_err(), "{src:?} must be rejected");
+    }
+}

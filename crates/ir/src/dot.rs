@@ -219,12 +219,25 @@ pub fn print_value(v: &Value) -> String {
     }
 }
 
+/// Maximum nesting in `pair(...)`/`tag#(...)`/`comp(...)`/`parf(...)`
+/// attribute forms. The parsers recurse per level, so without a cap a
+/// hostile `pair(pair(pair(...` overflows the stack (an abort, not a
+/// catchable panic).
+const MAX_VALUE_DEPTH: usize = 64;
+
 /// Parses a [`Value`] from its dot attribute form.
 ///
 /// # Errors
 ///
 /// Returns a message describing the malformed input.
 pub fn parse_value(s: &str) -> Result<Value, String> {
+    parse_value_depth(s, 0)
+}
+
+fn parse_value_depth(s: &str, depth: usize) -> Result<Value, String> {
+    if depth >= MAX_VALUE_DEPTH {
+        return Err(format!("value nested deeper than {MAX_VALUE_DEPTH}"));
+    }
     let s = s.trim();
     if s == "unit" {
         return Ok(Value::Unit);
@@ -244,14 +257,17 @@ pub fn parse_value(s: &str) -> Result<Value, String> {
     if let Some(rest) = s.strip_prefix("pair(").and_then(|r| r.strip_suffix(')')) {
         let idx = split_top(rest).ok_or_else(|| format!("malformed pair `{s}`"))?;
         let (a, b) = rest.split_at(idx);
-        return Ok(Value::pair(parse_value(a)?, parse_value(&b[1..])?));
+        return Ok(Value::pair(
+            parse_value_depth(a, depth + 1)?,
+            parse_value_depth(&b[1..], depth + 1)?,
+        ));
     }
     if let Some(rest) = s.strip_prefix("tag#") {
         let open = rest.find('(').ok_or_else(|| format!("malformed tag `{s}`"))?;
         let tag: u32 = rest[..open].parse().map_err(|_| format!("bad tag in `{s}`"))?;
         let inner =
             rest[open + 1..].strip_suffix(')').ok_or_else(|| format!("malformed tag `{s}`"))?;
-        return Ok(Value::tagged(tag, parse_value(inner)?));
+        return Ok(Value::tagged(tag, parse_value_depth(inner, depth + 1)?));
     }
     Err(format!("unrecognized value `{s}`"))
 }
@@ -295,6 +311,13 @@ pub fn print_purefn(f: &PureFn) -> String {
 ///
 /// Returns a message describing the malformed input.
 pub fn parse_purefn(s: &str) -> Result<PureFn, String> {
+    parse_purefn_depth(s, 0)
+}
+
+fn parse_purefn_depth(s: &str, depth: usize) -> Result<PureFn, String> {
+    if depth >= MAX_VALUE_DEPTH {
+        return Err(format!("pure function nested deeper than {MAX_VALUE_DEPTH}"));
+    }
     let s = s.trim();
     match s {
         "id" => return Ok(PureFn::Id),
@@ -310,7 +333,7 @@ pub fn parse_purefn(s: &str) -> Result<PureFn, String> {
         return Op::parse(rest).map(PureFn::Op).ok_or_else(|| format!("unknown op `{rest}`"));
     }
     if let Some(rest) = s.strip_prefix("constfn(").and_then(|r| r.strip_suffix(')')) {
-        return Ok(PureFn::Const(parse_value(rest)?));
+        return Ok(PureFn::Const(parse_value_depth(rest, depth + 1)?));
     }
     if let Some(rest) = s.strip_prefix("loadfn(").and_then(|r| r.strip_suffix(')')) {
         return Ok(PureFn::Load(rest.to_string()));
@@ -322,7 +345,10 @@ pub fn parse_purefn(s: &str) -> Result<PureFn, String> {
         if let Some(rest) = s.strip_prefix(prefix).and_then(|r| r.strip_suffix(')')) {
             let idx = split_top(rest).ok_or_else(|| format!("malformed `{s}`"))?;
             let (a, b) = rest.split_at(idx);
-            return Ok(mk(Box::new(parse_purefn(a)?), Box::new(parse_purefn(&b[1..])?)));
+            return Ok(mk(
+                Box::new(parse_purefn_depth(a, depth + 1)?),
+                Box::new(parse_purefn_depth(&b[1..], depth + 1)?),
+            ));
         }
     }
     Err(format!("unrecognized pure function `{s}`"))
@@ -333,14 +359,20 @@ fn kind_from_attrs(attrs: &BTreeMap<String, String>, pos: usize) -> Result<CompK
         .get("type")
         .ok_or_else(|| DotError::new("node missing `type` attribute", pos))?
         .as_str();
-    let num = |key: &str, default: usize| -> Result<usize, DotError> {
+    // Structural sizes are materialised (ports, buffer slots, the tag
+    // pool), so attribute values are range-checked rather than trusted.
+    let num = |key: &str, default: usize, max: usize| -> Result<usize, DotError> {
         match attrs.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| DotError::new(format!("bad `{key}`"), pos)),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if (1..=max).contains(&n) => Ok(n),
+                Ok(n) => Err(DotError::new(format!("`{key}` {n} outside 1..={max}"), pos)),
+                Err(_) => Err(DotError::new(format!("bad `{key}`"), pos)),
+            },
         }
     };
     Ok(match ty {
-        "fork" => CompKind::Fork { ways: num("ways", 2)? },
+        "fork" => CompKind::Fork { ways: num("ways", 2, 1024)? },
         "join" => CompKind::Join,
         "split" => CompKind::Split,
         "mux" => CompKind::Mux,
@@ -350,7 +382,7 @@ fn kind_from_attrs(attrs: &BTreeMap<String, String>, pos: usize) -> Result<CompK
             CompKind::Init { initial: attrs.get("initial").map(|s| s == "true").unwrap_or(false) }
         }
         "buffer" => CompKind::Buffer {
-            slots: num("slots", 1)?,
+            slots: num("slots", 1, 1 << 20)?,
             transparent: attrs.get("transparent").map(|s| s == "true").unwrap_or(false),
         },
         "sink" => CompKind::Sink,
@@ -372,7 +404,9 @@ fn kind_from_attrs(attrs: &BTreeMap<String, String>, pos: usize) -> Result<CompK
             )
             .map_err(|e| DotError::new(e, pos))?,
         },
-        "tagger" => CompKind::TaggerUntagger { tags: num("tags", 8)? as u32 },
+        // The explicit bound also makes the `as u32` exact: 4096 always
+        // fits, so no silent truncation of an oversized attribute.
+        "tagger" => CompKind::TaggerUntagger { tags: num("tags", 8, 4096)? as u32 },
         "load" => CompKind::Load {
             mem: attrs.get("mem").ok_or_else(|| DotError::new("load missing `mem`", pos))?.clone(),
         },

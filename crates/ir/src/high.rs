@@ -185,6 +185,23 @@ impl ExprHigh {
         Ok(())
     }
 
+    /// Replaces the kind of an existing node in place. The new kind must
+    /// expose the same port interface, so every attached edge stays valid
+    /// (e.g. retuning a Buffer's capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for a missing node and
+    /// [`GraphError::UnknownPort`] when the interfaces differ.
+    pub fn set_kind(&mut self, name: &str, kind: CompKind) -> Result<(), GraphError> {
+        let old = self.nodes.get(name).ok_or_else(|| GraphError::UnknownNode(name.to_string()))?;
+        if old.interface() != kind.interface() {
+            return Err(GraphError::UnknownPort(ep(name, "<interface mismatch>")));
+        }
+        self.nodes.insert(name.to_string(), kind);
+        Ok(())
+    }
+
     /// Returns a node name starting with `prefix` that is not yet used.
     pub fn fresh(&self, prefix: &str) -> NodeId {
         if !self.nodes.contains_key(prefix) {

@@ -284,7 +284,9 @@ pub fn parse(src: &str) -> Result<VcdDump, VcdError> {
             (v, cs.collect::<String>())
         };
         match by_id.get(&id) {
-            Some((name, _)) => dump.changes.get_mut(name).expect("declared").push((now, value)),
+            // `entry` rather than indexing: declaration inserted the key,
+            // but a malformed document must never be able to panic here.
+            Some((name, _)) => dump.changes.entry(name.clone()).or_default().push((now, value)),
             None => return perr(line, format!("change for undeclared identifier `{id}`")),
         }
     }

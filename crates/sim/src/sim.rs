@@ -196,6 +196,61 @@ pub struct TraceEvent {
 
 type ChanId = usize;
 
+/// A node index narrowed to the `u32` the simulator stores in traces,
+/// worklists, and per-event records. [`Simulator::new`] runs the node and
+/// channel counts through [`NodeIdx::new`]/[`ChanIdx::new`] once, so a
+/// graph too large for the `u32` index space is a
+/// [`SimError::BadGraph`] — never a silent `as u32` truncation that would
+/// alias two distinct nodes. Hot paths then use `trusted`, which is exact
+/// for every index below the validated count (re-checked in debug builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeIdx(u32);
+
+impl NodeIdx {
+    fn new(i: usize) -> Result<NodeIdx, SimError> {
+        match u32::try_from(i) {
+            Ok(n) => Ok(NodeIdx(n)),
+            Err(_) => Err(SimError::BadGraph(format!(
+                "node index {i} does not fit the simulator's u32 index space"
+            ))),
+        }
+    }
+
+    fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Narrowing for indices already covered by the count validation in
+    /// [`Simulator::new`].
+    fn trusted(i: usize) -> u32 {
+        debug_assert!(u32::try_from(i).is_ok(), "node index {i} overflows u32");
+        i as u32
+    }
+}
+
+/// Channel-side counterpart of [`NodeIdx`] (stall paths store channel
+/// indices as `u32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChanIdx(u32);
+
+impl ChanIdx {
+    fn new(i: usize) -> Result<ChanIdx, SimError> {
+        match u32::try_from(i) {
+            Ok(n) => Ok(ChanIdx(n)),
+            Err(_) => Err(SimError::BadGraph(format!(
+                "channel index {i} does not fit the simulator's u32 index space"
+            ))),
+        }
+    }
+
+    /// Narrowing for indices already covered by the count validation in
+    /// [`Simulator::new`].
+    fn trusted(i: usize) -> u32 {
+        debug_assert!(u32::try_from(i).is_ok(), "channel index {i} overflows u32");
+        i as u32
+    }
+}
+
 #[derive(Debug, Default)]
 struct Channel {
     cap: usize,
@@ -528,14 +583,20 @@ impl Simulator {
                 emitted: false,
             });
         }
+        // Validate both counts once; every later usize→u32 narrowing of an
+        // in-range index (`NodeIdx::trusted` / `ChanIdx::trusted`) is then
+        // exact.
+        NodeIdx::new(nodes.len())?;
+        ChanIdx::new(chans.len())?;
         let mut consumer_of: Vec<Option<u32>> = vec![None; chans.len()];
         let mut producer_of: Vec<Option<u32>> = vec![None; chans.len()];
         for (i, n) in nodes.iter().enumerate() {
+            let idx = NodeIdx::new(i)?;
             for &c in &n.ins {
-                consumer_of[c] = Some(i as u32);
+                consumer_of[c] = Some(idx.get());
             }
             for &c in &n.outs {
-                producer_of[c] = Some(i as u32);
+                producer_of[c] = Some(idx.get());
             }
         }
         let traced = nodes.iter().map(|n| cfg.trace_nodes.contains(&n.name)).collect();
@@ -576,7 +637,7 @@ impl Simulator {
     /// Records an acceptance event if the node is traced.
     fn record(&mut self, i: usize, now: u64, values: Vec<Value>) {
         if self.traced[i] {
-            self.trace.push((now, i as u32, values));
+            self.trace.push((now, NodeIdx::trusted(i), values));
         }
     }
 
@@ -626,7 +687,7 @@ impl Simulator {
                     // Simulated-time track: 1 cycle = 1 µs, one lane per node.
                     graphiti_obs::emit_complete(
                         graphiti_obs::PID_SIM,
-                        i as u32,
+                        NodeIdx::trusted(i),
                         &self.nodes[i].name,
                         now,
                         1,
@@ -1102,7 +1163,7 @@ impl Simulator {
                 // full internal pipeline, or tag exhaustion.
                 return StallCause::BlockedDownstream;
             };
-            ss.path.push(c as u32);
+            ss.path.push(ChanIdx::trusted(c));
             let Some(j) = self.consumer_of[c] else { return StallCause::BlockedDownstream };
             let j = j as usize;
             match &self.nodes[j].unit {
@@ -1137,7 +1198,7 @@ impl Simulator {
                 // not arrive: the producer is itself blocked.
                 return StallCause::StarvedUpstream;
             };
-            ss.path.push(c as u32);
+            ss.path.push(ChanIdx::trusted(c));
             let Some(j) = self.producer_of[c] else {
                 // The empty channel is an external input: drained.
                 return StallCause::StarvedBySource;
@@ -1299,7 +1360,7 @@ impl Simulator {
         // event.
         let mut in_cur = vec![true; n];
         let mut in_nxt = vec![false; n];
-        cur.extend((0..n as u32).map(Reverse));
+        cur.extend((0..NodeIdx::trusted(n)).map(Reverse));
         // (ready cycle, node) for pipeline heads maturing in the future.
         let mut timers: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
         st.pushes += n as u64;
@@ -1407,7 +1468,7 @@ impl Simulator {
                             if let Some(r) = self.front_ready(iu) {
                                 if r <= st.now && !*ic {
                                     *ic = true;
-                                    cur.push(Reverse(iu as u32));
+                                    cur.push(Reverse(NodeIdx::trusted(iu)));
                                     st.pushes += 1;
                                 }
                             }

@@ -108,6 +108,11 @@ fn parse_args() -> Result<Args, String> {
             "--tags" => {
                 let v = it.next().ok_or("--tags needs a value")?;
                 args.tags = v.parse().map_err(|_| format!("bad tag count `{v}`"))?;
+                // The tag pool is materialised per tagger, so an absurd
+                // budget is an allocation bomb rather than a tuning knob.
+                if args.tags == 0 || args.tags > 4096 {
+                    return Err(format!("--tags {} outside 1..=4096", args.tags));
+                }
             }
             "--mark" => {
                 args.mark = Some(it.next().ok_or("--mark needs an Init node name")?);

@@ -246,3 +246,40 @@ fn cli_mark_must_exist() {
     assert!(!ok);
     assert!(stderr.contains("no such node"));
 }
+
+#[test]
+fn cli_malformed_gsl_fails_cleanly_without_backtrace() {
+    // The crash-proofing contract: hostile program text gets a pointed
+    // diagnostic and a non-zero exit, never a panic message.
+    let cases = [
+        "program p\nkernel for i in 0..1 {\n  store ]a[ = 1\n}\n",
+        "program p\narray a = zeros int 99999999999999\n",
+        "program p\nkernel for i in 0..1 ooo tags 4294967295 {\n  while nez(1)\n}\n",
+    ];
+    for src in cases {
+        let (_, stderr, ok) = run_cli(src, &["--compile"]);
+        assert!(!ok, "must exit non-zero for {src:?}");
+        assert!(!stderr.contains("panicked"), "no backtrace for {src:?}: {stderr}");
+        assert!(stderr.contains("line "), "diagnostic names the line: {stderr}");
+    }
+}
+
+#[test]
+fn cli_rejects_store_race_with_a_diagnostic() {
+    // Two store sites on one array are unorderable without a load-store
+    // queue; codegen must refuse rather than silently miscompile.
+    let src = "program race\narray ia0 = [i:-5]\narray out0 = [i:0]\n\n\
+               kernel for i in 0..1 {\n  state lim = 1\n  update lim = 1\n\
+               \x20 do store out0[0] = ia0[0]\n  while (1 < 1)\n  store out0[i] = 1\n}\n";
+    let (_, stderr, ok) = run_cli(src, &["--compile"]);
+    assert!(!ok, "store race must be rejected");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(stderr.contains("store"), "diagnostic explains the race: {stderr}");
+}
+
+#[test]
+fn cli_vcd_check_rejects_truncated_document_cleanly() {
+    let (_, stderr, ok) = run_cli("$var wire 64 ! ch0 $end\n#0\nb1011\n", &["vcd-check"]);
+    assert!(!ok);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
