@@ -10,7 +10,17 @@
 //! Run with `cargo bench --bench obs_overhead`; compare the
 //! `sim/obs_disabled` and `sim/obs_enabled` lines. The
 //! `sim/waveform_enabled` line prices the cycle-accurate VCD recorder
-//! and stall attribution against the same disabled baseline.
+//! and stall attribution against the same disabled baseline, and
+//! `sim/flight_enabled` prices the flight recorder's ring writes on the
+//! same macro path.
+//!
+//! The `metric/*` group isolates the fire-path accounting the simulator
+//! used to pay per call: `per_call_lookup` is the old pattern (registry
+//! mutex + BTreeMap walk on every increment), `memoised_handle` is what
+//! `SimObs` does now (resolve once per run, atomic add per event), and
+//! `disabled_gate` is the entire disabled-path cost (one relaxed load).
+//! The `flight/*` group does the same for `flight::record` — disabled
+//! must be a branch on a relaxed load, with the closure never run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphiti_frontend::compile;
@@ -63,12 +73,74 @@ fn bench_obs_overhead(c: &mut Criterion) {
         })
     });
 
+    // The flight recorder on the macro path: obs sink off, ring on. The
+    // simulator records one start/finish pair per run, so this must sit
+    // on top of `obs_disabled` within noise.
+    graphiti_obs::flight::enable();
+    group.bench_function("flight_enabled", |b| {
+        b.iter(|| {
+            let r = simulate(&placed, &feeds, p.arrays.clone(), SimConfig::default())
+                .expect("simulates");
+            black_box(r.cycles);
+        })
+    });
+    graphiti_obs::flight::disable();
+    graphiti_obs::flight::clear();
+
+    group.finish();
+}
+
+fn bench_metric_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric");
+
+    graphiti_obs::reset();
+    graphiti_obs::enable();
+    // The pre-PR fire-path pattern: name lookup on every increment.
+    group.bench_function("per_call_lookup", |b| {
+        b.iter(|| graphiti_obs::counter("sim.firings").add(1))
+    });
+    // The memoised pattern `SimObs` (and the rewrite engine / refinement
+    // checker) use now: resolve once, atomic add per event.
+    let handle = graphiti_obs::counter("sim.firings");
+    group.bench_function("memoised_handle", |b| b.iter(|| handle.add(1)));
+
+    // The disabled path instrumented sites actually take: one relaxed
+    // load, no registry access, no schema check.
+    graphiti_obs::disable();
+    group.bench_function("disabled_gate", |b| {
+        b.iter(|| {
+            if graphiti_obs::enabled() {
+                graphiti_obs::counter("sim.firings").add(1);
+            }
+        })
+    });
+    graphiti_obs::reset();
+
+    group.finish();
+}
+
+fn bench_flight_recorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flight");
+
+    graphiti_obs::flight::clear();
+    // Disabled: a branch on a relaxed load; the closure must never run.
+    group.bench_function("record_disabled", |b| {
+        b.iter(|| graphiti_obs::flight::record("test.bench", || unreachable!("closure ran")))
+    });
+
+    graphiti_obs::flight::enable();
+    group.bench_function("record_enabled", |b| {
+        b.iter(|| graphiti_obs::flight::record("test.bench", || "slot write".to_string()))
+    });
+    graphiti_obs::flight::disable();
+    graphiti_obs::flight::clear();
+
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_obs_overhead
+    targets = bench_obs_overhead, bench_metric_lookup, bench_flight_recorder
 }
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE]
-//!          [--no-stall-gate]
+//!          [--date STR] [--no-stall-gate]
 //! ```
 //!
 //! * exits non-zero if any (benchmark, flow) cycle count — or either of
@@ -14,12 +14,15 @@
 //!   is only reported);
 //! * `--no-stall-gate` — keep reporting the stall/starve deltas but do
 //!   not fail on them (for PRs that intentionally trade waiting cycles);
-//! * `--emit FILE` — write a compact trend summary (the `BENCH_sim.json`
-//!   format) so the perf trajectory is tracked across PRs.
+//! * `--emit FILE` — append a dated entry to the perf trajectory (the
+//!   `BENCH_sim.json` format; a legacy single-object file is wrapped as
+//!   the first entry) so history accumulates across PRs;
+//! * `--date STR` — the label stamped on the emitted entry. Passed in,
+//!   never read from the system clock, so emissions are reproducible;
+//!   defaults to `undated`.
 
-use graphiti_bench::json::escape;
 use graphiti_bench::jsonin::{parse, Json};
-use std::fmt::Write as _;
+use graphiti_bench::trend;
 use std::process::exit;
 
 /// Everything perfdiff extracts from one report document.
@@ -106,6 +109,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut threshold = 10.0f64;
     let mut emit: Option<String> = None;
+    let mut date = "undated".to_string();
     let mut stall_gate = true;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -124,12 +128,18 @@ fn main() {
                     exit(2);
                 }));
             }
+            "--date" => {
+                date = it.next().unwrap_or_else(|| {
+                    eprintln!("perfdiff: --date needs a label");
+                    exit(2);
+                });
+            }
             other if !other.starts_with("--") => paths.push(other.to_string()),
             other => {
                 eprintln!("perfdiff: unknown argument `{other}`");
                 eprintln!(
                     "usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE] \
-                     [--no-stall-gate]"
+                     [--date STR] [--no-stall-gate]"
                 );
                 exit(2);
             }
@@ -138,7 +148,7 @@ fn main() {
     if paths.len() != 2 {
         eprintln!(
             "usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE] \
-             [--no-stall-gate]"
+             [--date STR] [--no-stall-gate]"
         );
         exit(2);
     }
@@ -207,69 +217,38 @@ fn main() {
     }
 
     if let Some(path) = emit {
-        let mut out = String::from("{\n  \"cycles\": {\n");
-        for (i, (key, b, c, d)) in rows.iter().enumerate() {
-            // JSON has no Infinity/NaN literal; non-finite deltas (the
-            // 0-cycle-baseline case) are emitted as null.
-            let delta = if d.is_finite() { format!("{d:.4}") } else { "null".to_string() };
-            let _ = writeln!(
-                out,
-                "    \"{}\": {{\"baseline\": {b}, \"current\": {c}, \"delta_pct\": {delta}}}{}",
-                escape(key),
-                if i + 1 < rows.len() { "," } else { "" },
-            );
-        }
-        out.push_str("  },\n  \"wall_seconds\": {");
-        let _ = write!(
-            out,
-            "\"baseline\": {}, \"current\": {}",
-            base.wall_seconds.map_or("null".into(), |x| format!("{x}")),
-            cur.wall_seconds.map_or("null".into(), |x| format!("{x}")),
-        );
-        out.push_str("},\n  \"scheduler\": {\n");
-        for (i, (key, c)) in cur.sched.iter().enumerate() {
-            let b = base
-                .sched
-                .iter()
-                .find(|(k, _)| k == key)
-                .map_or("null".to_string(), |(_, b)| b.to_string());
-            let _ = writeln!(
-                out,
-                "    \"{}\": {{\"baseline\": {b}, \"current\": {c}}}{}",
-                escape(key),
-                if i + 1 < cur.sched.len() { "," } else { "" },
-            );
-        }
-        out.push_str("  },\n  \"stalls\": {\n");
-        for (i, (key, c)) in cur.stall.iter().enumerate() {
-            let b = base
-                .stall
-                .iter()
-                .find(|(k, _)| k == key)
-                .map_or("null".to_string(), |(_, b)| b.to_string());
-            let _ = writeln!(
-                out,
-                "    \"{}\": {{\"baseline\": {b}, \"current\": {c}}}{}",
-                escape(key),
-                if i + 1 < cur.stall.len() { "," } else { "" },
-            );
-        }
         let worst = regressions
             .iter()
             .map(|(_, d)| *d)
             .chain(rows.iter().map(|(_, _, _, d)| *d))
             .filter(|d| d.is_finite())
             .fold(f64::NEG_INFINITY, f64::max);
-        let _ = write!(
-            out,
-            "  }},\n  \"threshold_pct\": {threshold},\n  \"max_cycle_delta_pct\": {}\n}}\n",
-            if worst.is_finite() { format!("{worst:.4}") } else { "null".to_string() },
-        );
-        if let Err(e) = std::fs::write(&path, out) {
+        let entry = trend::Entry {
+            date,
+            cycles: rows.iter().map(|(key, _, c, _)| (key.clone(), *c)).collect(),
+            wall_seconds: cur.wall_seconds,
+            scheduler: cur.sched.clone(),
+            stalls: cur.stall.clone(),
+            max_cycle_delta_pct: worst.is_finite().then_some(worst),
+        };
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => {
+                eprintln!("perfdiff: cannot read `{path}`: {e}");
+                exit(2);
+            }
+        };
+        let doc = trend::append_rendered(existing.as_deref(), entry).unwrap_or_else(|e| {
+            eprintln!("perfdiff: cannot append to `{path}`: {e}");
+            exit(2);
+        });
+        let entries = doc.matches("\"date\":").count();
+        if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("perfdiff: cannot write `{path}`: {e}");
             exit(2);
         }
-        println!("\nwrote {path}");
+        println!("\nwrote {path} ({entries} trajectory entries)");
     }
 
     if !regressions.is_empty() {

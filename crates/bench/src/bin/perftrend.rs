@@ -1,0 +1,75 @@
+//! Renders the recorded perf trajectory and gates the newest entry.
+//!
+//! ```text
+//! perftrend [FILE] [--threshold PCT] [--no-gate]
+//! ```
+//!
+//! * `FILE` — the trajectory document `perfdiff --emit` maintains
+//!   (default `BENCH_sim.json`); the legacy single-object format is
+//!   accepted and treated as a one-entry trajectory.
+//! * Prints one row per entry (date, total cycles, wall-clock,
+//!   `sim.firings`) and the newest entry's per-benchmark standing
+//!   against the best-ever values.
+//! * Exits non-zero if any benchmark/flow cycle count or stall total in
+//!   the newest entry sits more than the threshold (default 10%) above
+//!   its best-ever value — the best across *all* entries, so a
+//!   regression cannot hide behind an intermediate one.
+//! * `--no-gate` — render only; never fail (for local inspection).
+
+use graphiti_bench::trend;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = "BENCH_sim.json".to_string();
+    let mut threshold = 10.0f64;
+    let mut gate = true;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-gate" => gate = false,
+            "--threshold" => {
+                let v = it.next().and_then(|s| s.parse::<f64>().ok());
+                threshold = v.unwrap_or_else(|| {
+                    eprintln!("perftrend: --threshold needs a number");
+                    exit(2);
+                });
+            }
+            other if !other.starts_with("--") => path = other.to_string(),
+            other => {
+                eprintln!("perftrend: unknown argument `{other}`");
+                eprintln!("usage: perftrend [FILE] [--threshold PCT] [--no-gate]");
+                exit(2);
+            }
+        }
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("perftrend: cannot read `{path}`: {e}");
+        exit(2);
+    });
+    let t = trend::parse_trajectory(&text).unwrap_or_else(|e| {
+        eprintln!("perftrend: `{path}`: {e}");
+        exit(2);
+    });
+    if t.entries.is_empty() {
+        println!("{path}: empty trajectory");
+        return;
+    }
+    print!("{}", trend::table(&t, threshold));
+
+    let regressions = trend::gate(&t, threshold);
+    if !regressions.is_empty() {
+        println!();
+        for r in &regressions {
+            println!(
+                "REGRESSION: {} best-ever {} -> latest {} ({:+.2}%, threshold {threshold}%)",
+                r.key, r.best, r.latest, r.delta_pct
+            );
+        }
+        if gate {
+            exit(1);
+        }
+        println!("(gate disabled by --no-gate)");
+    }
+}

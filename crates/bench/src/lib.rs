@@ -13,6 +13,8 @@
 //!   results, optionally embedding a `graphiti-obs` metrics snapshot.
 //! * [`jsonin`] — the matching minimal JSON reader, used by `perfdiff` to
 //!   compare two `--json` report documents.
+//! * [`trend`] — the append-only dated perf trajectory (`BENCH_sim.json`),
+//!   written by `perfdiff --emit` and gated/rendered by `perftrend`.
 //!
 //! * [`ablations`] — tag-budget, buffer-slack, and clock-period-target
 //!   sweeps for the design choices DESIGN.md calls out.
@@ -20,8 +22,9 @@
 //! Binaries: `table2`, `table3`, `fig8`, `stats`, `ablations`, and
 //! `report` regenerate each artefact at the default problem sizes;
 //! `perfdiff` compares two `--json` reports and gates on cycle-count
-//! regressions; criterion benches exercise the same code paths at
-//! reduced sizes.
+//! regressions; `perftrend` renders the recorded trajectory and gates
+//! the newest entry against the best-ever; criterion benches exercise
+//! the same code paths at reduced sizes.
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,7 @@ pub mod json;
 pub mod jsonin;
 pub mod suite;
 pub mod tables;
+pub mod trend;
 
 pub use eval::{
     evaluate, evaluate_suite, geomean, BenchResult, EvalError, Flow, FlowMetrics, StallSummary,

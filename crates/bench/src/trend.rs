@@ -1,0 +1,414 @@
+//! The append-only performance trajectory behind `BENCH_sim.json`.
+//!
+//! `perfdiff --emit` used to overwrite the file with a single
+//! baseline/current comparison, losing history on every run. The
+//! trajectory format keeps one dated [`Entry`] per emission instead:
+//!
+//! ```json
+//! {
+//!   "schema": "graphiti-perf-trajectory/v1",
+//!   "entries": [
+//!     {"date": "2026-08-08", "cycles": {"gemm/GRAPHITI": 620, ...},
+//!      "wall_seconds": 0.74, "scheduler": {...}, "stalls": {...},
+//!      "max_cycle_delta_pct": 0.0}
+//!   ]
+//! }
+//! ```
+//!
+//! Dates are passed in by the caller (`perfdiff --date`), never read from
+//! `SystemTime`, so emissions are reproducible byte-for-byte. A legacy
+//! single-object `BENCH_sim.json` is accepted on read and wrapped as the
+//! first entry (date `"pre-trajectory"`), so the conversion is automatic
+//! on the next `--emit`.
+//!
+//! `perftrend` renders the trajectory as a table and gates the newest
+//! entry against the *best-ever* cycle count per benchmark/flow — not
+//! just the previous entry, so a regression cannot hide behind an earlier
+//! one. The gate assumes entries come from the same suite configuration
+//! (CI always emits `table2 --json --small`); an entry recorded at a
+//! larger problem size only inflates its own row and can never become
+//! the per-key minimum, so stray oversized entries weaken nothing.
+
+use crate::json::escape;
+use crate::jsonin::{parse, Json};
+use std::fmt::Write as _;
+
+/// The schema marker written into every trajectory document.
+pub const SCHEMA: &str = "graphiti-perf-trajectory/v1";
+
+/// Date assigned to a legacy single-object document when it is wrapped.
+pub const LEGACY_DATE: &str = "pre-trajectory";
+
+/// One dated snapshot of the deterministic perf surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Caller-supplied date label (e.g. `2026-08-08`); never a wall clock.
+    pub date: String,
+    /// `benchmark/flow` → simulated cycles, in emission order.
+    pub cycles: Vec<(String, u64)>,
+    /// Harness wall-clock of the run (informational, never gated).
+    pub wall_seconds: Option<f64>,
+    /// Scheduler-efficiency counters at emission time.
+    pub scheduler: Vec<(String, u64)>,
+    /// Suite-wide stall/starve totals at emission time.
+    pub stalls: Vec<(String, u64)>,
+    /// Worst cycle delta the emitting `perfdiff` run saw, in percent.
+    pub max_cycle_delta_pct: Option<f64>,
+}
+
+/// The whole trajectory, oldest entry first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trajectory {
+    /// Entries in append order.
+    pub entries: Vec<Entry>,
+}
+
+fn u64_members(v: Option<&Json>) -> Vec<(String, u64)> {
+    v.and_then(Json::as_obj)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+        .collect()
+}
+
+/// Reads an entry from a trajectory document's `entries` element.
+fn entry_from_json(v: &Json) -> Entry {
+    Entry {
+        date: v.get("date").and_then(Json::as_str).unwrap_or("undated").to_string(),
+        cycles: u64_members(v.get("cycles")),
+        wall_seconds: v.get("wall_seconds").and_then(Json::as_f64),
+        scheduler: u64_members(v.get("scheduler")),
+        stalls: u64_members(v.get("stalls")),
+        max_cycle_delta_pct: v.get("max_cycle_delta_pct").and_then(Json::as_f64),
+    }
+}
+
+/// Wraps a legacy single-object `BENCH_sim.json` (the old `--emit`
+/// output, with per-key `{"baseline", "current"}` pairs) as one entry,
+/// keeping the `current` side of each pair.
+fn legacy_entry(doc: &Json) -> Entry {
+    let current = |v: Option<&Json>| v.and_then(|m| m.get("current")).and_then(Json::as_u64);
+    let pairs = |v: Option<&Json>| -> Vec<(String, u64)> {
+        v.and_then(Json::as_obj)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|(k, m)| current(Some(m)).map(|n| (k.clone(), n)))
+            .collect()
+    };
+    Entry {
+        date: LEGACY_DATE.to_string(),
+        cycles: pairs(doc.get("cycles")),
+        wall_seconds: doc.get("wall_seconds").and_then(|m| m.get("current")).and_then(Json::as_f64),
+        scheduler: pairs(doc.get("scheduler")),
+        stalls: pairs(doc.get("stalls")),
+        max_cycle_delta_pct: doc.get("max_cycle_delta_pct").and_then(Json::as_f64),
+    }
+}
+
+/// Parses a trajectory document, accepting the legacy single-object
+/// format (wrapped as one [`LEGACY_DATE`] entry).
+///
+/// # Errors
+///
+/// Returns a message when the text is not valid JSON or is valid JSON of
+/// neither shape.
+pub fn parse_trajectory(text: &str) -> Result<Trajectory, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    if let Some(entries) = doc.get("entries").and_then(Json::as_arr) {
+        return Ok(Trajectory { entries: entries.iter().map(entry_from_json).collect() });
+    }
+    if doc.get("cycles").is_some() {
+        return Ok(Trajectory { entries: vec![legacy_entry(&doc)] });
+    }
+    Err("neither a trajectory (`entries`) nor a legacy perfdiff summary (`cycles`)".to_string())
+}
+
+fn u64_obj(out: &mut String, key: &str, members: &[(String, u64)], indent: &str) {
+    let _ = write!(out, "{indent}\"{key}\": {{");
+    for (i, (k, v)) in members.iter().enumerate() {
+        let sep = if i + 1 < members.len() { ", " } else { "" };
+        let _ = write!(out, "\"{}\": {v}{sep}", escape(k));
+    }
+    out.push('}');
+}
+
+/// Renders the trajectory as the canonical JSON document (deterministic,
+/// so re-rendering an unchanged trajectory is byte-identical).
+pub fn render(t: &Trajectory) -> String {
+    let mut out = format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"entries\": [\n");
+    for (i, e) in t.entries.iter().enumerate() {
+        let _ = writeln!(out, "    {{\n      \"date\": \"{}\",", escape(&e.date));
+        u64_obj(&mut out, "cycles", &e.cycles, "      ");
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "      \"wall_seconds\": {},",
+            e.wall_seconds.map_or("null".to_string(), |x| format!("{x}")),
+        );
+        u64_obj(&mut out, "scheduler", &e.scheduler, "      ");
+        out.push_str(",\n");
+        u64_obj(&mut out, "stalls", &e.stalls, "      ");
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "      \"max_cycle_delta_pct\": {}",
+            e.max_cycle_delta_pct.map_or("null".to_string(), |x| format!("{x:.4}")),
+        );
+        let _ = writeln!(out, "    }}{}", if i + 1 < t.entries.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Loads `path` (tolerating a missing file as an empty trajectory),
+/// appends `entry`, and returns the rendered document to write back.
+///
+/// # Errors
+///
+/// Returns a message when an existing file cannot be read or parsed —
+/// an unreadable trajectory must not be silently truncated to one entry.
+pub fn append_rendered(existing: Option<&str>, entry: Entry) -> Result<String, String> {
+    let mut t = match existing {
+        Some(text) => parse_trajectory(text)?,
+        None => Trajectory::default(),
+    };
+    t.entries.push(entry);
+    Ok(render(&t))
+}
+
+/// One gate violation: the newest entry is more than `threshold` percent
+/// above the best-ever value for this key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `benchmark/flow` cycles key or stall-counter name.
+    pub key: String,
+    /// Best-ever (minimum) value across all entries.
+    pub best: u64,
+    /// The newest entry's value.
+    pub latest: u64,
+    /// Relative regression in percent.
+    pub delta_pct: f64,
+}
+
+/// Gates the newest entry's cycle counts and stall totals against the
+/// best-ever (minimum) value each key has recorded anywhere in the
+/// trajectory. Returns the violations; empty means the gate passes.
+/// An empty or single-entry trajectory trivially passes.
+pub fn gate(t: &Trajectory, threshold_pct: f64) -> Vec<Regression> {
+    let Some(latest) = t.entries.last() else { return Vec::new() };
+    let mut out = Vec::new();
+    fn cycles_of(e: &Entry) -> &[(String, u64)] {
+        &e.cycles
+    }
+    fn stalls_of(e: &Entry) -> &[(String, u64)] {
+        &e.stalls
+    }
+    for series in [cycles_of as fn(&Entry) -> &[(String, u64)], stalls_of] {
+        for (key, cur) in series(latest) {
+            let best = t
+                .entries
+                .iter()
+                .filter_map(|e| series(e).iter().find(|(k, _)| k == key).map(|(_, v)| *v))
+                .min()
+                .unwrap_or(*cur);
+            if best == 0 && *cur == 0 {
+                continue;
+            }
+            let delta_pct = if best > 0 {
+                (*cur as f64 - best as f64) / best as f64 * 100.0
+            } else {
+                f64::INFINITY
+            };
+            if delta_pct > threshold_pct {
+                out.push(Regression { key: key.clone(), best, latest: *cur, delta_pct });
+            }
+        }
+    }
+    out
+}
+
+/// Renders the trend table: one row per entry (date, total cycles across
+/// all benchmark/flows, wall seconds, `sim.firings`), then the newest
+/// entry's per-key standing against the best-ever values.
+pub fn table(t: &Trajectory, threshold_pct: f64) -> String {
+    let mut out = String::new();
+    let date_w = t.entries.iter().map(|e| e.date.len()).max().unwrap_or(4).max("date".len());
+    let _ = writeln!(
+        out,
+        "{:<date_w$}  {:>12}  {:>10}  {:>12}  {:>12}",
+        "date", "Σcycles", "wall_s", "sim.firings", "worst Δ%"
+    );
+    for e in &t.entries {
+        let total: u64 = e.cycles.iter().map(|(_, c)| c).sum();
+        let firings = e
+            .scheduler
+            .iter()
+            .find(|(k, _)| k == "sim.firings")
+            .map_or("-".to_string(), |(_, v)| v.to_string());
+        let wall = e.wall_seconds.map_or("-".to_string(), |w| format!("{w:.3}"));
+        let delta = e.max_cycle_delta_pct.map_or("-".to_string(), |d| format!("{d:+.2}"));
+        let _ = writeln!(
+            out,
+            "{:<date_w$}  {total:>12}  {wall:>10}  {firings:>12}  {delta:>12}",
+            e.date
+        );
+    }
+    if let Some(latest) = t.entries.last() {
+        let _ = writeln!(
+            out,
+            "\nnewest entry ({}) vs best-ever, gate at +{threshold_pct}%:",
+            latest.date
+        );
+        let key_w = latest
+            .cycles
+            .iter()
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(12)
+            .max("benchmark/flow".len());
+        let _ = writeln!(
+            out,
+            "{:<key_w$}  {:>12}  {:>12}  {:>9}",
+            "benchmark/flow", "best", "latest", "delta"
+        );
+        for (key, cur) in &latest.cycles {
+            let best = t
+                .entries
+                .iter()
+                .filter_map(|e| e.cycles.iter().find(|(k, _)| k == key).map(|(_, v)| *v))
+                .min()
+                .unwrap_or(*cur);
+            let delta = if best > 0 {
+                format!("{:+.2}%", (*cur as f64 - best as f64) / best as f64 * 100.0)
+            } else if *cur == 0 {
+                "+0.00%".to_string()
+            } else {
+                "+inf%".to_string()
+            };
+            let _ = writeln!(out, "{key:<key_w$}  {best:>12}  {cur:>12}  {delta:>9}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(date: &str, cycles: &[(&str, u64)]) -> Entry {
+        Entry {
+            date: date.to_string(),
+            cycles: cycles.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            wall_seconds: Some(1.5),
+            scheduler: vec![("sim.firings".to_string(), 1000)],
+            stalls: vec![("sim.stall_cycles".to_string(), 50)],
+            max_cycle_delta_pct: Some(0.0),
+        }
+    }
+
+    #[test]
+    fn legacy_document_wraps_as_first_entry() {
+        let legacy = r#"{
+          "cycles": {"gemm/GRAPHITI": {"baseline": 620, "current": 620, "delta_pct": 0.0}},
+          "wall_seconds": {"baseline": 1.55, "current": 0.74},
+          "scheduler": {"sim.firings": {"baseline": null, "current": 472687}},
+          "threshold_pct": 10,
+          "max_cycle_delta_pct": 0.0
+        }"#;
+        let t = parse_trajectory(legacy).unwrap();
+        assert_eq!(t.entries.len(), 1);
+        let e = &t.entries[0];
+        assert_eq!(e.date, LEGACY_DATE);
+        assert_eq!(e.cycles, vec![("gemm/GRAPHITI".to_string(), 620)]);
+        assert_eq!(e.wall_seconds, Some(0.74));
+        assert_eq!(e.scheduler, vec![("sim.firings".to_string(), 472687)]);
+        assert_eq!(e.max_cycle_delta_pct, Some(0.0));
+    }
+
+    #[test]
+    fn append_then_parse_round_trips() {
+        let first = append_rendered(None, entry("2026-08-01", &[("a/F", 100)])).unwrap();
+        let second = append_rendered(Some(&first), entry("2026-08-08", &[("a/F", 90)])).unwrap();
+        let t = parse_trajectory(&second).unwrap();
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].date, "2026-08-01");
+        assert_eq!(t.entries[1].cycles, vec![("a/F".to_string(), 90)]);
+        // Rendering the parsed trajectory reproduces the document exactly.
+        assert_eq!(render(&t), second);
+    }
+
+    #[test]
+    fn appending_to_a_legacy_file_preserves_its_entry() {
+        let legacy =
+            r#"{"cycles": {"a/F": {"baseline": 10, "current": 12}}, "max_cycle_delta_pct": 20.0}"#;
+        let doc = append_rendered(Some(legacy), entry("2026-08-08", &[("a/F", 12)])).unwrap();
+        let t = parse_trajectory(&doc).unwrap();
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].date, LEGACY_DATE);
+        assert_eq!(t.entries[0].cycles, vec![("a/F".to_string(), 12)]);
+    }
+
+    #[test]
+    fn corrupt_existing_file_is_an_error_not_a_truncation() {
+        assert!(append_rendered(Some("not json"), entry("d", &[])).is_err());
+        assert!(append_rendered(Some("{}"), entry("d", &[])).is_err());
+    }
+
+    #[test]
+    fn gate_compares_against_best_ever_not_previous() {
+        // 100 → 80 → 95: vs the *previous* entry 95 looks fine (inside any
+        // threshold vs 100), but vs best-ever 80 it is +18.75%.
+        let t = Trajectory {
+            entries: vec![
+                entry("d1", &[("a/F", 100)]),
+                entry("d2", &[("a/F", 80)]),
+                entry("d3", &[("a/F", 95)]),
+            ],
+        };
+        let regs = gate(&t, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "a/F");
+        assert_eq!(regs[0].best, 80);
+        assert_eq!(regs[0].latest, 95);
+        assert!((regs[0].delta_pct - 18.75).abs() < 1e-9);
+        // At a 20% threshold the same trajectory passes.
+        assert!(gate(&t, 20.0).is_empty());
+    }
+
+    #[test]
+    fn gate_covers_stall_totals_and_tolerates_missing_keys() {
+        let mut worse = entry("d2", &[("a/F", 100), ("new/F", 7)]);
+        worse.stalls = vec![("sim.stall_cycles".to_string(), 80)];
+        let t = Trajectory { entries: vec![entry("d1", &[("a/F", 100)]), worse] };
+        let regs = gate(&t, 10.0);
+        // `new/F` has no history: its own value is the best-ever, passes.
+        // The stall total jumped 50 → 80: +60%.
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "sim.stall_cycles");
+        assert_eq!(regs[0].best, 50);
+    }
+
+    #[test]
+    fn empty_and_single_entry_trajectories_pass() {
+        assert!(gate(&Trajectory::default(), 10.0).is_empty());
+        let t = Trajectory { entries: vec![entry("d1", &[("a/F", 5)])] };
+        assert!(gate(&t, 10.0).is_empty());
+    }
+
+    #[test]
+    fn table_lists_every_entry_and_the_best_comparison() {
+        let t = Trajectory {
+            entries: vec![
+                entry("2026-08-01", &[("a/F", 110)]),
+                entry("2026-08-08", &[("a/F", 99)]),
+            ],
+        };
+        let text = table(&t, 10.0);
+        assert!(text.contains("2026-08-01"));
+        assert!(text.contains("2026-08-08"));
+        assert!(text.contains("sim.firings"));
+        // The newest entry *is* the best-ever, so its standing is +0.00%.
+        assert!(text.contains("+0.00%"), "latest is the best-ever:\n{text}");
+        assert!(text.contains("99"), "best column shows the best-ever value:\n{text}");
+    }
+}

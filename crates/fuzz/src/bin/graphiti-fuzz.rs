@@ -88,6 +88,12 @@ fn cmd_run(args: Vec<String>) {
         }
     }
 
+    // The flight recorder runs for the whole campaign: instrumented sites
+    // (simulator runs, rewrite applications, refinement bound hits) leave
+    // a trail, and each failure's reproducer carries the ring's tail.
+    graphiti_obs::flight::enable();
+    graphiti_obs::flight::install_panic_hook();
+
     let gen_cfg = GenConfig::default();
     let mut table = triage::Triage::new();
     let mut saved = Vec::new();
@@ -98,7 +104,11 @@ fn cmd_run(args: Vec<String>) {
         // running it on a quarter of the cases keeps a 500-case budget
         // interactive while still covering hundreds of obligations.
         let opts = OracleOpts { refinement: refinement && case % 4 == 0 };
+        graphiti_obs::flight::record("fuzz.case", || format!("case {case} seed {s}"));
         let Some((fp, detail)) = check_once(&p, s, &opts) else { continue };
+        // Capture the ring's tail now: the shrinker is about to replay
+        // the case dozens of times and would bury the original trail.
+        let flight_tail = graphiti_obs::flight::tail_lines(16);
         let fresh = table.record(fp.clone(), detail.clone(), s);
         if !fresh {
             continue;
@@ -109,7 +119,7 @@ fn cmd_run(args: Vec<String>) {
             |cand: &Program| check_once(cand, s, &opts).map(|(f, _)| f) == Some(fp.clone());
         let min = shrink::shrink(&p, &mut still);
         if let Some(dir) = &out {
-            match corpus::save(dir, &fp, &detail, &min) {
+            match corpus::save_with_events(dir, &fp, &detail, &flight_tail, &min) {
                 Ok(path) => {
                     eprintln!("  minimised reproducer: {}", path.display());
                     saved.push(path);

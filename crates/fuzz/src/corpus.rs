@@ -38,12 +38,28 @@ pub fn slug(fingerprint: &str) -> String {
 /// Writes a minimised failing program into `dir`, named after its
 /// fingerprint. Returns the path written.
 pub fn save(dir: &Path, fingerprint: &str, detail: &str, p: &Program) -> io::Result<PathBuf> {
+    save_with_events(dir, fingerprint, detail, &[], p)
+}
+
+/// [`save`], with the failing case's last flight-recorder events (JSONL
+/// lines) embedded as `# flight:` header comments, so a triaged
+/// reproducer carries the run's final moments alongside the program.
+pub fn save_with_events(
+    dir: &Path,
+    fingerprint: &str,
+    detail: &str,
+    flight_events: &[String],
+    p: &Program,
+) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.gsl", slug(fingerprint)));
     let mut text = String::new();
     text.push_str(&format!("# fingerprint: {fingerprint}\n"));
     for line in detail.lines() {
         text.push_str(&format!("# detail: {line}\n"));
+    }
+    for line in flight_events {
+        text.push_str(&format!("# flight: {line}\n"));
     }
     text.push_str(&print_program(p));
     fs::write(&path, text)?;

@@ -32,14 +32,18 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 mod export;
+pub mod flight;
+pub mod profile;
+pub mod schema;
 mod span;
 mod trace;
 pub mod vcd;
 
 pub use export::{
-    chrome_trace_json, metrics_json, summary_table, write_chrome_trace, write_metrics_json,
+    chrome_trace_json, metrics_json, openmetrics_text, summary_table, write_chrome_trace,
+    write_metrics_json,
 };
-pub use span::{span, SpanGuard};
+pub use span::{adopt_parent, current_span_id, span, ParentGuard, SpanGuard};
 pub use trace::{
     emit_complete, emit_instant, trace_events, TraceEvent, TracePhase, PID_SIM, PID_WALL,
 };
@@ -66,16 +70,33 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Clears all collected metrics, spans, and trace events.
+/// Clears all collected metrics, spans, trace events, and the flight
+/// recorder ring.
 ///
 /// The enabled flag is left as-is. Metric handles obtained before the
 /// reset keep working but are detached from the registry; re-fetch them
-/// by name afterwards. The bench harness calls this between benchmark
-/// runs so each run exports a clean profile.
+/// by name afterwards (handle caches can detect the detachment by
+/// comparing [`generation`]). The bench harness calls this between
+/// benchmark runs so each run exports a clean profile.
 pub fn reset() {
     registry().clear();
+    GENERATION.fetch_add(1, Ordering::Relaxed);
     trace::clear_events();
     span::clear_thread_stack();
+    flight::clear();
+}
+
+/// Registry generation counter, bumped by every [`reset`].
+///
+/// Long-lived caches of metric handles (e.g. the rewrite engine's
+/// per-rewrite counter cache) record the generation at mint time and
+/// re-fetch their handles when it changes, so a reset cannot leave them
+/// silently recording into detached metrics.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// The current registry generation; changes on every [`reset`].
+pub fn generation() -> u64 {
+    GENERATION.load(Ordering::Relaxed)
 }
 
 /// The process-wide time origin for wall-clock trace timestamps.
@@ -240,13 +261,28 @@ fn registry() -> MutexGuard<'static, BTreeMap<String, Metric>> {
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new())).lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// First-mint schema gate: a name entering the registry must be declared
+/// in [`schema::SCHEMA`] (when enforcement is on — see
+/// [`schema::enforcing`]). Only called on the insert path, so steady-state
+/// lookups of existing metrics never touch the schema.
+fn check_schema(reg: &BTreeMap<String, Metric>, name: &str, kind: schema::MetricKind) {
+    if !reg.contains_key(name) && schema::enforcing() {
+        if let Err(e) = schema::validate(name, kind) {
+            panic!("graphiti-obs: {e}");
+        }
+    }
+}
+
 /// Gets or creates the counter registered under `name`.
 ///
 /// # Panics
 ///
-/// Panics if `name` is already registered as a different metric kind.
+/// Panics if `name` is already registered as a different metric kind, or
+/// (when [`schema::enforcing`]) on first mint of a name the schema does
+/// not declare as a counter.
 pub fn counter(name: &str) -> Counter {
     let mut reg = registry();
+    check_schema(&reg, name, schema::MetricKind::Counter);
     match reg
         .entry(name.to_string())
         .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
@@ -260,9 +296,12 @@ pub fn counter(name: &str) -> Counter {
 ///
 /// # Panics
 ///
-/// Panics if `name` is already registered as a different metric kind.
+/// Panics if `name` is already registered as a different metric kind, or
+/// (when [`schema::enforcing`]) on first mint of a name the schema does
+/// not declare as a gauge.
 pub fn gauge(name: &str) -> Gauge {
     let mut reg = registry();
+    check_schema(&reg, name, schema::MetricKind::Gauge);
     match reg
         .entry(name.to_string())
         .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
@@ -276,9 +315,12 @@ pub fn gauge(name: &str) -> Gauge {
 ///
 /// # Panics
 ///
-/// Panics if `name` is already registered as a different metric kind.
+/// Panics if `name` is already registered as a different metric kind, or
+/// (when [`schema::enforcing`]) on first mint of a name the schema does
+/// not declare as a histogram.
 pub fn histogram(name: &str) -> Histogram {
     let mut reg = registry();
+    check_schema(&reg, name, schema::MetricKind::Histogram);
     match reg.entry(name.to_string()).or_insert_with(|| {
         Metric::Histogram(Histogram(Arc::new(HistogramInner {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),

@@ -1,0 +1,290 @@
+//! Self/total cost attribution over the buffered span trace.
+//!
+//! [`Profile::from_trace`] rebuilds the causal span tree from the
+//! wall-clock Complete events ([`crate::trace_events`]), using the `id` /
+//! `parent` args that [`crate::span`] emits — including parents adopted
+//! across threads through `pool::parallel_map`. From the tree it derives,
+//! per causal path:
+//!
+//! * **total** time: the span's wall-clock duration, summed over all its
+//!   occurrences;
+//! * **self** time: total minus the time covered by child spans *on the
+//!   same thread*. Children running on other threads (pool fan-out)
+//!   overlap the parent's wall time rather than partitioning it, so they
+//!   are attributed their own rows but not subtracted from the parent —
+//!   same-thread self/total sums therefore remain exact partitions of the
+//!   root span.
+//!
+//! Three renderers share the analysis: an aligned text table
+//! ([`Profile::text_table`]), a JSON document ([`Profile::json`]), and
+//! folded stacks ([`Profile::folded`]) ready for `flamegraph.pl` or
+//! speedscope.
+
+use std::collections::BTreeMap;
+
+use crate::export::json_escape;
+use crate::trace::{trace_events, TracePhase};
+use crate::PID_WALL;
+
+/// One span occurrence recovered from the trace.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name (the argument to [`crate::span`]).
+    pub name: String,
+    /// This occurrence's process-unique span ID.
+    pub id: u64,
+    /// Causal parent ID (0 = root).
+    pub parent: u64,
+    /// Ordinal of the thread the span ran on.
+    pub tid: u32,
+    /// Start, microseconds since the process epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// Causal path from the root, `;`-joined names (folded-stack style).
+    pub causal_path: String,
+    /// Whether the span ran on a different thread than its causal parent.
+    pub cross_thread: bool,
+}
+
+/// One aggregated attribution row (all occurrences of one causal path).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// `;`-joined causal path, e.g. `pipeline;check;refine_check`.
+    pub path: String,
+    /// Occurrences merged into this row.
+    pub count: u64,
+    /// Summed wall-clock duration.
+    pub total_us: u64,
+    /// Summed self time (total minus same-thread children).
+    pub self_us: u64,
+    /// Whether any occurrence ran on a different thread than its parent.
+    pub parallel: bool,
+}
+
+/// The reconstructed span tree plus per-path aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Every recovered span occurrence, in trace order.
+    pub nodes: Vec<SpanNode>,
+    /// Aggregated rows, sorted by causal path.
+    pub rows: Vec<Row>,
+}
+
+impl Profile {
+    /// Rebuilds the span tree from the buffered wall-clock trace.
+    pub fn from_trace() -> Profile {
+        let events = trace_events();
+        let mut nodes: Vec<SpanNode> = Vec::new();
+        for ev in &events {
+            if ev.pid != PID_WALL || ev.ph != TracePhase::Complete {
+                continue;
+            }
+            let arg = |key: &str| ev.args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+            let Some(id) = arg("id").and_then(|v| v.parse::<u64>().ok()) else { continue };
+            let parent = arg("parent").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+            nodes.push(SpanNode {
+                name: ev.name.clone(),
+                id,
+                parent,
+                tid: ev.tid,
+                start_us: ev.ts_us,
+                dur_us: ev.dur_us,
+                causal_path: String::new(),
+                cross_thread: false,
+            });
+        }
+        Profile::build(nodes)
+    }
+
+    fn build(mut nodes: Vec<SpanNode>) -> Profile {
+        let index_of: BTreeMap<u64, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+        // Same-thread child time per parent, for self attribution.
+        let mut same_thread_child_us: Vec<u64> = vec![0; nodes.len()];
+        for i in 0..nodes.len() {
+            let (parent, tid, dur) = (nodes[i].parent, nodes[i].tid, nodes[i].dur_us);
+            if let Some(&p) = index_of.get(&parent) {
+                nodes[i].cross_thread = nodes[p].tid != tid;
+                if !nodes[i].cross_thread {
+                    same_thread_child_us[p] += dur;
+                }
+            }
+        }
+        // Causal paths, following parent chains (cycle-safe via depth cap).
+        for i in 0..nodes.len() {
+            let mut parts = vec![nodes[i].name.clone()];
+            let mut cur = nodes[i].parent;
+            for _ in 0..64 {
+                match index_of.get(&cur) {
+                    Some(&p) => {
+                        parts.push(nodes[p].name.clone());
+                        cur = nodes[p].parent;
+                    }
+                    None => break,
+                }
+            }
+            parts.reverse();
+            nodes[i].causal_path = parts.join(";");
+        }
+        let mut by_path: BTreeMap<String, Row> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            let self_us = n.dur_us.saturating_sub(same_thread_child_us[i]);
+            let row = by_path.entry(n.causal_path.clone()).or_insert_with(|| Row {
+                path: n.causal_path.clone(),
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+                parallel: false,
+            });
+            row.count += 1;
+            row.total_us += n.dur_us;
+            row.self_us += self_us;
+            row.parallel |= n.cross_thread;
+        }
+        Profile { nodes, rows: by_path.into_values().collect() }
+    }
+
+    /// Rows sorted by descending total time (the table order).
+    pub fn rows_by_total(&self) -> Vec<&Row> {
+        let mut rows: Vec<&Row> = self.rows.iter().collect();
+        rows.sort_by(|a, b| b.total_us.cmp(&a.total_us).then_with(|| a.path.cmp(&b.path)));
+        rows
+    }
+
+    /// Total time of root spans (spans with no recovered parent).
+    pub fn root_total_us(&self) -> u64 {
+        self.rows.iter().filter(|r| !r.path.contains(';')).map(|r| r.total_us).sum()
+    }
+
+    /// The aligned, human-readable attribution table.
+    pub fn text_table(&self) -> String {
+        use std::fmt::Write as _;
+        let rows = self.rows_by_total();
+        let width = rows.iter().map(|r| r.path.len()).max().unwrap_or(4).max(4);
+        let root = self.root_total_us().max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>7}  {:>12}  {:>12}  {:>6}  par",
+            "path", "count", "total_us", "self_us", "tot%"
+        );
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>7}  {:>12}  {:>12}  {:>5.1}%  {}",
+                r.path,
+                r.count,
+                r.total_us,
+                r.self_us,
+                100.0 * r.total_us as f64 / root as f64,
+                if r.parallel { "*" } else { "" }
+            );
+        }
+        if out.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        }
+        out
+    }
+
+    /// The attribution rendered as a JSON document.
+    pub fn json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n  \"root_total_us\": ");
+        let _ = write!(out, "{},\n  \"rows\": [", self.root_total_us());
+        for (i, r) in self.rows_by_total().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"path\": \"{}\", \"count\": {}, \"total_us\": {}, \"self_us\": {}, \
+                 \"parallel\": {}}}",
+                json_escape(&r.path),
+                r.count,
+                r.total_us,
+                r.self_us,
+                r.parallel
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Folded-stacks output (`path;to;span self_us` per line), the input
+    /// format of `flamegraph.pl` and speedscope.
+    pub fn folded(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.rows {
+            if r.self_us > 0 {
+                let _ = writeln!(out, "{} {}", r.path, r.self_us);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, id: u64, parent: u64, tid: u32, start: u64, dur: u64) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            id,
+            parent,
+            tid,
+            start_us: start,
+            dur_us: dur,
+            causal_path: String::new(),
+            cross_thread: false,
+        }
+    }
+
+    #[test]
+    fn self_time_partitions_same_thread_children() {
+        let p = Profile::build(vec![
+            node("root", 1, 0, 0, 0, 100),
+            node("a", 2, 1, 0, 10, 30),
+            node("b", 3, 1, 0, 50, 20),
+        ]);
+        let row = |path: &str| p.rows.iter().find(|r| r.path == path).unwrap();
+        assert_eq!(row("root").total_us, 100);
+        assert_eq!(row("root").self_us, 50);
+        assert_eq!(row("root;a").self_us, 30);
+        assert_eq!(row("root;b").self_us, 20);
+        // Self times partition the root exactly.
+        let sum: u64 = p.rows.iter().map(|r| r.self_us).sum();
+        assert_eq!(sum, 100);
+        assert_eq!(p.root_total_us(), 100);
+    }
+
+    #[test]
+    fn cross_thread_children_do_not_eat_parent_self() {
+        let p = Profile::build(vec![
+            node("root", 1, 0, 0, 0, 100),
+            node("job", 2, 1, 1, 10, 60),
+            node("job", 3, 1, 2, 10, 40),
+        ]);
+        let row = |path: &str| p.rows.iter().find(|r| r.path == path).unwrap();
+        // Parallel children overlap the parent: root keeps its full self.
+        assert_eq!(row("root").self_us, 100);
+        assert_eq!(row("root;job").count, 2);
+        assert_eq!(row("root;job").total_us, 100);
+        assert!(row("root;job").parallel);
+        assert!(!row("root").parallel);
+    }
+
+    #[test]
+    fn renders_table_json_and_folded() {
+        let p = Profile::build(vec![node("root", 1, 0, 0, 0, 10), node("a", 2, 1, 0, 0, 4)]);
+        let table = p.text_table();
+        assert!(table.contains("root") && table.contains("root;a"));
+        let json = p.json();
+        assert!(json.contains("\"root_total_us\": 10"));
+        assert!(json.contains("\"path\": \"root;a\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let folded = p.folded();
+        assert!(folded.contains("root 6\n"));
+        assert!(folded.contains("root;a 4\n"));
+    }
+}

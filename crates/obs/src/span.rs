@@ -1,7 +1,16 @@
-//! Hierarchical timed spans with a thread-local stack.
+//! Hierarchical timed spans with a thread-local stack and process-unique
+//! span IDs for causal (cross-thread) parenting.
+//!
+//! Every open span has a non-zero ID from a global counter and a parent
+//! ID: the span enclosing it on the *same* thread, or — on a worker
+//! thread that called [`adopt_parent`] — the span that was current on the
+//! spawning thread. `graphiti-pool` propagates the caller's current span
+//! through `parallel_map` this way, so fan-out work (deferred refinement
+//! discharge, bench flow jobs) appears parented under the spawning span
+//! in the Chrome trace instead of floating as orphan roots.
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::trace::{emit_complete, PID_WALL};
@@ -9,6 +18,8 @@ use crate::trace::{emit_complete, PID_WALL};
 thread_local! {
     // Names of the spans currently open on this thread, outermost first.
     static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    // ID of the innermost open (or adopted) span; 0 = none.
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
     static THREAD_ORDINAL: u32 = next_thread_ordinal();
 }
 
@@ -17,17 +28,58 @@ fn next_thread_ordinal() -> u32 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// This thread's stable ordinal (the `tid` used for trace tracks and
+/// flight-recorder events).
+pub(crate) fn thread_ordinal() -> u32 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 pub(crate) fn clear_thread_stack() {
     SPAN_STACK.with(|s| s.borrow_mut().clear());
+    CURRENT_SPAN.with(|c| c.set(0));
+}
+
+/// The ID of the innermost span open (or adopted) on this thread, or 0
+/// when none is. Capture this before handing work to another thread and
+/// re-establish it there with [`adopt_parent`].
+pub fn current_span_id() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
+}
+
+/// Makes `parent` the ambient parent span for this thread until the
+/// returned guard drops: spans opened meanwhile record it as their
+/// parent, giving cross-thread work a causal edge back to the span that
+/// spawned it. Passing 0 (no parent) is a no-op guard.
+pub fn adopt_parent(parent: u64) -> ParentGuard {
+    let prev = CURRENT_SPAN.with(|c| c.replace(parent));
+    ParentGuard { prev }
+}
+
+/// RAII guard of [`adopt_parent`]; restores the previous parent on drop.
+pub struct ParentGuard {
+    prev: u64,
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|c| c.set(self.prev));
+    }
 }
 
 /// Opens a timed span named `name`.
 ///
 /// While the returned guard lives, the span sits on this thread's span
-/// stack (so nested [`span`] calls record their parent path). On drop it
-/// records the elapsed time into the `span.{name}.us` histogram and emits
-/// a wall-clock Chrome trace slice whose `path` argument is the full
-/// dotted stack, e.g. `optimize.refine`.
+/// stack (so nested [`span`] calls record their parent path) and is the
+/// thread's current span ([`current_span_id`]). On drop it records the
+/// elapsed time into the `span.{name}.us` histogram and emits a
+/// wall-clock Chrome trace slice whose args carry the full dotted `path`
+/// (e.g. `optimize.refine`), the span `id`, and — when the span has one —
+/// its `parent` ID.
 ///
 /// When collection is disabled ([`crate::enabled`] is false) this is a
 /// no-op costing one relaxed atomic load; the guard does nothing on drop.
@@ -40,13 +92,19 @@ pub fn span(name: &str) -> SpanGuard {
         stack.push(name.to_string());
         stack.len()
     });
-    SpanGuard { live: Some(LiveSpan { name: name.to_string(), start: Instant::now(), depth }) }
+    let id = next_span_id();
+    let parent = CURRENT_SPAN.with(|c| c.replace(id));
+    SpanGuard {
+        live: Some(LiveSpan { name: name.to_string(), start: Instant::now(), depth, id, parent }),
+    }
 }
 
 struct LiveSpan {
     name: String,
     start: Instant,
     depth: usize,
+    id: u64,
+    parent: u64,
 }
 
 /// RAII guard returned by [`span`]; records the span when dropped.
@@ -58,6 +116,11 @@ impl SpanGuard {
     /// Nesting depth of this span (1 = top level), or 0 when disabled.
     pub fn depth(&self) -> usize {
         self.live.as_ref().map_or(0, |l| l.depth)
+    }
+
+    /// This span's process-unique ID, or 0 when disabled.
+    pub fn id(&self) -> u64 {
+        self.live.as_ref().map_or(0, |l| l.id)
     }
 }
 
@@ -76,15 +139,25 @@ impl Drop for SpanGuard {
             }
             path
         });
+        CURRENT_SPAN.with(|c| {
+            // Restore the enclosing/adopted parent — unless reset()
+            // already zeroed the current span mid-flight.
+            if c.get() == live.id {
+                c.set(live.parent);
+            }
+        });
         crate::histogram(&format!("span.{}.us", live.name)).record(dur_us);
-        let tid = THREAD_ORDINAL.with(|t| *t);
+        let mut args = vec![("path".to_string(), path), ("id".to_string(), live.id.to_string())];
+        if live.parent != 0 {
+            args.push(("parent".to_string(), live.parent.to_string()));
+        }
         emit_complete(
             PID_WALL,
-            tid,
+            thread_ordinal(),
             &live.name,
             end_us.saturating_sub(dur_us),
             dur_us,
-            vec![("path".to_string(), path)],
+            args,
         );
     }
 }
@@ -92,7 +165,11 @@ impl Drop for SpanGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{trace_events, TracePhase};
+    use crate::trace::{trace_events, TraceEvent, TracePhase};
+
+    fn arg<'e>(e: &'e TraceEvent, key: &str) -> Option<&'e str> {
+        e.args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
 
     #[test]
     fn spans_nest_and_record_paths() {
@@ -118,13 +195,44 @@ mod tests {
         assert_eq!(crate::histogram("span.second.us").count(), 1);
 
         let evs = trace_events();
-        let paths: Vec<&str> = evs
-            .iter()
-            .filter(|e| e.ph == TracePhase::Complete)
-            .map(|e| e.args[0].1.as_str())
-            .collect();
+        let complete: Vec<&TraceEvent> =
+            evs.iter().filter(|e| e.ph == TracePhase::Complete).collect();
         // Inner spans close first, so their events come first.
+        let paths: Vec<&str> = complete.iter().map(|e| arg(e, "path").unwrap()).collect();
         assert_eq!(paths, ["outer.inner", "outer.second", "outer"]);
+        // Causal edges: both inner spans parent to outer's ID.
+        let outer_id = arg(complete[2], "id").unwrap();
+        assert_eq!(arg(complete[0], "parent"), Some(outer_id));
+        assert_eq!(arg(complete[1], "parent"), Some(outer_id));
+        assert_eq!(arg(complete[2], "parent"), None);
+    }
+
+    #[test]
+    fn adopted_parents_cross_threads() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        crate::enable();
+        let parent_id = {
+            let outer = span("outer");
+            let id = outer.id();
+            assert_ne!(id, 0);
+            assert_eq!(current_span_id(), id);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    assert_eq!(current_span_id(), 0);
+                    let _adopt = adopt_parent(id);
+                    let _job = span("job");
+                });
+            });
+            id
+        };
+        crate::disable();
+        let evs = trace_events();
+        let job = evs.iter().find(|e| e.name == "job").expect("job span recorded");
+        assert_eq!(arg(job, "parent"), Some(parent_id.to_string().as_str()));
+        // The worker's own stack was fresh: its path is just "job".
+        assert_eq!(arg(job, "path"), Some("job"));
+        assert_eq!(current_span_id(), 0);
     }
 
     #[test]
@@ -135,6 +243,7 @@ mod tests {
         {
             let g = span("noop");
             assert_eq!(g.depth(), 0);
+            assert_eq!(g.id(), 0);
         }
         assert_eq!(crate::histogram("span.noop.us").count(), 0);
         assert!(trace_events().is_empty());

@@ -1,0 +1,191 @@
+//! OpenMetrics exposition round-trip: emit the text format, parse it back
+//! with a minimal in-test parser, and compare against a registry snapshot
+//! taken through the public metric handles. Also pins the quantile edge
+//! cases (empty, single sample, max bucket) and `bucket_upper_bound`
+//! monotonicity that every exporter (CLI summary, bench `--json`,
+//! OpenMetrics) relies on.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+use graphiti_obs as obs;
+
+/// Metric state is process-global; tests in this binary serialize here.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One parsed metric family from the exposition text.
+#[derive(Debug, Default, PartialEq)]
+struct Family {
+    kind: String,
+    unit: Option<String>,
+    help: Option<String>,
+    /// Samples keyed by full sample name + label string.
+    samples: BTreeMap<String, f64>,
+}
+
+/// A deliberately minimal OpenMetrics text parser: enough grammar to
+/// round-trip what [`obs::openmetrics_text`] emits, strict about the
+/// parts it does understand.
+fn parse(text: &str) -> BTreeMap<String, Family> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut saw_eof = false;
+    for line in text.lines() {
+        assert!(!saw_eof, "content after # EOF: {line}");
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap();
+            let name = parts.next().expect("metadata line has a metric name").to_string();
+            let value = parts.next().unwrap_or("").to_string();
+            let fam = families.entry(name).or_default();
+            match keyword {
+                "TYPE" => fam.kind = value,
+                "UNIT" => fam.unit = Some(value),
+                "HELP" => fam.help = Some(value),
+                other => panic!("unknown metadata keyword {other}"),
+            }
+            continue;
+        }
+        let (sample, value) = line.rsplit_once(' ').expect("sample line is `name value`");
+        let value: f64 = value.parse().expect("sample value is a number");
+        // Attribute the sample to its family by stripping known suffixes
+        // and any label set.
+        let bare = sample.split('{').next().unwrap();
+        let family_name = ["_total", "_bucket", "_sum", "_count", "_quantile"]
+            .iter()
+            .find_map(|suf| bare.strip_suffix(suf))
+            .unwrap_or(bare)
+            .to_string();
+        let fam = families
+            .get_mut(&family_name)
+            .unwrap_or_else(|| panic!("sample `{sample}` precedes its # TYPE"));
+        fam.samples.insert(sample.to_string(), value);
+    }
+    assert!(saw_eof, "exposition must end with # EOF");
+    families
+}
+
+#[test]
+fn exposition_round_trips_through_a_minimal_parser() {
+    let _guard = lock();
+    obs::reset();
+    obs::counter("sim.firings").add(41);
+    obs::gauge("pool.workers").set(4);
+    let h = obs::histogram("sim.token_latency_cycles");
+    for v in [0u64, 2, 2, 9, 1000] {
+        h.record(v);
+    }
+
+    let families = parse(&obs::openmetrics_text());
+
+    let firings = &families["sim_firings"];
+    assert_eq!(firings.kind, "counter");
+    assert_eq!(firings.unit.as_deref(), Some("events"));
+    assert!(firings.help.as_deref().unwrap_or("").contains("firings"));
+    assert_eq!(firings.samples["sim_firings_total"], 41.0);
+
+    let workers = &families["pool_workers"];
+    assert_eq!(workers.kind, "gauge");
+    assert_eq!(workers.samples["pool_workers"], 4.0);
+
+    let lat = &families["sim_token_latency_cycles"];
+    assert_eq!(lat.kind, "histogram");
+    assert_eq!(lat.samples["sim_token_latency_cycles_count"], 5.0);
+    assert_eq!(lat.samples["sim_token_latency_cycles_sum"], 1013.0);
+    // Cumulative buckets: 0 → le=0; 2,2 → le=3; 9 → le=15; 1000 → le=1023.
+    assert_eq!(lat.samples["sim_token_latency_cycles_bucket{le=\"0\"}"], 1.0);
+    assert_eq!(lat.samples["sim_token_latency_cycles_bucket{le=\"3\"}"], 3.0);
+    assert_eq!(lat.samples["sim_token_latency_cycles_bucket{le=\"15\"}"], 4.0);
+    assert_eq!(lat.samples["sim_token_latency_cycles_bucket{le=\"1023\"}"], 5.0);
+    assert_eq!(lat.samples["sim_token_latency_cycles_bucket{le=\"+Inf\"}"], 5.0);
+    // The quantile family agrees with the handle's own view.
+    assert_eq!(lat.samples["sim_token_latency_cycles_quantile{q=\"0.5\"}"], h.quantile(0.5) as f64);
+    assert_eq!(
+        lat.samples["sim_token_latency_cycles_quantile{q=\"0.99\"}"],
+        h.quantile(0.99) as f64
+    );
+    obs::reset();
+}
+
+#[test]
+fn snapshot_comparison_is_stable_across_emissions() {
+    let _guard = lock();
+    obs::reset();
+    obs::counter("sim.cycles").add(7);
+    let first = obs::openmetrics_text();
+    let second = obs::openmetrics_text();
+    assert_eq!(first, second, "exposition must be deterministic");
+    obs::reset();
+}
+
+#[test]
+fn bucket_upper_bounds_are_strictly_monotonic() {
+    let mut prev = None;
+    for i in 0..obs::HISTOGRAM_BUCKETS {
+        let ub = obs::bucket_upper_bound(i);
+        if let Some(p) = prev {
+            assert!(ub > p, "bucket {i} bound {ub} not above {p}");
+        }
+        prev = Some(ub);
+    }
+    assert_eq!(obs::bucket_upper_bound(obs::HISTOGRAM_BUCKETS - 1), u64::MAX);
+}
+
+#[test]
+fn quantile_edge_cases_empty_single_and_max_bucket() {
+    let _guard = lock();
+    obs::reset();
+    // Empty histogram: every quantile is 0.
+    let empty = obs::histogram("test.quant.empty");
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(empty.quantile(q), 0);
+    }
+    // Single sample: every quantile is that sample (capped by max).
+    let single = obs::histogram("test.quant.single");
+    single.record(42);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(single.quantile(q), 42);
+    }
+    // Max-bucket sample: the top bucket's nominal bound is u64::MAX, but
+    // the reported quantile is capped at the observed max.
+    let top = obs::histogram("test.quant.top");
+    top.record(u64::MAX);
+    assert_eq!(top.quantile(0.99), u64::MAX);
+    let top2 = obs::histogram("test.quant.top2");
+    top2.record(u64::MAX - 12345);
+    assert_eq!(top2.quantile(1.0), u64::MAX - 12345);
+    // Out-of-range q values clamp instead of panicking.
+    assert_eq!(single.quantile(-1.0), 42);
+    assert_eq!(single.quantile(2.0), 42);
+    obs::reset();
+}
+
+#[test]
+fn percentiles_agree_across_all_exporters() {
+    let _guard = lock();
+    obs::reset();
+    let h = obs::histogram("sim.token_latency_cycles");
+    for v in 1..=100u64 {
+        h.record(v);
+    }
+    let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+    let json = obs::metrics_json();
+    assert!(json.contains(&format!("\"p50\": {p50}")), "JSON p50 differs");
+    assert!(json.contains(&format!("\"p95\": {p95}")), "JSON p95 differs");
+    assert!(json.contains(&format!("\"p99\": {p99}")), "JSON p99 differs");
+    let table = obs::summary_table();
+    assert!(table.contains(&format!("p50<={p50}")), "summary p50 differs");
+    assert!(table.contains(&format!("p95<={p95}")), "summary p95 differs");
+    assert!(table.contains(&format!("p99<={p99}")), "summary p99 differs");
+    let om = obs::openmetrics_text();
+    assert!(om.contains(&format!("quantile{{q=\"0.5\"}} {p50}")), "OpenMetrics p50 differs");
+    assert!(om.contains(&format!("quantile{{q=\"0.95\"}} {p95}")), "OpenMetrics p95 differs");
+    assert!(om.contains(&format!("quantile{{q=\"0.99\"}} {p99}")), "OpenMetrics p99 differs");
+    obs::reset();
+}

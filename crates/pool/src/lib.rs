@@ -17,6 +17,11 @@
 //! When `graphiti-obs` collection is enabled, each run records
 //! `pool.jobs.worker_<k>` counters (jobs executed per worker) and the
 //! `pool.workers` gauge, making scheduling skew visible in metrics dumps.
+//! The caller's current span ([`graphiti_obs::current_span_id`]) is
+//! captured before the fan-out and adopted by every worker, so spans
+//! opened inside jobs — deferred refinement discharge, bench flow runs —
+//! appear causally parented under the spawning span in the Chrome trace
+//! instead of as orphan roots.
 
 #![warn(missing_docs)]
 
@@ -65,10 +70,14 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let record = graphiti_obs::enabled();
+    // Causal tracing: workers adopt the caller's current span as their
+    // parent, so job spans trace back to the fan-out site.
+    let parent_span = if record { graphiti_obs::current_span_id() } else { 0 };
     std::thread::scope(|scope| {
         for w in 0..workers {
             let (next, slots, results, f) = (&next, &slots, &results, &f);
             scope.spawn(move || {
+                let _adopt = graphiti_obs::adopt_parent(parent_span);
                 let mut done: u64 = 0;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,52 @@
+//! Pool causal tracing: spans opened inside `parallel_map` jobs must be
+//! parented under the caller's current span in the Chrome trace, even
+//! though they run on scoped worker threads.
+
+use graphiti_obs as obs;
+use graphiti_pool::parallel_map;
+
+fn arg<'e>(e: &'e obs::TraceEvent, key: &str) -> Option<&'e str> {
+    e.args.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn pool_jobs_parent_under_the_spawning_span() {
+    obs::reset();
+    obs::enable();
+    let fanout_id = {
+        let fanout = obs::span("fanout");
+        let id = fanout.id();
+        assert_ne!(id, 0);
+        let out = parallel_map((0..8u64).collect::<Vec<_>>(), |x| {
+            let _job = obs::span("job");
+            x + 1
+        });
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+        id
+    };
+    obs::disable();
+
+    let events = obs::trace_events();
+    let jobs: Vec<&obs::TraceEvent> =
+        events.iter().filter(|e| e.ph == obs::TracePhase::Complete && e.name == "job").collect();
+    assert_eq!(jobs.len(), 8, "every job records a span");
+    let fanout_str = fanout_id.to_string();
+    for job in &jobs {
+        // The causal edge crosses the thread boundary: each job span
+        // carries the fan-out span's ID as its parent.
+        assert_eq!(arg(job, "parent"), Some(fanout_str.as_str()));
+        assert_ne!(arg(job, "id"), Some(fanout_str.as_str()));
+    }
+    let fanout_ev = events
+        .iter()
+        .find(|e| e.ph == obs::TracePhase::Complete && e.name == "fanout")
+        .expect("fanout span recorded");
+    assert_eq!(arg(fanout_ev, "id"), Some(fanout_str.as_str()));
+    assert_eq!(arg(fanout_ev, "parent"), None);
+
+    // The profile reconstruction sees the same causal tree.
+    let profile = obs::profile::Profile::from_trace();
+    let row =
+        profile.rows.iter().find(|r| r.path == "fanout;job").expect("jobs aggregate under fanout");
+    assert_eq!(row.count, 8);
+}

@@ -31,10 +31,37 @@ use graphiti_ir::{
 use graphiti_sem::{check_refinement, denote, Env, Event, RefineConfig, Refinement};
 
 /// Bumps `rewrite.{kind}.{name}` when obs collection is enabled.
-fn bump_rewrite_counter(kind: &str, name: &str) {
-    if graphiti_obs::enabled() {
-        graphiti_obs::counter(&format!("rewrite.{kind}.{name}")).inc();
+///
+/// Counter handles are memoised in a thread-local cache, so the hot
+/// rewriting loop pays the name format and registry lock once per
+/// (kind, rewrite) rather than once per attempt. The cache is keyed on
+/// [`graphiti_obs::generation`]: an `obs::reset()` detaches existing
+/// handles from the registry, and the generation bump makes the cache
+/// re-fetch instead of recording into detached metrics.
+fn bump_rewrite_counter(kind: &'static str, name: &'static str) {
+    if !graphiti_obs::enabled() {
+        return;
     }
+    thread_local! {
+        #[allow(clippy::type_complexity)]
+        static CACHE: std::cell::RefCell<(
+            u64,
+            BTreeMap<(&'static str, &'static str), graphiti_obs::Counter>,
+        )> = const { std::cell::RefCell::new((0, BTreeMap::new())) };
+    }
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let generation = graphiti_obs::generation();
+        if cache.0 != generation {
+            cache.1.clear();
+            cache.0 = generation;
+        }
+        cache
+            .1
+            .entry((kind, name))
+            .or_insert_with(|| graphiti_obs::counter(&format!("rewrite.{kind}.{name}")))
+            .inc();
+    });
 }
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -322,10 +349,27 @@ impl Engine {
         rw: &Rewrite,
         m: &Match,
     ) -> Result<ExprHigh, RewriteError> {
-        let r = self.apply_at_inner(g, rw, m);
+        let r = {
+            // Per-rewrite attribution: each application is its own span, so
+            // `graphiti-cli profile` can cost rewrites individually.
+            let _span = graphiti_obs::span(rw.name);
+            self.apply_at_inner(g, rw, m)
+        };
         match &r {
-            Ok(_) => bump_rewrite_counter("applied", rw.name),
-            Err(_) => bump_rewrite_counter("refused", rw.name),
+            Ok(_) => {
+                bump_rewrite_counter("applied", rw.name);
+                graphiti_obs::flight::record("rewrite.applied", || {
+                    format!(
+                        "{} at [{}]",
+                        rw.name,
+                        m.nodes.iter().cloned().collect::<Vec<_>>().join(", ")
+                    )
+                });
+            }
+            Err(e) => {
+                bump_rewrite_counter("refused", rw.name);
+                graphiti_obs::flight::record("rewrite.refused", || format!("{}: {e}", rw.name));
+            }
         }
         r
     }

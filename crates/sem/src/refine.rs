@@ -238,16 +238,51 @@ pub fn check_refinement_with_stats(
 
 /// Records one check's outcome into the `refine.*` metrics (no-op when
 /// collection is disabled).
+///
+/// The fixed-name handles are memoised per thread and re-fetched when the
+/// obs registry generation changes (an `obs::reset()` detaches old
+/// handles), so back-to-back checks on one worker don't pay a registry
+/// lock per metric.
 fn record_check_metrics(verdict: &Refinement, stats: &RefineStats) {
     if !graphiti_obs::enabled() {
         return;
     }
-    graphiti_obs::counter("refine.checks").inc();
-    graphiti_obs::counter("refine.visited_states").add(stats.visited_states);
-    graphiti_obs::histogram("refine.visited_states_per_check").record(stats.visited_states);
-    graphiti_obs::histogram("refine.frontier_peak").record(stats.frontier_peak);
+    struct Handles {
+        generation: u64,
+        checks: graphiti_obs::Counter,
+        visited: graphiti_obs::Counter,
+        visited_per_check: graphiti_obs::Histogram,
+        frontier_peak: graphiti_obs::Histogram,
+    }
+    fn fetch() -> Handles {
+        Handles {
+            generation: graphiti_obs::generation(),
+            checks: graphiti_obs::counter("refine.checks"),
+            visited: graphiti_obs::counter("refine.visited_states"),
+            visited_per_check: graphiti_obs::histogram("refine.visited_states_per_check"),
+            frontier_peak: graphiti_obs::histogram("refine.frontier_peak"),
+        }
+    }
+    thread_local! {
+        static HANDLES: std::cell::RefCell<Option<Handles>> = const { std::cell::RefCell::new(None) };
+    }
+    HANDLES.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let generation = graphiti_obs::generation();
+        if slot.as_ref().is_none_or(|h| h.generation != generation) {
+            *slot = Some(fetch());
+        }
+        let h = slot.as_ref().expect("handles just ensured");
+        h.checks.inc();
+        h.visited.add(stats.visited_states);
+        h.visited_per_check.record(stats.visited_states);
+        h.frontier_peak.record(stats.frontier_peak);
+    });
     if let Refinement::BoundReached(hit) = verdict {
         graphiti_obs::counter(&format!("refine.bound_hits.{}", hit.kind.name())).inc();
+        graphiti_obs::flight::record("refine.bound_hit", || {
+            format!("{} at {}", hit.kind.name(), hit.at)
+        });
     }
 }
 

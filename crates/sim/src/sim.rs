@@ -355,6 +355,20 @@ struct SimObs {
     /// (scheduler efficiency: the sweep examines every node every pass, the
     /// event-driven core only dirty ones).
     sched_examined: graphiti_obs::Histogram,
+    /// Per node: `sim.fire.{name}` firing counters, flushed at finish.
+    fire_by_node: Vec<graphiti_obs::Counter>,
+    /// `sim.stall_cause.{cause}` counters indexed by [`StallCause::index`].
+    stall_cause: Vec<graphiti_obs::Counter>,
+    /// `sim.firings`.
+    firings: graphiti_obs::Counter,
+    /// `sim.cycles`.
+    cycles: graphiti_obs::Counter,
+    /// `sim.sched.examined`.
+    examined: graphiti_obs::Counter,
+    /// `sim.sched.worklist_pushes`.
+    worklist_pushes: graphiti_obs::Counter,
+    /// `sim.sched.fires_per_1k_examined`.
+    fire_rate: graphiti_obs::Gauge,
 }
 
 impl SimObs {
@@ -381,6 +395,14 @@ impl SimObs {
             .iter()
             .map(|n| graphiti_obs::counter(&format!("sim.stall_cycles.{}", n.name)))
             .collect();
+        // Finish-path handles are resolved here too: one registry pass per
+        // run instead of one string format + lock per metric at finish.
+        let fire_by_node =
+            nodes.iter().map(|n| graphiti_obs::counter(&format!("sim.fire.{}", n.name))).collect();
+        let stall_cause = crate::STALL_CAUSES
+            .iter()
+            .map(|c| graphiti_obs::counter(&format!("sim.stall_cause.{c}")))
+            .collect();
         SimObs {
             trace_node,
             occupancy,
@@ -389,6 +411,13 @@ impl SimObs {
             starved_total: graphiti_obs::counter("sim.starved_cycles"),
             latency: graphiti_obs::histogram("sim.token_latency_cycles"),
             sched_examined: graphiti_obs::histogram("sim.sched.examined_per_cycle"),
+            fire_by_node,
+            stall_cause,
+            firings: graphiti_obs::counter("sim.firings"),
+            cycles: graphiti_obs::counter("sim.cycles"),
+            examined: graphiti_obs::counter("sim.sched.examined"),
+            worklist_pushes: graphiti_obs::counter("sim.sched.worklist_pushes"),
+            fire_rate: graphiti_obs::gauge("sim.sched.fires_per_1k_examined"),
         }
     }
 }
@@ -1281,9 +1310,21 @@ impl Simulator {
                 consumed_at: VecDeque::new(),
             }),
         };
-        match self.cfg.scheduler {
-            Scheduler::EventDriven => self.run_event(&mut st)?,
-            Scheduler::ReferenceSweep => self.run_sweep(&mut st)?,
+        graphiti_obs::flight::record("sim.start", || {
+            format!(
+                "{} nodes, {} channels, scheduler={:?}",
+                self.nodes.len(),
+                self.chans.len(),
+                self.cfg.scheduler
+            )
+        });
+        let run = match self.cfg.scheduler {
+            Scheduler::EventDriven => self.run_event(&mut st),
+            Scheduler::ReferenceSweep => self.run_sweep(&mut st),
+        };
+        if let Err(e) = &run {
+            graphiti_obs::flight::record("sim.error", || format!("cycle {}: {e}", st.now));
+            run?;
         }
         Ok(self.finish(st))
     }
@@ -1520,23 +1561,30 @@ impl Simulator {
             let node_names: Vec<String> = self.nodes.iter().map(|n| n.name.clone()).collect();
             ss.finish(&node_names, &self.chan_names)
         });
-        if self.obs.is_some() {
+        if let Some(obs) = &self.obs {
+            // All handles were memoised by SimObs::new; the finish path
+            // does no name formatting or registry locking.
             if let Some(report) = &stalls {
                 for (cause, n) in report.cause_totals() {
-                    graphiti_obs::counter(&format!("sim.stall_cause.{cause}")).add(n);
+                    obs.stall_cause[cause.index()].add(n);
                 }
             }
-            graphiti_obs::counter("sim.firings").add(st.firings);
-            graphiti_obs::counter("sim.cycles").add(st.last_active + 1);
-            graphiti_obs::counter("sim.sched.examined").add(st.examined);
-            graphiti_obs::counter("sim.sched.worklist_pushes").add(st.pushes);
+            obs.firings.add(st.firings);
+            obs.cycles.add(st.last_active + 1);
+            obs.examined.add(st.examined);
+            obs.worklist_pushes.add(st.pushes);
             if let Some(rate) = st.firings.saturating_mul(1000).checked_div(st.examined) {
-                graphiti_obs::gauge("sim.sched.fires_per_1k_examined").set(rate as i64);
+                obs.fire_rate.set(rate as i64);
             }
-            for (name, count) in &firings_by_node {
-                graphiti_obs::counter(&format!("sim.fire.{name}")).add(*count);
+            for (i, &count) in st.firings_by_node.iter().enumerate() {
+                if count > 0 {
+                    obs.fire_by_node[i].add(count);
+                }
             }
         }
+        graphiti_obs::flight::record("sim.finish", || {
+            format!("cycles={} firings={}", st.last_active + 1, st.firings)
+        });
         let leftover = self
             .chans
             .iter()

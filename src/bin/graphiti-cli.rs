@@ -32,9 +32,10 @@
 //! after the (sequential) rewriting finishes — same verdicts, and the
 //! independent checks overlap.
 //!
-//! `--metrics-out FILE` / `--trace-out FILE` install the `graphiti-obs`
-//! collection sink and write a metrics JSON document / Chrome trace-event
-//! file (loadable in Perfetto) when the run finishes. Either flag implies
+//! `--metrics-out FILE` / `--openmetrics-out FILE` / `--trace-out FILE`
+//! install the `graphiti-obs` collection sink and write a metrics JSON
+//! document / OpenMetrics text exposition / Chrome trace-event file
+//! (loadable in Perfetto) when the run finishes. Any of them implies
 //! `--checked` (so refinement-check metrics exist), and in compile mode
 //! the optimized kernels are additionally simulated against the program's
 //! arrays so the profile includes simulator fire/stall counters.
@@ -67,6 +68,11 @@ enum Mode {
     ExplainStalls,
     /// Parse a VCD file and print its summary (round-trip check).
     VcdCheck,
+    /// Run the whole pipeline phase by phase and print per-phase and
+    /// per-rewrite self/total cost attribution.
+    Profile,
+    /// Print the canonical metrics schema document (`obs/schema.json`).
+    Schema,
 }
 
 struct Args {
@@ -77,12 +83,16 @@ struct Args {
     stats: bool,
     compile: bool,
     metrics_out: Option<String>,
+    openmetrics_out: Option<String>,
     trace_out: Option<String>,
     vcd_out: Option<String>,
     trace_nodes: Vec<String>,
     top: usize,
     mode: Mode,
     input: Option<String>,
+    json_out: Option<String>,
+    folded_out: Option<String>,
+    flight_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,12 +104,16 @@ fn parse_args() -> Result<Args, String> {
         stats: false,
         compile: false,
         metrics_out: None,
+        openmetrics_out: None,
         trace_out: None,
         vcd_out: None,
         trace_nodes: Vec::new(),
         top: 10,
         mode: Mode::Rewrite,
         input: None,
+        json_out: None,
+        folded_out: None,
+        flight_out: None,
     };
     let mut it = std::env::args().skip(1);
     let mut first_positional = true;
@@ -124,6 +138,10 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-out" => {
                 args.metrics_out = Some(it.next().ok_or("--metrics-out needs a file path")?);
             }
+            "--openmetrics-out" => {
+                args.openmetrics_out =
+                    Some(it.next().ok_or("--openmetrics-out needs a file path")?);
+            }
             "--trace-out" => {
                 args.trace_out = Some(it.next().ok_or("--trace-out needs a file path")?);
             }
@@ -139,9 +157,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--top needs a value")?;
                 args.top = v.parse().map_err(|_| format!("bad chain count `{v}`"))?;
             }
+            "--json" => {
+                args.json_out = Some(it.next().ok_or("--json needs a file path")?);
+            }
+            "--folded" => {
+                args.folded_out = Some(it.next().ok_or("--folded needs a file path")?);
+            }
+            "--flight-out" => {
+                args.flight_out = Some(it.next().ok_or("--flight-out needs a file path")?);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--trace-out FILE] [INPUT.dot]\n       graphiti-cli --compile [--vcd-out FILE] [--trace-nodes a,b,c] [PROGRAM.gsl]\n       graphiti-cli explain-stalls [--top K] [PROGRAM.gsl]\n       graphiti-cli vcd-check FILE.vcd"
+                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--openmetrics-out FILE] [--trace-out FILE] [--flight-out FILE] [INPUT.dot]\n       graphiti-cli --compile [--vcd-out FILE] [--trace-nodes a,b,c] [PROGRAM.gsl]\n       graphiti-cli profile [--json FILE] [--folded FILE] [--flight-out FILE] PROGRAM.gsl\n       graphiti-cli explain-stalls [--top K] [PROGRAM.gsl]\n       graphiti-cli vcd-check FILE.vcd\n       graphiti-cli schema"
                         .to_string(),
                 )
             }
@@ -151,6 +178,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "vcd-check" if first_positional => {
                 args.mode = Mode::VcdCheck;
+                first_positional = false;
+            }
+            "profile" if first_positional => {
+                args.mode = Mode::Profile;
+                first_positional = false;
+            }
+            "schema" if first_positional => {
+                args.mode = Mode::Schema;
                 first_positional = false;
             }
             other if !other.starts_with('-') => {
@@ -168,12 +203,26 @@ fn parse_args() -> Result<Args, String> {
         // carries the arrays to feed the circuit.
         args.compile = true;
     }
+    if args.mode == Mode::Profile {
+        // Profiling covers the whole pipeline through simulation, so it
+        // needs a runnable program too; checks run deferred so the check
+        // phase is a distinct span discharged on the pool.
+        if !args.input.as_deref().is_some_and(|p| p.ends_with(".gsl")) {
+            return Err(
+                "profile needs a `.gsl` program (the simulate phase runs the kernels)".to_string()
+            );
+        }
+        args.compile = true;
+        args.deferred = true;
+    }
     if (args.vcd_out.is_some() || args.mode == Mode::ExplainStalls) && !args.compile {
         return Err("waveforms and stall attribution need a `.gsl` program (compile mode): \
                     dot circuits carry no input arrays to simulate"
             .to_string());
     }
-    if (args.metrics_out.is_some() || args.trace_out.is_some()) && !args.deferred {
+    if (args.metrics_out.is_some() || args.openmetrics_out.is_some() || args.trace_out.is_some())
+        && !args.deferred
+    {
         // A profile without refinement-check metrics would be misleading:
         // observed runs are always checked.
         args.checked = true;
@@ -183,9 +232,23 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let observing = args.metrics_out.is_some() || args.trace_out.is_some();
+    if args.mode == Mode::Schema {
+        print!("{}", graphiti::obs::schema::schema_json());
+        return Ok(());
+    }
+    let observing = args.metrics_out.is_some()
+        || args.openmetrics_out.is_some()
+        || args.trace_out.is_some()
+        || args.mode == Mode::Profile;
     if observing {
         graphiti::obs::enable();
+    }
+    if let Some(path) = &args.flight_out {
+        // On-demand + on-panic flight recording: the ring dumps to the
+        // requested path either way.
+        graphiti::obs::flight::enable();
+        graphiti::obs::flight::set_dump_path(path.clone());
+        graphiti::obs::flight::install_panic_hook();
     }
     let result = run_inner(&args);
     if observing {
@@ -193,12 +256,25 @@ fn run() -> Result<(), String> {
         // partial profile is exactly what a failure investigation needs.
         write_observations(&args)?;
     }
+    if let Some(path) = &args.flight_out {
+        graphiti::obs::flight::write_jsonl(path)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!(
+            "graphiti-cli: flight recorder wrote {} events to {path} ({} dropped)",
+            graphiti::obs::flight::events().len(),
+            graphiti::obs::flight::dropped()
+        );
+    }
     result
 }
 
 fn write_observations(args: &Args) -> Result<(), String> {
     if let Some(path) = &args.metrics_out {
         graphiti::obs::write_metrics_json(path)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = &args.openmetrics_out {
+        std::fs::write(path, graphiti::obs::openmetrics_text())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
     if let Some(path) = &args.trace_out {
@@ -259,6 +335,9 @@ fn run_inner(args: &Args) -> Result<(), String> {
 
     if args.mode == Mode::VcdCheck {
         return vcd_check(&src, args);
+    }
+    if args.mode == Mode::Profile {
+        return profile_mode(&src, args);
     }
     if args.compile {
         return compile_mode(&src, args);
@@ -427,6 +506,113 @@ fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
             }
             mem = r.memory;
         }
+    }
+    Ok(())
+}
+
+/// `profile PROGRAM.gsl`: run the pipeline phase by phase — parse →
+/// rewrite → check → simulate, each a child span of one root `pipeline`
+/// span — then print per-phase and per-rewrite self/total attribution
+/// reconstructed from the trace. `--json` / `--folded` additionally write
+/// the JSON document and flamegraph-ready folded stacks.
+fn profile_mode(src: &str, args: &Args) -> Result<(), String> {
+    let refine_cfg = graphiti::sem::RefineConfig::default();
+    {
+        let _root = graphiti::obs::span("pipeline");
+        graphiti::obs::flight::record("profile.start", || {
+            format!("profiling `{}`", args.input.as_deref().unwrap_or("<stdin>"))
+        });
+
+        let (program, compiled) = {
+            let _phase = graphiti::obs::span("parse");
+            let program = graphiti::frontend::parse_program(src).map_err(|e| e.to_string())?;
+            let compiled = graphiti::frontend::compile(&program).map_err(|e| e.to_string())?;
+            (program, compiled)
+        };
+
+        let mut optimized: Vec<(String, ExprHigh)> = Vec::new();
+        let mut obligations: Vec<graphiti::rewrite::Obligation> = Vec::new();
+        {
+            let _phase = graphiti::obs::span("rewrite");
+            for kernel in &compiled.kernels {
+                match kernel.ooo_tags {
+                    Some(tags) => {
+                        let opts = PipelineOptions {
+                            tags,
+                            check: CheckMode::Deferred,
+                            refine_cfg: refine_cfg.clone(),
+                            ..Default::default()
+                        };
+                        let (g, mut report) =
+                            optimize_loop(&kernel.graph, &kernel.inner_init, &opts)
+                                .map_err(|e| e.to_string())?;
+                        obligations.append(&mut report.obligations);
+                        if let Some(refusal) = &report.refusal {
+                            eprintln!(
+                                "graphiti-cli: kernel `{}` refused: {refusal}; left in order",
+                                kernel.name
+                            );
+                        }
+                        optimized.push((kernel.name.clone(), g));
+                    }
+                    None => optimized.push((kernel.name.clone(), kernel.graph.clone())),
+                }
+            }
+        }
+
+        {
+            // Obligations discharge on the pool here; the workers adopt
+            // this span, so refine_check spans parent under `check`.
+            let _phase = graphiti::obs::span("check");
+            discharge_deferred("profile", obligations, &refine_cfg)?;
+        }
+
+        {
+            let _phase = graphiti::obs::span("simulate");
+            let mut mem = program.arrays.clone();
+            let feeds: std::collections::BTreeMap<String, Vec<Value>> =
+                [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+            for (name, g) in &optimized {
+                let (placed, _) = place_buffers(g);
+                let r = simulate(&placed, &feeds, mem, SimConfig::default())
+                    .map_err(|e| format!("kernel `{name}` simulation: {e}"))?;
+                eprintln!(
+                    "graphiti-cli: kernel `{name}` simulated: {} cycles, {} firings",
+                    r.cycles, r.firings
+                );
+                mem = r.memory;
+            }
+        }
+    }
+
+    let profile = graphiti::obs::profile::Profile::from_trace();
+    print!("{}", profile.text_table());
+    let total =
+        |path: &str| profile.rows.iter().find(|r| r.path == path).map(|r| r.total_us).unwrap_or(0);
+    let pipeline_total = total("pipeline");
+    let phase_sum: u64 =
+        ["pipeline;parse", "pipeline;rewrite", "pipeline;check", "pipeline;simulate"]
+            .iter()
+            .map(|p| total(p))
+            .sum::<u64>()
+            + profile.rows.iter().find(|r| r.path == "pipeline").map(|r| r.self_us).unwrap_or(0);
+    let drift_pct = if pipeline_total == 0 {
+        0.0
+    } else {
+        (phase_sum as f64 - pipeline_total as f64) / pipeline_total as f64 * 100.0
+    };
+    println!(
+        "phase self/total sum: {phase_sum} us; pipeline span: {pipeline_total} us; \
+         drift {drift_pct:+.3}%"
+    );
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, profile.json()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("graphiti-cli: profile JSON written to {path}");
+    }
+    if let Some(path) = &args.folded_out {
+        std::fs::write(path, profile.folded())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("graphiti-cli: folded stacks written to {path}");
     }
     Ok(())
 }

@@ -278,6 +278,71 @@ fn cli_rejects_store_race_with_a_diagnostic() {
 }
 
 #[test]
+fn cli_profile_phase_attribution_sums_to_the_pipeline_span() {
+    // A kernel without `ooo` keeps the refinement phase trivial, so the
+    // whole profile runs in milliseconds even in debug builds; the
+    // attribution invariant under test is the same either way.
+    let program = GCD_PROGRAM.replace(" ooo tags 4", "");
+    let dir = std::env::temp_dir().join(format!("graphiti_cli_prof_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gsl = dir.join("tiny.gsl");
+    std::fs::write(&gsl, &program).unwrap();
+    let json = dir.join("profile.json");
+    let folded = dir.join("profile.folded");
+    let flight = dir.join("flight.jsonl");
+    let (stdout, stderr, ok) = run_cli(
+        "",
+        &[
+            "profile",
+            gsl.to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+            "--folded",
+            folded.to_str().unwrap(),
+            "--flight-out",
+            flight.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "stderr: {stderr}");
+    // The text table attributes every phase under the root span.
+    for path in ["pipeline", "pipeline;parse", "pipeline;rewrite", "pipeline;check"] {
+        assert!(stdout.contains(path), "missing row `{path}`:\n{stdout}");
+    }
+    // The contract: per-phase totals plus the root's self time partition
+    // the root span exactly, so the printed drift must be within 1%.
+    let summary = stdout
+        .lines()
+        .find(|l| l.starts_with("phase self/total sum:"))
+        .expect("summary line printed");
+    let drift: f64 = summary
+        .split("drift ")
+        .nth(1)
+        .and_then(|s| s.strip_suffix('%'))
+        .expect("drift field")
+        .parse()
+        .expect("drift parses");
+    assert!(drift.abs() <= 1.0, "phase attribution drifted {drift}%: {summary}");
+    // Sidecar artifacts: JSON rows, folded stacks, and the flight tail.
+    let json_doc = std::fs::read_to_string(&json).expect("profile JSON written");
+    assert!(json_doc.contains("\"rows\""), "{json_doc}");
+    assert!(json_doc.contains("pipeline;simulate"), "{json_doc}");
+    let folded_doc = std::fs::read_to_string(&folded).expect("folded stacks written");
+    assert!(folded_doc.lines().any(|l| l.starts_with("pipeline;")), "{folded_doc}");
+    let flight_doc = std::fs::read_to_string(&flight).expect("flight dump written");
+    assert!(flight_doc.contains("profile.start"), "{flight_doc}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_schema_prints_the_frozen_metrics_contract() {
+    let (stdout, stderr, ok) = run_cli("", &["schema"]);
+    assert!(ok, "stderr: {stderr}");
+    // Matches the checked-in golden file byte for byte (the same contract
+    // the schema-drift CI step and crates/obs/tests/schema_golden.rs pin).
+    assert_eq!(stdout, include_str!("../obs/schema.json"));
+}
+
+#[test]
 fn cli_vcd_check_rejects_truncated_document_cleanly() {
     let (_, stderr, ok) = run_cli("$var wire 64 ! ch0 $end\n#0\nb1011\n", &["vcd-check"]);
     assert!(!ok);
