@@ -3,8 +3,8 @@
 //! One group per table/figure — `table2` (cycle counts via simulation),
 //! `table3` (area models), `fig8` (relative performance) — plus groups for
 //! the machinery itself: the rewriting engine (§6.3's throughput numbers),
-//! the cycle simulator, the bounded refinement checker, and the e-graph
-//! oracle. The table groups run on reduced problem sizes; the `table2`,
+//! the cycle simulator, the compiled backend's compile-once/simulate-many
+//! economics, the bounded refinement checker, and the e-graph oracle. The table groups run on reduced problem sizes; the `table2`,
 //! `table3`, `fig8` and `stats` *binaries* produce the full-size artefacts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -14,7 +14,7 @@ use graphiti_frontend::compile;
 use graphiti_ir::{CompKind, ExprHigh, ExprLow, Op, PortName, PureFn, Value};
 use graphiti_rewrite::simplify;
 use graphiti_sem::{check_refinement, denote, Env, RefineConfig};
-use graphiti_sim::{place_buffers_targeted, simulate, SimConfig};
+use graphiti_sim::{place_buffers_targeted, simulate, Scheduler, SimConfig};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 
@@ -208,6 +208,84 @@ fn bench_egraph(c: &mut Criterion) {
     });
 }
 
+/// The compiled backend's compile-once/simulate-many economics: what a
+/// cold lowering costs, what a warm (content-hash cache hit) compiled
+/// run costs, and the event-driven run it displaces. After the criterion
+/// rows, a quick wall-clock estimate prints the amortisation point — the
+/// number of simulations at which the lowering has paid for itself.
+fn bench_compile_backend(c: &mut Criterion) {
+    let _obs = ObsScope::new("compile_backend");
+    let p = suite::matvec(8);
+    let compiled = compile(&p).expect("compiles");
+    let k = &compiled.kernels[0];
+    let (placed, _) = place_buffers_targeted(&k.graph, 6.5);
+    let feeds: BTreeMap<String, Vec<Value>> =
+        [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+    let compiled_cfg = SimConfig { scheduler: Scheduler::Compiled, ..SimConfig::default() };
+
+    let mut group = c.benchmark_group("compile_backend");
+    group.bench_function("compile_cold", |b| {
+        b.iter(|| {
+            graphiti_sim::compile_cache_clear();
+            black_box(graphiti_sim::precompile(&placed, &compiled_cfg).expect("lowers"));
+        })
+    });
+    graphiti_sim::precompile(&placed, &compiled_cfg).expect("lowers");
+    group.bench_function("compiled_run_warm", |b| {
+        b.iter(|| {
+            let r = simulate(&placed, &feeds, p.arrays.clone(), compiled_cfg.clone())
+                .expect("simulates");
+            black_box(r.cycles);
+        })
+    });
+    group.bench_function("event_driven_run", |b| {
+        b.iter(|| {
+            let r = simulate(&placed, &feeds, p.arrays.clone(), SimConfig::default())
+                .expect("simulates");
+            black_box(r.cycles);
+        })
+    });
+    group.finish();
+
+    let time = |f: &mut dyn FnMut()| {
+        let reps = 20;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / f64::from(reps)
+    };
+    let t_compile = time(&mut || {
+        graphiti_sim::compile_cache_clear();
+        graphiti_sim::precompile(&placed, &compiled_cfg).expect("lowers");
+    });
+    graphiti_sim::precompile(&placed, &compiled_cfg).expect("lowers");
+    let t_warm = time(&mut || {
+        simulate(&placed, &feeds, p.arrays.clone(), compiled_cfg.clone()).expect("simulates");
+    });
+    let t_event = time(&mut || {
+        simulate(&placed, &feeds, p.arrays.clone(), SimConfig::default()).expect("simulates");
+    });
+    if t_event > t_warm {
+        println!(
+            "compile_backend: lowering {:.1}us amortises after {:.1} simulations \
+             (event-driven {:.1}us/run, compiled warm {:.1}us/run)",
+            t_compile * 1e6,
+            t_compile / (t_event - t_warm),
+            t_event * 1e6,
+            t_warm * 1e6,
+        );
+    } else {
+        println!(
+            "compile_backend: compiled warm run ({:.1}us) not faster than event-driven \
+             ({:.1}us) on this host; lowering cost {:.1}us never amortises",
+            t_warm * 1e6,
+            t_event * 1e6,
+            t_compile * 1e6,
+        );
+    }
+}
+
 /// Buffer placement and static timing on a benchmark-sized circuit.
 fn bench_placement(c: &mut Criterion) {
     let _obs = ObsScope::new("placement");
@@ -226,7 +304,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_table2, bench_table3, bench_fig8, bench_rewrite_engine,
-              bench_simulator, bench_refinement_checker, bench_egraph,
-              bench_placement
+              bench_simulator, bench_compile_backend, bench_refinement_checker,
+              bench_egraph, bench_placement
 }
 criterion_main!(benches);

@@ -10,9 +10,11 @@
 //! Run with `cargo bench --bench obs_overhead`; compare the
 //! `sim/obs_disabled` and `sim/obs_enabled` lines. The
 //! `sim/waveform_enabled` line prices the cycle-accurate VCD recorder
-//! and stall attribution against the same disabled baseline, and
+//! and stall attribution against the same disabled baseline,
 //! `sim/flight_enabled` prices the flight recorder's ring writes on the
-//! same macro path.
+//! same macro path, and `sim/compiled_cache_hit` prices the compiled
+//! backend's per-run content-hash lookup on its warm (artifact already
+//! cached) path.
 //!
 //! The `metric/*` group isolates the fire-path accounting the simulator
 //! used to pay per call: `per_call_lookup` is the old pattern (registry
@@ -86,6 +88,22 @@ fn bench_obs_overhead(c: &mut Criterion) {
     });
     graphiti_obs::flight::disable();
     graphiti_obs::flight::clear();
+
+    // The compiled backend's warm path: every simulate call re-hashes the
+    // circuit and looks the artifact up in the content-addressed cache, so
+    // this row prices content-key + cache hit + compiled run against the
+    // interpreted `obs_disabled` baseline.
+    let compiled_cfg =
+        SimConfig { scheduler: graphiti_sim::Scheduler::Compiled, ..SimConfig::default() };
+    graphiti_sim::compile_cache_clear();
+    graphiti_sim::precompile(&placed, &compiled_cfg).expect("lowers");
+    group.bench_function("compiled_cache_hit", |b| {
+        b.iter(|| {
+            let r = simulate(&placed, &feeds, p.arrays.clone(), compiled_cfg.clone())
+                .expect("simulates");
+            black_box(r.cycles);
+        })
+    });
 
     group.finish();
 }

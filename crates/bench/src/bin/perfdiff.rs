@@ -20,6 +20,14 @@
 //! * `--date STR` — the label stamped on the emitted entry. Passed in,
 //!   never read from the system clock, so emissions are reproducible;
 //!   defaults to `undated`.
+//!
+//! Reports carry an optional top-level `"scheduler"` member naming the
+//! simulation backend (`table2 --scheduler`); a missing member means
+//! `event-driven`. When the two reports come from *different* backends
+//! the deltas are still printed for inspection but never gated — raw
+//! cycle counts are only comparable within one backend — and the emitted
+//! trajectory entry is tagged with the current report's backend so
+//! `perftrend` keeps the series separate too.
 
 use graphiti_bench::jsonin::{parse, Json};
 use graphiti_bench::trend;
@@ -27,6 +35,9 @@ use std::process::exit;
 
 /// Everything perfdiff extracts from one report document.
 struct Report {
+    /// Simulation backend the report was produced under (`"scheduler"`
+    /// member; absent means the default event-driven backend).
+    backend: String,
     /// `benchmark/flow` → cycles, in document order.
     cycles: Vec<(String, u64)>,
     /// Harness wall-clock, if the document records it.
@@ -63,6 +74,8 @@ fn load(path: &str) -> Report {
             }
         }
     }
+    let backend =
+        doc.get("scheduler").and_then(Json::as_str).unwrap_or(trend::DEFAULT_BACKEND).to_string();
     let wall_seconds = doc.get("wall_seconds").and_then(Json::as_f64);
     let mut sched = Vec::new();
     let mut stall = Vec::new();
@@ -78,7 +91,7 @@ fn load(path: &str) -> Report {
             }
         }
     }
-    Report { cycles, wall_seconds, sched, stall }
+    Report { backend, cycles, wall_seconds, sched, stall }
 }
 
 /// Relative delta in percent. A zero baseline is not a silent `n/a`: a
@@ -154,6 +167,14 @@ fn main() {
     }
     let base = load(&paths[0]);
     let cur = load(&paths[1]);
+    let cross_backend = base.backend != cur.backend;
+    if cross_backend {
+        println!(
+            "note: baseline backend `{}` != current backend `{}`; \
+             deltas are informational and not gated",
+            base.backend, cur.backend
+        );
+    }
 
     let width = cur
         .cycles
@@ -174,7 +195,7 @@ fn main() {
                 let d = pct(*b as f64, *c as f64);
                 println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}", fmt_pct(d));
                 rows.push((key.clone(), *b, *c, d));
-                if d > threshold {
+                if !cross_backend && d > threshold {
                     regressions.push((format!("{key} cycles"), d));
                 }
             }
@@ -206,9 +227,9 @@ fn main() {
         match base.stall.iter().find(|(k, _)| k == key) {
             Some((_, b)) => {
                 let d = pct(*b as f64, *c as f64);
-                let note = if stall_gate { "" } else { "   (ungated)" };
+                let note = if stall_gate && !cross_backend { "" } else { "   (ungated)" };
                 println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}{note}", fmt_pct(d));
-                if stall_gate && d > threshold {
+                if stall_gate && !cross_backend && d > threshold {
                     regressions.push((key.clone(), d));
                 }
             }
@@ -217,15 +238,24 @@ fn main() {
     }
 
     if let Some(path) = emit {
-        let worst = regressions
-            .iter()
-            .map(|(_, d)| *d)
-            .chain(rows.iter().map(|(_, _, _, d)| *d))
-            .filter(|d| d.is_finite())
-            .fold(f64::NEG_INFINITY, f64::max);
+        // Cross-backend deltas are meaningless, so an entry emitted from
+        // such a comparison records no worst-delta figure.
+        let worst = if cross_backend {
+            f64::NEG_INFINITY
+        } else {
+            regressions
+                .iter()
+                .map(|(_, d)| *d)
+                .chain(rows.iter().map(|(_, _, _, d)| *d))
+                .filter(|d| d.is_finite())
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
         let entry = trend::Entry {
             date,
-            cycles: rows.iter().map(|(key, _, c, _)| (key.clone(), *c)).collect(),
+            backend: cur.backend.clone(),
+            // The current report's full cycle list — including keys the
+            // baseline lacks, so a new backend's first emission is complete.
+            cycles: cur.cycles.clone(),
             wall_seconds: cur.wall_seconds,
             scheduler: cur.sched.clone(),
             stalls: cur.stall.clone(),

@@ -1,0 +1,237 @@
+//! Raw simulation-speed comparison of the three schedulers.
+//!
+//! ```text
+//! simbench [--reps N] [--json] [--min-speedup X]
+//! ```
+//!
+//! Runs the seven-kernel report suite (the six paper benchmarks at the
+//! reduced sizes plus gcd) under every scheduler, checks that all three
+//! agree on every observable — cycles, outputs, final memory, total and
+//! per-node firings, leftover tokens — and then times `--reps`
+//! simulation-only repetitions per backend. The timed loop excludes
+//! placement/area/clock modelling (identical across backends) but
+//! *includes* the compiled backend's lowering: the first repetition pays
+//! it and the rest hit the content-hash cache, which is exactly the
+//! compile-once/simulate-many shape the backend exists for.
+//!
+//! Alongside the wall times, each kernel's static-section schedule from
+//! `graphiti-static` is printed (init/body/epilogue initiation
+//! intervals), so the per-region schedules the compiled backend's
+//! in-order regions amortise against are visible in the same report.
+//!
+//! * `--reps N` — simulation repetitions per backend (default 20).
+//! * `--json` — machine-readable output instead of the table.
+//! * `--min-speedup X` — exit non-zero unless the event-driven/compiled
+//!   total speedup reaches `X`. Measured headroom: ~2.3× over the
+//!   event-driven scheduler (~10× over the reference sweep), so the CI
+//!   gate uses 1.5 to stay clear of shared-runner noise.
+
+use graphiti_bench::{json::escape, small_suite, suite};
+use graphiti_frontend::{compile, Memory, Program};
+use graphiti_ir::{ExprHigh, Value};
+use graphiti_sim::{place_buffers, simulate, Scheduler, SimConfig, SimResult};
+use graphiti_static::kernel_schedule;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The seven kernels of the report suite (CI smoke sizes plus gcd).
+fn seven_kernels() -> Vec<Program> {
+    let mut v = small_suite();
+    v.push(suite::gcd(4));
+    v
+}
+
+const SCHEDULERS: [(Scheduler, &str); 3] = [
+    (Scheduler::EventDriven, "event-driven"),
+    (Scheduler::ReferenceSweep, "reference-sweep"),
+    (Scheduler::Compiled, "compiled"),
+];
+
+fn start_feed() -> BTreeMap<String, Vec<Value>> {
+    [("start".to_string(), vec![Value::Unit])].into_iter().collect()
+}
+
+/// One prepared benchmark: its placed kernel graphs and initial memory.
+struct Prepared {
+    name: String,
+    graphs: Vec<ExprHigh>,
+    initial: Memory,
+    /// Static-section initiation intervals per kernel, from
+    /// `graphiti_static::kernel_schedule`.
+    section_iis: Vec<Vec<(&'static str, u64)>>,
+}
+
+fn prepare(p: &Program) -> Prepared {
+    let compiled = compile(p).expect("suite programs compile");
+    let graphs = compiled.kernels.iter().map(|k| place_buffers(&k.graph).0).collect();
+    let section_iis = p
+        .kernels
+        .iter()
+        .map(|k| kernel_schedule(k).into_iter().map(|s| (s.section, s.length)).collect())
+        .collect();
+    Prepared { name: p.name.clone(), graphs, initial: p.arrays.clone(), section_iis }
+}
+
+/// Simulates the benchmark's kernel sequence once under `scheduler`,
+/// returning the per-kernel results.
+fn run_once(b: &Prepared, scheduler: Scheduler) -> Vec<SimResult> {
+    let cfg = SimConfig { scheduler, ..SimConfig::default() };
+    let mut mem = b.initial.clone();
+    let mut out = Vec::with_capacity(b.graphs.len());
+    for g in &b.graphs {
+        let r = simulate(g, &start_feed(), mem, cfg.clone()).expect("simulation succeeds");
+        mem = r.memory.clone();
+        out.push(r);
+    }
+    out
+}
+
+/// Asserts two scheduler runs agree on every observable.
+fn assert_equivalent(name: &str, other_name: &str, ev: &[SimResult], other: &[SimResult]) {
+    assert_eq!(ev.len(), other.len());
+    for (i, (a, b)) in ev.iter().zip(other).enumerate() {
+        assert_eq!(a.cycles, b.cycles, "{name} kernel {i}: cycles differ vs {other_name}");
+        assert_eq!(a.outputs, b.outputs, "{name} kernel {i}: outputs differ vs {other_name}");
+        assert_eq!(a.memory, b.memory, "{name} kernel {i}: memory differs vs {other_name}");
+        assert_eq!(a.firings, b.firings, "{name} kernel {i}: firings differ vs {other_name}");
+        assert_eq!(
+            a.firings_by_node, b.firings_by_node,
+            "{name} kernel {i}: per-node firings differ vs {other_name}"
+        );
+        assert_eq!(
+            a.leftover_tokens, b.leftover_tokens,
+            "{name} kernel {i}: leftovers differ vs {other_name}"
+        );
+    }
+}
+
+fn main() {
+    let mut reps: u32 = 20;
+    let mut json_out = false;
+    let mut min_speedup: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = true,
+            "--reps" => {
+                reps = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("simbench: --reps needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--min-speedup" => {
+                min_speedup = Some(it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("simbench: --min-speedup needs a number");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("simbench: unknown argument `{other}`");
+                eprintln!("usage: simbench [--reps N] [--json] [--min-speedup X]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let prepared: Vec<Prepared> = seven_kernels().iter().map(prepare).collect();
+
+    // Equivalence first: all three schedulers, every observable, every
+    // benchmark. A timing table over disagreeing simulators would be
+    // meaningless.
+    for b in &prepared {
+        let ev = run_once(b, Scheduler::EventDriven);
+        for (scheduler, name) in &SCHEDULERS[1..] {
+            let other = run_once(b, *scheduler);
+            assert_equivalent(&b.name, name, &ev, &other);
+        }
+    }
+
+    // Timed repetitions. The compiled backend's first run lowers the
+    // circuits; the rest hit the artifact cache.
+    let mut totals: Vec<(&str, f64)> = Vec::new();
+    let mut per_bench: Vec<(String, Vec<f64>)> =
+        prepared.iter().map(|b| (b.name.clone(), Vec::new())).collect();
+    graphiti_sim::compile_cache_clear();
+    for (scheduler, sname) in SCHEDULERS {
+        let mut total = 0.0;
+        for (b, (_, times)) in prepared.iter().zip(per_bench.iter_mut()) {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let _ = run_once(b, scheduler);
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            times.push(secs);
+            total += secs;
+        }
+        totals.push((sname, total));
+    }
+
+    let ev_total = totals[0].1;
+    let co_total = totals[2].1;
+    let speedup = ev_total / co_total;
+
+    if json_out {
+        println!("{{");
+        println!("  \"reps\": {reps},");
+        println!("  \"benchmarks\": [");
+        for (i, (name, times)) in per_bench.iter().enumerate() {
+            let sep = if i + 1 < per_bench.len() { "," } else { "" };
+            println!(
+                "    {{\"name\": \"{}\", \"event_driven_s\": {:.6}, \
+                 \"reference_sweep_s\": {:.6}, \"compiled_s\": {:.6}, \"speedup\": {:.2}}}{sep}",
+                escape(name),
+                times[0],
+                times[1],
+                times[2],
+                times[0] / times[2],
+            );
+        }
+        println!("  ],");
+        println!(
+            "  \"totals\": {{\"event_driven_s\": {:.6}, \"reference_sweep_s\": {:.6}, \
+             \"compiled_s\": {:.6}, \"speedup\": {speedup:.2}}}",
+            ev_total, totals[1].1, co_total
+        );
+        println!("}}");
+    } else {
+        println!(
+            "{:<14}  {:>14}  {:>16}  {:>12}  {:>9}",
+            "benchmark", "event-driven", "reference-sweep", "compiled", "speedup"
+        );
+        for (name, times) in &per_bench {
+            println!(
+                "{name:<14}  {:>12.1}ms  {:>14.1}ms  {:>10.1}ms  {:>8.1}x",
+                times[0] * 1e3,
+                times[1] * 1e3,
+                times[2] * 1e3,
+                times[0] / times[2],
+            );
+        }
+        println!(
+            "{:<14}  {:>12.1}ms  {:>14.1}ms  {:>10.1}ms  {:>8.1}x",
+            "TOTAL",
+            ev_total * 1e3,
+            totals[1].1 * 1e3,
+            co_total * 1e3,
+            speedup
+        );
+        println!("\nstatic-section initiation intervals (graphiti-static kernel_schedule):");
+        for b in &prepared {
+            for (i, sections) in b.section_iis.iter().enumerate() {
+                let rendered: Vec<String> =
+                    sections.iter().map(|(s, l)| format!("{s}={l}")).collect();
+                println!("  {:<14} kernel {i}: {}", b.name, rendered.join("  "));
+            }
+        }
+    }
+
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!(
+                "simbench: compiled-backend speedup {speedup:.2}x below required {min}x \
+                 ({ev_total:.3}s event-driven vs {co_total:.3}s compiled, {reps} reps)"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,8 +9,8 @@ use graphiti_core::{dfooo_loop, optimize_loop, PipelineOptions};
 use graphiti_frontend::{compile, run_program, KernelCircuit, Memory, Program};
 use graphiti_ir::{ExprHigh, Value};
 use graphiti_sim::{
-    circuit_area, elastic_clock_period, place_buffers_targeted, simulate, SimConfig, SimError,
-    StallReport,
+    circuit_area, elastic_clock_period, place_buffers_targeted, simulate, Scheduler, SimConfig,
+    SimError, StallReport,
 };
 use graphiti_static::run_static;
 use std::collections::BTreeMap;
@@ -157,14 +157,28 @@ impl From<SimError> for EvalError {
 /// Vivado to 4 ns; the elastic delay table here is coarser).
 pub const CP_TARGET_NS: f64 = 6.5;
 
+/// The canonical backend label for a scheduler, as stamped into `--json`
+/// reports and `BENCH_sim.json` trajectory entries.
+pub fn backend_name(scheduler: Scheduler) -> &'static str {
+    match scheduler {
+        Scheduler::EventDriven => "event-driven",
+        Scheduler::ReferenceSweep => "reference-sweep",
+        Scheduler::Compiled => "compiled",
+    }
+}
+
 /// Runs a sequence of kernel graphs against shared memory, returning
 /// `(total cycles, max clock period, total area, final memory, stalls)`.
-/// Stall attribution is always on here: the walks only run on waiting
-/// node-cycles, and every `--json` report embeds the cause summary.
+/// Stall attribution is on for the interpreting schedulers — the walks
+/// only run on waiting node-cycles, and every `--json` report embeds the
+/// cause summary — but the compiled backend has no per-cycle observation
+/// hooks, so its runs return `None` for the summary.
 fn run_dataflow(
     graphs: &[ExprHigh],
     initial: Memory,
-) -> Result<(u64, f64, graphiti_sim::Area, Memory, StallSummary), EvalError> {
+    scheduler: Scheduler,
+) -> Result<(u64, f64, graphiti_sim::Area, Memory, Option<StallSummary>), EvalError> {
+    let attribute = scheduler != Scheduler::Compiled;
     let mut mem = initial;
     let mut cycles = 0u64;
     let mut cp: f64 = 0.0;
@@ -176,13 +190,15 @@ fn run_dataflow(
         area = area + circuit_area(&placed);
         let feeds: BTreeMap<String, Vec<Value>> =
             [("start".to_string(), vec![Value::Unit])].into_iter().collect();
-        let cfg = SimConfig { attribute_stalls: true, ..SimConfig::default() };
+        let cfg = SimConfig { attribute_stalls: attribute, scheduler, ..SimConfig::default() };
         let r = simulate(&placed, &feeds, mem, cfg)?;
         cycles += r.cycles;
         mem = r.memory;
-        reports.push(r.stalls.expect("attribution requested"));
+        if attribute {
+            reports.push(r.stalls.expect("attribution requested"));
+        }
     }
-    Ok((cycles, cp, area, mem, StallSummary::merge(&reports)))
+    Ok((cycles, cp, area, mem, attribute.then(|| StallSummary::merge(&reports))))
 }
 
 fn metrics(
@@ -241,16 +257,21 @@ fn prepare(p: &Program) -> Result<BenchCtx<'_>, EvalError> {
     Ok(BenchCtx { program: p, expected, kernels: compiled.kernels, graph_nodes })
 }
 
-/// Runs one flow of one benchmark. Independent of every other (benchmark,
-/// flow) pair, so the suite fans these out across the worker pool.
-fn run_flow(ctx: &BenchCtx<'_>, flow: Flow) -> Result<FlowOutcome, EvalError> {
+/// Runs one flow of one benchmark under `scheduler`. Independent of every
+/// other (benchmark, flow) pair, so the suite fans these out across the
+/// worker pool.
+fn run_flow(
+    ctx: &BenchCtx<'_>,
+    flow: Flow,
+    scheduler: Scheduler,
+) -> Result<FlowOutcome, EvalError> {
     let kernels: &[KernelCircuit] = &ctx.kernels;
     match flow {
         // DF-IO: the compiled circuits as-is.
         Flow::DfIo => {
             let graphs: Vec<ExprHigh> = kernels.iter().map(|k| k.graph.clone()).collect();
-            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
-            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected, Some(st))))
+            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone(), scheduler)?;
+            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected, st)))
         }
         // GRAPHITI: the verified pipeline per marked kernel.
         Flow::Graphiti => {
@@ -272,9 +293,9 @@ fn run_flow(ctx: &BenchCtx<'_>, flow: Flow) -> Result<FlowOutcome, EvalError> {
                 }
             }
             let rewrite_seconds = t0.elapsed().as_secs_f64();
-            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
+            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone(), scheduler)?;
             Ok(FlowOutcome {
-                metrics: metrics(c, cp, a, &mem, &ctx.expected, Some(st)),
+                metrics: metrics(c, cp, a, &mem, &ctx.expected, st),
                 rewrites,
                 rewrite_seconds,
                 refused,
@@ -294,8 +315,8 @@ fn run_flow(ctx: &BenchCtx<'_>, flow: Flow) -> Result<FlowOutcome, EvalError> {
                     None => graphs.push(k.graph.clone()),
                 }
             }
-            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone())?;
-            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected, Some(st))))
+            let (c, cp, a, mem, st) = run_dataflow(&graphs, ctx.program.arrays.clone(), scheduler)?;
+            Ok(FlowOutcome::plain(metrics(c, cp, a, &mem, &ctx.expected, st)))
         }
         // Vericert: static baseline (no elastic handshakes to attribute).
         Flow::Vericert => {
@@ -346,10 +367,22 @@ fn assemble(ctx: &BenchCtx<'_>, outcomes: Vec<(Flow, FlowOutcome)>) -> BenchResu
 /// Fails on compilation or simulation errors; refusals and incorrect
 /// results (the DF-OoO bicg bug) are *recorded*, not errors.
 pub fn evaluate(p: &Program) -> Result<BenchResult, EvalError> {
+    evaluate_with(p, Scheduler::EventDriven)
+}
+
+/// Like [`evaluate`], but simulating the dataflow flows under `scheduler`
+/// (the Vericert flow is statically scheduled and unaffected). Stall
+/// summaries are omitted under [`Scheduler::Compiled`], which rejects
+/// per-cycle attribution.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_with(p: &Program, scheduler: Scheduler) -> Result<BenchResult, EvalError> {
     let ctx = prepare(p)?;
     let mut outcomes = Vec::with_capacity(FLOWS.len());
     for flow in FLOWS {
-        outcomes.push((flow, run_flow(&ctx, flow)?));
+        outcomes.push((flow, run_flow(&ctx, flow, scheduler)?));
     }
     Ok(assemble(&ctx, outcomes))
 }
@@ -365,11 +398,27 @@ pub fn evaluate(p: &Program) -> Result<BenchResult, EvalError> {
 /// Propagates the first benchmark failure, in deterministic (suite, flow)
 /// order.
 pub fn evaluate_suite(suite: &[Program]) -> Result<Vec<BenchResult>, EvalError> {
+    evaluate_suite_with(suite, Scheduler::EventDriven)
+}
+
+/// Like [`evaluate_suite`], but simulating the dataflow flows under
+/// `scheduler` — the fan-out across the worker pool is identical, so a
+/// `--scheduler compiled` suite run exercises the shared compile cache
+/// from concurrent workers.
+///
+/// # Errors
+///
+/// Same as [`evaluate_suite`].
+pub fn evaluate_suite_with(
+    suite: &[Program],
+    scheduler: Scheduler,
+) -> Result<Vec<BenchResult>, EvalError> {
     let ctxs: Vec<BenchCtx<'_>> = suite.iter().map(prepare).collect::<Result<_, _>>()?;
     let jobs: Vec<(usize, Flow)> =
         (0..ctxs.len()).flat_map(|b| FLOWS.into_iter().map(move |f| (b, f))).collect();
-    let outcomes =
-        graphiti_pool::parallel_map(jobs, |(b, flow)| (b, flow, run_flow(&ctxs[b], flow)));
+    let outcomes = graphiti_pool::parallel_map(jobs, |(b, flow)| {
+        (b, flow, run_flow(&ctxs[b], flow, scheduler))
+    });
     let mut per_bench: Vec<Vec<(Flow, FlowOutcome)>> =
         (0..ctxs.len()).map(|_| Vec::with_capacity(FLOWS.len())).collect();
     for (b, flow, outcome) in outcomes {
@@ -454,6 +503,20 @@ mod tests {
             }
         }
         assert!(r.flows[&Flow::Vericert].stalls.is_none(), "static flow has no handshakes");
+    }
+
+    #[test]
+    fn compiled_backend_matches_event_driven_and_omits_stalls() {
+        let p = suite::matvec(8);
+        let ev = evaluate(&p).unwrap();
+        let co = evaluate_with(&p, Scheduler::Compiled).unwrap();
+        for flow in [Flow::DfIo, Flow::Graphiti, Flow::DfOoo] {
+            assert_eq!(ev.flows[&flow].cycles, co.flows[&flow].cycles, "{flow}: cycles diverge");
+            assert!(co.flows[&flow].correct, "{flow}: compiled run incorrect");
+            assert!(co.flows[&flow].stalls.is_none(), "{flow}: compiled runs cannot attribute");
+        }
+        // The static flow is untouched by the scheduler choice.
+        assert_eq!(ev.flows[&Flow::Vericert].cycles, co.flows[&Flow::Vericert].cycles);
     }
 
     #[test]

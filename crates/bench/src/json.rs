@@ -38,22 +38,40 @@ fn num(x: f64) -> String {
 /// Renders benchmark results as a JSON document:
 /// `{"benchmarks": [{"name", "flows": {...}, "rewrites", ...}]}`.
 pub fn results_json(results: &[BenchResult]) -> String {
-    render(results, None, None)
+    render(results, None, None, None)
 }
 
 /// Like [`results_json`], but with a `"metrics"` member holding the
 /// current [`graphiti_obs`] registry snapshot — call with the sink
 /// enabled so the evaluation's counters and histograms are populated.
 pub fn results_with_metrics_json(results: &[BenchResult]) -> String {
-    render(results, None, Some(graphiti_obs::metrics_json()))
+    render(results, None, None, Some(graphiti_obs::metrics_json()))
 }
 
 /// The full report shape consumed by `perfdiff`: benchmark results, the
 /// harness wall-clock in seconds, and (when `with_metrics`) the current
 /// `graphiti-obs` registry snapshot with the scheduler-efficiency
-/// counters.
+/// counters. Reports produced this way carry no `"scheduler"` member and
+/// are read back as the default `event-driven` backend.
 pub fn report_json(results: &[BenchResult], wall_seconds: f64, with_metrics: bool) -> String {
-    render(results, Some(wall_seconds), with_metrics.then(graphiti_obs::metrics_json))
+    render(results, Some(wall_seconds), None, with_metrics.then(graphiti_obs::metrics_json))
+}
+
+/// Like [`report_json`], but stamping a top-level `"scheduler"` member
+/// with the simulation backend the results were produced under, so
+/// `perfdiff` can refuse to gate cycle counts across backends.
+pub fn report_json_for(
+    results: &[BenchResult],
+    wall_seconds: f64,
+    with_metrics: bool,
+    backend: &str,
+) -> String {
+    render(
+        results,
+        Some(wall_seconds),
+        Some(backend),
+        with_metrics.then(graphiti_obs::metrics_json),
+    )
 }
 
 /// Renders a flow's stall-cause summary as a `, "stalls": {...}` member.
@@ -77,7 +95,12 @@ fn stalls_json(s: &StallSummary) -> String {
     )
 }
 
-fn render(results: &[BenchResult], wall_seconds: Option<f64>, metrics: Option<String>) -> String {
+fn render(
+    results: &[BenchResult],
+    wall_seconds: Option<f64>,
+    backend: Option<&str>,
+    metrics: Option<String>,
+) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -110,6 +133,9 @@ fn render(results: &[BenchResult], wall_seconds: Option<f64>, metrics: Option<St
     out.push_str("  ]");
     if let Some(wall) = wall_seconds {
         out.push_str(&format!(",\n  \"wall_seconds\": {}", num(wall)));
+    }
+    if let Some(backend) = backend {
+        out.push_str(&format!(",\n  \"scheduler\": \"{}\"", escape(backend)));
     }
     if let Some(doc) = metrics {
         out.push_str(",\n  \"metrics\": ");
@@ -182,6 +208,13 @@ mod tests {
         }
         assert_eq!(depth, 0);
         assert_eq!(min_depth, 0);
+    }
+
+    #[test]
+    fn report_for_backend_stamps_the_scheduler_member() {
+        let doc = report_json_for(&[sample()], 0.5, false, "compiled");
+        assert!(doc.contains("\"scheduler\": \"compiled\""));
+        assert!(!report_json(&[sample()], 0.5, false).contains("\"scheduler\""));
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod tables;
 pub mod trend;
 
 pub use eval::{
-    evaluate, evaluate_suite, geomean, BenchResult, EvalError, Flow, FlowMetrics, StallSummary,
+    backend_name, evaluate, evaluate_suite, evaluate_suite_with, evaluate_with, geomean,
+    BenchResult, EvalError, Flow, FlowMetrics, StallSummary,
 };
 
 /// A reduced-size suite for quick runs (unit tests, criterion benches).

@@ -8,7 +8,8 @@
 //! {
 //!   "schema": "graphiti-perf-trajectory/v1",
 //!   "entries": [
-//!     {"date": "2026-08-08", "cycles": {"gemm/GRAPHITI": 620, ...},
+//!     {"date": "2026-08-08", "backend": "event-driven",
+//!      "cycles": {"gemm/GRAPHITI": 620, ...},
 //!      "wall_seconds": 0.74, "scheduler": {...}, "stalls": {...},
 //!      "max_cycle_delta_pct": 0.0}
 //!   ]
@@ -24,7 +25,12 @@
 //! `perftrend` renders the trajectory as a table and gates the newest
 //! entry against the *best-ever* cycle count per benchmark/flow — not
 //! just the previous entry, so a regression cannot hide behind an earlier
-//! one. The gate assumes entries come from the same suite configuration
+//! one. Entries are tagged with the simulation backend that produced
+//! them (`backend`, defaulting to `event-driven` for pre-existing
+//! entries), and the gate only compares entries of the same backend —
+//! the compiled backend's entries live in their own series and cannot
+//! trip, or be tripped by, the event-driven history.
+//! The gate assumes entries come from the same suite configuration
 //! (CI always emits `table2 --json --small`); an entry recorded at a
 //! larger problem size only inflates its own row and can never become
 //! the per-key minimum, so stray oversized entries weaken nothing.
@@ -39,11 +45,20 @@ pub const SCHEMA: &str = "graphiti-perf-trajectory/v1";
 /// Date assigned to a legacy single-object document when it is wrapped.
 pub const LEGACY_DATE: &str = "pre-trajectory";
 
+/// Backend assumed for entries recorded before the `backend` member
+/// existed (every historical entry came from the event-driven scheduler).
+pub const DEFAULT_BACKEND: &str = "event-driven";
+
 /// One dated snapshot of the deterministic perf surface.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Entry {
     /// Caller-supplied date label (e.g. `2026-08-08`); never a wall clock.
     pub date: String,
+    /// Simulation backend the entry was recorded under (`event-driven`,
+    /// `compiled`, ...). Gates only compare entries of the same backend,
+    /// so a compiled-backend emission cannot trip — or reset — the
+    /// best-ever history of the event-driven series.
+    pub backend: String,
     /// `benchmark/flow` → simulated cycles, in emission order.
     pub cycles: Vec<(String, u64)>,
     /// Harness wall-clock of the run (informational, never gated).
@@ -75,6 +90,7 @@ fn u64_members(v: Option<&Json>) -> Vec<(String, u64)> {
 fn entry_from_json(v: &Json) -> Entry {
     Entry {
         date: v.get("date").and_then(Json::as_str).unwrap_or("undated").to_string(),
+        backend: v.get("backend").and_then(Json::as_str).unwrap_or(DEFAULT_BACKEND).to_string(),
         cycles: u64_members(v.get("cycles")),
         wall_seconds: v.get("wall_seconds").and_then(Json::as_f64),
         scheduler: u64_members(v.get("scheduler")),
@@ -97,6 +113,7 @@ fn legacy_entry(doc: &Json) -> Entry {
     };
     Entry {
         date: LEGACY_DATE.to_string(),
+        backend: DEFAULT_BACKEND.to_string(),
         cycles: pairs(doc.get("cycles")),
         wall_seconds: doc.get("wall_seconds").and_then(|m| m.get("current")).and_then(Json::as_f64),
         scheduler: pairs(doc.get("scheduler")),
@@ -138,6 +155,7 @@ pub fn render(t: &Trajectory) -> String {
     let mut out = format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"entries\": [\n");
     for (i, e) in t.entries.iter().enumerate() {
         let _ = writeln!(out, "    {{\n      \"date\": \"{}\",", escape(&e.date));
+        let _ = writeln!(out, "      \"backend\": \"{}\",", escape(&e.backend));
         u64_obj(&mut out, "cycles", &e.cycles, "      ");
         out.push_str(",\n");
         let _ = writeln!(
@@ -191,9 +209,11 @@ pub struct Regression {
 }
 
 /// Gates the newest entry's cycle counts and stall totals against the
-/// best-ever (minimum) value each key has recorded anywhere in the
-/// trajectory. Returns the violations; empty means the gate passes.
-/// An empty or single-entry trajectory trivially passes.
+/// best-ever (minimum) value each key has recorded among entries of the
+/// *same backend*. Returns the violations; empty means the gate passes.
+/// An empty or single-entry trajectory trivially passes, and so does the
+/// first entry of a new backend — cycle counts are only comparable within
+/// one simulation backend.
 pub fn gate(t: &Trajectory, threshold_pct: f64) -> Vec<Regression> {
     let Some(latest) = t.entries.last() else { return Vec::new() };
     let mut out = Vec::new();
@@ -208,6 +228,7 @@ pub fn gate(t: &Trajectory, threshold_pct: f64) -> Vec<Regression> {
             let best = t
                 .entries
                 .iter()
+                .filter(|e| e.backend == latest.backend)
                 .filter_map(|e| series(e).iter().find(|(k, _)| k == key).map(|(_, v)| *v))
                 .min()
                 .unwrap_or(*cur);
@@ -227,16 +248,18 @@ pub fn gate(t: &Trajectory, threshold_pct: f64) -> Vec<Regression> {
     out
 }
 
-/// Renders the trend table: one row per entry (date, total cycles across
-/// all benchmark/flows, wall seconds, `sim.firings`), then the newest
-/// entry's per-key standing against the best-ever values.
+/// Renders the trend table: one row per entry (date, backend, total
+/// cycles across all benchmark/flows, wall seconds, `sim.firings`), then
+/// the newest entry's per-key standing against the best-ever values of
+/// its own backend.
 pub fn table(t: &Trajectory, threshold_pct: f64) -> String {
     let mut out = String::new();
     let date_w = t.entries.iter().map(|e| e.date.len()).max().unwrap_or(4).max("date".len());
+    let be_w = t.entries.iter().map(|e| e.backend.len()).max().unwrap_or(7).max("backend".len());
     let _ = writeln!(
         out,
-        "{:<date_w$}  {:>12}  {:>10}  {:>12}  {:>12}",
-        "date", "Σcycles", "wall_s", "sim.firings", "worst Δ%"
+        "{:<date_w$}  {:<be_w$}  {:>12}  {:>10}  {:>12}  {:>12}",
+        "date", "backend", "Σcycles", "wall_s", "sim.firings", "worst Δ%"
     );
     for e in &t.entries {
         let total: u64 = e.cycles.iter().map(|(_, c)| c).sum();
@@ -249,15 +272,15 @@ pub fn table(t: &Trajectory, threshold_pct: f64) -> String {
         let delta = e.max_cycle_delta_pct.map_or("-".to_string(), |d| format!("{d:+.2}"));
         let _ = writeln!(
             out,
-            "{:<date_w$}  {total:>12}  {wall:>10}  {firings:>12}  {delta:>12}",
-            e.date
+            "{:<date_w$}  {:<be_w$}  {total:>12}  {wall:>10}  {firings:>12}  {delta:>12}",
+            e.date, e.backend
         );
     }
     if let Some(latest) = t.entries.last() {
         let _ = writeln!(
             out,
-            "\nnewest entry ({}) vs best-ever, gate at +{threshold_pct}%:",
-            latest.date
+            "\nnewest entry ({}, {}) vs best-ever of the same backend, gate at +{threshold_pct}%:",
+            latest.date, latest.backend
         );
         let key_w = latest
             .cycles
@@ -275,6 +298,7 @@ pub fn table(t: &Trajectory, threshold_pct: f64) -> String {
             let best = t
                 .entries
                 .iter()
+                .filter(|e| e.backend == latest.backend)
                 .filter_map(|e| e.cycles.iter().find(|(k, _)| k == key).map(|(_, v)| *v))
                 .min()
                 .unwrap_or(*cur);
@@ -298,6 +322,7 @@ mod tests {
     fn entry(date: &str, cycles: &[(&str, u64)]) -> Entry {
         Entry {
             date: date.to_string(),
+            backend: DEFAULT_BACKEND.to_string(),
             cycles: cycles.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             wall_seconds: Some(1.5),
             scheduler: vec![("sim.firings".to_string(), 1000)],
@@ -373,6 +398,52 @@ mod tests {
         assert!((regs[0].delta_pct - 18.75).abs() < 1e-9);
         // At a 20% threshold the same trajectory passes.
         assert!(gate(&t, 20.0).is_empty());
+    }
+
+    #[test]
+    fn gate_only_compares_entries_of_the_same_backend() {
+        // The compiled backend reports the same deterministic cycle counts,
+        // but its first entry must not be judged against — or shadow — the
+        // event-driven best-ever series.
+        let mut compiled_slow = entry("d2", &[("a/F", 200)]);
+        compiled_slow.backend = "compiled".to_string();
+        let t = Trajectory { entries: vec![entry("d1", &[("a/F", 80)]), compiled_slow.clone()] };
+        assert!(gate(&t, 10.0).is_empty(), "first compiled entry has no history to regress");
+
+        // A later compiled entry gates against the compiled best-ever only.
+        let mut compiled_worse = entry("d3", &[("a/F", 240)]);
+        compiled_worse.backend = "compiled".to_string();
+        let t = Trajectory {
+            entries: vec![entry("d1", &[("a/F", 80)]), compiled_slow, compiled_worse],
+        };
+        let regs = gate(&t, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].best, 200, "best-ever comes from the compiled series, not 80");
+
+        // And an event-driven entry after compiled ones still gates
+        // against its own series.
+        let mut ev_worse = entry("d4", &[("a/F", 95)]);
+        ev_worse.backend = DEFAULT_BACKEND.to_string();
+        let mut compiled_fast = entry("d3", &[("a/F", 60)]);
+        compiled_fast.backend = "compiled".to_string();
+        let t = Trajectory { entries: vec![entry("d1", &[("a/F", 80)]), compiled_fast, ev_worse] };
+        let regs = gate(&t, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].best, 80, "a faster compiled entry must not reset the ev best");
+    }
+
+    #[test]
+    fn backend_round_trips_and_defaults_for_old_entries() {
+        let mut co = entry("2026-08-08", &[("a/F", 50)]);
+        co.backend = "compiled".to_string();
+        let doc = append_rendered(None, co).unwrap();
+        let t = parse_trajectory(&doc).unwrap();
+        assert_eq!(t.entries[0].backend, "compiled");
+        // An entry without the member (pre-backend document) parses as
+        // the default backend.
+        let old = r#"{"entries": [{"date": "d", "cycles": {"a/F": 5}}]}"#;
+        let t = parse_trajectory(old).unwrap();
+        assert_eq!(t.entries[0].backend, DEFAULT_BACKEND);
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! Differential testing of the two simulator schedulers.
+//! Differential testing of the three simulator schedulers.
 //!
-//! The event-driven worklist scheduler claims *exact* equivalence with the
-//! retained reference sweep — not just the same outputs, but the same cycle
-//! counts, final memory, and per-node firing totals. These tests pin that
-//! claim against the full seven-kernel suite (in-order and after the
-//! verified out-of-order transformation) and against randomly generated
-//! front-end kernels.
+//! The event-driven worklist scheduler and the compiled backend both claim
+//! *exact* equivalence with the retained reference sweep — not just the
+//! same outputs, but the same cycle counts, final memory, and per-node
+//! firing totals. These tests pin that claim against the full seven-kernel
+//! suite (in-order and after the verified out-of-order transformation) and
+//! against randomly generated front-end kernels.
 
 use graphiti_core::{optimize_loop, PipelineOptions};
 use graphiti_frontend::{compile, run_program, Expr, InnerLoop, OuterLoop, Program, StoreStmt};
@@ -27,7 +27,7 @@ fn run_with(
     simulate(g, &start_feed(), mem, cfg).expect("simulation succeeds")
 }
 
-/// Asserts the two schedulers agree on every observable of `g`, then
+/// Asserts the three schedulers agree on every observable of `g`, then
 /// returns the (common) final memory so kernel sequences can be chained.
 fn assert_schedulers_agree(
     g: &graphiti_ir::ExprHigh,
@@ -35,13 +35,22 @@ fn assert_schedulers_agree(
     what: &str,
 ) -> graphiti_frontend::Memory {
     let ev = run_with(g, mem.clone(), Scheduler::EventDriven);
-    let sw = run_with(g, mem, Scheduler::ReferenceSweep);
-    assert_eq!(ev.cycles, sw.cycles, "{what}: cycles differ");
-    assert_eq!(ev.outputs, sw.outputs, "{what}: outputs differ");
-    assert_eq!(ev.memory, sw.memory, "{what}: memory differs");
-    assert_eq!(ev.firings, sw.firings, "{what}: total firings differ");
-    assert_eq!(ev.firings_by_node, sw.firings_by_node, "{what}: per-node firings differ");
-    assert_eq!(ev.leftover_tokens, sw.leftover_tokens, "{what}: leftover tokens differ");
+    let sw = run_with(g, mem.clone(), Scheduler::ReferenceSweep);
+    let co = run_with(g, mem, Scheduler::Compiled);
+    for (name, r) in [("sweep", &sw), ("compiled", &co)] {
+        assert_eq!(ev.cycles, r.cycles, "{what}: cycles differ vs {name}");
+        assert_eq!(ev.outputs, r.outputs, "{what}: outputs differ vs {name}");
+        assert_eq!(ev.memory, r.memory, "{what}: memory differs vs {name}");
+        assert_eq!(ev.firings, r.firings, "{what}: total firings differ vs {name}");
+        assert_eq!(
+            ev.firings_by_node, r.firings_by_node,
+            "{what}: per-node firings differ vs {name}"
+        );
+        assert_eq!(
+            ev.leftover_tokens, r.leftover_tokens,
+            "{what}: leftover tokens differ vs {name}"
+        );
+    }
     ev.memory
 }
 
@@ -147,10 +156,14 @@ proptest! {
         let (placed, _) = place_buffers(&compiled.kernels[0].graph);
         let ev = run_with(&placed, p.arrays.clone(), Scheduler::EventDriven);
         let sw = run_with(&placed, p.arrays.clone(), Scheduler::ReferenceSweep);
-        prop_assert_eq!(ev.cycles, sw.cycles);
-        prop_assert_eq!(&ev.outputs, &sw.outputs);
-        prop_assert_eq!(&ev.memory, &sw.memory);
-        prop_assert_eq!(&ev.firings_by_node, &sw.firings_by_node);
+        let co = run_with(&placed, p.arrays.clone(), Scheduler::Compiled);
+        for r in [&sw, &co] {
+            prop_assert_eq!(ev.cycles, r.cycles);
+            prop_assert_eq!(&ev.outputs, &r.outputs);
+            prop_assert_eq!(&ev.memory, &r.memory);
+            prop_assert_eq!(&ev.firings_by_node, &r.firings_by_node);
+            prop_assert_eq!(ev.leftover_tokens, r.leftover_tokens);
+        }
         // And the event-driven run is still *correct*, not just consistent.
         let expected = run_program(&p).unwrap();
         prop_assert_eq!(&ev.memory["out"], &expected["out"]);

@@ -3,10 +3,11 @@
 //! Each oracle states a property that must hold for *every* well-formed
 //! program, so a generated case needs no hand-written expected output:
 //!
-//! 1. **Scheduler equivalence** — the event-driven and reference-sweep
-//!    schedulers agree on every observable (cycles, outputs, memory,
-//!    firings, leftovers), even after buffer capacities are randomly
-//!    widened; and the common result matches the reference interpreter.
+//! 1. **Scheduler equivalence** — the event-driven, reference-sweep, and
+//!    compiled schedulers agree on every observable (cycles, outputs,
+//!    memory, firings, leftovers), even after buffer capacities are
+//!    randomly widened; and the common result matches the reference
+//!    interpreter.
 //! 2. **Rewrite equivalence** — running the verified out-of-order
 //!    pipeline and then simulating yields the same final memory as
 //!    simulating the untransformed circuit; a refusal must leave the
@@ -118,26 +119,29 @@ pub fn oracle_sched(p: &Program, rng: &mut StdRng) -> Result<(), Failure> {
         let (placed, _) = place_buffers(&k.graph);
         let placed = mutate_buffer_slots(rng, &placed);
         let ev = run(&placed, mem.clone(), Scheduler::EventDriven, false, O)?;
-        let sw = run(&placed, mem, Scheduler::ReferenceSweep, false, O)?;
-        let checks: [(&str, bool); 6] = [
-            ("cycles", ev.cycles == sw.cycles),
-            ("outputs", ev.outputs == sw.outputs),
-            ("memory", ev.memory == sw.memory),
-            ("firings", ev.firings == sw.firings),
-            ("firings-by-node", ev.firings_by_node == sw.firings_by_node),
-            ("leftovers", ev.leftover_tokens == sw.leftover_tokens),
-        ];
-        for (what, ok) in checks {
-            if !ok {
-                return Err(Failure::new(
-                    O,
-                    what,
-                    format!(
-                        "kernel `{}`: schedulers disagree on {what} \
-                         (event-driven cycles={}, sweep cycles={})",
-                        k.name, ev.cycles, sw.cycles
-                    ),
-                ));
+        let sw = run(&placed, mem.clone(), Scheduler::ReferenceSweep, false, O)?;
+        let co = run(&placed, mem, Scheduler::Compiled, false, O)?;
+        for (other_name, other) in [("sweep", &sw), ("compiled", &co)] {
+            let checks: [(&str, bool); 6] = [
+                ("cycles", ev.cycles == other.cycles),
+                ("outputs", ev.outputs == other.outputs),
+                ("memory", ev.memory == other.memory),
+                ("firings", ev.firings == other.firings),
+                ("firings-by-node", ev.firings_by_node == other.firings_by_node),
+                ("leftovers", ev.leftover_tokens == other.leftover_tokens),
+            ];
+            for (what, ok) in checks {
+                if !ok {
+                    return Err(Failure::new(
+                        O,
+                        what,
+                        format!(
+                            "kernel `{}`: schedulers disagree on {what} \
+                             (event-driven cycles={}, {other_name} cycles={})",
+                            k.name, ev.cycles, other.cycles
+                        ),
+                    ));
+                }
             }
         }
         mem = ev.memory;

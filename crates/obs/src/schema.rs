@@ -159,6 +159,20 @@ pub const SCHEMA: &[MetricSpec] = &[
         stability: Unstable,
     },
     MetricSpec {
+        name: "sim.compile.*",
+        kind: Counter,
+        unit: "events",
+        help: "Compiled-backend lowering facts: sim.compile.{cache_hits|cache_misses|nodes|chans}.",
+        stability: Unstable,
+    },
+    MetricSpec {
+        name: "sim.compile.us",
+        kind: Counter,
+        unit: "us",
+        help: "Wall-clock microseconds spent lowering circuits to compiled artifacts (cache misses only).",
+        stability: Unstable,
+    },
+    MetricSpec {
         name: "sim.cycles",
         kind: Counter,
         unit: "cycles",
@@ -198,6 +212,13 @@ pub const SCHEMA: &[MetricSpec] = &[
         kind: Gauge,
         unit: "ratio",
         help: "Scheduler hit rate: firings per 1000 node examinations.",
+        stability: Unstable,
+    },
+    MetricSpec {
+        name: "sim.sched.region.*",
+        kind: Counter,
+        unit: "nodes",
+        help: "Static-region partition of compiled circuits: sim.sched.region.{count|static_nodes|dynamic_nodes}.",
         stability: Unstable,
     },
     MetricSpec {

@@ -52,6 +52,14 @@ fn workspace_hot_metrics_are_declared() {
         ("sim.sched.examined_per_cycle", Histogram),
         ("sim.sched.worklist_pushes", Counter),
         ("sim.sched.fires_per_1k_examined", Gauge),
+        ("sim.compile.cache_hits", Counter),
+        ("sim.compile.cache_misses", Counter),
+        ("sim.compile.us", Counter),
+        ("sim.compile.nodes", Counter),
+        ("sim.compile.chans", Counter),
+        ("sim.sched.region.count", Counter),
+        ("sim.sched.region.static_nodes", Counter),
+        ("sim.sched.region.dynamic_nodes", Counter),
         ("rewrite.attempted.loop-ooo", Counter),
         ("rewrite.applied.mux-combine", Counter),
         ("refine.checks", Counter),

@@ -1,0 +1,683 @@
+//! The compiled simulation backend ([`Scheduler::Compiled`]).
+//!
+//! Instead of interpreting the dataflow graph node-by-node, a compile pass
+//! lowers the circuit into a specialised simulator once and caches the
+//! artifact per circuit content-hash:
+//!
+//! * every node kind is monomorphised into a direct-dispatch fire function
+//!   over a flat arena — the hot loop calls through a per-node `fn` pointer
+//!   and never matches on a unit enum;
+//! * channel valid state and the scheduler's dirty/accepted/emitted/fired
+//!   state are bit-packed into `u64` words and processed word-at-a-time;
+//!   tags move out-of-band as raw `u32` words next to untagged payloads, so
+//!   a token crossing a tagged region never allocates a `Value::Tagged`
+//!   box;
+//! * in-order (arbitration-free, untagged) regions get a *static firing
+//!   schedule* precomputed at compile time: a fire inside such a region
+//!   re-arms the whole region's precomputed word mask instead of computing
+//!   fine-grained channel fanout marks, so the region replays its fixed
+//!   index-order schedule round by round. Out-of-order regions (taggers and
+//!   the tagged closure behind them, plus arbitrating merges) fall back to
+//!   the dynamic per-fire worklist marks.
+//!
+//! Bit-identity with the interpreter rests on two facts. First, the
+//! word-at-a-time scan of the dirty bitset visits set bits in ascending
+//! index order — exactly the order the event-driven core's `cur` heap pops
+//! — and a fire marks affected nodes `j > i` into the current round and
+//! `j <= i` into the next, the same `(pass, index)` discipline DESIGN.md
+//! §3.7 proves equivalent to the reference sweep. Second, examining a
+//! *superset* of the dirty set in index order is harmless: a node whose
+//! channels did not change cannot fire, so the extra examinations are
+//! no-ops. The static-region masks exploit exactly that latitude.
+//!
+//! The compiled artifact is immutable and shared (`Arc`) via a global
+//! content-addressed cache, so bench suites compile once and simulate many;
+//! per-run mutable state lives in [`rt::Rt`].
+
+mod fire;
+mod rt;
+
+use crate::memory::Memory;
+use crate::sim::{op_latency, purefn_latency, Scheduler, SimConfig, SimError, SimResult};
+use fire::FireFn;
+use graphiti_ir::{CompKind, ExprHigh, Op, PureFn, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Out-of-band tag word meaning "untagged".
+pub(crate) const NO_TAG: u32 = u32::MAX;
+/// Sentinel for "this node has no internal queue".
+pub(crate) const NO_IDX: u32 = u32::MAX;
+
+/// A `(start, len)` range into one of the artifact's flat pools.
+pub(crate) type Range = (u32, u32);
+
+/// One lowered node: its monomorphic fire function, port ranges, two
+/// kind-specific parameter words, and the precomputed scheduler marks.
+pub(crate) struct CNode {
+    pub(crate) fire: FireFn,
+    pub(crate) ins: Range,
+    pub(crate) outs: Range,
+    /// Kind-specific: const/op/pure/tagger/mem index, or Init's initial.
+    pub(crate) p0: u32,
+    /// Kind-specific: pipe index (Piped/Pure/Load), unused otherwise.
+    pub(crate) p1: u32,
+    /// Word masks OR-ed into the current round on fire (indices `> i`).
+    pub(crate) cur_marks: Range,
+    /// Word masks OR-ed into the next round on fire (indices `<= i`).
+    pub(crate) nxt_marks: Range,
+}
+
+/// Static shape of one internal queue (pipeline, buffer).
+pub(crate) struct PipeSpec {
+    /// Maximum occupancy (latency + 1 for pipelines, slots for buffers).
+    pub(crate) cap: usize,
+    /// Cycles between acceptance and the head turning ready (0 for
+    /// transparent buffers, 1 for opaque ones).
+    pub(crate) lat: u64,
+}
+
+/// Compile-pass facts, kept for metrics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Lowered node count.
+    pub nodes: u64,
+    /// Lowered channel count (one-slot latches + external queues).
+    pub chans: u64,
+    /// Number of in-order regions that received a static schedule mask.
+    pub regions: u64,
+    /// Nodes covered by a static region schedule.
+    pub static_nodes: u64,
+    /// Nodes on the dynamic worklist fallback (taggers, the tagged
+    /// closure behind them, and arbitrating merges).
+    pub dynamic_nodes: u64,
+}
+
+/// An immutable compiled circuit: everything the run loop reads and never
+/// writes. Shared via [`Arc`] through the content-hash cache.
+pub(crate) struct CompiledCircuit {
+    pub(crate) nodes: Vec<CNode>,
+    pub(crate) names: Vec<String>,
+    /// Flat pool backing every node's `ins`/`outs` channel-id lists.
+    pub(crate) port_pool: Vec<u32>,
+    /// Flat pool backing every node's mark lists: `(word, bits)` pairs.
+    pub(crate) mark_pool: Vec<(u32, u64)>,
+    /// Channels `0..n_slots` are internal one-slot latches; the rest are
+    /// unbounded external queues (inputs first, then outputs), mirroring
+    /// the interpreter's channel layout exactly.
+    pub(crate) n_slots: usize,
+    pub(crate) n_chans: usize,
+    pub(crate) input_chans: BTreeMap<String, u32>,
+    pub(crate) output_chans: BTreeMap<String, u32>,
+    pub(crate) pipe_specs: Vec<PipeSpec>,
+    /// Per node: its pipe index, or [`NO_IDX`].
+    pub(crate) pipe_of: Vec<u32>,
+    /// `(node, pipe)` pairs for idle fast-forward and leftover counting.
+    pub(crate) queued: Vec<(u32, u32)>,
+    pub(crate) consts: Vec<Value>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) pures: Vec<PureFn>,
+    /// Tag budgets, one per tagger.
+    pub(crate) tagger_tags: Vec<u32>,
+    /// Distinct array names referenced by Load/Store ports.
+    pub(crate) mems: Vec<String>,
+    /// `u64` words needed for a bitset over nodes.
+    pub(crate) words: usize,
+    pub(crate) stats: CompileStats,
+}
+
+impl CompiledCircuit {
+    #[inline]
+    pub(crate) fn ports(&self, r: Range) -> &[u32] {
+        &self.port_pool[r.0 as usize..(r.0 + r.1) as usize]
+    }
+
+    #[inline]
+    pub(crate) fn marks(&self, r: Range) -> &[(u32, u64)] {
+        &self.mark_pool[r.0 as usize..(r.0 + r.1) as usize]
+    }
+
+    /// Compile-pass facts (node/channel/region counts).
+    pub(crate) fn stats(&self) -> CompileStats {
+        self.stats
+    }
+}
+
+/// The global artifact cache, keyed by 128-bit content hash.
+type ArtifactCache = Mutex<HashMap<(u64, u64), Arc<CompiledCircuit>>>;
+
+fn cache() -> &'static ArtifactCache {
+    static CACHE: OnceLock<ArtifactCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Evicting above this many artifacts bounds fuzzing runs, which compile
+/// thousands of distinct throwaway circuits.
+const CACHE_CAP: usize = 256;
+
+/// Two independently seeded hashers fed identical bytes, so one graph
+/// walk yields a 128-bit fingerprint. Doubles as a [`std::fmt::Write`]
+/// sink: node kinds stream their `Debug` rendering straight into the
+/// hashers without materialising the string, which matters because the
+/// key is recomputed on every `Scheduler::Compiled` simulate call.
+struct DualHasher(
+    std::collections::hash_map::DefaultHasher,
+    std::collections::hash_map::DefaultHasher,
+);
+
+impl DualHasher {
+    fn with_seeds(s1: u64, s2: u64) -> Self {
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        s1.hash(&mut h1);
+        s2.hash(&mut h2);
+        DualHasher(h1, h2)
+    }
+
+    fn finish_pair(&self) -> (u64, u64) {
+        (self.0.finish(), self.1.finish())
+    }
+}
+
+impl std::hash::Hasher for DualHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+        self.1.write(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.finish_pair().0
+    }
+}
+
+impl std::fmt::Write for DualHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        std::hash::Hasher::write(self, s.as_bytes());
+        // Length-prefix framing is lost when streaming; a separator byte
+        // keeps adjacent fragments from gluing into ambiguous strings.
+        std::hash::Hasher::write(self, &[0xFF]);
+        Ok(())
+    }
+}
+
+/// A 128-bit structural fingerprint of the circuit plus the config facts
+/// the lowering bakes in (`load_latency` feeds Load and Pure pipeline
+/// depths). Two independently seeded 64-bit hashes make an accidental
+/// collision across a fuzzing campaign negligible.
+fn content_key(g: &ExprHigh, cfg: &SimConfig) -> (u64, u64) {
+    use std::fmt::Write as _;
+    let mut h = DualHasher::with_seeds(0xA5A5_5A5A_C0DE_0001, 0x5A5A_A5A5_C0DE_0002);
+    cfg.load_latency.hash(&mut h);
+    for (name, kind) in g.nodes() {
+        name.hash(&mut h);
+        let _ = write!(h, "{kind:?}");
+    }
+    for (from, to) in g.edges() {
+        from.node.hash(&mut h);
+        from.port.hash(&mut h);
+        to.node.hash(&mut h);
+        to.port.hash(&mut h);
+    }
+    for (name, target) in g.inputs() {
+        name.hash(&mut h);
+        target.node.hash(&mut h);
+        target.port.hash(&mut h);
+    }
+    for (name, source) in g.outputs() {
+        name.hash(&mut h);
+        source.node.hash(&mut h);
+        source.port.hash(&mut h);
+    }
+    h.finish_pair()
+}
+
+/// Returns the compiled artifact for `g`, lowering it on a cache miss.
+/// The lowering runs under a `sim.compile` span, so causal profiles
+/// attribute compile time separately from simulation time.
+pub(crate) fn get_or_compile(
+    g: &ExprHigh,
+    cfg: &SimConfig,
+) -> Result<Arc<CompiledCircuit>, SimError> {
+    let key = content_key(g, cfg);
+    if let Some(art) = cache().lock().expect("compile cache poisoned").get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        if graphiti_obs::enabled() {
+            graphiti_obs::counter("sim.compile.cache_hits").inc();
+        }
+        return Ok(art.clone());
+    }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let _span = graphiti_obs::span("sim.compile");
+    let t0 = std::time::Instant::now();
+    let art = Arc::new(lower(g, cfg)?);
+    if graphiti_obs::enabled() {
+        let stats = art.stats();
+        graphiti_obs::counter("sim.compile.cache_misses").inc();
+        graphiti_obs::counter("sim.compile.us").add(t0.elapsed().as_micros() as u64);
+        graphiti_obs::counter("sim.compile.nodes").add(stats.nodes);
+        graphiti_obs::counter("sim.compile.chans").add(stats.chans);
+        graphiti_obs::counter("sim.sched.region.count").add(stats.regions);
+        graphiti_obs::counter("sim.sched.region.static_nodes").add(stats.static_nodes);
+        graphiti_obs::counter("sim.sched.region.dynamic_nodes").add(stats.dynamic_nodes);
+    }
+    let mut map = cache().lock().expect("compile cache poisoned");
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    map.insert(key, art.clone());
+    Ok(art)
+}
+
+/// Lowers and caches the circuit without running it, so later
+/// [`simulate`](crate::simulate) calls under [`Scheduler::Compiled`] hit
+/// the artifact cache. Useful to price compile-once/simulate-many
+/// amortisation in benchmarks. Returns the compile-pass facts (node,
+/// channel, and static-region counts).
+///
+/// # Errors
+///
+/// Fails like [`Simulator::new`](crate::Simulator::new) on graphs the
+/// simulator rejects.
+pub fn precompile(g: &ExprHigh, cfg: &SimConfig) -> Result<CompileStats, SimError> {
+    let mut cfg = cfg.clone();
+    cfg.scheduler = Scheduler::Compiled;
+    get_or_compile(g, &cfg).map(|art| art.stats())
+}
+
+/// Empties the compiled-artifact cache (benchmark and test hygiene).
+pub fn compile_cache_clear() {
+    cache().lock().expect("compile cache poisoned").clear();
+}
+
+/// `(hits, misses)` of the compiled-artifact cache since process start.
+pub fn compile_cache_stats() -> (u64, u64) {
+    (CACHE_HITS.load(Ordering::Relaxed), CACHE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Runs a compiled circuit to quiescence. The public entry point is
+/// [`Simulator::run`](crate::Simulator::run), which delegates here when
+/// the scheduler is [`Scheduler::Compiled`].
+pub(crate) fn run(
+    art: &CompiledCircuit,
+    feeds: &BTreeMap<String, Vec<Value>>,
+    memory: Memory,
+    cfg: &SimConfig,
+) -> Result<SimResult, SimError> {
+    rt::run(art, feeds, memory, cfg)
+}
+
+/// Splits a full interpreter-shaped value into the out-of-band `(tag,
+/// payload)` channel representation: exactly `take_tag`, with the tag
+/// narrowed to a raw word.
+#[inline]
+pub(crate) fn canon(tag: u32, v: Value) -> (u32, Value) {
+    if tag == NO_TAG {
+        match v {
+            Value::Tagged(t, inner) => (t, *inner),
+            v => (NO_TAG, v),
+        }
+    } else {
+        (tag, v)
+    }
+}
+
+/// Reassembles the full interpreter-shaped value (error messages, output
+/// draining, tagger bookkeeping — cold paths only).
+#[inline]
+pub(crate) fn assemble(tag: u32, v: Value) -> Value {
+    if tag == NO_TAG {
+        v
+    } else {
+        Value::tagged(tag, v)
+    }
+}
+
+/// The lowering pass: interprets the graph's structure once so the run
+/// loop never has to. Mirrors the interpreter's channel/node layout
+/// exactly — node and channel indices coincide, which is what makes the
+/// firing order (and thus every observable) bit-identical.
+fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
+    g.validate().map_err(|e| SimError::BadGraph(e.to_string()))?;
+
+    // Channel layout: one slot per edge, then unbounded queues for the
+    // external inputs and outputs — the same order Simulator::new uses.
+    let mut chan_of_out: BTreeMap<graphiti_ir::Endpoint, u32> = BTreeMap::new();
+    let mut chan_of_in: BTreeMap<graphiti_ir::Endpoint, u32> = BTreeMap::new();
+    let mut n_chans: usize = 0;
+    for (from, to) in g.edges() {
+        let id = narrow_chan(n_chans)?;
+        chan_of_out.insert(from.clone(), id);
+        chan_of_in.insert(to.clone(), id);
+        n_chans += 1;
+    }
+    let n_slots = n_chans;
+    let mut input_chans = BTreeMap::new();
+    for (name, target) in g.inputs() {
+        let id = narrow_chan(n_chans)?;
+        chan_of_in.insert(target.clone(), id);
+        input_chans.insert(name.clone(), id);
+        n_chans += 1;
+    }
+    let mut output_chans = BTreeMap::new();
+    for (name, source) in g.outputs() {
+        let id = narrow_chan(n_chans)?;
+        chan_of_out.insert(source.clone(), id);
+        output_chans.insert(name.clone(), id);
+        n_chans += 1;
+    }
+
+    let mut names = Vec::new();
+    let mut port_pool: Vec<u32> = Vec::new();
+    let mut nodes: Vec<CNode> = Vec::new();
+    let mut consts: Vec<Value> = Vec::new();
+    let mut ops: Vec<Op> = Vec::new();
+    let mut pures: Vec<PureFn> = Vec::new();
+    let mut pipe_specs: Vec<PipeSpec> = Vec::new();
+    let mut pipe_of: Vec<u32> = Vec::new();
+    let mut tagger_of: Vec<u32> = Vec::new();
+    let mut tagger_tags: Vec<u32> = Vec::new();
+    let mut mems: Vec<String> = Vec::new();
+    let mut queued: Vec<(u32, u32)> = Vec::new();
+    // Merges arbitrate between inputs and taggers reorder: both (plus the
+    // tagged closure computed below) stay on the dynamic worklist.
+    let mut dynamic: Vec<bool> = Vec::new();
+    let mut tagger_nodes: Vec<usize> = Vec::new();
+
+    let mem_id = |mems: &mut Vec<String>, name: &str| -> u32 {
+        match mems.iter().position(|m| m == name) {
+            Some(i) => i as u32,
+            None => {
+                mems.push(name.to_string());
+                (mems.len() - 1) as u32
+            }
+        }
+    };
+
+    for (name, kind) in g.nodes() {
+        let i = nodes.len();
+        narrow_node(i)?;
+        let (ins_p, outs_p) = kind.interface();
+        let ins_start = port_pool.len() as u32;
+        for p in &ins_p {
+            port_pool.push(chan_of_in[&graphiti_ir::ep(name.clone(), p.clone())]);
+        }
+        let ins = (ins_start, ins_p.len() as u32);
+        let outs_start = port_pool.len() as u32;
+        for p in &outs_p {
+            port_pool.push(chan_of_out[&graphiti_ir::ep(name.clone(), p.clone())]);
+        }
+        let outs = (outs_start, outs_p.len() as u32);
+
+        let mut pipe = NO_IDX;
+        let mut tagger = NO_IDX;
+        let mut dyn_node = false;
+        let add_pipe = |specs: &mut Vec<PipeSpec>, cap: usize, lat: u64| -> u32 {
+            specs.push(PipeSpec { cap, lat });
+            (specs.len() - 1) as u32
+        };
+        let (fire, p0, p1): (FireFn, u32, u32) = match kind {
+            CompKind::Fork { .. } => (fire::fork, 0, 0),
+            CompKind::Join => (fire::join, 0, 0),
+            CompKind::Split => (fire::split, 0, 0),
+            CompKind::Mux => (fire::mux, 0, 0),
+            CompKind::Branch => (fire::branch, 0, 0),
+            CompKind::Merge => {
+                dyn_node = true;
+                (fire::merge, 0, 0)
+            }
+            CompKind::Init { initial } => (fire::init, u32::from(*initial), 0),
+            CompKind::Sink => (fire::sink, 0, 0),
+            CompKind::Constant { value } => {
+                consts.push(value.clone());
+                (fire::constant, (consts.len() - 1) as u32, 0)
+            }
+            CompKind::Operator { op } => {
+                let lat = op_latency(*op);
+                ops.push(*op);
+                let oid = (ops.len() - 1) as u32;
+                if lat == 0 {
+                    (fire::comb, oid, 0)
+                } else {
+                    pipe = add_pipe(&mut pipe_specs, lat as usize + 1, lat);
+                    (fire::piped, oid, pipe)
+                }
+            }
+            CompKind::Pure { func } => {
+                let lat = purefn_latency(func, cfg.load_latency);
+                pures.push(func.clone());
+                pipe = add_pipe(&mut pipe_specs, lat as usize + 1, lat);
+                (fire::pure, (pures.len() - 1) as u32, pipe)
+            }
+            CompKind::Buffer { slots, transparent } => {
+                pipe = add_pipe(&mut pipe_specs, (*slots).max(1), u64::from(!*transparent));
+                (fire::buffer, pipe, 0)
+            }
+            CompKind::TaggerUntagger { tags } => {
+                tagger_tags.push(*tags);
+                tagger = (tagger_tags.len() - 1) as u32;
+                dyn_node = true;
+                tagger_nodes.push(i);
+                (fire::tagger, tagger, 0)
+            }
+            CompKind::Load { mem } => {
+                let mid = mem_id(&mut mems, mem);
+                pipe = add_pipe(&mut pipe_specs, cfg.load_latency as usize + 1, cfg.load_latency);
+                (fire::load, mid, pipe)
+            }
+            CompKind::Store { mem } => (fire::store, mem_id(&mut mems, mem), 0),
+        };
+        if pipe != NO_IDX {
+            queued.push((i as u32, pipe));
+        }
+        names.push(name.clone());
+        pipe_of.push(pipe);
+        tagger_of.push(tagger);
+        dynamic.push(dyn_node);
+        nodes.push(CNode { fire, ins, outs, p0, p1, cur_marks: (0, 0), nxt_marks: (0, 0) });
+    }
+
+    let n = nodes.len();
+    narrow_chan(n_chans)?;
+    let mut consumer_of: Vec<Option<u32>> = vec![None; n_chans];
+    let mut producer_of: Vec<Option<u32>> = vec![None; n_chans];
+    for (i, nd) in nodes.iter().enumerate() {
+        for &c in &port_pool[nd.ins.0 as usize..(nd.ins.0 + nd.ins.1) as usize] {
+            consumer_of[c as usize] = Some(i as u32);
+        }
+        for &c in &port_pool[nd.outs.0 as usize..(nd.outs.0 + nd.outs.1) as usize] {
+            producer_of[c as usize] = Some(i as u32);
+        }
+    }
+
+    // The tagged closure: everything downstream of a tagger's tagged
+    // output (stopping at tagger nodes) carries reordered tokens and stays
+    // on the dynamic worklist.
+    let mut stack: Vec<u32> = Vec::new();
+    for &t in &tagger_nodes {
+        let outs =
+            &port_pool[nodes[t].outs.0 as usize..(nodes[t].outs.0 + nodes[t].outs.1) as usize];
+        if let Some(&tagged_out) = outs.first() {
+            if let Some(j) = consumer_of[tagged_out as usize] {
+                stack.push(j);
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    while let Some(j) = stack.pop() {
+        let ju = j as usize;
+        if seen[ju] {
+            continue;
+        }
+        seen[ju] = true;
+        if tagger_of[ju] != NO_IDX {
+            continue; // the region ends at the next tagger
+        }
+        dynamic[ju] = true;
+        let nd = &nodes[ju];
+        for &c in &port_pool[nd.outs.0 as usize..(nd.outs.0 + nd.outs.1) as usize] {
+            if let Some(k) = consumer_of[c as usize] {
+                stack.push(k);
+            }
+        }
+    }
+
+    // Static regions: connected components of the in-order nodes over the
+    // channel adjacency. Each gets a shared schedule mask.
+    let words = n.div_ceil(64);
+    let mut region_of: Vec<u32> = vec![NO_IDX; n];
+    let mut region_masks: Vec<Vec<u64>> = Vec::new();
+    for start in 0..n {
+        if dynamic[start] || region_of[start] != NO_IDX {
+            continue;
+        }
+        let rid = region_masks.len() as u32;
+        let mut mask = vec![0u64; words];
+        let mut stack = vec![start as u32];
+        region_of[start] = rid;
+        while let Some(j) = stack.pop() {
+            let ju = j as usize;
+            mask[ju / 64] |= 1u64 << (ju % 64);
+            let nd = &nodes[ju];
+            let neighbours = port_pool[nd.ins.0 as usize..(nd.ins.0 + nd.ins.1) as usize]
+                .iter()
+                .filter_map(|&c| producer_of[c as usize])
+                .chain(
+                    port_pool[nd.outs.0 as usize..(nd.outs.0 + nd.outs.1) as usize]
+                        .iter()
+                        .filter_map(|&c| consumer_of[c as usize]),
+                );
+            for k in neighbours {
+                let ku = k as usize;
+                if !dynamic[ku] && region_of[ku] == NO_IDX {
+                    region_of[ku] = rid;
+                    stack.push(k);
+                }
+            }
+        }
+        region_masks.push(mask);
+    }
+
+    // Per-node scheduler marks. The fine affected set mirrors the
+    // event-driven core's `mark!` coverage: the node itself, the consumers
+    // of its outputs, the producers of its inputs. Static-region nodes
+    // additionally re-arm their whole region (sound: index-order
+    // examination of a superset is a no-op for unaffected nodes).
+    let mut mark_pool: Vec<(u32, u64)> = Vec::new();
+    let mut scratch_mask = vec![0u64; words];
+    for i in 0..n {
+        for w in scratch_mask.iter_mut() {
+            *w = 0;
+        }
+        let set = |mask: &mut Vec<u64>, j: u32| {
+            mask[j as usize / 64] |= 1u64 << (j % 64);
+        };
+        set(&mut scratch_mask, i as u32);
+        let nd = &nodes[i];
+        for &c in &port_pool[nd.outs.0 as usize..(nd.outs.0 + nd.outs.1) as usize] {
+            if let Some(j) = consumer_of[c as usize] {
+                set(&mut scratch_mask, j);
+            }
+        }
+        for &c in &port_pool[nd.ins.0 as usize..(nd.ins.0 + nd.ins.1) as usize] {
+            if let Some(j) = producer_of[c as usize] {
+                set(&mut scratch_mask, j);
+            }
+        }
+        // Static-region schedule: replace the fine set by the region's
+        // precomputed mask when the region is barely wider — the shared
+        // mask then costs (almost) nothing extra to examine and turns the
+        // region's replay into a fixed word pattern. Wide regions keep
+        // the fine dynamic-worklist marks: re-arming hundreds of idle
+        // nodes per fire would swamp the win.
+        if region_of[i] != NO_IDX {
+            let region = &region_masks[region_of[i] as usize];
+            let fine: u32 = scratch_mask.iter().map(|w| w.count_ones()).sum();
+            let wide: u32 =
+                region.iter().zip(&scratch_mask).map(|(r, f)| (r | f).count_ones()).sum();
+            if wide <= fine + 2 {
+                for (w, r) in scratch_mask.iter_mut().zip(region) {
+                    *w |= r;
+                }
+            }
+        }
+        // Split at index i: strictly greater bits re-arm the current
+        // round, the rest the next one.
+        let wi = i / 64;
+        let bi = i % 64;
+        let gt_in_word = if bi == 63 { 0 } else { !0u64 << (bi + 1) };
+        let cur_start = mark_pool.len() as u32;
+        for (w, &bits) in scratch_mask.iter().enumerate() {
+            let gt = match w.cmp(&wi) {
+                std::cmp::Ordering::Less => 0,
+                std::cmp::Ordering::Equal => bits & gt_in_word,
+                std::cmp::Ordering::Greater => bits,
+            };
+            if gt != 0 {
+                mark_pool.push((w as u32, gt));
+            }
+        }
+        let cur_marks = (cur_start, mark_pool.len() as u32 - cur_start);
+        let nxt_start = mark_pool.len() as u32;
+        for (w, &bits) in scratch_mask.iter().enumerate() {
+            let le = match w.cmp(&wi) {
+                std::cmp::Ordering::Less => bits,
+                std::cmp::Ordering::Equal => bits & !gt_in_word,
+                std::cmp::Ordering::Greater => 0,
+            };
+            if le != 0 {
+                mark_pool.push((w as u32, le));
+            }
+        }
+        let nxt_marks = (nxt_start, mark_pool.len() as u32 - nxt_start);
+        nodes[i].cur_marks = cur_marks;
+        nodes[i].nxt_marks = nxt_marks;
+    }
+
+    let dynamic_nodes = dynamic.iter().filter(|&&d| d).count() as u64;
+    let stats = CompileStats {
+        nodes: n as u64,
+        chans: n_chans as u64,
+        regions: region_masks.len() as u64,
+        static_nodes: n as u64 - dynamic_nodes,
+        dynamic_nodes,
+    };
+    Ok(CompiledCircuit {
+        nodes,
+        names,
+        port_pool,
+        mark_pool,
+        n_slots,
+        n_chans,
+        input_chans,
+        output_chans,
+        pipe_specs,
+        pipe_of,
+        queued,
+        consts,
+        ops,
+        pures,
+        tagger_tags,
+        mems,
+        words,
+        stats,
+    })
+}
+
+fn narrow_node(i: usize) -> Result<u32, SimError> {
+    u32::try_from(i).map_err(|_| {
+        SimError::BadGraph(format!("node index {i} does not fit the simulator's u32 index space"))
+    })
+}
+
+fn narrow_chan(i: usize) -> Result<u32, SimError> {
+    u32::try_from(i).map_err(|_| {
+        SimError::BadGraph(format!(
+            "channel index {i} does not fit the simulator's u32 index space"
+        ))
+    })
+}

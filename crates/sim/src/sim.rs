@@ -56,6 +56,13 @@ pub enum Scheduler {
     /// Original sweep-until-fixpoint core: every node is examined every
     /// pass of every cycle.
     ReferenceSweep,
+    /// Compiled core: the circuit is lowered once into a specialised
+    /// simulator (monomorphic fire functions, bit-packed scheduler state,
+    /// static firing schedules for in-order regions) and the artifact is
+    /// cached per circuit content-hash. Produces the same observable
+    /// results as the other two cores but rejects waveform capture, stall
+    /// attribution, and node tracing ([`SimError::Unsupported`]).
+    Compiled,
 }
 
 /// Simulator configuration.
@@ -135,6 +142,9 @@ pub enum SimError {
     Timeout(u64),
     /// The graph is not simulatable (validation failure).
     BadGraph(String),
+    /// The configuration asks the compiled scheduler for a capability it
+    /// does not implement (waveforms, stall attribution, node tracing).
+    Unsupported(String),
 }
 
 impl fmt::Display for SimError {
@@ -144,6 +154,9 @@ impl fmt::Display for SimError {
             SimError::Eval(m) => write!(f, "evaluation fault: {m}"),
             SimError::Timeout(c) => write!(f, "simulation exceeded {c} cycles"),
             SimError::BadGraph(m) => write!(f, "graph not simulatable: {m}"),
+            SimError::Unsupported(m) => {
+                write!(f, "not supported by the compiled scheduler: {m}")
+            }
         }
     }
 }
@@ -453,6 +466,10 @@ pub struct Simulator {
     /// Stall-attribution state, present iff
     /// [`SimConfig::attribute_stalls`].
     stall: Option<StallState>,
+    /// The compiled artifact, present iff the scheduler is
+    /// [`Scheduler::Compiled`]; [`Simulator::run`] delegates to it and the
+    /// interpreter machinery above stays empty.
+    compiled: Option<std::sync::Arc<crate::compile::CompiledCircuit>>,
 }
 
 /// Why a node lost a cycle (shared vocabulary of the metrics layer and
@@ -519,6 +536,36 @@ impl Simulator {
     ///
     /// Fails if the graph is incomplete.
     pub fn new(g: &ExprHigh, memory: Memory, cfg: SimConfig) -> Result<Simulator, SimError> {
+        if cfg.scheduler == Scheduler::Compiled {
+            if cfg.waveform {
+                return Err(SimError::Unsupported("waveform capture".to_string()));
+            }
+            if cfg.attribute_stalls {
+                return Err(SimError::Unsupported("stall attribution".to_string()));
+            }
+            if !cfg.trace_nodes.is_empty() {
+                return Err(SimError::Unsupported("node tracing".to_string()));
+            }
+            let art = crate::compile::get_or_compile(g, &cfg)?;
+            return Ok(Simulator {
+                nodes: Vec::new(),
+                chans: Vec::new(),
+                input_chans: BTreeMap::new(),
+                output_chans: BTreeMap::new(),
+                memory,
+                cfg,
+                trace: Vec::new(),
+                traced: Vec::new(),
+                consumer_of: Vec::new(),
+                producer_of: Vec::new(),
+                scratch: Vec::new(),
+                obs: None,
+                chan_names: Vec::new(),
+                wave: None,
+                stall: None,
+                compiled: Some(art),
+            });
+        }
         g.validate().map_err(|e| SimError::BadGraph(e.to_string()))?;
         // Channel names feed the waveform signal list and the stall
         // report; skipped entirely on plain runs.
@@ -660,6 +707,7 @@ impl Simulator {
             chan_names,
             wave,
             stall,
+            compiled: None,
         })
     }
 
@@ -1282,6 +1330,9 @@ impl Simulator {
     ///
     /// Fails on memory faults, evaluation faults, or timeout.
     pub fn run(mut self, feeds: &BTreeMap<String, Vec<Value>>) -> Result<SimResult, SimError> {
+        if let Some(art) = self.compiled.take() {
+            return crate::compile::run(&art, feeds, std::mem::take(&mut self.memory), &self.cfg);
+        }
         for (name, vals) in feeds {
             let chan = *self
                 .input_chans
@@ -1321,6 +1372,9 @@ impl Simulator {
         let run = match self.cfg.scheduler {
             Scheduler::EventDriven => self.run_event(&mut st),
             Scheduler::ReferenceSweep => self.run_sweep(&mut st),
+            // Compiled runs return from the delegation above; `new` always
+            // installs the artifact for that scheduler.
+            Scheduler::Compiled => unreachable!("compiled runs delegate before dispatch"),
         };
         if let Err(e) = &run {
             graphiti_obs::flight::record("sim.error", || format!("cycle {}: {e}", st.now));
@@ -1793,11 +1847,92 @@ mod tests {
         };
         let ev = run(Scheduler::EventDriven);
         let sw = run(Scheduler::ReferenceSweep);
-        assert_eq!(ev.cycles, sw.cycles);
-        assert_eq!(ev.outputs, sw.outputs);
-        assert_eq!(ev.firings, sw.firings);
-        assert_eq!(ev.firings_by_node, sw.firings_by_node);
-        assert_eq!(ev.leftover_tokens, sw.leftover_tokens);
+        let co = run(Scheduler::Compiled);
+        for r in [&sw, &co] {
+            assert_eq!(ev.cycles, r.cycles);
+            assert_eq!(ev.outputs, r.outputs);
+            assert_eq!(ev.firings, r.firings);
+            assert_eq!(ev.firings_by_node, r.firings_by_node);
+            assert_eq!(ev.leftover_tokens, r.leftover_tokens);
+        }
+    }
+
+    #[test]
+    fn compiled_scheduler_matches_on_memory_circuit() {
+        // Load + Store + Mux/Branch/Merge exercise the memory ports, the
+        // dynamic-region fallback, and idle fast-forward under Compiled.
+        let mut g = ExprHigh::new();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("ld", CompKind::Load { mem: "a".into() }).unwrap();
+        g.add_node("st", CompKind::Store { mem: "y".into() }).unwrap();
+        g.add_node("k", CompKind::Sink).unwrap();
+        g.expose_input("i", ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("ld", "addr")).unwrap();
+        g.connect(ep("f", "out1"), ep("st", "addr")).unwrap();
+        g.connect(ep("ld", "data"), ep("st", "data")).unwrap();
+        g.connect(ep("st", "done"), ep("k", "in")).unwrap();
+        let mem: Memory = [
+            ("a".to_string(), vec![Value::Int(10), Value::Int(20), Value::Int(30)]),
+            ("y".to_string(), vec![Value::Int(0); 3]),
+        ]
+        .into_iter()
+        .collect();
+        let run = |scheduler| {
+            simulate(
+                &g,
+                &feeds("i", vec![Value::Int(2), Value::Int(0), Value::Int(1)]),
+                mem.clone(),
+                SimConfig { scheduler, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let ev = run(Scheduler::EventDriven);
+        let co = run(Scheduler::Compiled);
+        assert_eq!(ev.cycles, co.cycles);
+        assert_eq!(ev.memory, co.memory);
+        assert_eq!(ev.firings_by_node, co.firings_by_node);
+        assert_eq!(ev.leftover_tokens, co.leftover_tokens);
+    }
+
+    #[test]
+    fn compiled_scheduler_rejects_observation_hooks() {
+        let mut g = ExprHigh::new();
+        g.add_node("b", CompKind::Buffer { slots: 1, transparent: true }).unwrap();
+        g.expose_input("x", ep("b", "in")).unwrap();
+        g.expose_output("y", ep("b", "out")).unwrap();
+        let cfg = SimConfig { scheduler: Scheduler::Compiled, ..Default::default() };
+        for (bad, what) in [
+            (SimConfig { waveform: true, ..cfg.clone() }, "waveform capture"),
+            (SimConfig { attribute_stalls: true, ..cfg.clone() }, "stall attribution"),
+            (SimConfig { trace_nodes: vec!["b".into()], ..cfg.clone() }, "node tracing"),
+        ] {
+            let err = Simulator::new(&g, Memory::new(), bad).err().unwrap();
+            assert_eq!(err, SimError::Unsupported(what.to_string()));
+        }
+    }
+
+    #[test]
+    fn compiled_artifacts_are_cached_by_content() {
+        let build = |slots| {
+            let mut g = ExprHigh::new();
+            g.add_node("b", CompKind::Buffer { slots, transparent: true }).unwrap();
+            g.expose_input("x", ep("b", "in")).unwrap();
+            g.expose_output("y", ep("b", "out")).unwrap();
+            g
+        };
+        let cfg = SimConfig { scheduler: Scheduler::Compiled, ..Default::default() };
+        crate::compile::compile_cache_clear();
+        let (h0, m0) = crate::compile::compile_cache_stats();
+        let stats = crate::compile::precompile(&build(3), &cfg).unwrap();
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.chans, 2, "one input queue, one output queue");
+        assert_eq!(stats.static_nodes, 1, "an untagged buffer is in-order");
+        // Same circuit: cache hit. Different slot count: distinct artifact.
+        crate::compile::precompile(&build(3), &cfg).unwrap();
+        crate::compile::precompile(&build(4), &cfg).unwrap();
+        let (h1, m1) = crate::compile::compile_cache_stats();
+        assert_eq!(h1 - h0, 1);
+        assert_eq!(m1 - m0, 2);
     }
 
     #[test]

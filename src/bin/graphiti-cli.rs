@@ -568,13 +568,18 @@ fn profile_mode(src: &str, args: &Args) -> Result<(), String> {
         }
 
         {
+            // The compiled backend runs here so the profile shows the
+            // lowering cost as its own `sim.compile` child span under
+            // `simulate`, separate from the raw simulation time.
             let _phase = graphiti::obs::span("simulate");
             let mut mem = program.arrays.clone();
             let feeds: std::collections::BTreeMap<String, Vec<Value>> =
                 [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+            let cfg =
+                SimConfig { scheduler: graphiti::sim::Scheduler::Compiled, ..SimConfig::default() };
             for (name, g) in &optimized {
                 let (placed, _) = place_buffers(g);
-                let r = simulate(&placed, &feeds, mem, SimConfig::default())
+                let r = simulate(&placed, &feeds, mem, cfg.clone())
                     .map_err(|e| format!("kernel `{name}` simulation: {e}"))?;
                 eprintln!(
                     "graphiti-cli: kernel `{name}` simulated: {} cycles, {} firings",
