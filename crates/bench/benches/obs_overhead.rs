@@ -12,9 +12,11 @@
 //! `sim/waveform_enabled` line prices the cycle-accurate VCD recorder
 //! and stall attribution against the same disabled baseline,
 //! `sim/flight_enabled` prices the flight recorder's ring writes on the
-//! same macro path, and `sim/compiled_cache_hit` prices the compiled
+//! same macro path, `sim/compiled_cache_hit` prices the compiled
 //! backend's per-run content-hash lookup on its warm (artifact already
-//! cached) path.
+//! cached) path, and `sim/compiled_telemetry` prices the scope unit —
+//! per-cycle frame capture plus the post-run waveform/stall decode — on
+//! top of that warm path.
 //!
 //! The `metric/*` group isolates the fire-path accounting the simulator
 //! used to pay per call: `per_call_lookup` is the old pattern (registry
@@ -102,6 +104,25 @@ fn bench_obs_overhead(c: &mut Criterion) {
             let r = simulate(&placed, &feeds, p.arrays.clone(), compiled_cfg.clone())
                 .expect("simulates");
             black_box(r.cycles);
+        })
+    });
+
+    // The compiled backend with the scope armed: per-active-cycle frame
+    // capture plus the post-run waveform/stall decode. The delta against
+    // `compiled_cache_hit` prices full-fidelity telemetry; the
+    // telemetry-off row above is the zero-overhead contract.
+    let telemetry_cfg = SimConfig {
+        scheduler: graphiti_sim::Scheduler::Compiled,
+        telemetry: true,
+        waveform: true,
+        attribute_stalls: true,
+        ..SimConfig::default()
+    };
+    group.bench_function("compiled_telemetry", |b| {
+        b.iter(|| {
+            let r = simulate(&placed, &feeds, p.arrays.clone(), telemetry_cfg.clone())
+                .expect("simulates");
+            black_box(r.waveform.as_ref().map(String::len));
         })
     });
 

@@ -169,16 +169,15 @@ pub fn backend_name(scheduler: Scheduler) -> &'static str {
 
 /// Runs a sequence of kernel graphs against shared memory, returning
 /// `(total cycles, max clock period, total area, final memory, stalls)`.
-/// Stall attribution is on for the interpreting schedulers — the walks
-/// only run on waiting node-cycles, and every `--json` report embeds the
-/// cause summary — but the compiled backend has no per-cycle observation
-/// hooks, so its runs return `None` for the summary.
+/// Stall attribution is on for every scheduler — the interpreting cores
+/// walk waiting node-cycles in place, while the compiled backend records
+/// scope frames (`SimConfig::telemetry`) and decodes an identical report
+/// post-run — so every `--json` report embeds the cause summary.
 fn run_dataflow(
     graphs: &[ExprHigh],
     initial: Memory,
     scheduler: Scheduler,
 ) -> Result<(u64, f64, graphiti_sim::Area, Memory, Option<StallSummary>), EvalError> {
-    let attribute = scheduler != Scheduler::Compiled;
     let mut mem = initial;
     let mut cycles = 0u64;
     let mut cp: f64 = 0.0;
@@ -190,15 +189,18 @@ fn run_dataflow(
         area = area + circuit_area(&placed);
         let feeds: BTreeMap<String, Vec<Value>> =
             [("start".to_string(), vec![Value::Unit])].into_iter().collect();
-        let cfg = SimConfig { attribute_stalls: attribute, scheduler, ..SimConfig::default() };
+        let cfg = SimConfig {
+            attribute_stalls: true,
+            scheduler,
+            telemetry: scheduler == Scheduler::Compiled,
+            ..SimConfig::default()
+        };
         let r = simulate(&placed, &feeds, mem, cfg)?;
         cycles += r.cycles;
         mem = r.memory;
-        if attribute {
-            reports.push(r.stalls.expect("attribution requested"));
-        }
+        reports.push(r.stalls.expect("attribution requested"));
     }
-    Ok((cycles, cp, area, mem, attribute.then(|| StallSummary::merge(&reports))))
+    Ok((cycles, cp, area, mem, Some(StallSummary::merge(&reports))))
 }
 
 fn metrics(
@@ -506,14 +508,23 @@ mod tests {
     }
 
     #[test]
-    fn compiled_backend_matches_event_driven_and_omits_stalls() {
+    fn compiled_backend_matches_event_driven_with_stalls() {
         let p = suite::matvec(8);
         let ev = evaluate(&p).unwrap();
         let co = evaluate_with(&p, Scheduler::Compiled).unwrap();
         for flow in [Flow::DfIo, Flow::Graphiti, Flow::DfOoo] {
             assert_eq!(ev.flows[&flow].cycles, co.flows[&flow].cycles, "{flow}: cycles diverge");
             assert!(co.flows[&flow].correct, "{flow}: compiled run incorrect");
-            assert!(co.flows[&flow].stalls.is_none(), "{flow}: compiled runs cannot attribute");
+            // The compiled backend attributes via the decoded scope log;
+            // the summary must match the interpreter's exactly.
+            let e = ev.flows[&flow].stalls.as_ref().expect("event-driven attributes");
+            let c = co.flows[&flow].stalls.as_ref().expect("compiled attributes via telemetry");
+            assert_eq!(e, c, "{flow}: stall summaries diverge");
+            assert_eq!(
+                c.causes.values().sum::<u64>(),
+                c.stall_cycles + c.starved_cycles,
+                "{flow}: compiled cause sums diverge"
+            );
         }
         // The static flow is untouched by the scheduler choice.
         assert_eq!(ev.flows[&Flow::Vericert].cycles, co.flows[&Flow::Vericert].cycles);

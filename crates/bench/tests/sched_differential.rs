@@ -27,6 +27,47 @@ fn run_with(
     simulate(g, &start_feed(), mem, cfg).expect("simulation succeeds")
 }
 
+/// One observed run: waveform capture and stall attribution on (with
+/// `telemetry` armed so the compiled backend records and decodes its
+/// scope log instead of rejecting the hooks).
+fn run_observed(
+    g: &graphiti_ir::ExprHigh,
+    mem: graphiti_frontend::Memory,
+    scheduler: Scheduler,
+    wave_sample: u64,
+) -> SimResult {
+    let cfg = SimConfig {
+        scheduler,
+        waveform: true,
+        attribute_stalls: true,
+        telemetry: scheduler == Scheduler::Compiled,
+        wave_sample,
+        ..SimConfig::default()
+    };
+    simulate(g, &start_feed(), mem, cfg).expect("observed simulation succeeds")
+}
+
+/// Asserts the compiled backend's decoded telemetry matches the
+/// event-driven scheduler's direct observation: byte-identical VCD,
+/// identical stall report, and per-cause sums equal to the totals.
+fn assert_telemetry_agrees(g: &graphiti_ir::ExprHigh, mem: graphiti_frontend::Memory, what: &str) {
+    let ev = run_observed(g, mem.clone(), Scheduler::EventDriven, 1);
+    let co = run_observed(g, mem.clone(), Scheduler::Compiled, 1);
+    assert_eq!(ev.waveform, co.waveform, "{what}: VCD documents differ");
+    assert_eq!(ev.stalls, co.stalls, "{what}: stall reports differ");
+    let report = co.stalls.as_ref().expect("attribution requested");
+    assert_eq!(
+        report.cause_totals().values().sum::<u64>(),
+        report.stall_cycles + report.starved_cycles,
+        "{what}: compiled cause sums diverge from totals"
+    );
+    // Sampled waveforms agree too (and attribution stays cycle-exact).
+    let evs = run_observed(g, mem.clone(), Scheduler::EventDriven, 5);
+    let cos = run_observed(g, mem, Scheduler::Compiled, 5);
+    assert_eq!(evs.waveform, cos.waveform, "{what}: sampled VCDs differ");
+    assert_eq!(cos.stalls, co.stalls, "{what}: sampling changed attribution");
+}
+
 /// Asserts the three schedulers agree on every observable of `g`, then
 /// returns the (common) final memory so kernel sequences can be chained.
 fn assert_schedulers_agree(
@@ -36,7 +77,7 @@ fn assert_schedulers_agree(
 ) -> graphiti_frontend::Memory {
     let ev = run_with(g, mem.clone(), Scheduler::EventDriven);
     let sw = run_with(g, mem.clone(), Scheduler::ReferenceSweep);
-    let co = run_with(g, mem, Scheduler::Compiled);
+    let co = run_with(g, mem.clone(), Scheduler::Compiled);
     for (name, r) in [("sweep", &sw), ("compiled", &co)] {
         assert_eq!(ev.cycles, r.cycles, "{what}: cycles differ vs {name}");
         assert_eq!(ev.outputs, r.outputs, "{what}: outputs differ vs {name}");
@@ -51,6 +92,7 @@ fn assert_schedulers_agree(
             "{what}: leftover tokens differ vs {name}"
         );
     }
+    assert_telemetry_agrees(g, mem, what);
     ev.memory
 }
 
@@ -164,6 +206,12 @@ proptest! {
             prop_assert_eq!(&ev.firings_by_node, &r.firings_by_node);
             prop_assert_eq!(ev.leftover_tokens, r.leftover_tokens);
         }
+        // The compiled backend's decoded telemetry must match the
+        // event-driven scheduler's direct observation byte for byte.
+        let evo = run_observed(&placed, p.arrays.clone(), Scheduler::EventDriven, 1);
+        let coo = run_observed(&placed, p.arrays.clone(), Scheduler::Compiled, 1);
+        prop_assert_eq!(&evo.waveform, &coo.waveform);
+        prop_assert_eq!(&evo.stalls, &coo.stalls);
         // And the event-driven run is still *correct*, not just consistent.
         let expected = run_program(&p).unwrap();
         prop_assert_eq!(&ev.memory["out"], &expected["out"]);

@@ -1,4 +1,4 @@
-//! The four metamorphic oracles.
+//! The five metamorphic oracles.
 //!
 //! Each oracle states a property that must hold for *every* well-formed
 //! program, so a generated case needs no hand-written expected output:
@@ -20,6 +20,12 @@
 //!    a small input domain; a `Fails` verdict on a circuit whose
 //!    simulations agree (oracle 2 ran first) is a checker/simulator
 //!    disagreement.
+//! 5. **Telemetry equivalence** — the compiled backend's scope log,
+//!    decoded post-run, yields a VCD byte-identical to the event-driven
+//!    scheduler's direct capture and an identical stall report whose
+//!    per-cause sums equal the stall/starve totals (WaveCert's framing:
+//!    the fast path's observations are validated against the reference,
+//!    not trusted).
 
 use crate::gen::mutate_buffer_slots;
 use graphiti_core::{optimize_loop, PipelineOptions};
@@ -288,11 +294,66 @@ pub fn oracle_refinement(p: &Program) -> Result<(), Failure> {
     Ok(())
 }
 
+/// Oracle 5: telemetry equivalence. The compiled backend's decoded scope
+/// log must reproduce the event-driven scheduler's observations exactly:
+/// byte-identical VCD, identical stall report, cause sums equal totals.
+pub fn oracle_telemetry(p: &Program) -> Result<(), Failure> {
+    const O: &str = "telemetry-equiv";
+    let compiled =
+        compile(p).map_err(|e| Failure::new(O, "compile-error", format!("codegen: {e}")))?;
+    let mut mem = p.arrays.clone();
+    for k in &compiled.kernels {
+        let (placed, _) = place_buffers(&k.graph);
+        let observe = |scheduler: Scheduler, mem: Memory| {
+            let cfg = SimConfig {
+                scheduler,
+                waveform: true,
+                attribute_stalls: true,
+                telemetry: scheduler == Scheduler::Compiled,
+                ..SimConfig::default()
+            };
+            simulate(&placed, &start_feed(), mem, cfg)
+                .map_err(|e| Failure::new(O, "sim-error", format!("{scheduler:?}: {e}")))
+        };
+        let ev = observe(Scheduler::EventDriven, mem.clone())?;
+        let co = observe(Scheduler::Compiled, mem)?;
+        if ev.waveform != co.waveform {
+            return Err(Failure::new(
+                O,
+                "vcd",
+                format!("kernel `{}`: decoded VCD differs from event-driven capture", k.name),
+            ));
+        }
+        if ev.stalls != co.stalls {
+            return Err(Failure::new(
+                O,
+                "stalls",
+                format!("kernel `{}`: decoded stall report differs", k.name),
+            ));
+        }
+        let report = co.stalls.as_ref().expect("attribution requested");
+        let attributed: u64 = report.cause_totals().values().sum();
+        if attributed != report.stall_cycles + report.starved_cycles {
+            return Err(Failure::new(
+                O,
+                "cause-sums",
+                format!(
+                    "kernel `{}`: {attributed} attributed node-cycles vs {} stalled + {} starved",
+                    k.name, report.stall_cycles, report.starved_cycles
+                ),
+            ));
+        }
+        mem = co.memory;
+    }
+    Ok(())
+}
+
 /// Runs the oracles in order and returns the first violation.
 pub fn check_program(p: &Program, rng: &mut StdRng, opts: &OracleOpts) -> Result<(), Failure> {
     oracle_sched(p, rng)?;
     oracle_rewrite(p)?;
     oracle_roundtrip(p)?;
+    oracle_telemetry(p)?;
     if opts.refinement {
         oracle_refinement(p)?;
     }

@@ -229,6 +229,27 @@ pub const SCHEMA: &[MetricSpec] = &[
         stability: Unstable,
     },
     MetricSpec {
+        name: "sim.scope.decode_us",
+        kind: Counter,
+        unit: "us",
+        help: "Wall-clock time spent decoding compiled-backend scope logs post-run.",
+        stability: Unstable,
+    },
+    MetricSpec {
+        name: "sim.scope.frames",
+        kind: Counter,
+        unit: "events",
+        help: "Scope frames captured by the compiled backend's event log.",
+        stability: Unstable,
+    },
+    MetricSpec {
+        name: "sim.scope.log_words",
+        kind: Counter,
+        unit: "words",
+        help: "64-bit words appended to compiled-backend scope event logs.",
+        stability: Unstable,
+    },
+    MetricSpec {
         name: "sim.stall_cause.*",
         kind: Counter,
         unit: "cycles",
@@ -255,6 +276,13 @@ pub const SCHEMA: &[MetricSpec] = &[
         unit: "cycles",
         help: "Node-cycles lost waiting on missing operands.",
         stability: Stable,
+    },
+    MetricSpec {
+        name: "sim.telemetry.runs",
+        kind: Counter,
+        unit: "events",
+        help: "Compiled-backend runs executed with SimConfig::telemetry enabled.",
+        stability: Unstable,
     },
     MetricSpec {
         name: "sim.token_latency_cycles",

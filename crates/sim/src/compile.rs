@@ -36,6 +36,7 @@
 
 mod fire;
 mod rt;
+pub(crate) mod scope;
 
 use crate::memory::Memory;
 use crate::sim::{op_latency, purefn_latency, Scheduler, SimConfig, SimError, SimResult};
@@ -68,6 +69,29 @@ pub(crate) struct CNode {
     pub(crate) cur_marks: Range,
     /// Word masks OR-ed into the next round on fire (indices `<= i`).
     pub(crate) nxt_marks: Range,
+}
+
+/// The coarse unit classification the scope decoder's stall walks match
+/// on — exactly the `Unit` variants `walk_downstream`/`walk_upstream` in
+/// `sim.rs` distinguish, so the decoded attribution mirrors the
+/// interpreter's by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScopeKind {
+    /// Sink (back-pressure root: the drain is the bottleneck).
+    Sink,
+    /// Load port (memory dependency in both walk directions).
+    Load,
+    /// Store port (memory dependency downstream).
+    Store,
+    /// Buffer (full: back-pressure root; non-empty: latency source).
+    Buffer,
+    /// Latency pipeline (Piped operator or Pure; non-empty: latency
+    /// source).
+    Pipe,
+    /// Tagger (non-empty: latency source).
+    Tagger,
+    /// Everything else (walked through).
+    Plain,
 }
 
 /// Static shape of one internal queue (pipeline, buffer).
@@ -125,6 +149,17 @@ pub(crate) struct CompiledCircuit {
     pub(crate) mems: Vec<String>,
     /// `u64` words needed for a bitset over nodes.
     pub(crate) words: usize,
+    /// Per channel: a human-readable name in the interpreter's exact
+    /// format (`from.port-to.port`, `in.x`, `out.y`), feeding the scope
+    /// decoder's VCD signal list and stall report.
+    pub(crate) chan_names: Vec<String>,
+    /// Per channel: the node that reads it, if any (single-consumer).
+    pub(crate) consumer_of: Vec<Option<u32>>,
+    /// Per channel: the node that writes it, if any (single-producer).
+    pub(crate) producer_of: Vec<Option<u32>>,
+    /// Per node: the unit classification the scope decoder's stall walks
+    /// match on.
+    pub(crate) scope_kind: Vec<ScopeKind>,
     pub(crate) stats: CompileStats,
 }
 
@@ -348,11 +383,16 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
     // external inputs and outputs — the same order Simulator::new uses.
     let mut chan_of_out: BTreeMap<graphiti_ir::Endpoint, u32> = BTreeMap::new();
     let mut chan_of_in: BTreeMap<graphiti_ir::Endpoint, u32> = BTreeMap::new();
+    // Channel names are baked into the (config-agnostic, cached) artifact
+    // so a telemetry run never re-derives them; the format matches the
+    // interpreter's byte for byte.
+    let mut chan_names: Vec<String> = Vec::new();
     let mut n_chans: usize = 0;
     for (from, to) in g.edges() {
         let id = narrow_chan(n_chans)?;
         chan_of_out.insert(from.clone(), id);
         chan_of_in.insert(to.clone(), id);
+        chan_names.push(format!("{}.{}-{}.{}", from.node, from.port, to.node, to.port));
         n_chans += 1;
     }
     let n_slots = n_chans;
@@ -361,6 +401,7 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
         let id = narrow_chan(n_chans)?;
         chan_of_in.insert(target.clone(), id);
         input_chans.insert(name.clone(), id);
+        chan_names.push(format!("in.{name}"));
         n_chans += 1;
     }
     let mut output_chans = BTreeMap::new();
@@ -368,6 +409,7 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
         let id = narrow_chan(n_chans)?;
         chan_of_out.insert(source.clone(), id);
         output_chans.insert(name.clone(), id);
+        chan_names.push(format!("out.{name}"));
         n_chans += 1;
     }
 
@@ -383,6 +425,7 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
     let mut tagger_tags: Vec<u32> = Vec::new();
     let mut mems: Vec<String> = Vec::new();
     let mut queued: Vec<(u32, u32)> = Vec::new();
+    let mut scope_kind: Vec<ScopeKind> = Vec::new();
     // Merges arbitrate between inputs and taggers reorder: both (plus the
     // tagged closure computed below) stay on the dynamic worklist.
     let mut dynamic: Vec<bool> = Vec::new();
@@ -474,6 +517,19 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
         if pipe != NO_IDX {
             queued.push((i as u32, pipe));
         }
+        // The same Unit-variant distinctions the interpreter's stall walks
+        // make: a zero-latency operator lowers to `comb` and is walked
+        // through, a latency-bearing one holds tokens like Pure does.
+        scope_kind.push(match kind {
+            CompKind::Sink => ScopeKind::Sink,
+            CompKind::Load { .. } => ScopeKind::Load,
+            CompKind::Store { .. } => ScopeKind::Store,
+            CompKind::Buffer { .. } => ScopeKind::Buffer,
+            CompKind::Operator { op } if op_latency(*op) > 0 => ScopeKind::Pipe,
+            CompKind::Pure { .. } => ScopeKind::Pipe,
+            CompKind::TaggerUntagger { .. } => ScopeKind::Tagger,
+            _ => ScopeKind::Plain,
+        });
         names.push(name.clone());
         pipe_of.push(pipe);
         tagger_of.push(tagger);
@@ -664,6 +720,10 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
         tagger_tags,
         mems,
         words,
+        chan_names,
+        consumer_of,
+        producer_of,
+        scope_kind,
         stats,
     })
 }

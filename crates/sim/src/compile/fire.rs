@@ -213,6 +213,10 @@ pub(super) fn comb(art: &CompiledCircuit, rt: &mut Rt, i: u32) -> Result<bool, S
         return Ok(false);
     }
     let Some(tag) = fronts_tag(rt, ins) else { return Ok(false) };
+    if rt.tracing && rt.is_traced(i) {
+        let values = ins.iter().map(|&c| rt.front_value(c)).collect();
+        rt.trace_buf.push((rt.now, i, values));
+    }
     let mut payloads = std::mem::take(&mut rt.scratch);
     payloads.extend(ins.iter().map(|&c| rt.pop(c).1));
     let r = art.ops[nd.p0 as usize].eval(&payloads).map_err(|e| SimError::Eval(e.to_string()))?;
@@ -249,6 +253,10 @@ pub(super) fn piped(art: &CompiledCircuit, rt: &mut Rt, i: u32) -> Result<bool, 
     let spec = &art.pipe_specs[pid as usize];
     if !rt.is_accepted(i) && rt.pipes[pid as usize].len() < spec.cap {
         if let Some(tag) = fronts_tag(rt, ins) {
+            if rt.tracing && rt.is_traced(i) {
+                let values = ins.iter().map(|&c| rt.front_value(c)).collect();
+                rt.trace_buf.push((rt.now, i, values));
+            }
             let mut payloads = std::mem::take(&mut rt.scratch);
             payloads.extend(ins.iter().map(|&c| rt.pop(c).1));
             let r = art.ops[nd.p0 as usize]

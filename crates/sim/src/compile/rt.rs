@@ -9,9 +9,10 @@
 //! live in flat arrays with their tags out-of-band as raw `u32` words, so
 //! tag moves are plain word copies instead of `Box` traffic.
 
+use super::scope::Scope;
 use super::{assemble, canon, CompiledCircuit, NO_IDX, NO_TAG};
 use crate::memory::{MemError, Memory};
-use crate::sim::{SimConfig, SimError, SimResult};
+use crate::sim::{SimConfig, SimError, SimResult, TraceEvent};
 use graphiti_ir::Value;
 use graphiti_sem::TaggerState;
 use std::cmp::Reverse;
@@ -98,18 +99,18 @@ impl RtMem {
 pub(crate) struct Rt {
     // -- channels --
     /// Valid bits of the one-slot latch channels, packed.
-    slot_full: Vec<u64>,
+    pub(super) slot_full: Vec<u64>,
     /// Out-of-band tag per slot ([`NO_TAG`]: untagged).
-    slot_tag: Vec<u32>,
+    pub(super) slot_tag: Vec<u32>,
     /// Payload per slot (`Value::Unit` when vacant).
     slot_val: Vec<Value>,
     /// External queues (inputs, then outputs), indexed by `chan - n_slots`.
-    queues: Vec<VecDeque<(u32, Value)>>,
+    pub(super) queues: Vec<VecDeque<(u32, Value)>>,
     n_slots: usize,
     // -- per-node bitsets --
     accepted: Vec<u64>,
     emitted: Vec<u64>,
-    fired: Vec<u64>,
+    pub(super) fired: Vec<u64>,
     init_done: Vec<u64>,
     pub(super) cur: Vec<u64>,
     nxt: Vec<u64>,
@@ -126,10 +127,22 @@ pub(crate) struct Rt {
     firings_by_node: Vec<u64>,
     examined: u64,
     pushes: u64,
+    // -- telemetry --
+    /// Scope recorder, present when [`SimConfig::telemetry`] requests a
+    /// waveform or stall attribution. Boxed to keep the hot struct lean.
+    scope: Option<Box<Scope>>,
+    /// Whether any node is traced (checked first on the fire fast path).
+    pub(super) tracing: bool,
+    /// Per-node traced flags (empty when `tracing` is off).
+    traced: Vec<bool>,
+    /// Raw acceptance events `(cycle, node, consumed values)`.
+    pub(super) trace_buf: Vec<(u64, u32, Vec<Value>)>,
 }
 
 impl Rt {
-    fn new(art: &CompiledCircuit, memory: Memory) -> Rt {
+    fn new(art: &CompiledCircuit, memory: Memory, cfg: &SimConfig) -> Rt {
+        let scoped = cfg.telemetry && (cfg.waveform || cfg.attribute_stalls);
+        let tracing = cfg.telemetry && !cfg.trace_nodes.is_empty();
         let words = art.words;
         Rt {
             slot_full: vec![0; art.n_slots.div_ceil(64)],
@@ -157,7 +170,21 @@ impl Rt {
             firings_by_node: vec![0; art.nodes.len()],
             examined: 0,
             pushes: 0,
+            scope: scoped.then(|| Box::new(Scope::new(art, cfg))),
+            tracing,
+            traced: if tracing {
+                art.names.iter().map(|n| cfg.trace_nodes.contains(n)).collect()
+            } else {
+                Vec::new()
+            },
+            trace_buf: Vec::new(),
         }
+    }
+
+    /// Whether node `i` is on the trace list.
+    #[inline]
+    pub(super) fn is_traced(&self, i: u32) -> bool {
+        self.traced[i as usize]
     }
 
     // -- channel operations --
@@ -313,7 +340,7 @@ pub(super) fn run(
     memory: Memory,
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    let mut rt = Rt::new(art, memory);
+    let mut rt = Rt::new(art, memory, cfg);
     for (name, vals) in feeds {
         let chan = *art
             .input_chans
@@ -331,7 +358,7 @@ pub(super) fn run(
         graphiti_obs::flight::record("sim.error", || format!("cycle {}: {e}", rt.now));
         outcome?;
     }
-    Ok(finish(art, rt))
+    Ok(finish(art, rt, cfg))
 }
 
 /// The main loop: rounds within a cycle, cycles until quiescence, idle
@@ -393,6 +420,13 @@ fn drive(art: &CompiledCircuit, rt: &mut Rt, max_cycles: u64) -> Result<(), SimE
             std::mem::swap(&mut rt.cur, &mut rt.nxt);
         }
         if any {
+            // Scope frame: the post-fixpoint state of the cycle that just
+            // ended, before the clock advances and the fired bits reset —
+            // the instant the interpreter samples its waveform.
+            if let Some(mut sc) = rt.scope.take() {
+                sc.capture(art, rt);
+                rt.scope = Some(sc);
+            }
             rt.last_active = rt.now;
             rt.now += 1;
             // Firing caps reset for the nodes that fired; reseed them.
@@ -445,8 +479,28 @@ fn drive(art: &CompiledCircuit, rt: &mut Rt, max_cycles: u64) -> Result<(), SimE
 
 /// Folds run state into the interpreter's result shape: reassembles
 /// tagged outputs, reconstitutes the memory map, resolves per-node
-/// firings to names, and flushes scheduler metrics.
-fn finish(art: &CompiledCircuit, mut rt: Rt) -> SimResult {
+/// firings to names, decodes the scope log into waveform/stall telemetry,
+/// and flushes scheduler metrics.
+fn finish(art: &CompiledCircuit, mut rt: Rt, cfg: &SimConfig) -> SimResult {
+    // Decode the scope log first: the stall counters it yields join the
+    // metric flush below, exactly where the interpreter mints them.
+    let (waveform, stalls) = match rt.scope.take() {
+        Some(sc) => {
+            let t0 = std::time::Instant::now();
+            let decoded = super::scope::decode(art, &sc.log, cfg);
+            if graphiti_obs::enabled() {
+                graphiti_obs::counter("sim.scope.frames").add(sc.frames);
+                graphiti_obs::counter("sim.scope.log_words").add(sc.log.len() as u64);
+                graphiti_obs::counter("sim.scope.decode_us").add(t0.elapsed().as_micros() as u64);
+            }
+            decoded
+        }
+        None => (None, None),
+    };
+    let trace: Vec<TraceEvent> = std::mem::take(&mut rt.trace_buf)
+        .into_iter()
+        .map(|(cycle, i, values)| TraceEvent { cycle, node: art.names[i as usize].clone(), values })
+        .collect();
     let firings_by_node: BTreeMap<String, u64> = art
         .names
         .iter()
@@ -465,6 +519,24 @@ fn finish(art: &CompiledCircuit, mut rt: Rt) -> SimResult {
         for (name, &count) in art.names.iter().zip(&rt.firings_by_node) {
             if count > 0 {
                 graphiti_obs::counter(&format!("sim.fire.{name}")).add(count);
+            }
+        }
+        if cfg.telemetry {
+            graphiti_obs::counter("sim.telemetry.runs").inc();
+        }
+        // The stall counters derive from the decoded report, so the seven
+        // per-cause sums equal the totals by construction — the same
+        // guarantee the interpreter's shared `waiting_state` gives.
+        if let Some(report) = &stalls {
+            graphiti_obs::counter("sim.stall_cycles").add(report.stall_cycles);
+            graphiti_obs::counter("sim.starved_cycles").add(report.starved_cycles);
+            for (cause, count) in report.cause_totals() {
+                graphiti_obs::counter(&format!("sim.stall_cause.{cause}")).add(count);
+            }
+            for (name, stats) in &report.by_node {
+                if stats.stalled > 0 {
+                    graphiti_obs::counter(&format!("sim.stall_cycles.{name}")).add(stats.stalled);
+                }
             }
         }
     }
@@ -491,8 +563,8 @@ fn finish(art: &CompiledCircuit, mut rt: Rt) -> SimResult {
         firings: rt.firings,
         leftover_tokens: slot_leftover + input_leftover + internal_leftover,
         firings_by_node,
-        trace: Vec::new(),
-        waveform: None,
-        stalls: None,
+        trace,
+        waveform,
+        stalls,
     }
 }

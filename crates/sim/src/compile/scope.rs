@@ -1,0 +1,406 @@
+//! The compiled backend's scope unit: a hardware-style event log and its
+//! post-hoc decoder (DESIGN.md §3.12).
+//!
+//! The interpreted schedulers observe for free — they hold `Value`-shaped
+//! channels a waveform recorder or stall walker can inspect in place. The
+//! compiled backend's state is bit-packed and tag-split, so observing it
+//! directly from the run loop would re-introduce exactly the per-fire
+//! branching the lowering removed. Instead, [`Scope::capture`] appends one
+//! compact binary *frame* per active cycle to a growable `u64` log —
+//! XOR deltas of the channel-valid bitset, the fired bitset's non-zero
+//! words, and change-listed front-tag / pipe-occupancy / tagger-occupancy
+//! words — and [`decode`] replays the log after the run through the *same*
+//! [`WaveRecorder`] and [`StallState`] machinery the interpreter uses.
+//!
+//! Invariants the decoder relies on (and the differential suite pins):
+//!
+//! * frames are captured at the post-fixpoint state of each active cycle,
+//!   before the clock advances — the instant the interpreter samples — so
+//!   the reconstructed VCD is byte-identical to the event-driven
+//!   scheduler's;
+//! * the replayed stall walks match on [`ScopeKind`], the exact `Unit`
+//!   classification of `walk_downstream`/`walk_upstream` in `sim.rs`, over
+//!   the same single-producer/single-consumer tables, so every attributed
+//!   node-cycle lands on the same cause, path, and per-cause sums equal
+//!   the stall/starve totals by construction;
+//! * with a waveform sampling stride `N > 1`, only every `N`-th active
+//!   cycle is marked wave-sampled (bit 0 of the frame's cycle word), but
+//!   attribution frames are still captured every active cycle — sampling
+//!   bounds the *waveform*, not the attribution.
+
+use super::rt::Rt;
+use super::{CompiledCircuit, ScopeKind, NO_TAG};
+use crate::sim::SimConfig;
+use crate::stall::{StallCause, StallReport, StallState};
+use crate::wave::WaveRecorder;
+
+/// The scope recorder: per-active-cycle delta frames in a flat `u64` log.
+pub(crate) struct Scope {
+    /// Waveform sampling stride (`SimConfig::wave_stride`).
+    stride: u64,
+    /// Whether a waveform will be decoded (frames may be wave-sampled).
+    wave: bool,
+    /// Whether attribution will be decoded (frames every active cycle).
+    attr: bool,
+    /// Active cycles seen so far (sampling phase).
+    actives: u64,
+    /// Frames captured.
+    pub(crate) frames: u64,
+    /// The event log.
+    pub(crate) log: Vec<u64>,
+    /// Channel-valid bitset as of the previous frame.
+    prev_valid: Vec<u64>,
+    /// Scratch for the current frame's valid bitset.
+    cur_valid: Vec<u64>,
+    /// Display tag per channel as of the previous frame ([`NO_TAG`]:
+    /// vacant or untagged — both render as `x` in the VCD).
+    prev_tag: Vec<u32>,
+    /// Pipe occupancies as of the previous frame.
+    prev_pipe: Vec<u32>,
+    /// Tagger occupancies as of the previous frame.
+    prev_tagger: Vec<u32>,
+}
+
+/// Whether bit `c` is set in a packed bitset.
+#[inline]
+fn bit(words: &[u64], c: u32) -> bool {
+    words[c as usize / 64] >> (c % 64) & 1 != 0
+}
+
+impl Scope {
+    pub(crate) fn new(art: &CompiledCircuit, cfg: &SimConfig) -> Scope {
+        let vwords = art.n_chans.div_ceil(64);
+        Scope {
+            stride: cfg.wave_stride(),
+            wave: cfg.waveform,
+            attr: cfg.attribute_stalls,
+            actives: 0,
+            frames: 0,
+            log: Vec::new(),
+            prev_valid: vec![0; vwords],
+            cur_valid: vec![0; vwords],
+            prev_tag: vec![NO_TAG; art.n_chans],
+            prev_pipe: vec![0; art.pipe_specs.len()],
+            prev_tagger: vec![0; art.tagger_tags.len()],
+        }
+    }
+
+    /// Appends one frame for the active cycle that just reached fixpoint.
+    /// Must run before the clock advances and before the fired bitset
+    /// resets.
+    pub(crate) fn capture(&mut self, art: &CompiledCircuit, rt: &Rt) {
+        let sampled = self.actives.is_multiple_of(self.stride);
+        self.actives += 1;
+        if !(self.attr || (self.wave && sampled)) {
+            return;
+        }
+        self.frames += 1;
+        self.log.push(rt.now << 1 | u64::from(sampled));
+
+        // Channel-valid deltas: the slot words verbatim (slot index ==
+        // channel index == bit index), with each non-empty external
+        // queue's bit OR-ed in above them.
+        let sw = rt.slot_full.len();
+        self.cur_valid[..sw].copy_from_slice(&rt.slot_full);
+        for w in &mut self.cur_valid[sw..] {
+            *w = 0;
+        }
+        for (qi, q) in rt.queues.iter().enumerate() {
+            if !q.is_empty() {
+                let c = art.n_slots + qi;
+                self.cur_valid[c / 64] |= 1u64 << (c % 64);
+            }
+        }
+        let pos = self.log.len();
+        self.log.push(0);
+        let mut n = 0u64;
+        for (w, (cur, prev)) in self.cur_valid.iter().zip(&mut self.prev_valid).enumerate() {
+            let x = cur ^ *prev;
+            if x != 0 {
+                self.log.push(w as u64);
+                self.log.push(x);
+                *prev = *cur;
+                n += 1;
+            }
+        }
+        self.log[pos] = n;
+
+        // Fired bitset: absolute non-zero words (it resets every cycle,
+        // so deltas would not compress it).
+        let pos = self.log.len();
+        self.log.push(0);
+        let mut n = 0u64;
+        for (w, &bits) in rt.fired.iter().enumerate() {
+            if bits != 0 {
+                self.log.push(w as u64);
+                self.log.push(bits);
+                n += 1;
+            }
+        }
+        self.log[pos] = n;
+
+        // Front-tag changes, packed `channel << 32 | tag`.
+        let pos = self.log.len();
+        self.log.push(0);
+        let mut n = 0u64;
+        for c in 0..art.n_chans {
+            let disp = if c < art.n_slots {
+                if bit(&self.cur_valid, c as u32) {
+                    rt.slot_tag[c]
+                } else {
+                    NO_TAG
+                }
+            } else {
+                rt.queues[c - art.n_slots].front().map_or(NO_TAG, |&(t, _)| t)
+            };
+            if disp != self.prev_tag[c] {
+                self.log.push((c as u64) << 32 | u64::from(disp));
+                self.prev_tag[c] = disp;
+                n += 1;
+            }
+        }
+        self.log[pos] = n;
+
+        // Pipe-occupancy changes, packed `pipe << 32 | len`.
+        let pos = self.log.len();
+        self.log.push(0);
+        let mut n = 0u64;
+        for (p, pipe) in rt.pipes.iter().enumerate() {
+            let len = pipe.len() as u32;
+            if len != self.prev_pipe[p] {
+                self.log.push((p as u64) << 32 | u64::from(len));
+                self.prev_pipe[p] = len;
+                n += 1;
+            }
+        }
+        self.log[pos] = n;
+
+        // Tagger-occupancy changes, packed `tagger << 32 | len`.
+        let pos = self.log.len();
+        self.log.push(0);
+        let mut n = 0u64;
+        for (t, st) in rt.taggers.iter().enumerate() {
+            let len = st.len() as u32;
+            if len != self.prev_tagger[t] {
+                self.log.push((t as u64) << 32 | u64::from(len));
+                self.prev_tagger[t] = len;
+                n += 1;
+            }
+        }
+        self.log[pos] = n;
+    }
+}
+
+/// Replayed per-channel/per-node state while decoding.
+struct Replay {
+    valid: Vec<u64>,
+    fired: Vec<u64>,
+    disp_tag: Vec<u32>,
+    pipe_len: Vec<u32>,
+    tagger_len: Vec<u32>,
+}
+
+/// Decodes a scope log into the waveform and stall report the interpreter
+/// would have produced for the same run and configuration.
+pub(crate) fn decode(
+    art: &CompiledCircuit,
+    log: &[u64],
+    cfg: &SimConfig,
+) -> (Option<String>, Option<StallReport>) {
+    let mut wave = cfg.waveform.then(|| {
+        // The interpreter's channel-selection predicate: everything, or —
+        // under a trace_nodes filter — only channels touching a listed
+        // component.
+        let selected = (0..art.n_chans)
+            .filter(|&c| {
+                cfg.trace_nodes.is_empty()
+                    || [art.producer_of[c], art.consumer_of[c]]
+                        .iter()
+                        .flatten()
+                        .any(|&j| cfg.trace_nodes.contains(&art.names[j as usize]))
+            })
+            .map(|c| (c, art.chan_names[c].clone()))
+            .collect();
+        WaveRecorder::new(selected)
+    });
+    let mut ss = cfg.attribute_stalls.then(|| StallState::new(art.nodes.len(), art.n_chans));
+    let mut rp = Replay {
+        valid: vec![0; art.n_chans.div_ceil(64)],
+        fired: vec![0; art.words],
+        disp_tag: vec![NO_TAG; art.n_chans],
+        pipe_len: vec![0; art.pipe_specs.len()],
+        tagger_len: vec![0; art.tagger_tags.len()],
+    };
+    let mut cur = log.iter().copied();
+    let mut next = move || cur.next().expect("well-formed scope log");
+    let mut remaining = log.len();
+    while remaining > 0 {
+        let head = next();
+        let (cycle, sampled) = (head >> 1, head & 1 != 0);
+        let mut consumed = 1;
+        let nv = next();
+        consumed += 1 + 2 * nv as usize;
+        for _ in 0..nv {
+            let w = next() as usize;
+            rp.valid[w] ^= next();
+        }
+        for w in rp.fired.iter_mut() {
+            *w = 0;
+        }
+        let nf = next();
+        consumed += 1 + 2 * nf as usize;
+        for _ in 0..nf {
+            let w = next() as usize;
+            rp.fired[w] = next();
+        }
+        let nt = next();
+        consumed += 1 + nt as usize;
+        for _ in 0..nt {
+            let p = next();
+            rp.disp_tag[(p >> 32) as usize] = p as u32;
+        }
+        let np = next();
+        consumed += 1 + np as usize;
+        for _ in 0..np {
+            let p = next();
+            rp.pipe_len[(p >> 32) as usize] = p as u32;
+        }
+        let ng = next();
+        consumed += 1 + ng as usize;
+        for _ in 0..ng {
+            let p = next();
+            rp.tagger_len[(p >> 32) as usize] = p as u32;
+        }
+        remaining -= consumed.min(remaining);
+        if let Some(ss) = &mut ss {
+            attribute(art, &rp, ss);
+        }
+        if sampled {
+            if let Some(w) = &mut wave {
+                w.capture(cycle, |c| {
+                    let v = bit(&rp.valid, c as u32);
+                    let r = c >= art.n_slots || !v;
+                    let t = (rp.disp_tag[c] != NO_TAG).then_some(rp.disp_tag[c]);
+                    (v, r, t)
+                });
+            }
+        }
+    }
+    (wave.map(WaveRecorder::finish), ss.map(|s| s.finish(&art.names, &art.chan_names)))
+}
+
+/// One decoded cycle's attribution pass — the compiled mirror of
+/// `Simulator::attribute_cycle` plus `waiting_state`.
+fn attribute(art: &CompiledCircuit, rp: &Replay, ss: &mut StallState) {
+    for i in 0..art.nodes.len() {
+        if bit(&rp.fired, i as u32) {
+            continue;
+        }
+        let ins = art.ports(art.nodes[i].ins);
+        if ins.is_empty() {
+            continue;
+        }
+        let ready = ins.iter().filter(|&&c| bit(&rp.valid, c)).count();
+        let cause = if ready == ins.len() {
+            walk_downstream(art, rp, i, ss)
+        } else if ready > 0 {
+            walk_upstream(art, rp, i, ss)
+        } else {
+            continue;
+        };
+        ss.record(i, cause);
+    }
+}
+
+/// Occupancy of node `j`'s internal queue (0 when it has none).
+#[inline]
+fn occupancy(art: &CompiledCircuit, rp: &Replay, j: usize) -> u32 {
+    let pid = art.pipe_of[j];
+    if pid == super::NO_IDX {
+        0
+    } else {
+        rp.pipe_len[pid as usize]
+    }
+}
+
+/// `Simulator::walk_downstream` over decoded state: follow full channels
+/// to the back-pressure root.
+fn walk_downstream(
+    art: &CompiledCircuit,
+    rp: &Replay,
+    start: usize,
+    ss: &mut StallState,
+) -> StallCause {
+    ss.epoch += 1;
+    ss.path.clear();
+    ss.visited[start] = ss.epoch;
+    let mut cur = start;
+    loop {
+        // A full output: external queues always have space, so only a
+        // full one-slot latch blocks.
+        let outs = art.ports(art.nodes[cur].outs);
+        let Some(&c) = outs.iter().find(|&&c| (c as usize) < art.n_slots && bit(&rp.valid, c))
+        else {
+            return StallCause::BlockedDownstream;
+        };
+        ss.path.push(c);
+        let Some(j) = art.consumer_of[c as usize] else { return StallCause::BlockedDownstream };
+        let j = j as usize;
+        match art.scope_kind[j] {
+            ScopeKind::Sink => return StallCause::BlockedBySink,
+            ScopeKind::Store | ScopeKind::Load => return StallCause::MemoryDependency,
+            ScopeKind::Buffer
+                if occupancy(art, rp, j) as usize
+                    >= art.pipe_specs[art.pipe_of[j] as usize].cap =>
+            {
+                return StallCause::BlockedByFullBuffer
+            }
+            _ => {}
+        }
+        if ss.visited[j] == ss.epoch {
+            return StallCause::BlockedDownstream;
+        }
+        ss.visited[j] = ss.epoch;
+        cur = j;
+    }
+}
+
+/// `Simulator::walk_upstream` over decoded state: follow empty channels
+/// to the starvation root.
+fn walk_upstream(
+    art: &CompiledCircuit,
+    rp: &Replay,
+    start: usize,
+    ss: &mut StallState,
+) -> StallCause {
+    ss.epoch += 1;
+    ss.path.clear();
+    ss.visited[start] = ss.epoch;
+    let mut cur = start;
+    loop {
+        let ins = art.ports(art.nodes[cur].ins);
+        let Some(&c) = ins.iter().find(|&&c| !bit(&rp.valid, c)) else {
+            return StallCause::StarvedUpstream;
+        };
+        ss.path.push(c);
+        let Some(j) = art.producer_of[c as usize] else {
+            return StallCause::StarvedBySource;
+        };
+        let j = j as usize;
+        match art.scope_kind[j] {
+            ScopeKind::Load if occupancy(art, rp, j) > 0 => return StallCause::MemoryDependency,
+            ScopeKind::Pipe | ScopeKind::Buffer if occupancy(art, rp, j) > 0 => {
+                return StallCause::PipelineLatency
+            }
+            ScopeKind::Tagger if rp.tagger_len[art.nodes[j].p0 as usize] > 0 => {
+                return StallCause::PipelineLatency
+            }
+            _ => {}
+        }
+        if ss.visited[j] == ss.epoch {
+            return StallCause::StarvedUpstream;
+        }
+        ss.visited[j] = ss.epoch;
+        cur = j;
+    }
+}

@@ -60,8 +60,10 @@ pub enum Scheduler {
     /// simulator (monomorphic fire functions, bit-packed scheduler state,
     /// static firing schedules for in-order regions) and the artifact is
     /// cached per circuit content-hash. Produces the same observable
-    /// results as the other two cores but rejects waveform capture, stall
-    /// attribution, and node tracing ([`SimError::Unsupported`]).
+    /// results as the other two cores. Waveform capture, stall
+    /// attribution, and node tracing require [`SimConfig::telemetry`]
+    /// (the scope event log, DESIGN.md §3.12); without it they raise
+    /// [`SimError::Unsupported`].
     Compiled,
 }
 
@@ -89,6 +91,24 @@ pub struct SimConfig {
     /// blockage chain to the root cause and aggregate a
     /// [`StallReport`] in [`SimResult::stalls`].
     pub attribute_stalls: bool,
+    /// Enable the compiled backend's scope unit: the run loop records a
+    /// compact binary event log that a post-hoc decoder turns into the
+    /// same waveforms, stall attribution, and node traces the interpreted
+    /// schedulers produce. Off by default so the telemetry-off compiled
+    /// fast path keeps its zero-overhead contract; without it, observation
+    /// flags under [`Scheduler::Compiled`] raise
+    /// [`SimError::Unsupported`]. Ignored by the interpreted schedulers,
+    /// which observe directly.
+    pub telemetry: bool,
+    /// Waveform sampling stride: capture the channel handshake state on
+    /// every `N`-th active cycle (`0` and `1` both mean every cycle).
+    /// Bounds log/VCD growth on long runs at the cost of skipping the
+    /// cycles in between; under [`Scheduler::Compiled`] the scope frames
+    /// themselves are sampled, so stall attribution covers the same
+    /// sampled cycles (see DESIGN.md §3.12). Both schedulers sample the
+    /// same active-cycle indices, so dumps stay byte-identical across
+    /// schedulers at any stride.
+    pub wave_sample: u64,
 }
 
 impl Default for SimConfig {
@@ -100,7 +120,17 @@ impl Default for SimConfig {
             scheduler: Scheduler::default(),
             waveform: false,
             attribute_stalls: false,
+            telemetry: false,
+            wave_sample: 1,
         }
+    }
+}
+
+impl SimConfig {
+    /// The effective waveform sampling stride (`wave_sample` with `0`
+    /// normalised to `1`).
+    pub fn wave_stride(&self) -> u64 {
+        self.wave_sample.max(1)
     }
 }
 
@@ -142,8 +172,11 @@ pub enum SimError {
     Timeout(u64),
     /// The graph is not simulatable (validation failure).
     BadGraph(String),
-    /// The configuration asks the compiled scheduler for a capability it
-    /// does not implement (waveforms, stall attribution, node tracing).
+    /// The configuration asks a scheduler for a capability it does not
+    /// implement in that mode — e.g. waveforms, stall attribution, or
+    /// node tracing under [`Scheduler::Compiled`] without
+    /// [`SimConfig::telemetry`]. The message names the scheduler and the
+    /// flag that would enable the feature.
     Unsupported(String),
 }
 
@@ -155,7 +188,7 @@ impl fmt::Display for SimError {
             SimError::Timeout(c) => write!(f, "simulation exceeded {c} cycles"),
             SimError::BadGraph(m) => write!(f, "graph not simulatable: {m}"),
             SimError::Unsupported(m) => {
-                write!(f, "not supported by the compiled scheduler: {m}")
+                write!(f, "unsupported configuration: {m}")
             }
         }
     }
@@ -167,6 +200,16 @@ impl From<MemError> for SimError {
     fn from(e: MemError) -> Self {
         SimError::Mem(e)
     }
+}
+
+/// The [`SimError::Unsupported`] raised when an observation feature is
+/// requested under [`Scheduler::Compiled`] without the flag that enables
+/// it there, naming both the scheduler and the fix.
+fn compiled_needs_telemetry(feature: &str) -> SimError {
+    SimError::Unsupported(format!(
+        "{feature} on Scheduler::Compiled requires SimConfig::telemetry \
+         (pass --telemetry to graphiti-cli)"
+    ))
 }
 
 /// The outcome of a simulation run.
@@ -332,6 +375,9 @@ struct RunState {
     /// Total worklist insertions (scheduler-efficiency metric; zero for
     /// the reference sweep, which has no worklist).
     pushes: u64,
+    /// Active cycles completed so far (drives the [`SimConfig::wave_sample`]
+    /// stride; idle fast-forwarded cycles do not count).
+    active_cycles: u64,
     /// Observation state, present only on instrumented runs.
     obs_run: Option<ObsRunState>,
 }
@@ -537,14 +583,16 @@ impl Simulator {
     /// Fails if the graph is incomplete.
     pub fn new(g: &ExprHigh, memory: Memory, cfg: SimConfig) -> Result<Simulator, SimError> {
         if cfg.scheduler == Scheduler::Compiled {
-            if cfg.waveform {
-                return Err(SimError::Unsupported("waveform capture".to_string()));
-            }
-            if cfg.attribute_stalls {
-                return Err(SimError::Unsupported("stall attribution".to_string()));
-            }
-            if !cfg.trace_nodes.is_empty() {
-                return Err(SimError::Unsupported("node tracing".to_string()));
+            if !cfg.telemetry {
+                if cfg.waveform {
+                    return Err(compiled_needs_telemetry("waveform capture"));
+                }
+                if cfg.attribute_stalls {
+                    return Err(compiled_needs_telemetry("stall attribution"));
+                }
+                if !cfg.trace_nodes.is_empty() {
+                    return Err(compiled_needs_telemetry("node tracing"));
+                }
             }
             let art = crate::compile::get_or_compile(g, &cfg)?;
             return Ok(Simulator {
@@ -1312,13 +1360,19 @@ impl Simulator {
             self.attribute_cycle(&mut ss, &st.fired);
             self.stall = Some(ss);
         }
-        if let Some(mut w) = self.wave.take() {
-            w.capture(st.now, |c| {
-                let ch = &self.chans[c];
-                (ch.front().is_some(), ch.has_space(), ch.front().and_then(|v| v.untag().0))
-            });
-            self.wave = Some(w);
+        // Waveform capture honours the sampling stride; attribution and
+        // the obs counters above stay per-cycle (the interpreter observes
+        // for free, so only the log-growth-bound output is sampled).
+        if st.active_cycles.is_multiple_of(self.cfg.wave_stride()) {
+            if let Some(mut w) = self.wave.take() {
+                w.capture(st.now, |c| {
+                    let ch = &self.chans[c];
+                    (ch.front().is_some(), ch.has_space(), ch.front().and_then(|v| v.untag().0))
+                });
+                self.wave = Some(w);
+            }
         }
+        st.active_cycles += 1;
         st.examined_cycle = 0;
         st.last_active = st.now;
         st.now += 1;
@@ -1353,6 +1407,7 @@ impl Simulator {
             examined: 0,
             examined_cycle: 0,
             pushes: 0,
+            active_cycles: 0,
             // Per-run observation state, allocated only when a sink is
             // installed; the uninstrumented loop does none of this work.
             obs_run: self.obs.is_some().then(|| ObsRunState {
@@ -1895,7 +1950,7 @@ mod tests {
     }
 
     #[test]
-    fn compiled_scheduler_rejects_observation_hooks() {
+    fn compiled_scheduler_rejects_observation_hooks_without_telemetry() {
         let mut g = ExprHigh::new();
         g.add_node("b", CompKind::Buffer { slots: 1, transparent: true }).unwrap();
         g.expose_input("x", ep("b", "in")).unwrap();
@@ -1907,8 +1962,90 @@ mod tests {
             (SimConfig { trace_nodes: vec!["b".into()], ..cfg.clone() }, "node tracing"),
         ] {
             let err = Simulator::new(&g, Memory::new(), bad).err().unwrap();
-            assert_eq!(err, SimError::Unsupported(what.to_string()));
+            // The diagnostic names the scheduler and the enabling flag,
+            // not just the rejected feature.
+            assert_eq!(err, compiled_needs_telemetry(what));
+            let msg = err.to_string();
+            assert!(msg.contains("Scheduler::Compiled"), "{msg}");
+            assert!(msg.contains("SimConfig::telemetry"), "{msg}");
+            assert!(msg.contains(what), "{msg}");
         }
+    }
+
+    #[test]
+    fn compiled_scheduler_observes_under_telemetry() {
+        let mut g = ExprHigh::new();
+        g.add_node("b", CompKind::Buffer { slots: 1, transparent: true }).unwrap();
+        g.add_node("a", CompKind::Operator { op: Op::AddI }).unwrap();
+        g.expose_input("x", ep("b", "in")).unwrap();
+        g.expose_input("z", ep("a", "in1")).unwrap();
+        g.connect(ep("b", "out"), ep("a", "in0")).unwrap();
+        g.expose_output("y", ep("a", "out")).unwrap();
+        let mut fs = feeds("x", vec![Value::Int(1), Value::Int(2)]);
+        fs.insert("z".into(), vec![Value::Int(10), Value::Int(20)]);
+        let run = |scheduler| {
+            simulate(
+                &g,
+                &fs,
+                Memory::new(),
+                SimConfig {
+                    scheduler,
+                    telemetry: true,
+                    waveform: true,
+                    attribute_stalls: true,
+                    trace_nodes: vec!["a".into()],
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let ev = run(Scheduler::EventDriven);
+        let co = run(Scheduler::Compiled);
+        assert_eq!(ev.outputs, co.outputs);
+        assert_eq!(ev.waveform, co.waveform, "VCD documents must be byte-identical");
+        assert_eq!(ev.stalls, co.stalls, "stall reports must agree");
+        assert_eq!(ev.trace, co.trace, "trace events must agree");
+        let report = co.stalls.as_ref().unwrap();
+        let attributed: u64 = report.cause_totals().values().sum();
+        assert_eq!(attributed, report.stall_cycles + report.starved_cycles);
+    }
+
+    #[test]
+    fn wave_sampling_matches_across_schedulers() {
+        let mut g = ExprHigh::new();
+        g.add_node("f", CompKind::Fork { ways: 2 }).unwrap();
+        g.add_node("a", CompKind::Operator { op: Op::AddF }).unwrap();
+        g.expose_input("x", ep("f", "in")).unwrap();
+        g.connect(ep("f", "out0"), ep("a", "in0")).unwrap();
+        g.connect(ep("f", "out1"), ep("a", "in1")).unwrap();
+        g.expose_output("y", ep("a", "out")).unwrap();
+        let vals: Vec<Value> = (0..8).map(|i| Value::from_f64(i as f64)).collect();
+        let run = |scheduler, stride| {
+            simulate(
+                &g,
+                &feeds("x", vals.clone()),
+                Memory::new(),
+                SimConfig {
+                    scheduler,
+                    telemetry: true,
+                    waveform: true,
+                    wave_sample: stride,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        for stride in [1, 3, 7] {
+            let ev = run(Scheduler::EventDriven, stride);
+            let sw = run(Scheduler::ReferenceSweep, stride);
+            let co = run(Scheduler::Compiled, stride);
+            assert_eq!(ev.waveform, sw.waveform, "stride {stride}");
+            assert_eq!(ev.waveform, co.waveform, "stride {stride}");
+        }
+        // A wider stride must not record more VCD bytes than stride 1.
+        let full = run(Scheduler::EventDriven, 1).waveform.unwrap();
+        let sampled = run(Scheduler::EventDriven, 7).waveform.unwrap();
+        assert!(sampled.len() <= full.len());
     }
 
     #[test]

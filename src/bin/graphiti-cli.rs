@@ -53,6 +53,19 @@
 //!   (`--top K`, default 10) instead of dot output.
 //! * `vcd-check FILE` parses a previously dumped VCD and reports its
 //!   signal/change/time summary — the CI round-trip gate.
+//!
+//! Scheduler selection and compiled-backend telemetry:
+//!
+//! * `--scheduler event-driven|sweep|compiled` picks the simulation core
+//!   for compile-mode runs (default event-driven).
+//! * `--telemetry` arms the compiled backend's scope unit so waveforms,
+//!   stall attribution, and node traces work at compiled speed; it is
+//!   implied whenever `--scheduler compiled` is combined with `--vcd-out`,
+//!   `--trace-nodes`, or `explain-stalls`. The decoded output is
+//!   byte-identical to the event-driven scheduler's.
+//! * `--wave-sample N` captures every N-th active cycle into the waveform
+//!   (any scheduler), bounding VCD growth on long runs; stall attribution
+//!   stays cycle-exact regardless of the stride.
 
 use graphiti::pipeline::{find_seq_loops, optimize_loop, PipelineOptions};
 use graphiti::prelude::*;
@@ -87,6 +100,9 @@ struct Args {
     trace_out: Option<String>,
     vcd_out: Option<String>,
     trace_nodes: Vec<String>,
+    scheduler: graphiti::sim::Scheduler,
+    telemetry: bool,
+    wave_sample: u64,
     top: usize,
     mode: Mode,
     input: Option<String>,
@@ -108,6 +124,9 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         vcd_out: None,
         trace_nodes: Vec::new(),
+        scheduler: graphiti::sim::Scheduler::EventDriven,
+        telemetry: false,
+        wave_sample: 1,
         top: 10,
         mode: Mode::Rewrite,
         input: None,
@@ -153,6 +172,27 @@ fn parse_args() -> Result<Args, String> {
                 args.trace_nodes =
                     v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(Into::into).collect();
             }
+            "--scheduler" => {
+                let v = it.next().ok_or("--scheduler needs a value")?;
+                args.scheduler = match v.as_str() {
+                    "event-driven" => graphiti::sim::Scheduler::EventDriven,
+                    "sweep" => graphiti::sim::Scheduler::ReferenceSweep,
+                    "compiled" => graphiti::sim::Scheduler::Compiled,
+                    other => {
+                        return Err(format!(
+                            "unknown scheduler `{other}` (expected event-driven, sweep, or compiled)"
+                        ))
+                    }
+                };
+            }
+            "--telemetry" => args.telemetry = true,
+            "--wave-sample" => {
+                let v = it.next().ok_or("--wave-sample needs a cycle stride")?;
+                args.wave_sample = v.parse().map_err(|_| format!("bad sample stride `{v}`"))?;
+                if args.wave_sample == 0 {
+                    return Err("--wave-sample stride must be at least 1".to_string());
+                }
+            }
             "--top" => {
                 let v = it.next().ok_or("--top needs a value")?;
                 args.top = v.parse().map_err(|_| format!("bad chain count `{v}`"))?;
@@ -168,7 +208,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--openmetrics-out FILE] [--trace-out FILE] [--flight-out FILE] [INPUT.dot]\n       graphiti-cli --compile [--vcd-out FILE] [--trace-nodes a,b,c] [PROGRAM.gsl]\n       graphiti-cli profile [--json FILE] [--folded FILE] [--flight-out FILE] PROGRAM.gsl\n       graphiti-cli explain-stalls [--top K] [PROGRAM.gsl]\n       graphiti-cli vcd-check FILE.vcd\n       graphiti-cli schema"
+                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--openmetrics-out FILE] [--trace-out FILE] [--flight-out FILE] [INPUT.dot]\n       graphiti-cli --compile [--scheduler event-driven|sweep|compiled] [--telemetry] [--vcd-out FILE] [--wave-sample N] [--trace-nodes a,b,c] [PROGRAM.gsl]\n       graphiti-cli profile [--telemetry] [--json FILE] [--folded FILE] [--flight-out FILE] PROGRAM.gsl\n       graphiti-cli explain-stalls [--scheduler NAME] [--top K] [PROGRAM.gsl]\n       graphiti-cli vcd-check FILE.vcd\n       graphiti-cli schema"
                         .to_string(),
                 )
             }
@@ -481,10 +521,17 @@ fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
         let mut mem = program.arrays.clone();
         let feeds: std::collections::BTreeMap<String, Vec<Value>> =
             [("start".to_string(), vec![Value::Unit])].into_iter().collect();
+        let observing = args.vcd_out.is_some() || explain || !args.trace_nodes.is_empty();
         let cfg = SimConfig {
             trace_nodes: args.trace_nodes.clone(),
             waveform: args.vcd_out.is_some(),
             attribute_stalls: explain,
+            scheduler: args.scheduler,
+            // Observation on the compiled backend needs the scope unit;
+            // turn it on rather than bounce the run with Unsupported.
+            telemetry: args.telemetry
+                || (args.scheduler == graphiti::sim::Scheduler::Compiled && observing),
+            wave_sample: args.wave_sample,
             ..Default::default()
         };
         for (name, g) in &optimized {
@@ -575,8 +622,11 @@ fn profile_mode(src: &str, args: &Args) -> Result<(), String> {
             let mut mem = program.arrays.clone();
             let feeds: std::collections::BTreeMap<String, Vec<Value>> =
                 [("start".to_string(), vec![Value::Unit])].into_iter().collect();
-            let cfg =
-                SimConfig { scheduler: graphiti::sim::Scheduler::Compiled, ..SimConfig::default() };
+            let cfg = SimConfig {
+                scheduler: graphiti::sim::Scheduler::Compiled,
+                telemetry: args.telemetry,
+                ..SimConfig::default()
+            };
             for (name, g) in &optimized {
                 let (placed, _) = place_buffers(g);
                 let r = simulate(&placed, &feeds, mem, cfg.clone())
