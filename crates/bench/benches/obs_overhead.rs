@@ -18,6 +18,12 @@
 //! per-cycle frame capture plus the post-run waveform/stall decode — on
 //! top of that warm path.
 //!
+//! The `robust/*` group prices the resilience layer:
+//! `robust/failpoints_disabled` is an unarmed injection-site check (the
+//! zero-overhead contract — one relaxed atomic load, like the obs gate)
+//! and `robust/supervised` is a supervised no-op stage (token poll +
+//! clock read + outcome accounting).
+//!
 //! The `metric/*` group isolates the fire-path accounting the simulator
 //! used to pay per call: `per_call_lookup` is the old pattern (registry
 //! mutex + BTreeMap walk on every increment), `memoised_handle` is what
@@ -158,6 +164,33 @@ fn bench_metric_lookup(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_robust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust");
+
+    // The failpoint subsystem's zero-overhead contract mirrors the obs
+    // sink's: with no schedule configured, `should_fail` at an injection
+    // site is one relaxed atomic load — the simulator fire paths pay
+    // nothing for being injectable.
+    graphiti_obs::failpoint::clear();
+    group.bench_function("failpoints_disabled", |b| {
+        b.iter(|| black_box(graphiti_obs::failpoint::should_fail("sim.fire.compiled")))
+    });
+
+    // A supervised stage wrapping a trivial body: the per-stage price of
+    // the resilience layer (token poll, clock read, outcome accounting)
+    // when nothing goes wrong.
+    graphiti_obs::disable();
+    let token = graphiti_obs::CancelToken::new();
+    group.bench_function("supervised", |b| {
+        b.iter(|| {
+            let r = graphiti_robust::supervise("bench", &token, || Ok::<_, String>(black_box(1)));
+            black_box(r.unwrap());
+        })
+    });
+
+    group.finish();
+}
+
 fn bench_flight_recorder(c: &mut Criterion) {
     let mut group = c.benchmark_group("flight");
 
@@ -180,6 +213,6 @@ fn bench_flight_recorder(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_obs_overhead, bench_metric_lookup, bench_flight_recorder
+    targets = bench_obs_overhead, bench_metric_lookup, bench_robust, bench_flight_recorder
 }
 criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Cooperative cancellation for supervised pipeline stages.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle polled at natural
+//! checkpoints (cycle boundaries in the simulator, per-job claims in the
+//! worker pool). It trips either explicitly via [`CancelToken::cancel`]
+//! or implicitly when its optional deadline passes; once tripped it stays
+//! tripped, and [`CancelToken::deadline_exceeded`] distinguishes the two
+//! causes so supervisors can report `DeadlineExceeded` vs `Cancelled`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Inner {
+    cancelled: AtomicBool,
+    by_deadline: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional wall-clock deadline.
+#[derive(Clone)]
+pub struct CancelToken(Arc<Inner>);
+
+impl CancelToken {
+    /// A token with no deadline; trips only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            by_deadline: AtomicBool::new(false),
+            deadline: None,
+        }))
+    }
+
+    /// A token that trips automatically `ms` milliseconds from now.
+    pub fn with_deadline_ms(ms: u64) -> Self {
+        CancelToken(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            by_deadline: AtomicBool::new(false),
+            deadline: Some(Instant::now() + std::time::Duration::from_millis(ms)),
+        }))
+    }
+
+    /// Trips the token explicitly.
+    pub fn cancel(&self) {
+        self.0.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline).
+    ///
+    /// A deadline trip is latched into the flag, so later polls are a
+    /// single relaxed load with no clock read.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        if self.0.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.0.deadline {
+            if Instant::now() >= deadline {
+                self.0.by_deadline.store(true, Ordering::Relaxed);
+                self.0.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the trip was caused by the deadline passing.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.0.by_deadline.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.0.cancelled.load(Ordering::Relaxed))
+            .field("has_deadline", &self.0.deadline.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_trips_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+    }
+
+    #[test]
+    fn past_deadline_trips_with_cause() {
+        let t = CancelToken::with_deadline_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(t.is_cancelled());
+        assert!(t.deadline_exceeded());
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let t = CancelToken::with_deadline_ms(120_000);
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A failpoint is a named site in the codebase that can be armed to fail
+//! on a deterministic, seeded schedule. The subsystem follows the same
+//! zero-overhead contract as the metrics layer: while no schedule is
+//! configured, [`should_fail`] is a single relaxed atomic load and does no
+//! allocation, locking, or hashing.
+//!
+//! A schedule is a `;`-separated spec string:
+//!
+//! ```text
+//! seed=42;parse=1/8;sim.fire.compiled=1/64
+//! ```
+//!
+//! Each `site=NUM/DEN` clause arms one site with injection probability
+//! `NUM/DEN`, decided deterministically per hit: the `n`-th time an armed
+//! site is reached, a splitmix64-style mix of `(seed, site, n)` selects
+//! whether that hit fails. The same seed and spec therefore always inject
+//! at the same hit indices, independent of wall-clock time or thread
+//! interleaving at *other* sites (each site keeps its own hit counter).
+//!
+//! Configuration is global, like the metrics registry: tests that arm
+//! failpoints must serialize against each other and [`clear`] the schedule
+//! when done (the workspace keeps such tests in dedicated integration-test
+//! binaries).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Fast-path gate: true while any site is armed.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+struct Site {
+    name: String,
+    num: u64,
+    den: u64,
+    hits: u64,
+}
+
+struct Config {
+    seed: u64,
+    sites: Vec<Site>,
+    /// Every injection performed under this schedule, as
+    /// `(site, hit_index)` in injection order.
+    log: Vec<(String, u64)>,
+}
+
+fn config() -> MutexGuard<'static, Option<Config>> {
+    static CONFIG: OnceLock<Mutex<Option<Config>>> = OnceLock::new();
+    CONFIG.get_or_init(|| Mutex::new(None)).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms the failpoint schedule described by `spec`.
+///
+/// `spec` is `;`-separated clauses: an optional `seed=N` (default 0) and
+/// any number of `site=NUM/DEN` rates with `NUM <= DEN` and `DEN >= 1`.
+/// Replaces any previously armed schedule and resets all hit counters and
+/// the injection log. An empty spec (or one with no site clauses) is an
+/// error — use [`clear`] to disarm.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut seed = 0u64;
+    let mut sites = Vec::new();
+    for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+        let (key, value) =
+            clause.split_once('=').ok_or_else(|| format!("failpoint clause `{clause}`: no `=`"))?;
+        let (key, value) = (key.trim(), value.trim());
+        if key == "seed" {
+            seed = value.parse().map_err(|_| format!("failpoint seed `{value}`: not a u64"))?;
+            continue;
+        }
+        let (num, den) = value
+            .split_once('/')
+            .ok_or_else(|| format!("failpoint rate `{clause}`: expected NUM/DEN"))?;
+        let num: u64 =
+            num.parse().map_err(|_| format!("failpoint rate `{clause}`: bad numerator"))?;
+        let den: u64 =
+            den.parse().map_err(|_| format!("failpoint rate `{clause}`: bad denominator"))?;
+        if den == 0 || num > den {
+            return Err(format!("failpoint rate `{clause}`: need 0 < DEN and NUM <= DEN"));
+        }
+        sites.push(Site { name: key.to_string(), num, den, hits: 0 });
+    }
+    if sites.is_empty() {
+        return Err("failpoint spec arms no sites (use `clear` to disarm)".to_string());
+    }
+    *config() = Some(Config { seed, sites, log: Vec::new() });
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disarms all failpoints and discards the injection log.
+pub fn clear() {
+    *config() = None;
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Whether any failpoint site is currently armed.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the site name, so distinct sites decorrelate.
+fn site_hash(site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Whether the armed schedule injects a fault at this hit of `site`.
+///
+/// The disabled path is one relaxed atomic load. When a schedule is armed
+/// the site's hit counter advances on every call (injected or not), the
+/// decision is a pure function of `(seed, site, hit_index)`, and every
+/// injection is appended to the log, recorded in the flight ring, and
+/// counted under `robust.failpoint.injected` (when metrics collect).
+#[inline]
+pub fn should_fail(site: &str) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    should_fail_slow(site)
+}
+
+#[cold]
+fn should_fail_slow(site: &str) -> bool {
+    let mut guard = config();
+    let Some(cfg) = guard.as_mut() else { return false };
+    let Some(s) = cfg.sites.iter_mut().find(|s| s.name == site) else { return false };
+    let hit = s.hits;
+    s.hits += 1;
+    let inject = mix(cfg.seed ^ site_hash(site).wrapping_add(mix(hit))) % s.den < s.num;
+    if inject {
+        let name = s.name.clone();
+        cfg.log.push((name, hit));
+        drop(guard);
+        crate::flight::record("failpoint.injected", || format!("{site} hit {hit}"));
+        if crate::enabled() {
+            crate::counter("robust.failpoint.injected").inc();
+        }
+    }
+    inject
+}
+
+/// The injections performed since the schedule was armed, as
+/// `(site, hit_index)` pairs in injection order. Empty when disarmed.
+pub fn injection_log() -> Vec<(String, u64)> {
+    config().as_ref().map(|c| c.log.clone()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_site_never_fails() {
+        let _guard = crate::test_lock();
+        clear();
+        assert!(!active());
+        for _ in 0..1000 {
+            assert!(!should_fail("test.site"));
+        }
+    }
+
+    #[test]
+    fn spec_parsing_rejects_malformed_clauses() {
+        let _guard = crate::test_lock();
+        clear();
+        assert!(configure("").is_err());
+        assert!(configure("seed=7").is_err()); // no sites armed
+        assert!(configure("parse").is_err());
+        assert!(configure("parse=1").is_err());
+        assert!(configure("parse=2/1").is_err());
+        assert!(configure("parse=1/0").is_err());
+        assert!(configure("seed=x;parse=1/2").is_err());
+        assert!(!active());
+        assert!(configure("seed=3; parse = 1/4 ;sim.fire=1/1").is_ok());
+        assert!(active());
+        clear();
+    }
+
+    #[test]
+    fn same_seed_and_schedule_inject_at_same_hits() {
+        let _guard = crate::test_lock();
+        let run = |spec: &str, hits: u64| {
+            configure(spec).unwrap();
+            for _ in 0..hits {
+                should_fail("a");
+                should_fail("b");
+            }
+            let log = injection_log();
+            clear();
+            log
+        };
+        let l1 = run("seed=42;a=1/4;b=1/7", 200);
+        let l2 = run("seed=42;a=1/4;b=1/7", 200);
+        assert_eq!(l1, l2);
+        assert!(!l1.is_empty(), "1/4 over 200 hits should inject");
+        // A different seed produces a different schedule.
+        let l3 = run("seed=43;a=1/4;b=1/7", 200);
+        assert_ne!(l1, l3);
+    }
+
+    #[test]
+    fn rate_one_always_fails_and_unarmed_sites_pass() {
+        let _guard = crate::test_lock();
+        configure("seed=1;always=1/1").unwrap();
+        for _ in 0..10 {
+            assert!(should_fail("always"));
+            assert!(!should_fail("other.site"));
+        }
+        assert_eq!(injection_log().len(), 10);
+        clear();
+        assert!(injection_log().is_empty());
+    }
+}

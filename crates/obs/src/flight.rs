@@ -98,7 +98,14 @@ pub fn record(kind: &'static str, detail: impl FnOnce() -> String) {
         detail: detail(),
     };
     let slot = &slots()[(seq % CAPACITY as u64) as usize];
-    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(ev);
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+    // A writer descheduled between claiming its sequence number and
+    // reaching the slot can arrive after a faster writer from the next
+    // lap; keep the newest event rather than letting the straggler
+    // clobber it with a stale one.
+    if guard.as_ref().is_none_or(|old| old.seq < seq) {
+        *guard = Some(ev);
+    }
 }
 
 /// Events recorded so far in total (including ones the ring has dropped).

@@ -31,7 +31,9 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+pub mod cancel;
 mod export;
+pub mod failpoint;
 pub mod flight;
 pub mod profile;
 pub mod schema;
@@ -39,6 +41,7 @@ mod span;
 mod trace;
 pub mod vcd;
 
+pub use cancel::CancelToken;
 pub use export::{
     chrome_trace_json, metrics_json, openmetrics_text, summary_table, write_chrome_trace,
     write_metrics_json,

@@ -152,6 +152,13 @@ pub const SCHEMA: &[MetricSpec] = &[
         stability: Stable,
     },
     MetricSpec {
+        name: "robust.*",
+        kind: Counter,
+        unit: "events",
+        help: "Resilience-layer events: robust.{failpoint.injected|degrade.*|stage.*}.",
+        stability: Stable,
+    },
+    MetricSpec {
         name: "sim.buf_occupancy.*",
         kind: Histogram,
         unit: "tokens",
@@ -162,7 +169,7 @@ pub const SCHEMA: &[MetricSpec] = &[
         name: "sim.compile.*",
         kind: Counter,
         unit: "events",
-        help: "Compiled-backend lowering facts: sim.compile.{cache_hits|cache_misses|nodes|chans}.",
+        help: "Compiled-backend lowering facts: sim.compile.{cache_hits|cache_misses|evictions|quarantined|nodes|chans}.",
         stability: Unstable,
     },
     MetricSpec {

@@ -104,6 +104,90 @@ where
         .collect()
 }
 
+/// [`parallel_map`] with cooperative cancellation: each worker polls
+/// `token` before claiming its next job (and the armed `pool.worker`
+/// failpoint, which models a wedged worker by cancelling the token).
+///
+/// Returns `None` when the token tripped before every job completed —
+/// in-flight jobs finish, unclaimed ones are abandoned — and
+/// `Some(results)` in input order otherwise. With one worker the items
+/// are mapped inline with the same per-item poll.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have stopped.
+pub fn parallel_map_cancellable<T, R, F>(
+    items: Vec<T>,
+    token: &graphiti_obs::CancelToken,
+    f: F,
+) -> Option<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let poll = |token: &graphiti_obs::CancelToken| {
+        if graphiti_obs::failpoint::should_fail("pool.worker") {
+            token.cancel();
+        }
+        token.is_cancelled()
+    };
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for item in items {
+            if poll(token) {
+                return None;
+            }
+            out.push(f(item));
+        }
+        return Some(out);
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let record = graphiti_obs::enabled();
+    let parent_span = if record { graphiti_obs::current_span_id() } else { 0 };
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (next, slots, results, f, token) = (&next, &slots, &results, &f, &token);
+            scope.spawn(move || {
+                let _adopt = graphiti_obs::adopt_parent(parent_span);
+                let mut done: u64 = 0;
+                loop {
+                    if poll(token) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().expect("job slot").take().expect("job taken once");
+                    let r = f(item);
+                    *results[i].lock().expect("result slot") = Some(r);
+                    done += 1;
+                }
+                if record && done > 0 {
+                    graphiti_obs::counter(&format!("pool.jobs.worker_{w}")).add(done);
+                }
+            });
+        }
+    });
+    if record {
+        graphiti_obs::gauge("pool.workers").set(workers as i64);
+    }
+    let mut out = Vec::with_capacity(n);
+    for m in results {
+        match m.into_inner().expect("result slot") {
+            Some(r) => out.push(r),
+            // An unclaimed job: the token tripped mid-batch.
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +224,20 @@ mod tests {
     fn runs_are_deterministic_across_repeats() {
         let run = || parallel_map((0..257u64).collect::<Vec<_>>(), |x| x.wrapping_mul(x) ^ 0xa5);
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cancellable_map_completes_when_token_stays_quiet() {
+        let token = graphiti_obs::CancelToken::new();
+        let out = parallel_map_cancellable((0..64u64).collect::<Vec<_>>(), &token, |x| x + 1);
+        assert_eq!(out, Some((1..=64).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn pre_tripped_token_abandons_the_batch() {
+        let token = graphiti_obs::CancelToken::new();
+        token.cancel();
+        let out = parallel_map_cancellable((0..64u64).collect::<Vec<_>>(), &token, |x| x + 1);
+        assert_eq!(out, None);
     }
 }

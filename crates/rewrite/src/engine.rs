@@ -353,7 +353,11 @@ impl Engine {
             // Per-rewrite attribution: each application is its own span, so
             // `graphiti-cli profile` can cost rewrites individually.
             let _span = graphiti_obs::span(rw.name);
-            self.apply_at_inner(g, rw, m)
+            if graphiti_obs::failpoint::should_fail("rewrite.apply") {
+                Err(RewriteError::Unsupported("injected fault: failpoint `rewrite.apply`".into()))
+            } else {
+                self.apply_at_inner(g, rw, m)
+            }
         };
         match &r {
             Ok(_) => {

@@ -32,13 +32,36 @@ pub struct Discharged {
 /// overridable with `GRAPHITI_JOBS`). Verdicts are returned in obligation
 /// order regardless of which worker ran each check.
 pub fn discharge(obligations: Vec<Obligation>, cfg: &RefineConfig) -> Vec<Discharged> {
-    graphiti_pool::parallel_map(obligations, |ob| {
-        let _span = graphiti_obs::span("refine_check");
-        let env = Env::standard();
-        let lhs = denote(&ob.lhs, &env);
-        let rhs = denote(&ob.rhs, &env);
-        Discharged { rewrite: ob.rewrite, verdict: check_refinement(&rhs, &lhs, cfg) }
-    })
+    graphiti_pool::parallel_map(obligations, |ob| check_one(ob, cfg))
+}
+
+/// [`discharge`] under a cooperative cancellation token (threaded through
+/// [`graphiti_pool::parallel_map_cancellable`]): returns `None` when the
+/// token tripped before every obligation was checked.
+pub fn discharge_cancellable(
+    obligations: Vec<Obligation>,
+    token: &graphiti_obs::CancelToken,
+    cfg: &RefineConfig,
+) -> Option<Vec<Discharged>> {
+    graphiti_pool::parallel_map_cancellable(obligations, token, |ob| check_one(ob, cfg))
+}
+
+/// One obligation's check: denote both sides, run the bounded checker.
+/// The `refine.check` failpoint surfaces as an `Incomparable` verdict —
+/// a data-level failure flowing through [`first_violation`] like any
+/// genuine non-refinement, never a panic.
+fn check_one(ob: Obligation, cfg: &RefineConfig) -> Discharged {
+    let _span = graphiti_obs::span("refine_check");
+    if graphiti_obs::failpoint::should_fail("refine.check") {
+        return Discharged {
+            rewrite: ob.rewrite,
+            verdict: Refinement::Incomparable("injected fault: failpoint `refine.check`".into()),
+        };
+    }
+    let env = Env::standard();
+    let lhs = denote(&ob.lhs, &env);
+    let rhs = denote(&ob.rhs, &env);
+    Discharged { rewrite: ob.rewrite, verdict: check_refinement(&rhs, &lhs, cfg) }
 }
 
 /// The first violation in a batch of verdicts, if any.

@@ -161,6 +161,10 @@ pub(crate) struct CompiledCircuit {
     /// match on.
     pub(crate) scope_kind: Vec<ScopeKind>,
     pub(crate) stats: CompileStats,
+    /// The 128-bit content key the artifact was cached under. Re-checked
+    /// on every cache read: a stored artifact whose key no longer matches
+    /// its slot is corrupted and gets quarantined instead of served.
+    pub(crate) content_key: (u64, u64),
 }
 
 impl CompiledCircuit {
@@ -180,20 +184,60 @@ impl CompiledCircuit {
     }
 }
 
+/// One cached artifact with its LRU bookkeeping.
+struct CacheEntry {
+    art: Arc<CompiledCircuit>,
+    /// Approximate resident bytes, charged against [`CACHE_MAX_BYTES`].
+    bytes: usize,
+    /// Last-touch tick; the minimum across entries is the LRU victim.
+    tick: u64,
+}
+
+/// The artifact cache body behind the mutex: the key map plus the running
+/// byte total and the monotonically increasing touch tick.
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<(u64, u64), CacheEntry>,
+    bytes: usize,
+    tick: u64,
+}
+
 /// The global artifact cache, keyed by 128-bit content hash.
-type ArtifactCache = Mutex<HashMap<(u64, u64), Arc<CompiledCircuit>>>;
+type ArtifactCache = Mutex<CacheState>;
 
 fn cache() -> &'static ArtifactCache {
     static CACHE: OnceLock<ArtifactCache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| Mutex::new(CacheState::default()))
 }
 
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static CACHE_QUARANTINED: AtomicU64 = AtomicU64::new(0);
 
-/// Evicting above this many artifacts bounds fuzzing runs, which compile
-/// thousands of distinct throwaway circuits.
+/// Entry cap: evicting least-recently-used artifacts above this count
+/// bounds fuzzing runs, which compile thousands of distinct throwaway
+/// circuits.
 const CACHE_CAP: usize = 256;
+
+/// Byte cap on resident artifacts (approximate accounting), so a
+/// long-running suite over large kernels cannot exhaust memory even
+/// before it reaches [`CACHE_CAP`] entries.
+const CACHE_MAX_BYTES: usize = 64 << 20;
+
+/// Approximate heap footprint of one artifact, for the byte cap. Counts
+/// the large flat arrays and strings; per-element constants under-count a
+/// little, which only makes eviction slightly lazier.
+fn approx_bytes(art: &CompiledCircuit) -> usize {
+    std::mem::size_of::<CompiledCircuit>()
+        + art.nodes.len() * std::mem::size_of::<CNode>()
+        + art.port_pool.len() * std::mem::size_of::<u32>()
+        + art.mark_pool.len() * std::mem::size_of::<(u32, u64)>()
+        + art.names.iter().map(String::len).sum::<usize>()
+        + art.chan_names.iter().map(String::len).sum::<usize>()
+        + (art.consumer_of.len() + art.producer_of.len() + art.pipe_of.len()) * 8
+        + art.scope_kind.len()
+}
 
 /// Two independently seeded hashers fed identical bytes, so one graph
 /// walk yields a 128-bit fingerprint. Doubles as a [`std::fmt::Write`]
@@ -279,17 +323,46 @@ pub(crate) fn get_or_compile(
     cfg: &SimConfig,
 ) -> Result<Arc<CompiledCircuit>, SimError> {
     let key = content_key(g, cfg);
-    if let Some(art) = cache().lock().expect("compile cache poisoned").get(&key) {
-        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-        if graphiti_obs::enabled() {
-            graphiti_obs::counter("sim.compile.cache_hits").inc();
+    {
+        let mut state = cache().lock().expect("compile cache poisoned");
+        if let Some(entry) = state.map.get_mut(&key) {
+            // Re-verify the stored artifact against the lookup key before
+            // serving it; the `cache.read` failpoint models in-memory
+            // corruption the check would catch.
+            let corrupted =
+                entry.art.content_key != key || graphiti_obs::failpoint::should_fail("cache.read");
+            if !corrupted {
+                state.tick += 1;
+                let tick = state.tick;
+                let entry = state.map.get_mut(&key).expect("entry just found");
+                entry.tick = tick;
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                if graphiti_obs::enabled() {
+                    graphiti_obs::counter("sim.compile.cache_hits").inc();
+                }
+                return Ok(entry.art.clone());
+            }
+            let evicted = state.map.remove(&key).expect("entry just found");
+            state.bytes = state.bytes.saturating_sub(evicted.bytes);
+            CACHE_QUARANTINED.fetch_add(1, Ordering::Relaxed);
+            if graphiti_obs::enabled() {
+                graphiti_obs::counter("sim.compile.quarantined").inc();
+            }
+            drop(state);
+            graphiti_obs::flight::record("cache.quarantine", || {
+                format!("corrupted artifact under key {:016x}{:016x}; recompiling", key.0, key.1)
+            });
         }
-        return Ok(art.clone());
     }
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     let _span = graphiti_obs::span("sim.compile");
+    if graphiti_obs::failpoint::should_fail("compile.lower") {
+        return Err(SimError::Injected("compile.lower".into()));
+    }
     let t0 = std::time::Instant::now();
-    let art = Arc::new(lower(g, cfg)?);
+    let mut circuit = lower(g, cfg)?;
+    circuit.content_key = key;
+    let art = Arc::new(circuit);
     if graphiti_obs::enabled() {
         let stats = art.stats();
         graphiti_obs::counter("sim.compile.cache_misses").inc();
@@ -300,11 +373,24 @@ pub(crate) fn get_or_compile(
         graphiti_obs::counter("sim.sched.region.static_nodes").add(stats.static_nodes);
         graphiti_obs::counter("sim.sched.region.dynamic_nodes").add(stats.dynamic_nodes);
     }
-    let mut map = cache().lock().expect("compile cache poisoned");
-    if map.len() >= CACHE_CAP {
-        map.clear();
+    let bytes = approx_bytes(&art);
+    let mut state = cache().lock().expect("compile cache poisoned");
+    state.tick += 1;
+    let tick = state.tick;
+    // LRU eviction against both caps before admitting the new artifact.
+    while !state.map.is_empty()
+        && (state.map.len() >= CACHE_CAP || state.bytes + bytes > CACHE_MAX_BYTES)
+    {
+        let victim = *state.map.iter().min_by_key(|(_, e)| e.tick).expect("non-empty map").0;
+        let evicted = state.map.remove(&victim).expect("victim present");
+        state.bytes = state.bytes.saturating_sub(evicted.bytes);
+        CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        if graphiti_obs::enabled() {
+            graphiti_obs::counter("sim.compile.evictions").inc();
+        }
     }
-    map.insert(key, art.clone());
+    state.bytes += bytes;
+    state.map.insert(key, CacheEntry { art: art.clone(), bytes, tick });
     Ok(art)
 }
 
@@ -326,12 +412,27 @@ pub fn precompile(g: &ExprHigh, cfg: &SimConfig) -> Result<CompileStats, SimErro
 
 /// Empties the compiled-artifact cache (benchmark and test hygiene).
 pub fn compile_cache_clear() {
-    cache().lock().expect("compile cache poisoned").clear();
+    let mut state = cache().lock().expect("compile cache poisoned");
+    state.map.clear();
+    state.bytes = 0;
 }
 
 /// `(hits, misses)` of the compiled-artifact cache since process start.
 pub fn compile_cache_stats() -> (u64, u64) {
     (CACHE_HITS.load(Ordering::Relaxed), CACHE_MISSES.load(Ordering::Relaxed))
+}
+
+/// `(evictions, quarantined, resident entries, resident bytes)` of the
+/// compiled-artifact cache: lifetime counters for LRU evictions and
+/// corrupted-artifact quarantines, plus the current footprint.
+pub fn compile_cache_detail() -> (u64, u64, usize, usize) {
+    let state = cache().lock().expect("compile cache poisoned");
+    (
+        CACHE_EVICTIONS.load(Ordering::Relaxed),
+        CACHE_QUARANTINED.load(Ordering::Relaxed),
+        state.map.len(),
+        state.bytes,
+    )
 }
 
 /// Runs a compiled circuit to quiescence. The public entry point is
@@ -725,6 +826,9 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
         producer_of,
         scope_kind,
         stats,
+        // The cache key is assigned by `get_or_compile` at admission; a
+        // bare `lower` artifact never reaches the cache.
+        content_key: (0, 0),
     })
 }
 

@@ -10,9 +10,10 @@
 //! tag moves are plain word copies instead of `Box` traffic.
 
 use super::scope::Scope;
-use super::{assemble, canon, CompiledCircuit, NO_IDX, NO_TAG};
+use super::{assemble, canon, CompiledCircuit, ScopeKind, NO_IDX, NO_TAG};
 use crate::memory::{MemError, Memory};
 use crate::sim::{SimConfig, SimError, SimResult, TraceEvent};
+use crate::stall::{DeadlockReport, StallCause, StallState, StuckNode};
 use graphiti_ir::Value;
 use graphiti_sem::TaggerState;
 use std::cmp::Reverse;
@@ -353,7 +354,7 @@ pub(super) fn run(
     graphiti_obs::flight::record("sim.start", || {
         format!("{} nodes, {} channels, scheduler=Compiled", art.nodes.len(), art.n_chans)
     });
-    let outcome = drive(art, &mut rt, cfg.max_cycles);
+    let outcome = drive(art, &mut rt, cfg);
     if let Err(e) = &outcome {
         graphiti_obs::flight::record("sim.error", || format!("cycle {}: {e}", rt.now));
         outcome?;
@@ -364,7 +365,8 @@ pub(super) fn run(
 /// The main loop: rounds within a cycle, cycles until quiescence, idle
 /// fast-forward between pipeline maturities. Mirrors the event-driven
 /// core's control flow exactly; only the worklist representation differs.
-fn drive(art: &CompiledCircuit, rt: &mut Rt, max_cycles: u64) -> Result<(), SimError> {
+fn drive(art: &CompiledCircuit, rt: &mut Rt, cfg: &SimConfig) -> Result<(), SimError> {
+    let max_cycles = cfg.max_cycles;
     let n = art.nodes.len();
     let words = art.words;
     // Cycle 0 examines everything, like the interpreter's initial seed.
@@ -390,6 +392,9 @@ fn drive(art: &CompiledCircuit, rt: &mut Rt, max_cycles: u64) -> Result<(), SimE
                 rt.cur[w] = bits & (bits - 1);
                 let i = (w * 64) as u32 + b;
                 rt.examined += 1;
+                if graphiti_obs::failpoint::should_fail("sim.fire.compiled") {
+                    return Err(SimError::Injected("sim.fire.compiled".into()));
+                }
                 let nd = &art.nodes[i as usize];
                 if !(nd.fire)(art, rt, i)? {
                     continue;
@@ -467,14 +472,179 @@ fn drive(art: &CompiledCircuit, rt: &mut Rt, max_cycles: u64) -> Result<(), SimE
                         timers.pop();
                     }
                 }
-                None => break,
+                None => {
+                    // Quiescence with a stalled node (and nothing pending
+                    // that could ever drain its output) is a permanent
+                    // deadlock — the same test the interpreter applies.
+                    if cfg.deadlock_window > 0
+                        && (0..art.nodes.len()).any(|i| live_waiting(art, rt, i) == Some(true))
+                    {
+                        return Err(SimError::Deadlock(Box::new(deadlock_report(art, rt))));
+                    }
+                    break;
+                }
             }
+        }
+        if let Some(tok) = &cfg.cancel {
+            if tok.is_cancelled() {
+                return Err(SimError::Cancelled);
+            }
+        }
+        if cfg.deadlock_window > 0
+            && rt.now.saturating_sub(rt.last_active) >= cfg.deadlock_window
+            && tokens_in_flight(art, rt) > 0
+        {
+            return Err(SimError::Deadlock(Box::new(deadlock_report(art, rt))));
         }
         if rt.now > max_cycles {
             return Err(SimError::Timeout(max_cycles));
         }
     }
     Ok(())
+}
+
+/// The interpreter's `waiting_state` over live runtime state:
+/// `Some(true)` for a stalled node (all operands latched, did not fire),
+/// `Some(false)` for a starved one, `None` otherwise.
+fn live_waiting(art: &CompiledCircuit, rt: &Rt, i: usize) -> Option<bool> {
+    if rt.fired[i / 64] & (1u64 << (i % 64)) != 0 {
+        return None;
+    }
+    let ins = art.ports(art.nodes[i].ins);
+    if ins.is_empty() {
+        return None;
+    }
+    let ready = ins.iter().filter(|&&c| rt.full(c)).count();
+    if ready == ins.len() {
+        Some(true)
+    } else if ready > 0 {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Occupancy of node `j`'s internal queue over live state.
+#[inline]
+fn live_occupancy(art: &CompiledCircuit, rt: &Rt, j: usize) -> usize {
+    let pid = art.pipe_of[j];
+    if pid == NO_IDX {
+        0
+    } else {
+        rt.pipes[pid as usize].len()
+    }
+}
+
+/// Tokens resident anywhere but the external outputs, mirroring the
+/// leftover count in [`finish`].
+fn tokens_in_flight(art: &CompiledCircuit, rt: &Rt) -> u64 {
+    let slots: usize = rt.slot_full.iter().map(|w| w.count_ones() as usize).sum();
+    let inputs: usize =
+        art.input_chans.values().map(|&c| rt.queues[c as usize - art.n_slots].len()).sum();
+    let internal: usize = rt.pipes.iter().map(VecDeque::len).sum::<usize>()
+        + rt.taggers.iter().map(TaggerState::len).sum::<usize>();
+    (slots + inputs + internal) as u64
+}
+
+/// `Simulator::walk_downstream` over live runtime state — the same match
+/// arms as the scope decoder's replay walker, reading `rt` directly.
+fn live_walk_downstream(
+    art: &CompiledCircuit,
+    rt: &Rt,
+    start: usize,
+    ss: &mut StallState,
+) -> StallCause {
+    ss.epoch += 1;
+    ss.path.clear();
+    ss.visited[start] = ss.epoch;
+    let mut cur = start;
+    loop {
+        let outs = art.ports(art.nodes[cur].outs);
+        let Some(&c) = outs.iter().find(|&&c| !rt.space(c)) else {
+            return StallCause::BlockedDownstream;
+        };
+        ss.path.push(c);
+        let Some(j) = art.consumer_of[c as usize] else { return StallCause::BlockedDownstream };
+        let j = j as usize;
+        match art.scope_kind[j] {
+            ScopeKind::Sink => return StallCause::BlockedBySink,
+            ScopeKind::Store | ScopeKind::Load => return StallCause::MemoryDependency,
+            ScopeKind::Buffer
+                if live_occupancy(art, rt, j) >= art.pipe_specs[art.pipe_of[j] as usize].cap =>
+            {
+                return StallCause::BlockedByFullBuffer
+            }
+            _ => {}
+        }
+        if ss.visited[j] == ss.epoch {
+            return StallCause::BlockedDownstream;
+        }
+        ss.visited[j] = ss.epoch;
+        cur = j;
+    }
+}
+
+/// `Simulator::walk_upstream` over live runtime state.
+fn live_walk_upstream(
+    art: &CompiledCircuit,
+    rt: &Rt,
+    start: usize,
+    ss: &mut StallState,
+) -> StallCause {
+    ss.epoch += 1;
+    ss.path.clear();
+    ss.visited[start] = ss.epoch;
+    let mut cur = start;
+    loop {
+        let ins = art.ports(art.nodes[cur].ins);
+        let Some(&c) = ins.iter().find(|&&c| !rt.full(c)) else {
+            return StallCause::StarvedUpstream;
+        };
+        ss.path.push(c);
+        let Some(j) = art.producer_of[c as usize] else {
+            return StallCause::StarvedBySource;
+        };
+        let j = j as usize;
+        match art.scope_kind[j] {
+            ScopeKind::Load if live_occupancy(art, rt, j) > 0 => {
+                return StallCause::MemoryDependency
+            }
+            ScopeKind::Pipe | ScopeKind::Buffer if live_occupancy(art, rt, j) > 0 => {
+                return StallCause::PipelineLatency
+            }
+            ScopeKind::Tagger if !rt.taggers[art.nodes[j].p0 as usize].is_empty() => {
+                return StallCause::PipelineLatency
+            }
+            _ => {}
+        }
+        if ss.visited[j] == ss.epoch {
+            return StallCause::StarvedUpstream;
+        }
+        ss.visited[j] = ss.epoch;
+        cur = j;
+    }
+}
+
+/// The stuck-wavefront report over live runtime state. Node and channel
+/// indices coincide with the interpreter's by construction, so the report
+/// is identical to the one the interpreted schedulers build.
+fn deadlock_report(art: &CompiledCircuit, rt: &Rt) -> DeadlockReport {
+    let mut ss = StallState::new(art.nodes.len(), art.n_chans);
+    let mut wavefront = Vec::new();
+    for i in 0..art.nodes.len() {
+        let (stalled, cause) = match live_waiting(art, rt, i) {
+            Some(true) => (true, live_walk_downstream(art, rt, i, &mut ss)),
+            Some(false) => (false, live_walk_upstream(art, rt, i, &mut ss)),
+            None => continue,
+        };
+        wavefront.push(StuckNode {
+            node: art.names[i].clone(),
+            stalled,
+            cause,
+            path: ss.path.iter().map(|&c| art.chan_names[c as usize].clone()).collect(),
+        });
+    }
+    DeadlockReport { cycle: rt.now, tokens_in_flight: tokens_in_flight(art, rt), wavefront }
 }
 
 /// Folds run state into the interpreter's result shape: reassembles

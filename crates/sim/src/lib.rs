@@ -48,14 +48,18 @@ mod timing;
 mod wave;
 
 pub use area::{circuit_area, component_area, op_area, Area};
-pub use compile::{compile_cache_clear, compile_cache_stats, precompile, CompileStats};
+pub use compile::{
+    compile_cache_clear, compile_cache_detail, compile_cache_stats, precompile, CompileStats,
+};
 pub use memory::{mem_read, mem_write, MemError, Memory};
 pub use place::{has_combinational_cycle, place_buffers, place_buffers_targeted, PlacementStats};
 pub use sim::{
     op_latency, purefn_latency, simulate, Scheduler, SimConfig, SimError, SimResult, Simulator,
     TraceEvent,
 };
-pub use stall::{NodeWaitStats, StallCause, StallChain, StallReport, STALL_CAUSES};
+pub use stall::{
+    DeadlockReport, NodeWaitStats, StallCause, StallChain, StallReport, StuckNode, STALL_CAUSES,
+};
 pub use timing::{
     arrival_times, clock_period, elastic_clock_period, elastic_timing, is_sequential, NodeTiming,
     TimingError,

@@ -109,6 +109,21 @@ pub struct SimConfig {
     /// same active-cycle indices, so dumps stay byte-identical across
     /// schedulers at any stride.
     pub wave_sample: u64,
+    /// Deadlock-detection window in cycles (`0`, the default, disables
+    /// detection and preserves the historical behaviour of ending such
+    /// runs as quiescence with leftover tokens). When set, a run that
+    /// quiesces with a *stalled* node — all operands present, output
+    /// permanently blocked, nothing pending that could ever drain it —
+    /// returns [`SimError::Deadlock`] with the stuck wavefront; as a
+    /// defensive cutoff, so does a run making no progress for this many
+    /// consecutive cycles while tokens are in flight (pick a window
+    /// larger than the deepest pipeline latency, which fast-forwards
+    /// idle stretches anyway). Identical across all three schedulers.
+    pub deadlock_window: u64,
+    /// Cooperative cancellation token, polled at cycle boundaries. When
+    /// it trips, the run returns [`SimError::Cancelled`]. `None` (the
+    /// default) costs nothing.
+    pub cancel: Option<graphiti_obs::CancelToken>,
 }
 
 impl Default for SimConfig {
@@ -122,6 +137,8 @@ impl Default for SimConfig {
             attribute_stalls: false,
             telemetry: false,
             wave_sample: 1,
+            deadlock_window: 0,
+            cancel: None,
         }
     }
 }
@@ -178,6 +195,15 @@ pub enum SimError {
     /// [`SimConfig::telemetry`]. The message names the scheduler and the
     /// flag that would enable the feature.
     Unsupported(String),
+    /// The circuit can never make progress again while tokens are still
+    /// in flight (only raised when [`SimConfig::deadlock_window`] is
+    /// set). Carries the stuck wavefront, identical across schedulers.
+    Deadlock(Box<crate::stall::DeadlockReport>),
+    /// The run was cut off by [`SimConfig::cancel`] tripping (deadline
+    /// passed or supervisor cancelled).
+    Cancelled,
+    /// A fault injected by an armed `graphiti_obs::failpoint` schedule.
+    Injected(String),
 }
 
 impl fmt::Display for SimError {
@@ -190,6 +216,9 @@ impl fmt::Display for SimError {
             SimError::Unsupported(m) => {
                 write!(f, "unsupported configuration: {m}")
             }
+            SimError::Deadlock(r) => write!(f, "{r}"),
+            SimError::Cancelled => write!(f, "simulation cancelled (deadline or supervisor)"),
+            SimError::Injected(site) => write!(f, "injected fault: failpoint `{site}`"),
         }
     }
 }
@@ -615,9 +644,9 @@ impl Simulator {
             });
         }
         g.validate().map_err(|e| SimError::BadGraph(e.to_string()))?;
-        // Channel names feed the waveform signal list and the stall
-        // report; skipped entirely on plain runs.
-        let want_names = cfg.waveform || cfg.attribute_stalls;
+        // Channel names feed the waveform signal list, the stall report,
+        // and the deadlock wavefront; skipped entirely on plain runs.
+        let want_names = cfg.waveform || cfg.attribute_stalls || cfg.deadlock_window > 0;
         let mut chan_names: Vec<String> = Vec::new();
         let mut chans: Vec<Channel> = Vec::new();
         let mut chan_of_out: BTreeMap<graphiti_ir::Endpoint, ChanId> = BTreeMap::new();
@@ -777,6 +806,9 @@ impl Simulator {
     /// Attempts all enabled transactions of node `i`; returns whether any
     /// fired.
     fn step(&mut self, i: usize, now: u64) -> Result<bool, SimError> {
+        if graphiti_obs::failpoint::should_fail("sim.fire") {
+            return Err(SimError::Injected("sim.fire".into()));
+        }
         // Split borrows: temporarily take the unit and port lists out so
         // the transaction body can borrow channels and memory freely —
         // without cloning `ins`/`outs` on every candidate fire.
@@ -1346,6 +1378,93 @@ impl Simulator {
         }
     }
 
+    /// Tokens currently resident anywhere but the external outputs:
+    /// channel latches, external input queues, latency pipelines,
+    /// buffers, and tagger windows.
+    fn tokens_in_flight(&self) -> usize {
+        self.chans
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.output_chans.values().any(|c| c == i))
+            .map(|(_, c)| c.q.len())
+            .sum::<usize>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| match &n.unit {
+                    Unit::Piped { pipe, .. }
+                    | Unit::Pure { pipe, .. }
+                    | Unit::Load { pipe, .. } => pipe.len(),
+                    Unit::Buffer { q, .. } => q.len(),
+                    Unit::Tagger { state } => state.len(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+    }
+
+    /// Builds the stuck-wavefront report for a deadlock declared at
+    /// `cycle`: every waiting node in index order, its blockage chain
+    /// walked by the same machinery as stall attribution.
+    fn deadlock_report(&self, fired: &[bool], cycle: u64) -> crate::stall::DeadlockReport {
+        let mut ss = StallState::new(self.nodes.len(), self.chans.len());
+        let mut wavefront = Vec::new();
+        for i in 0..self.nodes.len() {
+            let (stalled, cause) = match self.waiting_state(i, fired) {
+                Some(Waiting::Stalled) => (true, self.walk_downstream(i, &mut ss)),
+                Some(Waiting::Starved) => (false, self.walk_upstream(i, &mut ss)),
+                None => continue,
+            };
+            wavefront.push(crate::stall::StuckNode {
+                node: self.nodes[i].name.clone(),
+                stalled,
+                cause,
+                path: ss.path.iter().map(|&c| self.chan_names[c as usize].clone()).collect(),
+            });
+        }
+        crate::stall::DeadlockReport {
+            cycle,
+            tokens_in_flight: self.tokens_in_flight() as u64,
+            wavefront,
+        }
+    }
+
+    /// The quiescence-exit deadlock test (only with
+    /// [`SimConfig::deadlock_window`] set): a *stalled* node at
+    /// quiescence — all operands latched, nothing pending that could
+    /// ever unblock its output — is a permanent deadlock. Starved-only
+    /// quiescence is indistinguishable from normal termination with
+    /// loop-priming leftovers and stays a successful finish.
+    fn deadlock_at_quiescence(&self, st: &RunState) -> Option<SimError> {
+        if self.cfg.deadlock_window == 0 {
+            return None;
+        }
+        let stalled = (0..self.nodes.len())
+            .any(|i| matches!(self.waiting_state(i, &st.fired), Some(Waiting::Stalled)));
+        if !stalled {
+            return None;
+        }
+        Some(SimError::Deadlock(Box::new(self.deadlock_report(&st.fired, st.now))))
+    }
+
+    /// Cycle-boundary resilience poll: cooperative cancellation, then the
+    /// defensive no-progress window (the window must exceed the deepest
+    /// pipeline latency, since idle fast-forward legitimately jumps the
+    /// clock without firing).
+    fn boundary_check(&self, st: &RunState) -> Result<(), SimError> {
+        if let Some(tok) = &self.cfg.cancel {
+            if tok.is_cancelled() {
+                return Err(SimError::Cancelled);
+            }
+        }
+        if self.cfg.deadlock_window > 0
+            && st.now.saturating_sub(st.last_active) >= self.cfg.deadlock_window
+            && self.tokens_in_flight() > 0
+        {
+            return Err(SimError::Deadlock(Box::new(self.deadlock_report(&st.fired, st.now))));
+        }
+        Ok(())
+    }
+
     /// Closes an active cycle: records scheduler/occupancy/stall metrics
     /// (instrumented runs only), runs attribution and waveform capture
     /// (when configured), and advances the clock.
@@ -1474,9 +1593,15 @@ impl Simulator {
                 st.examined_cycle = 0;
                 match self.next_pending(st.now) {
                     Some(t) => st.now = t,
-                    None => break,
+                    None => {
+                        if let Some(e) = self.deadlock_at_quiescence(st) {
+                            return Err(e);
+                        }
+                        break;
+                    }
                 }
             }
+            self.boundary_check(st)?;
             if st.now > self.cfg.max_cycles {
                 return Err(SimError::Timeout(self.cfg.max_cycles));
             }
@@ -1632,9 +1757,15 @@ impl Simulator {
                             timers.pop();
                         }
                     }
-                    None => break,
+                    None => {
+                        if let Some(e) = self.deadlock_at_quiescence(st) {
+                            return Err(e);
+                        }
+                        break;
+                    }
                 }
             }
+            self.boundary_check(st)?;
             if st.now > self.cfg.max_cycles {
                 return Err(SimError::Timeout(self.cfg.max_cycles));
             }
@@ -1694,25 +1825,7 @@ impl Simulator {
         graphiti_obs::flight::record("sim.finish", || {
             format!("cycles={} firings={}", st.last_active + 1, st.firings)
         });
-        let leftover = self
-            .chans
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !self.output_chans.values().any(|c| c == i))
-            .map(|(_, c)| c.q.len())
-            .sum::<usize>()
-            + self
-                .nodes
-                .iter()
-                .map(|n| match &n.unit {
-                    Unit::Piped { pipe, .. }
-                    | Unit::Pure { pipe, .. }
-                    | Unit::Load { pipe, .. } => pipe.len(),
-                    Unit::Buffer { q, .. } => q.len(),
-                    Unit::Tagger { state } => state.len(),
-                    _ => 0,
-                })
-                .sum::<usize>();
+        let leftover = self.tokens_in_flight();
         let output_chans = std::mem::take(&mut self.output_chans);
         let outputs = output_chans
             .into_iter()
@@ -2086,11 +2199,15 @@ mod tests {
         g.connect(ep("f", "out0"), ep("b", "in")).unwrap();
         g.connect(ep("f", "out1"), ep("k", "in")).unwrap();
         g.connect(ep("b", "out"), ep("m", "in1")).unwrap();
+        // The deadlock window is armed, yet a livelock keeps firing (the
+        // clock never outruns `last_active` and quiescence never comes),
+        // so the verdict stays Timeout — deadlock and timeout are
+        // distinct diagnoses.
         let r = simulate(
             &g,
             &feeds("x", vec![Value::Int(1)]),
             Memory::new(),
-            SimConfig { max_cycles: 1000, ..Default::default() },
+            SimConfig { max_cycles: 1000, deadlock_window: 64, ..Default::default() },
         );
         assert_eq!(r.unwrap_err(), SimError::Timeout(1000));
     }

@@ -200,6 +200,70 @@ impl StallReport {
     }
 }
 
+/// One node of a deadlock wavefront: a node still waiting when the
+/// simulation quiesced (or exhausted its progress window) with tokens in
+/// flight. The blockage chain is produced by the same walkers as stall
+/// attribution, so the report reads like one `explain-stalls` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckNode {
+    /// Node name.
+    pub node: String,
+    /// True for a stalled node (all operands present, output blocked) —
+    /// the definitive deadlock witnesses; false for a starved one.
+    pub stalled: bool,
+    /// Root cause at the end of the blockage chain.
+    pub cause: StallCause,
+    /// Channel names from the node towards the root of its blockage.
+    pub path: Vec<String>,
+}
+
+/// The stuck-wavefront report carried by [`crate::SimError::Deadlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Cycle at which the deadlock was declared.
+    pub cycle: u64,
+    /// Tokens still in flight: channel latches, external queues, latency
+    /// pipelines, buffers, and tagger windows.
+    pub tokens_in_flight: u64,
+    /// Every waiting node, in node-index order. At least one entry is
+    /// stalled whenever the deadlock was declared at quiescence.
+    pub wavefront: Vec<StuckNode>,
+}
+
+impl DeadlockReport {
+    /// Renders the wavefront as human-readable lines.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "deadlock at cycle {}: {} tokens in flight, {} nodes stuck",
+            self.cycle,
+            self.tokens_in_flight,
+            self.wavefront.len()
+        );
+        for n in &self.wavefront {
+            let kind = if n.stalled { "stalled" } else { "starved" };
+            let path =
+                if n.path.is_empty() { "(at node)".to_string() } else { n.path.join(" -> ") };
+            let _ = writeln!(out, "  {} [{kind}] {} via {path}", n.node, n.cause.as_str());
+        }
+        out
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadlock at cycle {} with {} tokens in flight ({} stuck nodes)",
+            self.cycle,
+            self.tokens_in_flight,
+            self.wavefront.len()
+        )
+    }
+}
+
 /// Upper bound on distinct chains kept (beyond it, lost cycles are still
 /// counted per cause/node/channel, only the exact path is dropped).
 pub(crate) const MAX_DISTINCT_CHAINS: usize = 4096;

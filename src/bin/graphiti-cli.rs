@@ -66,6 +66,19 @@
 //! * `--wave-sample N` captures every N-th active cycle into the waveform
 //!   (any scheduler), bounding VCD growth on long runs; stall attribution
 //!   stays cycle-exact regardless of the stride.
+//!
+//! Resilience (see DESIGN.md §3.13):
+//!
+//! * `--deadline-ms N` supervises the compile-mode pipeline stages under a
+//!   shared cancellation token with an N-millisecond wall-clock budget; a
+//!   wedged stage is cut off with a structured stage error instead of
+//!   hanging the run.
+//! * `--fallback` retries compile-mode simulations down the scheduler
+//!   degradation ladder (`compiled → event-driven → sweep`) when a backend
+//!   fails with a backend-local error; degradations are reported on stderr
+//!   and counted under `robust.*`.
+//! * `--failpoints SPEC` arms the deterministic fault-injection subsystem
+//!   (e.g. `seed=42;sim.fire.compiled=1/64`) for chaos drills.
 
 use graphiti::pipeline::{find_seq_loops, optimize_loop, PipelineOptions};
 use graphiti::prelude::*;
@@ -109,6 +122,9 @@ struct Args {
     json_out: Option<String>,
     folded_out: Option<String>,
     flight_out: Option<String>,
+    deadline_ms: Option<u64>,
+    fallback: bool,
+    failpoints: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -133,6 +149,9 @@ fn parse_args() -> Result<Args, String> {
         json_out: None,
         folded_out: None,
         flight_out: None,
+        deadline_ms: None,
+        fallback: false,
+        failpoints: None,
     };
     let mut it = std::env::args().skip(1);
     let mut first_positional = true;
@@ -206,9 +225,22 @@ fn parse_args() -> Result<Args, String> {
             "--flight-out" => {
                 args.flight_out = Some(it.next().ok_or("--flight-out needs a file path")?);
             }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a millisecond budget")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad deadline `{v}`"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms budget must be at least 1".to_string());
+                }
+                args.deadline_ms = Some(ms);
+            }
+            "--fallback" => args.fallback = true,
+            "--failpoints" => {
+                args.failpoints =
+                    Some(it.next().ok_or("--failpoints needs a spec (e.g. seed=42;parse=1/8)")?);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--openmetrics-out FILE] [--trace-out FILE] [--flight-out FILE] [INPUT.dot]\n       graphiti-cli --compile [--scheduler event-driven|sweep|compiled] [--telemetry] [--vcd-out FILE] [--wave-sample N] [--trace-nodes a,b,c] [PROGRAM.gsl]\n       graphiti-cli profile [--telemetry] [--json FILE] [--folded FILE] [--flight-out FILE] PROGRAM.gsl\n       graphiti-cli explain-stalls [--scheduler NAME] [--top K] [PROGRAM.gsl]\n       graphiti-cli vcd-check FILE.vcd\n       graphiti-cli schema"
+                    "usage: graphiti-cli [--tags N] [--mark INIT_NODE] [--checked | --checked-deferred] [--stats] [--metrics-out FILE] [--openmetrics-out FILE] [--trace-out FILE] [--flight-out FILE] [INPUT.dot]\n       graphiti-cli --compile [--scheduler event-driven|sweep|compiled] [--telemetry] [--vcd-out FILE] [--wave-sample N] [--trace-nodes a,b,c] [--deadline-ms N] [--fallback] [--failpoints SPEC] [PROGRAM.gsl]\n       graphiti-cli profile [--telemetry] [--json FILE] [--folded FILE] [--flight-out FILE] PROGRAM.gsl\n       graphiti-cli explain-stalls [--scheduler NAME] [--top K] [PROGRAM.gsl]\n       graphiti-cli vcd-check FILE.vcd\n       graphiti-cli schema"
                         .to_string(),
                 )
             }
@@ -290,6 +322,9 @@ fn run() -> Result<(), String> {
         graphiti::obs::flight::set_dump_path(path.clone());
         graphiti::obs::flight::install_panic_hook();
     }
+    if let Some(spec) = &args.failpoints {
+        graphiti::obs::failpoint::configure(spec).map_err(|e| format!("--failpoints: {e}"))?;
+    }
     let result = run_inner(&args);
     if observing {
         // Export whatever was collected even when the run failed: a
@@ -337,18 +372,34 @@ fn check_mode(args: &Args) -> CheckMode {
     }
 }
 
-/// Discharges a deferred obligation batch in parallel, failing on the
-/// first violation.
+/// The run-wide cancellation token: armed with the `--deadline-ms` budget
+/// when given, otherwise a token that never trips on its own.
+fn run_token(args: &Args) -> graphiti::obs::CancelToken {
+    match args.deadline_ms {
+        Some(ms) => graphiti::obs::CancelToken::with_deadline_ms(ms),
+        None => graphiti::obs::CancelToken::new(),
+    }
+}
+
+/// Discharges a deferred obligation batch in parallel under the run token,
+/// failing on the first violation (or on an abandoned batch).
 fn discharge_deferred(
     context: &str,
     obligations: Vec<graphiti::rewrite::Obligation>,
+    token: &graphiti::obs::CancelToken,
     cfg: &graphiti::sem::RefineConfig,
 ) -> Result<(), String> {
     if obligations.is_empty() {
         return Ok(());
     }
     let n = obligations.len();
-    let verdicts = graphiti::rewrite::verify::discharge(obligations, cfg);
+    let verdicts = graphiti::rewrite::verify::discharge_cancellable(obligations, token, cfg)
+        .ok_or_else(|| {
+            format!(
+                "graphiti-cli: {context}: deferred obligation batch abandoned \
+                 (deadline or cancellation)"
+            )
+        })?;
     if let Some(v) = graphiti::rewrite::verify::first_violation(&verdicts) {
         return Err(format!(
             "graphiti-cli: {context}: deferred obligation of `{}` failed: {:?}",
@@ -414,7 +465,12 @@ fn run_inner(args: &Args) -> Result<(), String> {
         let _span = graphiti::obs::span("optimize");
         optimize_loop(&g, &init, &opts).map_err(|e| e.to_string())?
     };
-    discharge_deferred("circuit", std::mem::take(&mut report.obligations), &opts.refine_cfg)?;
+    discharge_deferred(
+        "circuit",
+        std::mem::take(&mut report.obligations),
+        &run_token(args),
+        &opts.refine_cfg,
+    )?;
     if args.stats {
         eprintln!(
             "graphiti-cli: transformed = {}, rewrites = {}, pure-by-rewrites = {}",
@@ -471,23 +527,32 @@ fn vcd_path(requested: &str, kernel: &str, kernels: usize) -> String {
     }
 }
 
-/// `--compile`: front-end program in, optimized dot circuits out.
+/// `--compile`: front-end program in, optimized dot circuits out. The
+/// whole mode runs under the run token (`--deadline-ms`), each stage
+/// supervised so a wedged or faulted stage surfaces as a structured
+/// stage error naming the stage and its elapsed time.
 fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
-    let program = graphiti::frontend::parse_program(src).map_err(|e| e.to_string())?;
-    let compiled = graphiti::frontend::compile(&program).map_err(|e| e.to_string())?;
+    let token = run_token(args);
+    let (program, compiled) = graphiti_robust::supervise("parse", &token, || {
+        let program = graphiti::frontend::parse_program(src).map_err(|e| e.to_string())?;
+        let compiled = graphiti::frontend::compile(&program).map_err(|e| e.to_string())?;
+        Ok::<_, String>((program, compiled))
+    })
+    .map_err(|e| format!("graphiti-cli: {e}"))?;
     let mut optimized: Vec<(String, ExprHigh)> = Vec::new();
     for kernel in &compiled.kernels {
         let out = match kernel.ooo_tags {
             Some(tags) => {
                 let opts = PipelineOptions { tags, check: check_mode(args), ..Default::default() };
-                let (g, mut report) = {
+                let (g, mut report) = graphiti_robust::supervise("rewrite", &token, || {
                     let _span = graphiti::obs::span("optimize");
                     optimize_loop(&kernel.graph, &kernel.inner_init, &opts)
-                        .map_err(|e| e.to_string())?
-                };
+                })
+                .map_err(|e| format!("graphiti-cli: kernel `{}`: {e}", kernel.name))?;
                 discharge_deferred(
                     &format!("kernel `{}`", kernel.name),
                     std::mem::take(&mut report.obligations),
+                    &token,
                     &opts.refine_cfg,
                 )?;
                 if args.stats {
@@ -532,12 +597,29 @@ fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
             telemetry: args.telemetry
                 || (args.scheduler == graphiti::sim::Scheduler::Compiled && observing),
             wave_sample: args.wave_sample,
+            cancel: Some(token.clone()),
             ..Default::default()
         };
         for (name, g) in &optimized {
             let (placed, _) = place_buffers(g);
-            let r = simulate(&placed, &feeds, mem, cfg.clone())
-                .map_err(|e| format!("kernel `{name}` simulation: {e}"))?;
+            let memory = mem.clone();
+            let r = graphiti_robust::supervise("simulate", &token, || {
+                if args.fallback {
+                    graphiti_robust::simulate_resilient(&placed, &feeds, memory, cfg.clone()).map(
+                        |(r, used)| {
+                            if used != cfg.scheduler {
+                                eprintln!(
+                                    "graphiti-cli: kernel `{name}` degraded to {used:?} scheduler"
+                                );
+                            }
+                            r
+                        },
+                    )
+                } else {
+                    simulate(&placed, &feeds, memory, cfg.clone())
+                }
+            })
+            .map_err(|e| format!("graphiti-cli: kernel `{name}`: {e}"))?;
             eprintln!(
                 "graphiti-cli: kernel `{name}` simulated: {} cycles, {} firings",
                 r.cycles, r.firings
@@ -564,6 +646,7 @@ fn compile_mode(src: &str, args: &Args) -> Result<(), String> {
 /// the JSON document and flamegraph-ready folded stacks.
 fn profile_mode(src: &str, args: &Args) -> Result<(), String> {
     let refine_cfg = graphiti::sem::RefineConfig::default();
+    let token = run_token(args);
     {
         let _root = graphiti::obs::span("pipeline");
         graphiti::obs::flight::record("profile.start", || {
@@ -611,7 +694,7 @@ fn profile_mode(src: &str, args: &Args) -> Result<(), String> {
             // Obligations discharge on the pool here; the workers adopt
             // this span, so refine_check spans parent under `check`.
             let _phase = graphiti::obs::span("check");
-            discharge_deferred("profile", obligations, &refine_cfg)?;
+            discharge_deferred("profile", obligations, &token, &refine_cfg)?;
         }
 
         {
@@ -625,6 +708,7 @@ fn profile_mode(src: &str, args: &Args) -> Result<(), String> {
             let cfg = SimConfig {
                 scheduler: graphiti::sim::Scheduler::Compiled,
                 telemetry: args.telemetry,
+                cancel: Some(token.clone()),
                 ..SimConfig::default()
             };
             for (name, g) in &optimized {
