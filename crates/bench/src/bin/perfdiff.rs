@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE]
-//!          [--date STR] [--no-stall-gate]
+//!          [--date STR] [--no-stall-gate] [--rebaseline REASON]
 //! ```
 //!
 //! * exits non-zero if any (benchmark, flow) cycle count — or either of
@@ -20,6 +20,13 @@
 //! * `--date STR` — the label stamped on the emitted entry. Passed in,
 //!   never read from the system clock, so emissions are reproducible;
 //!   defaults to `undated`.
+//! * `--rebaseline REASON` — mark the emitted entry as an intended
+//!   semantic change (a fix or feature that alters the circuits): the
+//!   trajectory gate restarts its best-ever window at this entry for
+//!   this backend, since older values measure circuits that no longer
+//!   exist. The cycle-count gate against the baseline report is also
+//!   skipped (the reason is printed instead) — rebaselining exists
+//!   precisely because the honest new numbers differ.
 //!
 //! Reports carry an optional top-level `"scheduler"` member naming the
 //! simulation backend (`table2 --scheduler`); a missing member means
@@ -124,10 +131,17 @@ fn main() {
     let mut emit: Option<String> = None;
     let mut date = "undated".to_string();
     let mut stall_gate = true;
+    let mut rebaseline: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--no-stall-gate" => stall_gate = false,
+            "--rebaseline" => {
+                rebaseline = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("perfdiff: --rebaseline needs a reason string");
+                    exit(2);
+                }));
+            }
             "--threshold" => {
                 let v = it.next().and_then(|s| s.parse::<f64>().ok());
                 threshold = v.unwrap_or_else(|| {
@@ -152,7 +166,7 @@ fn main() {
                 eprintln!("perfdiff: unknown argument `{other}`");
                 eprintln!(
                     "usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE] \
-                     [--date STR] [--no-stall-gate]"
+                     [--date STR] [--no-stall-gate] [--rebaseline REASON]"
                 );
                 exit(2);
             }
@@ -161,7 +175,7 @@ fn main() {
     if paths.len() != 2 {
         eprintln!(
             "usage: perfdiff BASELINE.json CURRENT.json [--threshold PCT] [--emit FILE] \
-             [--date STR] [--no-stall-gate]"
+             [--date STR] [--no-stall-gate] [--rebaseline REASON]"
         );
         exit(2);
     }
@@ -174,6 +188,11 @@ fn main() {
              deltas are informational and not gated",
             base.backend, cur.backend
         );
+    }
+    // A rebaseline declares the deltas intentional; report, don't gate.
+    let gated = !cross_backend && rebaseline.is_none();
+    if let Some(reason) = &rebaseline {
+        println!("note: rebaseline ({reason}); deltas are informational and not gated");
     }
 
     let width = cur
@@ -195,7 +214,7 @@ fn main() {
                 let d = pct(*b as f64, *c as f64);
                 println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}", fmt_pct(d));
                 rows.push((key.clone(), *b, *c, d));
-                if !cross_backend && d > threshold {
+                if gated && d > threshold {
                     regressions.push((format!("{key} cycles"), d));
                 }
             }
@@ -227,9 +246,9 @@ fn main() {
         match base.stall.iter().find(|(k, _)| k == key) {
             Some((_, b)) => {
                 let d = pct(*b as f64, *c as f64);
-                let note = if stall_gate && !cross_backend { "" } else { "   (ungated)" };
+                let note = if stall_gate && gated { "" } else { "   (ungated)" };
                 println!("{key:<width$}  {b:>12}  {c:>12}  {:>9}{note}", fmt_pct(d));
-                if stall_gate && !cross_backend && d > threshold {
+                if stall_gate && gated && d > threshold {
                     regressions.push((key.clone(), d));
                 }
             }
@@ -260,6 +279,7 @@ fn main() {
             scheduler: cur.sched.clone(),
             stalls: cur.stall.clone(),
             max_cycle_delta_pct: worst.is_finite().then_some(worst),
+            rebaseline: rebaseline.clone(),
         };
         let existing = match std::fs::read_to_string(&path) {
             Ok(text) => Some(text),

@@ -12,7 +12,8 @@
 //!   against the best-ever values.
 //! * Exits non-zero if any benchmark/flow cycle count or stall total in
 //!   the newest entry sits more than the threshold (default 10%) above
-//!   its best-ever value — the best across *all* entries, so a
+//!   its best-ever value — the best across *all* entries (of the same
+//!   backend, restarting at its most recent `rebaseline` marker), so a
 //!   regression cannot hide behind an intermediate one.
 //! * `--no-gate` — render only; never fail (for local inspection).
 

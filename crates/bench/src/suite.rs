@@ -431,6 +431,101 @@ pub fn gcd(pairs: i64) -> Program {
     }
 }
 
+/// `histogram`: each outer iteration walks a segment of `data` and bumps
+/// `h[data[off+j]] += 1` — a body read-modify-write whose bin address is
+/// data-dependent, so repeated bins in consecutive iterations race a plain
+/// Load against the previous iteration's Store. Codegen routes `h` through
+/// a store queue; the queue's sequence stream serialises every access in
+/// program order. Not part of the paper's Table 2 suite (the paper's flow
+/// rejected this shape outright).
+pub fn histogram(n: i64, m: i64, bins: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(71);
+    let bin = |off_j: Expr| Expr::load("data", off_j);
+    let inner = InnerLoop {
+        vars: vec![
+            ("j".into(), Expr::int(0)),
+            ("off".into(), Expr::muli(Expr::var("i"), Expr::int(m))),
+        ],
+        update: vec![
+            ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+            ("off".into(), Expr::var("off")),
+        ],
+        cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(m)),
+        effects: vec![StoreStmt {
+            array: "h".into(),
+            index: bin(Expr::addi(Expr::var("off"), Expr::var("j"))),
+            value: Expr::addi(
+                Expr::load("h", bin(Expr::addi(Expr::var("off"), Expr::var("j")))),
+                Expr::int(1),
+            ),
+        }],
+    };
+    Program {
+        name: "histogram".into(),
+        arrays: [
+            ("data".to_string(), (0..n * m).map(|_| Value::Int(rng.gen_range(0..bins))).collect()),
+            ("h".to_string(), vec![Value::Int(0); bins as usize]),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![OuterLoop {
+            var: "i".into(),
+            trip: n,
+            inner,
+            epilogue: vec![],
+            ooo_tags: None,
+        }],
+    }
+}
+
+/// `scatter`: each outer iteration writes a segment of `val` through the
+/// index array (`out[idx[off+j]] = val[off+j]`), then the epilogue marks
+/// `out[i]`. Duplicate indices make commit *order* observable (last write
+/// wins), and the body + epilogue sites on `out` are the two-site shape
+/// the fuzzer's minimised reproducer pinned — both commit through one
+/// store queue in program order.
+pub fn scatter(n: i64, m: i64, slots: i64) -> Program {
+    let mut rng = StdRng::seed_from_u64(73);
+    let slots = slots.max(n);
+    let inner = InnerLoop {
+        vars: vec![
+            ("j".into(), Expr::int(0)),
+            ("off".into(), Expr::muli(Expr::var("i"), Expr::int(m))),
+        ],
+        update: vec![
+            ("j".into(), Expr::addi(Expr::var("j"), Expr::int(1))),
+            ("off".into(), Expr::var("off")),
+        ],
+        cond: Expr::bin(Op::LtI, Expr::var("j"), Expr::int(m)),
+        effects: vec![StoreStmt {
+            array: "out".into(),
+            index: Expr::load("idx", Expr::addi(Expr::var("off"), Expr::var("j"))),
+            value: Expr::load("val", Expr::addi(Expr::var("off"), Expr::var("j"))),
+        }],
+    };
+    Program {
+        name: "scatter".into(),
+        arrays: [
+            ("idx".to_string(), (0..n * m).map(|_| Value::Int(rng.gen_range(0..slots))).collect()),
+            ("val".to_string(), (0..n * m).map(|_| Value::Int(rng.gen_range(-9i64..10))).collect()),
+            ("out".to_string(), vec![Value::Int(0); slots as usize]),
+        ]
+        .into_iter()
+        .collect(),
+        kernels: vec![OuterLoop {
+            var: "i".into(),
+            trip: n,
+            inner,
+            epilogue: vec![StoreStmt {
+                array: "out".into(),
+                index: Expr::var("i"),
+                value: Expr::int(-1),
+            }],
+            ooo_tags: None,
+        }],
+    }
+}
+
 /// The full evaluation suite at the default (scaled) sizes, in the paper's
 /// Table 2 row order.
 pub fn evaluation_suite() -> Vec<Program> {
@@ -476,5 +571,41 @@ mod tests {
     fn gsum_single_is_one_long_invocation() {
         let p = gsum_single(32);
         assert_eq!(p.kernels[0].trip, 1);
+    }
+
+    #[test]
+    fn histogram_matches_a_direct_computation() {
+        let p = histogram(4, 6, 5);
+        let mem = run_program(&p).unwrap();
+        let mut counts = vec![0i64; 5];
+        for v in &p.arrays["data"] {
+            counts[v.as_int().unwrap() as usize] += 1;
+        }
+        let got: Vec<i64> = mem["h"].iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(got, counts);
+        assert_eq!(counts.iter().sum::<i64>(), 24, "every element was binned");
+        assert!(counts.iter().any(|c| *c > 1), "bins repeat, so commit order matters");
+    }
+
+    #[test]
+    fn scatter_is_last_write_wins_in_program_order() {
+        let p = scatter(3, 5, 8);
+        let mem = run_program(&p).unwrap();
+        let idx: Vec<i64> = p.arrays["idx"].iter().map(|v| v.as_int().unwrap()).collect();
+        let val: Vec<i64> = p.arrays["val"].iter().map(|v| v.as_int().unwrap()).collect();
+        let mut out = vec![0i64; 8];
+        for i in 0..3usize {
+            for j in 0..5usize {
+                out[idx[i * 5 + j] as usize] = val[i * 5 + j];
+            }
+            out[i] = -1;
+        }
+        let got: Vec<i64> = mem["out"].iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(got, out);
+        let mut seen = std::collections::BTreeSet::new();
+        assert!(
+            !idx.iter().all(|i| seen.insert(*i)),
+            "duplicate indices exist, so commit order is observable"
+        );
     }
 }

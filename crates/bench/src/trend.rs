@@ -34,6 +34,13 @@
 //! (CI always emits `table2 --json --small`); an entry recorded at a
 //! larger problem size only inflates its own row and can never become
 //! the per-key minimum, so stray oversized entries weaken nothing.
+//!
+//! An entry may carry a `rebaseline` member (a reason string, set via
+//! `perfdiff --rebaseline`). It marks an intended semantic change — the
+//! compiler now emits different circuits, so cycle counts recorded before
+//! it measure hardware that no longer exists. The gate restarts its
+//! best-ever window at the most recent rebaseline of the same backend;
+//! older entries stay in the file as history but no longer gate.
 
 use crate::json::escape;
 use crate::jsonin::{parse, Json};
@@ -69,6 +76,11 @@ pub struct Entry {
     pub stalls: Vec<(String, u64)>,
     /// Worst cycle delta the emitting `perfdiff` run saw, in percent.
     pub max_cycle_delta_pct: Option<f64>,
+    /// When set, this entry marks an intended semantic change (the reason
+    /// string says which): the circuits themselves changed, so cycle and
+    /// stall values recorded *before* this entry are no longer comparable.
+    /// Gates restart their best-ever window here for this backend.
+    pub rebaseline: Option<String>,
 }
 
 /// The whole trajectory, oldest entry first.
@@ -96,6 +108,7 @@ fn entry_from_json(v: &Json) -> Entry {
         scheduler: u64_members(v.get("scheduler")),
         stalls: u64_members(v.get("stalls")),
         max_cycle_delta_pct: v.get("max_cycle_delta_pct").and_then(Json::as_f64),
+        rebaseline: v.get("rebaseline").and_then(Json::as_str).map(str::to_string),
     }
 }
 
@@ -119,6 +132,7 @@ fn legacy_entry(doc: &Json) -> Entry {
         scheduler: pairs(doc.get("scheduler")),
         stalls: pairs(doc.get("stalls")),
         max_cycle_delta_pct: doc.get("max_cycle_delta_pct").and_then(Json::as_f64),
+        rebaseline: None,
     }
 }
 
@@ -156,6 +170,9 @@ pub fn render(t: &Trajectory) -> String {
     for (i, e) in t.entries.iter().enumerate() {
         let _ = writeln!(out, "    {{\n      \"date\": \"{}\",", escape(&e.date));
         let _ = writeln!(out, "      \"backend\": \"{}\",", escape(&e.backend));
+        if let Some(reason) = &e.rebaseline {
+            let _ = writeln!(out, "      \"rebaseline\": \"{}\",", escape(reason));
+        }
         u64_obj(&mut out, "cycles", &e.cycles, "      ");
         out.push_str(",\n");
         let _ = writeln!(
@@ -208,14 +225,28 @@ pub struct Regression {
     pub delta_pct: f64,
 }
 
+/// The entries the newest entry is judged against: same backend, and —
+/// when that backend's series carries a [`Entry::rebaseline`] marker —
+/// only from the most recent marker onward. A rebaseline records an
+/// intended semantic change (e.g. a miscompilation fix that alters the
+/// circuits), after which older best-ever values measure circuits that
+/// no longer exist and must not gate the new ones.
+fn comparison_window<'a>(t: &'a Trajectory, latest: &Entry) -> Vec<&'a Entry> {
+    let same: Vec<&Entry> = t.entries.iter().filter(|e| e.backend == latest.backend).collect();
+    let start = same.iter().rposition(|e| e.rebaseline.is_some()).unwrap_or(0);
+    same[start..].to_vec()
+}
+
 /// Gates the newest entry's cycle counts and stall totals against the
 /// best-ever (minimum) value each key has recorded among entries of the
-/// *same backend*. Returns the violations; empty means the gate passes.
-/// An empty or single-entry trajectory trivially passes, and so does the
-/// first entry of a new backend — cycle counts are only comparable within
-/// one simulation backend.
+/// *same backend*, restarting at that backend's most recent
+/// [`Entry::rebaseline`] marker if one exists. Returns the violations;
+/// empty means the gate passes. An empty or single-entry trajectory
+/// trivially passes, and so does the first entry of a new backend —
+/// cycle counts are only comparable within one simulation backend.
 pub fn gate(t: &Trajectory, threshold_pct: f64) -> Vec<Regression> {
     let Some(latest) = t.entries.last() else { return Vec::new() };
+    let window = comparison_window(t, latest);
     let mut out = Vec::new();
     fn cycles_of(e: &Entry) -> &[(String, u64)] {
         &e.cycles
@@ -225,10 +256,8 @@ pub fn gate(t: &Trajectory, threshold_pct: f64) -> Vec<Regression> {
     }
     for series in [cycles_of as fn(&Entry) -> &[(String, u64)], stalls_of] {
         for (key, cur) in series(latest) {
-            let best = t
-                .entries
+            let best = window
                 .iter()
-                .filter(|e| e.backend == latest.backend)
                 .filter_map(|e| series(e).iter().find(|(k, _)| k == key).map(|(_, v)| *v))
                 .min()
                 .unwrap_or(*cur);
@@ -270,16 +299,22 @@ pub fn table(t: &Trajectory, threshold_pct: f64) -> String {
             .map_or("-".to_string(), |(_, v)| v.to_string());
         let wall = e.wall_seconds.map_or("-".to_string(), |w| format!("{w:.3}"));
         let delta = e.max_cycle_delta_pct.map_or("-".to_string(), |d| format!("{d:+.2}"));
+        let mark = e.rebaseline.as_ref().map_or(String::new(), |r| format!("  [rebaseline: {r}]"));
         let _ = writeln!(
             out,
-            "{:<date_w$}  {:<be_w$}  {total:>12}  {wall:>10}  {firings:>12}  {delta:>12}",
+            "{:<date_w$}  {:<be_w$}  {total:>12}  {wall:>10}  {firings:>12}  {delta:>12}{mark}",
             e.date, e.backend
         );
     }
     if let Some(latest) = t.entries.last() {
+        let window = comparison_window(t, latest);
+        let since = window
+            .first()
+            .filter(|e| e.rebaseline.is_some())
+            .map_or(String::new(), |e| format!(" since rebaseline at {}", e.date));
         let _ = writeln!(
             out,
-            "\nnewest entry ({}, {}) vs best-ever of the same backend, gate at +{threshold_pct}%:",
+            "\nnewest entry ({}, {}) vs best of the same backend{since}, gate at +{threshold_pct}%:",
             latest.date, latest.backend
         );
         let key_w = latest
@@ -295,10 +330,8 @@ pub fn table(t: &Trajectory, threshold_pct: f64) -> String {
             "benchmark/flow", "best", "latest", "delta"
         );
         for (key, cur) in &latest.cycles {
-            let best = t
-                .entries
+            let best = window
                 .iter()
-                .filter(|e| e.backend == latest.backend)
                 .filter_map(|e| e.cycles.iter().find(|(k, _)| k == key).map(|(_, v)| *v))
                 .min()
                 .unwrap_or(*cur);
@@ -328,6 +361,7 @@ mod tests {
             scheduler: vec![("sim.firings".to_string(), 1000)],
             stalls: vec![("sim.stall_cycles".to_string(), 50)],
             max_cycle_delta_pct: Some(0.0),
+            rebaseline: None,
         }
     }
 
@@ -444,6 +478,62 @@ mod tests {
         let old = r#"{"entries": [{"date": "d", "cycles": {"a/F": 5}}]}"#;
         let t = parse_trajectory(old).unwrap();
         assert_eq!(t.entries[0].backend, DEFAULT_BACKEND);
+    }
+
+    #[test]
+    fn rebaseline_restarts_the_gate_window() {
+        // A fix changes the circuits: cycles jump 80 → 150. Without a
+        // marker the gate trips; with one, the window restarts and the
+        // marked entry passes trivially.
+        let mut fixed = entry("d2", &[("a/F", 150)]);
+        fixed.stalls = vec![("sim.stall_cycles".to_string(), 90)];
+        let mut unmarked = Trajectory { entries: vec![entry("d1", &[("a/F", 80)]), fixed.clone()] };
+        assert_eq!(gate(&unmarked, 10.0).len(), 2, "cycles and stalls both trip unmarked");
+        fixed.rebaseline = Some("store-queue fix".to_string());
+        unmarked.entries[1] = fixed.clone();
+        assert!(gate(&unmarked, 10.0).is_empty(), "the rebaselined entry opens a fresh window");
+
+        // Later entries gate against the post-rebaseline best, not the
+        // stale pre-fix 80.
+        let t = Trajectory {
+            entries: vec![entry("d1", &[("a/F", 80)]), fixed.clone(), entry("d3", &[("a/F", 155)])],
+        };
+        assert!(gate(&t, 10.0).is_empty(), "155 is within 10% of the rebaselined 150");
+        let t = Trajectory {
+            entries: vec![entry("d1", &[("a/F", 80)]), fixed, entry("d3", &[("a/F", 170)])],
+        };
+        let regs = gate(&t, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].best, 150, "best comes from the rebaselined window");
+    }
+
+    #[test]
+    fn rebaseline_is_scoped_to_its_backend() {
+        // A compiled-backend rebaseline must not reset the event-driven
+        // window: the event-driven entry still gates against its own 80.
+        let mut co = entry("d2", &[("a/F", 150)]);
+        co.backend = "compiled".to_string();
+        co.rebaseline = Some("fix".to_string());
+        let t = Trajectory {
+            entries: vec![entry("d1", &[("a/F", 80)]), co, entry("d3", &[("a/F", 150)])],
+        };
+        let regs = gate(&t, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].best, 80, "the other backend's marker is invisible here");
+    }
+
+    #[test]
+    fn rebaseline_round_trips_through_the_document() {
+        let mut e = entry("2026-08-08", &[("a/F", 150)]);
+        e.rebaseline = Some("store-queue fix".to_string());
+        let doc = append_rendered(None, e).unwrap();
+        assert!(doc.contains("\"rebaseline\": \"store-queue fix\""), "{doc}");
+        let t = parse_trajectory(&doc).unwrap();
+        assert_eq!(t.entries[0].rebaseline.as_deref(), Some("store-queue fix"));
+        // Re-rendering is byte-identical, and unmarked entries stay bare.
+        assert_eq!(render(&t), doc);
+        let plain = append_rendered(Some(&doc), entry("d2", &[("a/F", 150)])).unwrap();
+        assert_eq!(plain.matches("rebaseline").count(), 1);
     }
 
     #[test]

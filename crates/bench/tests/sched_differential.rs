@@ -140,6 +140,51 @@ fn schedulers_agree_on_all_kernels_out_of_order() {
     }
 }
 
+/// Store-queue kernels: multi-site and read-modify-write arrays compile
+/// through a `StoreQueue` that serialises commits in program order. All
+/// three schedulers must execute the queue bit-identically — same cycle
+/// counts, firings, telemetry — and the final memory must match the
+/// reference interpreter (the property whose violation the fuzzer's
+/// store-race reproducer originally pinned).
+#[test]
+fn schedulers_agree_on_lsq_kernels() {
+    for p in [graphiti_bench::suite::histogram(3, 5, 4), graphiti_bench::suite::scatter(3, 4, 6)] {
+        let expected = run_program(&p).unwrap();
+        let compiled = compile(&p).unwrap();
+        let mut mem = p.arrays.clone();
+        for k in &compiled.kernels {
+            assert!(
+                k.graph
+                    .nodes()
+                    .any(|(_, kind)| matches!(kind, graphiti_ir::CompKind::StoreQueue { .. })),
+                "{}: expected a store queue in the circuit",
+                p.name
+            );
+            let (placed, _) = place_buffers(&k.graph);
+            mem = assert_schedulers_agree(&placed, mem, &format!("{} (lsq)", p.name));
+        }
+        assert_eq!(mem, expected, "{}: lsq result diverges from the interpreter", p.name);
+    }
+}
+
+/// The verified pipeline must refuse to tag a loop that drives a store
+/// queue (the sequence stream encodes program order, which tagging would
+/// scramble) — and the refused circuit still runs identically on all
+/// three schedulers.
+#[test]
+fn lsq_kernels_survive_the_ooo_pipeline_unchanged() {
+    let p = graphiti_bench::suite::histogram(2, 4, 3);
+    let compiled = compile(&p).unwrap();
+    let k = &compiled.kernels[0];
+    let opts = PipelineOptions { tags: 4, ..Default::default() };
+    let (g, report) = optimize_loop(&k.graph, &k.inner_init, &opts).unwrap();
+    assert!(!report.transformed, "tagging around a store queue must be refused");
+    assert_eq!(&g, &k.graph, "the refusal returns the circuit unchanged");
+    let (placed, _) = place_buffers(&g);
+    let mem = assert_schedulers_agree(&placed, p.arrays.clone(), "histogram (refused ooo)");
+    assert_eq!(mem, run_program(&p).unwrap());
+}
+
 /// Random integer kernels (same shape as the front-end codegen fuzz
 /// strategy): expressions over `j`/`acc` with select, compiled and run
 /// under both schedulers.

@@ -97,6 +97,31 @@ pub fn dfooo_loop(
         Some(Attachment::Wire(e)) => e,
         _ => return Err(DfOooError::LoopNotFound),
     };
+    // The condition fork's ways beyond the Init feed the Branch condition
+    // and possibly extra taps (a store queue's `seq` stream). All of them
+    // must keep firing after the fork is replaced — note their consumers
+    // before the removal detaches the wires. No ordering is imposed on the
+    // tapped stream: with several tagged iterations in flight the sequence
+    // tokens arrive in completion order, which is exactly the unsoundness
+    // this baseline is meant to exhibit.
+    let fork_ways = match g.kind(&l.fork) {
+        Some(CompKind::Fork { ways }) => *ways,
+        _ => return Err(DfOooError::LoopNotFound),
+    };
+    let init_way = match wire_driver(&g, &ep(l.init.clone(), "in")) {
+        Some(s) => s.port,
+        None => return Err(DfOooError::LoopNotFound),
+    };
+    let mut taps = Vec::new();
+    for w in 0..fork_ways {
+        let port = format!("out{w}");
+        if port == init_way {
+            continue;
+        }
+        if let Some(c) = wire_consumer(&g, &ep(l.fork.clone(), port)) {
+            taps.push(c);
+        }
+    }
 
     // Detach and remove the steering we replace: mux, init, cond fork.
     g.detach_input(&ep(l.mux.clone(), "f"));
@@ -106,10 +131,20 @@ pub fn dfooo_loop(
     g.remove_node(&l.mux)?;
     g.remove_node(&l.init)?;
     g.remove_node(&l.fork)?;
-    // The branch condition lost its driver when the fork was removed.
-    // Rewire it from the condition source directly.
+    // The branch condition (and any extra taps) lost their driver when the
+    // fork was removed. Rewire them from the condition source: directly
+    // for the usual 2-way fork, through a narrower fork otherwise.
     g.detach_output(&cond_src);
-    g.connect(cond_src, ep(l.branch.clone(), "cond"))?;
+    if taps.len() <= 1 {
+        g.connect(cond_src, ep(l.branch.clone(), "cond"))?;
+    } else {
+        let refan = g.fresh("dfooo_condfork");
+        g.add_node(refan.clone(), CompKind::Fork { ways: taps.len() })?;
+        g.connect(cond_src, ep(refan.clone(), "in"))?;
+        for (w, tap) in taps.into_iter().enumerate() {
+            g.connect(ep(refan.clone(), format!("out{w}")), tap)?;
+        }
+    }
     // The branch data path survived; keep it.
     let _ = branch_data;
 

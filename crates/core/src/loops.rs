@@ -22,8 +22,13 @@ pub struct SeqLoop {
     pub branch: NodeId,
 }
 
-/// Finds all sequential loops: Init → Mux.cond, Fork{2} → {Branch.cond,
-/// Init.in}, Branch.t → Mux.t.
+/// Finds all sequential loops: Init → Mux.cond, Fork → {Branch.cond,
+/// Init.in, extra taps…}, Branch.t → Mux.t.
+///
+/// The condition fork is usually exactly 2-way, but a loop whose body
+/// drives a store queue taps the condition stream once more per queue (the
+/// `seq` input that carries program order); any ways beyond the Init and
+/// the Branch condition are accepted and left alone.
 pub fn find_seq_loops(g: &ExprHigh) -> Vec<SeqLoop> {
     let mut out = Vec::new();
     for (init, kind) in g.nodes() {
@@ -34,21 +39,38 @@ pub fn find_seq_loops(g: &ExprHigh) -> Vec<SeqLoop> {
             Some(d) if d.port == "cond" && matches!(g.kind(&d.node), Some(CompKind::Mux)) => d.node,
             _ => continue,
         };
-        let fork = match wire_driver(g, &ep(init.clone(), "in")) {
-            Some(src) if matches!(g.kind(&src.node), Some(CompKind::Fork { ways: 2 })) => src,
+        let (fork, ways) = match wire_driver(g, &ep(init.clone(), "in")) {
+            Some(src) => match g.kind(&src.node) {
+                Some(CompKind::Fork { ways }) => {
+                    let w = *ways;
+                    (src, w)
+                }
+                _ => continue,
+            },
             _ => continue,
         };
-        let other = if fork.port == "out0" { "out1" } else { "out0" };
-        let branch = match wire_consumer(g, &ep(fork.node.clone(), other)) {
-            Some(d) if d.port == "cond" && matches!(g.kind(&d.node), Some(CompKind::Branch)) => {
-                d.node
+        let mut branch = None;
+        for w in 0..ways {
+            let port = format!("out{w}");
+            if port == fork.port {
+                continue; // the Init way
             }
-            _ => continue,
-        };
-        match wire_consumer(g, &ep(branch.clone(), "t")) {
-            Some(d) if d.node == mux && d.port == "t" => {}
-            _ => continue,
+            let cand = match wire_consumer(g, &ep(fork.node.clone(), port)) {
+                Some(d)
+                    if d.port == "cond" && matches!(g.kind(&d.node), Some(CompKind::Branch)) =>
+                {
+                    d.node
+                }
+                _ => continue,
+            };
+            match wire_consumer(g, &ep(cand.clone(), "t")) {
+                Some(d) if d.node == mux && d.port == "t" => {}
+                _ => continue,
+            }
+            branch = Some(cand);
+            break;
         }
+        let Some(branch) = branch else { continue };
         out.push(SeqLoop { mux, init: init.clone(), fork: fork.node, branch });
     }
     out

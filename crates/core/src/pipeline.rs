@@ -296,6 +296,27 @@ pub fn optimize_loop(
     let mut engine = engine_for(opts);
     let original = graph.clone();
 
+    // A store queue serialises memory accesses by the *arrival order* of
+    // its sequence stream; tagging the region around it would reorder that
+    // stream and break the program-order commit guarantee. Until the
+    // rewrite catalogue grows an LSQ-aware tagging rule, refuse outright —
+    // the circuit stays correct, just in-order.
+    if let Some(n) = graph
+        .nodes()
+        .find(|(_, k)| matches!(k, CompKind::StoreQueue { .. }))
+        .map(|(n, _)| n.clone())
+    {
+        return Ok((
+            original,
+            report_of(
+                &mut engine,
+                false,
+                Some(Refusal::ImpureBody(format!("store queue at `{n}`"))),
+                false,
+            ),
+        ));
+    }
+
     // Phases 1-2.
     let (g, l) = normalize(&mut engine, graph.clone(), init, opts.max_rewrites)?;
     let l = match l {

@@ -21,7 +21,9 @@
 //! single external output `done` (the counter's exit token).
 
 use crate::ast::{Expr, InnerLoop, OuterLoop, Program, StoreStmt};
-use graphiti_ir::{ep, CompKind, Endpoint, ExprHigh, GraphError, NodeId, Op, Value};
+use graphiti_ir::{
+    ep, lsq_site_counts, CompKind, Endpoint, ExprHigh, GraphError, NodeId, Op, Value,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -34,12 +36,21 @@ pub enum CodegenError {
     SupplyExhausted(String),
     /// The kernel references an update for an unknown state variable.
     MalformedKernel(String),
-    /// Two store statements target the same array. The circuit has no
-    /// load-store queue, so distinct store sites to one array can commit
-    /// out of program order (e.g. a body store whose data rides a
-    /// latency-2 load lands *after* the epilogue store of the same
-    /// invocation); the kernel is rejected instead of miscompiled.
-    StoreRace(String),
+    /// An array with racing store sites is also loaded *outside* its
+    /// store statements (in an init, update, or condition expression).
+    /// Multi-site arrays normally compile through a store queue that
+    /// serialises every access in program order, but the queue can only
+    /// order accesses wired through it — a stray load elsewhere would
+    /// still read memory at an arbitrary point between commits, so the
+    /// kernel is rejected instead of miscompiled.
+    StoreRace {
+        /// The racing array.
+        array: String,
+        /// The conflicting store sites, e.g. `body store #0`,
+        /// `epilogue store #1` (indices into the respective statement
+        /// lists).
+        sites: Vec<String>,
+    },
 }
 
 impl fmt::Display for CodegenError {
@@ -50,10 +61,12 @@ impl fmt::Display for CodegenError {
                 write!(f, "internal use-count mismatch for variable `{v}`")
             }
             CodegenError::MalformedKernel(m) => write!(f, "malformed kernel: {m}"),
-            CodegenError::StoreRace(a) => write!(
+            CodegenError::StoreRace { array, sites } => write!(
                 f,
-                "array `{a}` is stored by more than one store statement; without a \
-                 load-store queue the sites can commit out of program order"
+                "array `{array}` has racing store sites ({}) but is also loaded outside \
+                 its store statements; the store queue only orders accesses inside store \
+                 statements, so the stray load could read out of program order",
+                sites.join(", ")
             ),
         }
     }
@@ -132,6 +145,60 @@ fn count_expr(e: &Expr, trig: &str, counts: &mut BTreeMap<String, usize>) {
     }
 }
 
+/// Whether `e` contains a load of `arr`.
+fn expr_loads(e: &Expr, arr: &str) -> bool {
+    match e {
+        Expr::Load(a, idx) => a == arr || expr_loads(idx, arr),
+        Expr::Un(_, a) => expr_loads(a, arr),
+        Expr::Bin(_, a, b) => expr_loads(a, arr) || expr_loads(b, arr),
+        Expr::Sel(c, t, f) => expr_loads(c, arr) || expr_loads(t, arr) || expr_loads(f, arr),
+        Expr::Const(_) | Expr::Var(_) => false,
+    }
+}
+
+/// Appends a `false` (load site) for every load of `arr` in `e`, in the
+/// order [`emit_expr`] reaches them — operands before their consumer,
+/// left to right. The store-queue plans and the port wiring must agree on
+/// this order, so both derive from the same traversal.
+fn collect_arr_loads(e: &Expr, arr: &str, plan: &mut Vec<bool>) {
+    match e {
+        Expr::Load(a, idx) => {
+            collect_arr_loads(idx, arr, plan);
+            if a == arr {
+                plan.push(false);
+            }
+        }
+        Expr::Un(_, a) => collect_arr_loads(a, arr, plan),
+        Expr::Bin(_, a, b) => {
+            collect_arr_loads(a, arr, plan);
+            collect_arr_loads(b, arr, plan);
+        }
+        Expr::Sel(c, t, f) => {
+            collect_arr_loads(c, arr, plan);
+            collect_arr_loads(t, arr, plan);
+            collect_arr_loads(f, arr, plan);
+        }
+        Expr::Const(_) | Expr::Var(_) => {}
+    }
+}
+
+/// One array's store-queue wiring state: the queue node plus the next
+/// unclaimed load/store port. Ports are claimed in plan order because the
+/// emission walks statements in the same order the plans were built.
+struct LsqWire {
+    node: NodeId,
+    next_store: usize,
+    next_load: usize,
+}
+
+/// Store-queue routing: arrays whose accesses commit through a store
+/// queue instead of free-running Load/Store components. Empty for
+/// contexts with no ordered arrays (the outer counter loop).
+#[derive(Default)]
+struct LsqRouting {
+    wires: BTreeMap<String, LsqWire>,
+}
+
 /// Token supplies: for each variable, the list of fork outputs still
 /// available to consumers.
 struct Supplies {
@@ -182,10 +249,13 @@ impl Supplies {
 }
 
 /// Emits an expression tree; returns the endpoint producing its value.
+/// Loads of store-queue arrays claim the queue's next load port instead
+/// of spawning a free-running Load component.
 fn emit_expr(
     g: &mut ExprHigh,
     ng: &mut NameGen,
     sup: &mut Supplies,
+    lsq: &mut LsqRouting,
     trig: &str,
     e: &Expr,
 ) -> Result<Endpoint, CodegenError> {
@@ -199,22 +269,29 @@ fn emit_expr(
         }
         Expr::Var(v) => sup.take(v)?,
         Expr::Load(arr, idx) => {
-            let addr = emit_expr(g, ng, sup, trig, idx)?;
-            let ld = ng.fresh("load");
-            g.add_node(ld.clone(), CompKind::Load { mem: arr.clone() })?;
-            g.connect(addr, ep(ld.clone(), "addr"))?;
-            ep(ld, "data")
+            let addr = emit_expr(g, ng, sup, lsq, trig, idx)?;
+            if let Some(w) = lsq.wires.get_mut(arr) {
+                let k = w.next_load;
+                w.next_load += 1;
+                g.connect(addr, ep(w.node.clone(), format!("laddr{k}")))?;
+                ep(w.node.clone(), format!("ldata{k}"))
+            } else {
+                let ld = ng.fresh("load");
+                g.add_node(ld.clone(), CompKind::Load { mem: arr.clone() })?;
+                g.connect(addr, ep(ld.clone(), "addr"))?;
+                ep(ld, "data")
+            }
         }
         Expr::Un(op, a) => {
-            let va = emit_expr(g, ng, sup, trig, a)?;
+            let va = emit_expr(g, ng, sup, lsq, trig, a)?;
             let n = ng.fresh("op");
             g.add_node(n.clone(), CompKind::Operator { op: *op })?;
             g.connect(va, ep(n.clone(), "in0"))?;
             ep(n, "out")
         }
         Expr::Bin(op, a, b) => {
-            let va = emit_expr(g, ng, sup, trig, a)?;
-            let vb = emit_expr(g, ng, sup, trig, b)?;
+            let va = emit_expr(g, ng, sup, lsq, trig, a)?;
+            let vb = emit_expr(g, ng, sup, lsq, trig, b)?;
             let n = ng.fresh("op");
             g.add_node(n.clone(), CompKind::Operator { op: *op })?;
             g.connect(va, ep(n.clone(), "in0"))?;
@@ -222,9 +299,9 @@ fn emit_expr(
             ep(n, "out")
         }
         Expr::Sel(c, t, f) => {
-            let vc = emit_expr(g, ng, sup, trig, c)?;
-            let vt = emit_expr(g, ng, sup, trig, t)?;
-            let vf = emit_expr(g, ng, sup, trig, f)?;
+            let vc = emit_expr(g, ng, sup, lsq, trig, c)?;
+            let vt = emit_expr(g, ng, sup, lsq, trig, t)?;
+            let vf = emit_expr(g, ng, sup, lsq, trig, f)?;
             let n = ng.fresh("sel");
             g.add_node(n.clone(), CompKind::Operator { op: Op::Select })?;
             g.connect(vc, ep(n.clone(), "in0"))?;
@@ -233,6 +310,35 @@ fn emit_expr(
             ep(n, "out")
         }
     })
+}
+
+/// Wires one store: through the array's store queue (claiming its next
+/// store port) when the array is ordered, or as a free-running Store with
+/// its `done` token sunk otherwise.
+fn emit_store(
+    g: &mut ExprHigh,
+    ng: &mut NameGen,
+    lsq: &mut LsqRouting,
+    array: &str,
+    addr: Endpoint,
+    val: Endpoint,
+) -> Result<(), CodegenError> {
+    if let Some(w) = lsq.wires.get_mut(array) {
+        let k = w.next_store;
+        w.next_store += 1;
+        g.connect(addr, ep(w.node.clone(), format!("saddr{k}")))?;
+        g.connect(val, ep(w.node.clone(), format!("sdata{k}")))?;
+        // The sdone ports were sunk when the queue was created.
+    } else {
+        let s = ng.fresh("store");
+        g.add_node(s.clone(), CompKind::Store { mem: array.to_string() })?;
+        g.connect(addr, ep(s.clone(), "addr"))?;
+        g.connect(val, ep(s.clone(), "data"))?;
+        let sink = ng.fresh("sink");
+        g.add_node(sink.clone(), CompKind::Sink)?;
+        g.connect(ep(s, "done"), ep(sink, "in"))?;
+    }
+    Ok(())
 }
 
 /// The result of emitting a sequential loop.
@@ -252,6 +358,7 @@ struct EmittedLoop {
 fn emit_loop(
     g: &mut ExprHigh,
     ng: &mut NameGen,
+    lsq: &mut LsqRouting,
     inits: &[(String, Endpoint)],
     update: &[(String, Expr)],
     cond: &Expr,
@@ -303,21 +410,15 @@ fn emit_loop(
 
     // Effects (stores) with current values.
     for st in effects {
-        let addr = emit_expr(g, ng, &mut sup, &trig, &st.index)?;
-        let val = emit_expr(g, ng, &mut sup, &trig, &st.value)?;
-        let s = ng.fresh("store");
-        g.add_node(s.clone(), CompKind::Store { mem: st.array.clone() })?;
-        g.connect(addr, ep(s.clone(), "addr"))?;
-        g.connect(val, ep(s.clone(), "data"))?;
-        let sink = ng.fresh("sink");
-        g.add_node(sink.clone(), CompKind::Sink)?;
-        g.connect(ep(s, "done"), ep(sink, "in"))?;
+        let addr = emit_expr(g, ng, &mut sup, lsq, &trig, &st.index)?;
+        let val = emit_expr(g, ng, &mut sup, lsq, &trig, &st.value)?;
+        emit_store(g, ng, lsq, &st.array, addr, val)?;
     }
 
     // Updated values.
     let mut upd_eps: Vec<(String, Endpoint)> = Vec::new();
     for (var, e) in update {
-        let out = emit_expr(g, ng, &mut sup, &trig, e)?;
+        let out = emit_expr(g, ng, &mut sup, lsq, &trig, e)?;
         upd_eps.push((var.clone(), out));
     }
 
@@ -331,16 +432,24 @@ fn emit_loop(
     }
 
     // Condition over updated values.
-    let cond_out = emit_expr(g, ng, &mut upd_sup, &trig, cond)?;
+    let cond_out = emit_expr(g, ng, &mut upd_sup, lsq, &trig, cond)?;
 
-    // Condition distribution: Fork{nvars+1} -> branch conds + Init;
-    // Init -> Fork{nvars} -> mux conds.
+    // Condition distribution: Fork{nvars+1+queues} -> branch conds + Init
+    // + one sequence stream per store queue; Init -> Fork{nvars} -> mux
+    // conds. Each sequence token tells its queue to open the next body
+    // round of pending accesses (`false`, the loop exit, also opens the
+    // epilogue round), so program order reaches the queue as exactly the
+    // order the loop resolved its condition in.
+    let seq_taps: Vec<NodeId> = lsq.wires.values().map(|w| w.node.clone()).collect();
     let condfork = ng.fresh("condfork");
-    g.add_node(condfork.clone(), CompKind::Fork { ways: nvars + 1 })?;
+    g.add_node(condfork.clone(), CompKind::Fork { ways: nvars + 1 + seq_taps.len() })?;
     g.connect(cond_out, ep(condfork.clone(), "in"))?;
     let init = ng.fresh("init");
     g.add_node(init.clone(), CompKind::Init { initial: false })?;
     g.connect(ep(condfork.clone(), format!("out{nvars}")), ep(init.clone(), "in"))?;
+    for (j, q) in seq_taps.iter().enumerate() {
+        g.connect(ep(condfork.clone(), format!("out{}", nvars + 1 + j)), ep(q.clone(), "seq"))?;
+    }
     let mux_cond_srcs: Vec<Endpoint> = if nvars == 1 {
         vec![ep(init.clone(), "out")]
     } else {
@@ -379,16 +488,97 @@ pub fn compile_kernel(k: &OuterLoop, name: &str) -> Result<KernelCircuit, Codege
     let outer = k.var.clone();
     let decouple = k.ooo_tags.unwrap_or(1) as usize + 8;
 
-    // One store site per array: Store components are mutually unordered
-    // (each `done` is sunk), so a second site on the same array races the
-    // first — the simulator would commit them in data-arrival order, not
+    // --- Store-site analysis ---
+    // Free-running Store components are mutually unordered (each `done`
+    // token is sunk), so an array with several store sites — or one that a
+    // loop-body statement both stores and loads — could commit out of
     // program order.
-    let mut store_sites: BTreeMap<&str, usize> = BTreeMap::new();
-    for st in inner.effects.iter().chain(&k.epilogue) {
-        *store_sites.entry(st.array.as_str()).or_insert(0) += 1;
-    }
-    if let Some((arr, _)) = store_sites.iter().find(|(_, n)| **n > 1) {
-        return Err(CodegenError::StoreRace((*arr).to_string()));
+    // Such arrays get a store queue that serialises every access. Loads
+    // of an ordered array *outside* its store statements (inits, updates,
+    // the condition) cannot be wired through the queue; that shape keeps
+    // the old rejection, now with per-site diagnostics.
+    let mut lsq = LsqRouting::default();
+    let stored: Vec<&str> = {
+        let mut seen = Vec::new();
+        for st in inner.effects.iter().chain(&k.epilogue) {
+            if !seen.contains(&st.array.as_str()) {
+                seen.push(st.array.as_str());
+            }
+        }
+        seen
+    };
+    for arr in stored {
+        let body_sites: Vec<usize> = inner
+            .effects
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.array == arr)
+            .map(|(i, _)| i)
+            .collect();
+        let epi_sites: Vec<usize> = k
+            .epilogue
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.array == arr)
+            .map(|(i, _)| i)
+            .collect();
+        let n_sites = body_sites.len() + epi_sites.len();
+        // A lone body store whose array is re-read inside the loop body
+        // (histogram's `h[b] = h[b] + 1`) races with its own loads across
+        // iterations: nothing orders iteration k's commit before iteration
+        // k+1's load. A lone *epilogue* read-modify-write (mvt's
+        // `x1[i] = acc + x1[i]`) is load-then-store of one token pair per
+        // outer iteration and keeps the plain Load/Store wiring.
+        let body_rmw = !body_sites.is_empty()
+            && inner
+                .effects
+                .iter()
+                .any(|st| expr_loads(&st.index, arr) || expr_loads(&st.value, arr));
+        if n_sites < 2 && !body_rmw {
+            continue; // a lone store cannot race in arrival order
+        }
+        let loaded_outside = inner
+            .vars
+            .iter()
+            .map(|(_, e)| e)
+            .chain(inner.update.iter().map(|(_, e)| e))
+            .chain(std::iter::once(&inner.cond))
+            .any(|e| expr_loads(e, arr));
+        if loaded_outside {
+            let sites = body_sites
+                .iter()
+                .map(|i| format!("body store #{i}"))
+                .chain(epi_sites.iter().map(|i| format!("epilogue store #{i}")))
+                .collect();
+            return Err(CodegenError::StoreRace { array: arr.to_string(), sites });
+        }
+        // Access plans in program order: per statement, the index loads,
+        // then the value loads, then the statement's own store.
+        let mut body_plan = Vec::new();
+        for st in &inner.effects {
+            collect_arr_loads(&st.index, arr, &mut body_plan);
+            collect_arr_loads(&st.value, arr, &mut body_plan);
+            if st.array == arr {
+                body_plan.push(true);
+            }
+        }
+        let mut epi_plan = Vec::new();
+        for st in &k.epilogue {
+            collect_arr_loads(&st.index, arr, &mut epi_plan);
+            collect_arr_loads(&st.value, arr, &mut epi_plan);
+            if st.array == arr {
+                epi_plan.push(true);
+            }
+        }
+        let (n_stores, _) = lsq_site_counts(&body_plan, &epi_plan);
+        let q = ng.fresh("lsq");
+        g.add_node(q.clone(), CompKind::StoreQueue { mem: arr.to_string(), body_plan, epi_plan })?;
+        for s in 0..n_stores {
+            let sink = ng.fresh("sink");
+            g.add_node(sink.clone(), CompKind::Sink)?;
+            g.connect(ep(q.clone(), format!("sdone{s}")), ep(sink, "in"))?;
+        }
+        lsq.wires.insert(arr.to_string(), LsqWire { node: q, next_store: 0, next_load: 0 });
     }
 
     // --- Use counts of the outer induction token ---
@@ -414,6 +604,7 @@ pub fn compile_kernel(k: &OuterLoop, name: &str) -> Result<KernelCircuit, Codege
     let counter = emit_loop(
         &mut g,
         &mut ng,
+        &mut LsqRouting::default(),
         &[(outer.clone(), ep(czero, "out"))],
         &[(outer.clone(), Expr::addi(Expr::var(&outer), Expr::int(1)))],
         &Expr::bin(Op::LtI, Expr::var(&outer), Expr::int(k.trip)),
@@ -438,7 +629,7 @@ pub fn compile_kernel(k: &OuterLoop, name: &str) -> Result<KernelCircuit, Codege
     outer_sup.ports.insert(outer.clone(), i_tokens);
     let mut inits: Vec<(String, Endpoint)> = Vec::new();
     for (var, init) in &inner.vars {
-        let out = emit_expr(&mut g, &mut ng, &mut outer_sup, &outer, init)?;
+        let out = emit_expr(&mut g, &mut ng, &mut outer_sup, &mut lsq, &outer, init)?;
         inits.push((var.clone(), out));
     }
 
@@ -446,6 +637,7 @@ pub fn compile_kernel(k: &OuterLoop, name: &str) -> Result<KernelCircuit, Codege
     let emitted_inner = emit_loop(
         &mut g,
         &mut ng,
+        &mut lsq,
         &inits,
         &inner.update,
         &inner.cond,
@@ -467,15 +659,9 @@ pub fn compile_kernel(k: &OuterLoop, name: &str) -> Result<KernelCircuit, Codege
         epi_sup.provide(&mut g, &mut ng, var, exit.clone(), count)?;
     }
     for st in &k.epilogue {
-        let addr = emit_expr(&mut g, &mut ng, &mut epi_sup, &outer, &st.index)?;
-        let val = emit_expr(&mut g, &mut ng, &mut epi_sup, &outer, &st.value)?;
-        let s = ng.fresh("store");
-        g.add_node(s.clone(), CompKind::Store { mem: st.array.clone() })?;
-        g.connect(addr, ep(s.clone(), "addr"))?;
-        g.connect(val, ep(s.clone(), "data"))?;
-        let sink = ng.fresh("sink");
-        g.add_node(sink.clone(), CompKind::Sink)?;
-        g.connect(ep(s, "done"), ep(sink, "in"))?;
+        let addr = emit_expr(&mut g, &mut ng, &mut epi_sup, &mut lsq, &outer, &st.index)?;
+        let val = emit_expr(&mut g, &mut ng, &mut epi_sup, &mut lsq, &outer, &st.value)?;
+        emit_store(&mut g, &mut ng, &mut lsq, &st.array, addr, val)?;
     }
 
     g.validate()?;

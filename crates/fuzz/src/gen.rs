@@ -49,6 +49,10 @@ pub struct GenConfig {
     /// Generate stores inside the inner body (impure kernels exercise
     /// the pipeline's refusal path, as bicg does in the paper).
     pub allow_effects: bool,
+    /// Generate multi-site-store shapes — two body stores to one array,
+    /// a body store to the epilogue's output array, or a body
+    /// read-modify-write — which compile through a store queue.
+    pub allow_multi_site: bool,
     /// Generate float-typed state variables and float operators.
     pub allow_floats: bool,
 }
@@ -64,6 +68,7 @@ impl Default for GenConfig {
             allow_ooo: true,
             max_tags: 12,
             allow_effects: true,
+            allow_multi_site: true,
             allow_floats: true,
         }
     }
@@ -327,16 +332,47 @@ pub fn gen_program(rng: &mut StdRng, cfg: &GenConfig) -> Program {
         let mut effects = Vec::new();
         if cfg.allow_effects && rng.gen_bool(0.25) {
             // Effects run in state-only scope: a constant index (kept in
-            // bounds) instead of `i`. They get their own array — the
-            // front-end rejects a second store site on `out` (store-store
-            // races are unorderable without a load-store queue).
+            // bounds) instead of `i`. They get their own array; the loads
+            // embedded below are the only reads of it — a read anywhere
+            // else (inits, updates, the condition) is the one shape the
+            // store queue cannot order and codegen still rejects.
             let eff = format!("eff{knum}");
             p.arrays.insert(eff.clone(), vec![Value::Int(0); trip as usize]);
             effects.push(StoreStmt {
-                array: eff,
+                array: eff.clone(),
                 index: Expr::int(rng.gen_range(0..trip)),
                 value: gen_expr(rng, &sc, Ty::Int, 1, cfg.allow_floats),
             });
+            // Multi-site shapes compile through a store queue that
+            // serialises the accesses in program order; the oracles then
+            // hold the queue to the interpreter's memory.
+            if cfg.allow_multi_site && rng.gen_bool(0.5) {
+                match rng.gen_range(0u8..3) {
+                    // A second body store to the same array: two body sites.
+                    0 => effects.push(StoreStmt {
+                        array: eff,
+                        index: Expr::int(rng.gen_range(0..trip)),
+                        value: gen_expr(rng, &sc, Ty::Int, 1, cfg.allow_floats),
+                    }),
+                    // A body read-modify-write: the store statement loads
+                    // its own array (the histogram shape).
+                    1 => effects.push(StoreStmt {
+                        array: eff.clone(),
+                        index: Expr::int(rng.gen_range(0..trip)),
+                        value: Expr::addi(
+                            Expr::load(&eff, Expr::int(rng.gen_range(0..trip))),
+                            gen_expr(rng, &sc, Ty::Int, 1, cfg.allow_floats),
+                        ),
+                    }),
+                    // A body store to the epilogue's output array: body +
+                    // epilogue sites (the minimised reproducer's shape).
+                    _ => effects.push(StoreStmt {
+                        array: out.clone(),
+                        index: Expr::int(rng.gen_range(0..trip)),
+                        value: gen_expr(rng, &sc, Ty::Int, 1, cfg.allow_floats),
+                    }),
+                }
+            }
         }
         let result_var = if int_vars.len() > 1 && rng.gen_bool(0.7) {
             int_vars[rng.gen_range(1..int_vars.len())].clone()

@@ -68,6 +68,41 @@ fn shrinker_minimises_while_preserving_the_failure() {
 }
 
 #[test]
+fn multi_site_store_shapes_are_drawn_and_pass_the_oracles() {
+    // The generator must actually draw multi-site-store kernels (two
+    // sites on one array, or a body read-modify-write) — the shapes that
+    // compile through a store queue — and each drawn shape must pass the
+    // full oracle stack, including the three-scheduler differential and
+    // the rewrite round-trip.
+    let cfg = GenConfig::default();
+    let multi_site = |p: &Program| {
+        p.kernels.iter().any(|k| {
+            let n_arrays: std::collections::BTreeSet<&str> =
+                k.inner.effects.iter().chain(&k.epilogue).map(|st| st.array.as_str()).collect();
+            k.inner.effects.len() + k.epilogue.len() > n_arrays.len()
+                || k.inner.effects.iter().any(|st| format!("{:?}", st.value).contains("Load"))
+        })
+    };
+    let drawn: Vec<u64> = (0..400u64)
+        .filter(|s| multi_site(&gen_program(&mut StdRng::seed_from_u64(*s), &cfg)))
+        .collect();
+    assert!(drawn.len() >= 10, "only {} multi-site draws in 400 seeds", drawn.len());
+    for seed in drawn.into_iter().take(6) {
+        let p = gen_program(&mut StdRng::seed_from_u64(seed), &cfg);
+        let opts = OracleOpts { refinement: false };
+        let verdict = triage::catching(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            check_program(&p, &mut rng, &opts)
+        });
+        match verdict {
+            Ok(Ok(())) => {}
+            Ok(Err(f)) => panic!("seed {seed}: {f}"),
+            Err(c) => panic!("seed {seed}: panic at {}: {}", c.location, c.message),
+        }
+    }
+}
+
+#[test]
 fn triage_deduplicates_by_fingerprint() {
     let mut t = triage::Triage::new();
     assert!(t.record("panic@a.rs:1:idx".into(), "first".into(), 1));

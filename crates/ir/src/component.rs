@@ -81,6 +81,24 @@ pub enum CompKind {
         /// Memory (array) identifier.
         mem: String,
     },
+    /// An in-order load/store queue serialising every access to one memory.
+    ///
+    /// Each access *site* (a static load or store occurrence in the source
+    /// kernel) gets its own port pair; the queue commits stores and issues
+    /// loads in program order, recovered from the `seq` stream: one Boolean
+    /// token per inner-loop iteration (the loop condition), where `false`
+    /// additionally opens the epilogue round. A load may bypass older stores
+    /// only once their addresses are known to differ (memory
+    /// disambiguation); stores never reorder.
+    StoreQueue {
+        /// Memory (array) identifier.
+        mem: String,
+        /// Access sites inside one loop-body iteration, in program order
+        /// (`true` = store site, `false` = load site).
+        body_plan: Vec<bool>,
+        /// Access sites of one epilogue pass, in program order.
+        epi_plan: Vec<bool>,
+    },
 }
 
 impl CompKind {
@@ -114,6 +132,20 @@ impl CompKind {
             CompKind::TaggerUntagger { .. } => (s(&["in", "retag"]), s(&["tagged", "out"])),
             CompKind::Load { .. } => (s(&["addr"]), s(&["data"])),
             CompKind::Store { .. } => (s(&["addr", "data"]), s(&["done"])),
+            CompKind::StoreQueue { body_plan, epi_plan, .. } => {
+                let (stores, loads) = lsq_site_counts(body_plan, epi_plan);
+                let mut ins = s(&["seq"]);
+                for k in 0..stores {
+                    ins.push(format!("saddr{k}"));
+                    ins.push(format!("sdata{k}"));
+                }
+                for k in 0..loads {
+                    ins.push(format!("laddr{k}"));
+                }
+                let mut outs: Vec<String> = (0..stores).map(|k| format!("sdone{k}")).collect();
+                outs.extend((0..loads).map(|k| format!("ldata{k}")));
+                (ins, outs)
+            }
         }
     }
 
@@ -142,6 +174,18 @@ impl CompKind {
             ),
             CompKind::Load { .. } => (vec![Ty::Int], vec![Ty::Any]),
             CompKind::Store { .. } => (vec![Ty::Int, Ty::Any], vec![Ty::Unit]),
+            CompKind::StoreQueue { body_plan, epi_plan, .. } => {
+                let (stores, loads) = lsq_site_counts(body_plan, epi_plan);
+                let mut ins = vec![Ty::Bool];
+                for _ in 0..stores {
+                    ins.push(Ty::Int);
+                    ins.push(Ty::Any);
+                }
+                ins.extend(std::iter::repeat_n(Ty::Int, loads));
+                let mut outs = vec![Ty::Unit; stores];
+                outs.extend(std::iter::repeat_n(Ty::Any, loads));
+                (ins, outs)
+            }
         }
     }
 
@@ -154,7 +198,7 @@ impl CompKind {
     /// read-only and therefore effect-free (reordering it is safe as long as
     /// no store to the same memory sits in the region).
     pub fn is_effect_free(&self) -> bool {
-        !matches!(self, CompKind::Store { .. })
+        !matches!(self, CompKind::Store { .. } | CompKind::StoreQueue { .. })
     }
 
     /// Short name used as the DOT `type` attribute and as the environment
@@ -176,8 +220,16 @@ impl CompKind {
             CompKind::TaggerUntagger { .. } => "tagger",
             CompKind::Load { .. } => "load",
             CompKind::Store { .. } => "store",
+            CompKind::StoreQueue { .. } => "lsq",
         }
     }
+}
+
+/// `(store_sites, load_sites)` across the body and epilogue plans of a
+/// [`CompKind::StoreQueue`].
+pub fn lsq_site_counts(body_plan: &[bool], epi_plan: &[bool]) -> (usize, usize) {
+    let stores = body_plan.iter().filter(|s| **s).count() + epi_plan.iter().filter(|s| **s).count();
+    (stores, body_plan.len() + epi_plan.len() - stores)
 }
 
 impl fmt::Display for CompKind {
@@ -194,6 +246,12 @@ impl fmt::Display for CompKind {
             CompKind::TaggerUntagger { tags } => write!(f, "tagger({tags})"),
             CompKind::Load { mem } => write!(f, "load[{mem}]"),
             CompKind::Store { mem } => write!(f, "store[{mem}]"),
+            CompKind::StoreQueue { mem, body_plan, epi_plan } => {
+                let p = |plan: &[bool]| {
+                    plan.iter().map(|s| if *s { 'S' } else { 'L' }).collect::<String>()
+                };
+                write!(f, "lsq[{mem};{};{}]", p(body_plan), p(epi_plan))
+            }
             other => f.write_str(other.type_name()),
         }
     }
@@ -221,6 +279,11 @@ mod tests {
             CompKind::TaggerUntagger { tags: 8 },
             CompKind::Load { mem: "a".into() },
             CompKind::Store { mem: "a".into() },
+            CompKind::StoreQueue {
+                mem: "a".into(),
+                body_plan: vec![false, true],
+                epi_plan: vec![true],
+            },
         ];
         for k in kinds {
             let (ins, outs) = k.interface();
@@ -242,6 +305,22 @@ mod tests {
         assert!(!CompKind::Store { mem: "m".into() }.is_effect_free());
         assert!(CompKind::Load { mem: "m".into() }.is_effect_free());
         assert!(CompKind::Operator { op: Op::AddF }.is_effect_free());
+        let lsq =
+            CompKind::StoreQueue { mem: "m".into(), body_plan: vec![true], epi_plan: vec![true] };
+        assert!(!lsq.is_effect_free());
+    }
+
+    #[test]
+    fn store_queue_ports_follow_the_plans() {
+        let lsq = CompKind::StoreQueue {
+            mem: "m".into(),
+            body_plan: vec![false, true],
+            epi_plan: vec![true],
+        };
+        let (ins, outs) = lsq.interface();
+        assert_eq!(ins, ["seq", "saddr0", "sdata0", "saddr1", "sdata1", "laddr0"]);
+        assert_eq!(outs, ["sdone0", "sdone1", "ldata0"]);
+        assert_eq!(lsq.to_string(), "lsq[m;LS;S]");
     }
 
     #[test]

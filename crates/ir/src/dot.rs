@@ -413,6 +413,31 @@ fn kind_from_attrs(attrs: &BTreeMap<String, String>, pos: usize) -> Result<CompK
         "store" => CompKind::Store {
             mem: attrs.get("mem").ok_or_else(|| DotError::new("store missing `mem`", pos))?.clone(),
         },
+        "lsq" => {
+            // Plans are written as `S`/`L` strings ("LS" = a load site then a
+            // store site); sizes are materialised as ports, so bound them.
+            let plan = |key: &str| -> Result<Vec<bool>, DotError> {
+                let s = attrs.get(key).map(String::as_str).unwrap_or("");
+                if s.len() > 64 {
+                    return Err(DotError::new(format!("`{key}` plan longer than 64 sites"), pos));
+                }
+                s.chars()
+                    .map(|c| match c {
+                        'S' => Ok(true),
+                        'L' => Ok(false),
+                        _ => Err(DotError::new(format!("bad `{key}` plan char `{c}`"), pos)),
+                    })
+                    .collect()
+            };
+            CompKind::StoreQueue {
+                mem: attrs
+                    .get("mem")
+                    .ok_or_else(|| DotError::new("lsq missing `mem`", pos))?
+                    .clone(),
+                body_plan: plan("body")?,
+                epi_plan: plan("epi")?,
+            }
+        }
         other => return Err(DotError::new(format!("unknown component type `{other}`"), pos)),
     })
 }
@@ -431,6 +456,13 @@ fn kind_attrs(kind: &CompKind) -> Vec<(String, String)> {
         CompKind::Pure { func } => attrs.push(("func".into(), print_purefn(func))),
         CompKind::TaggerUntagger { tags } => attrs.push(("tags".into(), tags.to_string())),
         CompKind::Load { mem } | CompKind::Store { mem } => attrs.push(("mem".into(), mem.clone())),
+        CompKind::StoreQueue { mem, body_plan, epi_plan } => {
+            let p =
+                |plan: &[bool]| plan.iter().map(|s| if *s { 'S' } else { 'L' }).collect::<String>();
+            attrs.push(("mem".into(), mem.clone()));
+            attrs.push(("body".into(), p(body_plan)));
+            attrs.push(("epi".into(), p(epi_plan)));
+        }
         _ => {}
     }
     attrs
@@ -612,6 +644,11 @@ mod tests {
             CompKind::TaggerUntagger { tags: 16 },
             CompKind::Load { mem: "arr1".into() },
             CompKind::Store { mem: "arr2".into() },
+            CompKind::StoreQueue {
+                mem: "arr3".into(),
+                body_plan: vec![false, true],
+                epi_plan: vec![true],
+            },
         ];
         let mut g = ExprHigh::new();
         for (i, k) in kinds.iter().enumerate() {

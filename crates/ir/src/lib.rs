@@ -42,7 +42,7 @@ mod low;
 mod lower;
 mod value;
 
-pub use component::CompKind;
+pub use component::{lsq_site_counts, CompKind};
 pub use dot::{
     parse_dot, parse_purefn, parse_value, print_dot, print_purefn, print_value, DotError,
 };

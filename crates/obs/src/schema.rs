@@ -201,6 +201,13 @@ pub const SCHEMA: &[MetricSpec] = &[
         stability: Stable,
     },
     MetricSpec {
+        name: "sim.lsq.*",
+        kind: Counter,
+        unit: "events",
+        help: "Store-queue activity: sim.lsq.{allocs|commits|issues} — rounds allocated from the sequence stream, stores committed in program order, loads issued after disambiguation.",
+        stability: Stable,
+    },
+    MetricSpec {
         name: "sim.sched.examined",
         kind: Counter,
         unit: "events",
@@ -260,7 +267,7 @@ pub const SCHEMA: &[MetricSpec] = &[
         name: "sim.stall_cause.*",
         kind: Counter,
         unit: "cycles",
-        help: "Lost node-cycles attributed to one of the seven stall root causes.",
+        help: "Lost node-cycles attributed to one of the eight stall root causes.",
         stability: Stable,
     },
     MetricSpec {

@@ -452,6 +452,38 @@ fn store_module() -> Module {
     m
 }
 
+fn lsq_module(body_plan: &[bool], epi_plan: &[bool]) -> Module {
+    // Like `load_module`/`store_module`, memory itself is abstracted away:
+    // the denotational model only needs a total per-port behaviour. Queue
+    // layout mirrors the port order: seq, then (saddr, sdata) per store
+    // site, then laddr per load site.
+    let (stores, loads) = graphiti_ir::lsq_site_counts(body_plan, epi_plan);
+    let mut m = Module::inert(State::Leaf(CompState::queues(1 + 2 * stores + loads)));
+    m.inputs.insert(port("seq"), enq_input(0));
+    for k in 0..stores {
+        m.inputs.insert(port(&format!("saddr{k}")), enq_input(1 + 2 * k));
+        m.inputs.insert(port(&format!("sdata{k}")), enq_input(2 + 2 * k));
+        m.outputs.insert(
+            port(&format!("sdone{k}")),
+            front_output(vec![1 + 2 * k, 2 + 2 * k], |vs| {
+                let (tag, _) = untag_all(vs)?;
+                Some(retag(tag, Value::Unit))
+            }),
+        );
+    }
+    for k in 0..loads {
+        m.inputs.insert(port(&format!("laddr{k}")), enq_input(1 + 2 * stores + k));
+        m.outputs.insert(
+            port(&format!("ldata{k}")),
+            front_output(vec![1 + 2 * stores + k], |vs| {
+                let (tag, _) = vs[0].untag();
+                Some(retag(tag, Value::Int(0)))
+            }),
+        );
+    }
+    m
+}
+
 /// The standard environment: the module giving semantics to a component
 /// kind. Ports are keyed `("", interface-port)`; denotation renames them
 /// according to the base component's port maps.
@@ -472,6 +504,7 @@ pub fn component_module(kind: &CompKind) -> Module {
         CompKind::TaggerUntagger { tags } => tagger_module(*tags),
         CompKind::Load { .. } => load_module(),
         CompKind::Store { .. } => store_module(),
+        CompKind::StoreQueue { body_plan, epi_plan, .. } => lsq_module(body_plan, epi_plan),
     }
 }
 

@@ -94,6 +94,12 @@ pub fn component_area(kind: &CompKind) -> Area {
         }
         CompKind::Load { .. } => Area::new(45, 36, 0),
         CompKind::Store { .. } => Area::new(38, 26, 0),
+        CompKind::StoreQueue { body_plan, epi_plan, .. } => {
+            // Per access site: a port (load or store) plus an entry in the
+            // pending window and the disambiguation comparators.
+            let sites = (body_plan.len() + epi_plan.len()).max(1) as u64;
+            Area::new(60 + 44 * sites, 48 + 30 * sites, 0)
+        }
     }
 }
 

@@ -90,6 +90,9 @@ pub(crate) enum ScopeKind {
     Pipe,
     /// Tagger (non-empty: latency source).
     Tagger,
+    /// Store queue (program-order memory serialisation in both walk
+    /// directions).
+    Lsq,
     /// Everything else (walked through).
     Plain,
 }
@@ -101,6 +104,23 @@ pub(crate) struct PipeSpec {
     /// Cycles between acceptance and the head turning ready (0 for
     /// transparent buffers, 1 for opaque ones).
     pub(crate) lat: u64,
+}
+
+/// Static shape of one store queue, shared by its fire function and the
+/// run loop. The access plans come pre-split into `(is_store, site)`
+/// lists by [`crate::sim::lsq_rounds`], so the compiled and interpreted
+/// schedulers allocate byte-identical pending windows.
+pub(crate) struct LsqSpec {
+    /// Index into [`CompiledCircuit::mems`].
+    pub(crate) mem: u32,
+    /// Body-round accesses `(is_store, site)` in program order.
+    pub(crate) body: Vec<(bool, u32)>,
+    /// Epilogue-round accesses in program order.
+    pub(crate) epi: Vec<(bool, u32)>,
+    /// Store-site count (load ports start after the store ports).
+    pub(crate) n_stores: u32,
+    /// Pending-entry capacity ([`crate::sim::lsq_pending_cap`]).
+    pub(crate) cap: usize,
 }
 
 /// Compile-pass facts, kept for metrics and tests.
@@ -145,6 +165,8 @@ pub(crate) struct CompiledCircuit {
     pub(crate) pures: Vec<PureFn>,
     /// Tag budgets, one per tagger.
     pub(crate) tagger_tags: Vec<u32>,
+    /// Static store-queue shapes, one per `StoreQueue` node.
+    pub(crate) lsqs: Vec<LsqSpec>,
     /// Distinct array names referenced by Load/Store ports.
     pub(crate) mems: Vec<String>,
     /// `u64` words needed for a bitset over nodes.
@@ -237,6 +259,7 @@ fn approx_bytes(art: &CompiledCircuit) -> usize {
         + art.chan_names.iter().map(String::len).sum::<usize>()
         + (art.consumer_of.len() + art.producer_of.len() + art.pipe_of.len()) * 8
         + art.scope_kind.len()
+        + art.lsqs.iter().map(|l| (l.body.len() + l.epi.len()) * 8).sum::<usize>()
 }
 
 /// Two independently seeded hashers fed identical bytes, so one graph
@@ -524,6 +547,7 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
     let mut pipe_of: Vec<u32> = Vec::new();
     let mut tagger_of: Vec<u32> = Vec::new();
     let mut tagger_tags: Vec<u32> = Vec::new();
+    let mut lsqs: Vec<LsqSpec> = Vec::new();
     let mut mems: Vec<String> = Vec::new();
     let mut queued: Vec<(u32, u32)> = Vec::new();
     let mut scope_kind: Vec<ScopeKind> = Vec::new();
@@ -614,6 +638,20 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
                 (fire::load, mid, pipe)
             }
             CompKind::Store { mem } => (fire::store, mem_id(&mut mems, mem), 0),
+            CompKind::StoreQueue { mem, body_plan, epi_plan } => {
+                let mid = mem_id(&mut mems, mem);
+                let (body, epi) = crate::sim::lsq_rounds(body_plan, epi_plan);
+                let (stores, _) = graphiti_ir::lsq_site_counts(body_plan, epi_plan);
+                lsqs.push(LsqSpec {
+                    mem: mid,
+                    body,
+                    epi,
+                    n_stores: stores as u32,
+                    cap: crate::sim::lsq_pending_cap(body_plan, epi_plan),
+                });
+                pipe = add_pipe(&mut pipe_specs, cfg.load_latency as usize + 1, cfg.load_latency);
+                (fire::lsq, (lsqs.len() - 1) as u32, pipe)
+            }
         };
         if pipe != NO_IDX {
             queued.push((i as u32, pipe));
@@ -629,6 +667,7 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
             CompKind::Operator { op } if op_latency(*op) > 0 => ScopeKind::Pipe,
             CompKind::Pure { .. } => ScopeKind::Pipe,
             CompKind::TaggerUntagger { .. } => ScopeKind::Tagger,
+            CompKind::StoreQueue { .. } => ScopeKind::Lsq,
             _ => ScopeKind::Plain,
         });
         names.push(name.clone());
@@ -819,6 +858,7 @@ fn lower(g: &ExprHigh, cfg: &SimConfig) -> Result<CompiledCircuit, SimError> {
         ops,
         pures,
         tagger_tags,
+        lsqs,
         mems,
         words,
         chan_names,

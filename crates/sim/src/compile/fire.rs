@@ -402,3 +402,106 @@ pub(super) fn store(art: &CompiledCircuit, rt: &mut Rt, i: u32) -> Result<bool, 
     rt.set_accepted(i);
     Ok(true)
 }
+
+pub(super) fn lsq(art: &CompiledCircuit, rt: &mut Rt, i: u32) -> Result<bool, SimError> {
+    let nd = &art.nodes[i as usize];
+    let ins = art.ports(nd.ins);
+    let outs = art.ports(nd.outs);
+    let lid = nd.p0 as usize;
+    let pid = nd.p1 as usize;
+    let spec = &art.lsqs[lid];
+    let ns = spec.n_stores as usize;
+    let mut fired = false;
+    // Emit one matured load result per cycle (mirrors Load). The parallel
+    // site ring says which ldata port the pipe head belongs to.
+    if !rt.is_emitted(i) {
+        if let Some(&(_, _, ready)) = rt.pipes[pid].front() {
+            let site = *rt.lsq_sites[lid].front().expect("site ring tracks pipe") as usize;
+            if ready <= rt.now && rt.space(outs[ns + site]) {
+                let (t, v, _) = rt.pipes[pid].pop_front().expect("checked front");
+                rt.lsq_sites[lid].pop_front();
+                rt.put(outs[ns + site], t, v);
+                rt.set_emitted(i);
+                fired = true;
+            }
+        }
+    }
+    // Allocate: one sequence token per cycle opens the next body round;
+    // `false` (loop exit) also opens the epilogue round.
+    if !rt.is_accepted(i) && rt.full(ins[0]) {
+        let more = rt.front_payload(ins[0]).as_bool().ok_or_else(|| {
+            SimError::Eval(format!("lsq sequence token not boolean: {}", rt.front_value(ins[0])))
+        })?;
+        let need = spec.body.len() + if more { 0 } else { spec.epi.len() };
+        if rt.lsq_pending[lid].len() + need <= spec.cap {
+            rt.pop(ins[0]);
+            rt.lsq_pending[lid].extend(spec.body.iter().copied());
+            if !more {
+                rt.lsq_pending[lid].extend(spec.epi.iter().copied());
+            }
+            rt.lsq_stats.allocs += 1;
+            rt.set_accepted(i);
+            fired = true;
+        }
+    }
+    // Commit the head access if it is a store with both operands present:
+    // stores leave the queue strictly in program order.
+    if let Some(&(true, site)) = rt.lsq_pending[lid].front() {
+        let k = site as usize;
+        let pair = [ins[1 + 2 * k], ins[2 + 2 * k]];
+        if rt.space(outs[k]) && fronts_tag(rt, &pair).is_some() {
+            let (tag, addr) = rt.pop(pair[0]);
+            let (_, data) = rt.pop(pair[1]);
+            rt.mem.write(art, spec.mem, &addr, &data)?;
+            rt.put(outs[k], tag, Value::Unit);
+            rt.lsq_pending[lid].pop_front();
+            rt.lsq_stats.commits += 1;
+            fired = true;
+        }
+    }
+    // Issue the oldest load whose address provably misses every older
+    // store (memory disambiguation): each store ahead must be the front
+    // of its own site — so its address token is the one at the channel
+    // head — and differ from the load's address.
+    if rt.pipes[pid].len() < art.pipe_specs[pid].cap {
+        'issue: for idx in 0..rt.lsq_pending[lid].len() {
+            let (is_store, site) = rt.lsq_pending[lid][idx];
+            if is_store {
+                continue;
+            }
+            // Only the oldest entry of a load site owns the site's front
+            // address token.
+            if (0..idx).any(|j| rt.lsq_pending[lid][j] == (false, site)) {
+                continue;
+            }
+            let k = site as usize;
+            let laddr = ins[1 + 2 * ns + k];
+            if !rt.full(laddr) {
+                continue;
+            }
+            for j in 0..idx {
+                let (s, ssite) = rt.lsq_pending[lid][j];
+                if !s {
+                    continue;
+                }
+                if (0..j).any(|j2| rt.lsq_pending[lid][j2] == (true, ssite)) {
+                    continue 'issue;
+                }
+                let sa = ins[1 + 2 * ssite as usize];
+                if !rt.full(sa) || rt.front_payload(sa) == rt.front_payload(laddr) {
+                    continue 'issue;
+                }
+            }
+            let (tag, addr) = rt.pop(laddr);
+            let v = rt.mem.read(art, spec.mem, &addr)?;
+            let (t, v) = canon(tag, v);
+            rt.pipes[pid].push_back((t, v, rt.now + art.pipe_specs[pid].lat));
+            rt.lsq_sites[lid].push_back(site);
+            rt.lsq_pending[lid].remove(idx);
+            rt.lsq_stats.issues += 1;
+            fired = true;
+            break;
+        }
+    }
+    Ok(fired)
+}

@@ -119,6 +119,14 @@ pub(crate) struct Rt {
     /// Internal queues as `(tag, payload, ready)` rings.
     pub(super) pipes: Vec<VecDeque<(u32, Value, u64)>>,
     pub(super) taggers: Vec<TaggerState>,
+    /// Per store queue: allocated accesses `(is_store, site)` not yet
+    /// committed/issued, oldest first.
+    pub(super) lsq_pending: Vec<VecDeque<(bool, u32)>>,
+    /// Per store queue: load site of each in-flight pipe entry, aligned
+    /// with the queue's pipe ring (the pipe's tag word stays a real tag).
+    pub(super) lsq_sites: Vec<VecDeque<u32>>,
+    /// `sim.lsq.*` tallies across every store queue, flushed at finish.
+    pub(super) lsq_stats: crate::sim::LsqStats,
     pub(super) mem: RtMem,
     pub(super) scratch: Vec<Value>,
     // -- clock and accounting --
@@ -163,6 +171,9 @@ impl Rt {
                 .map(|s| VecDeque::with_capacity(s.cap.min(1024)))
                 .collect(),
             taggers: art.tagger_tags.iter().map(|&t| TaggerState::new(t)).collect(),
+            lsq_pending: art.lsqs.iter().map(|l| VecDeque::with_capacity(l.cap)).collect(),
+            lsq_sites: art.lsqs.iter().map(|_| VecDeque::new()).collect(),
+            lsq_stats: crate::sim::LsqStats::default(),
             mem: RtMem::new(art, memory),
             scratch: Vec::new(),
             now: 0,
@@ -569,6 +580,7 @@ fn live_walk_downstream(
         match art.scope_kind[j] {
             ScopeKind::Sink => return StallCause::BlockedBySink,
             ScopeKind::Store | ScopeKind::Load => return StallCause::MemoryDependency,
+            ScopeKind::Lsq => return StallCause::LsqOrdering,
             ScopeKind::Buffer
                 if live_occupancy(art, rt, j) >= art.pipe_specs[art.pipe_of[j] as usize].cap =>
             {
@@ -609,6 +621,7 @@ fn live_walk_upstream(
             ScopeKind::Load if live_occupancy(art, rt, j) > 0 => {
                 return StallCause::MemoryDependency
             }
+            ScopeKind::Lsq if live_occupancy(art, rt, j) > 0 => return StallCause::LsqOrdering,
             ScopeKind::Pipe | ScopeKind::Buffer if live_occupancy(art, rt, j) > 0 => {
                 return StallCause::PipelineLatency
             }
@@ -691,6 +704,7 @@ fn finish(art: &CompiledCircuit, mut rt: Rt, cfg: &SimConfig) -> SimResult {
                 graphiti_obs::counter(&format!("sim.fire.{name}")).add(count);
             }
         }
+        rt.lsq_stats.flush();
         if cfg.telemetry {
             graphiti_obs::counter("sim.telemetry.runs").inc();
         }

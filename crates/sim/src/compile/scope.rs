@@ -349,6 +349,7 @@ fn walk_downstream(
         match art.scope_kind[j] {
             ScopeKind::Sink => return StallCause::BlockedBySink,
             ScopeKind::Store | ScopeKind::Load => return StallCause::MemoryDependency,
+            ScopeKind::Lsq => return StallCause::LsqOrdering,
             ScopeKind::Buffer
                 if occupancy(art, rp, j) as usize
                     >= art.pipe_specs[art.pipe_of[j] as usize].cap =>
@@ -389,6 +390,7 @@ fn walk_upstream(
         let j = j as usize;
         match art.scope_kind[j] {
             ScopeKind::Load if occupancy(art, rp, j) > 0 => return StallCause::MemoryDependency,
+            ScopeKind::Lsq if occupancy(art, rp, j) > 0 => return StallCause::LsqOrdering,
             ScopeKind::Pipe | ScopeKind::Buffer if occupancy(art, rp, j) > 0 => {
                 return StallCause::PipelineLatency
             }

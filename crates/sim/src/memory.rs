@@ -1,10 +1,13 @@
 //! The memory model backing Load/Store ports.
 //!
 //! Arrays are flat vectors of values. Loads have a fixed pipeline latency;
-//! stores commit in *arrival order* at their store port — which is program
-//! order for in-order circuits, and possibly not for incorrectly reordered
-//! ones (the bicg bug of §6.2 shows up as wrong memory contents here, not as
-//! a simulator error).
+//! a free-running Store port commits in *arrival order*, while arrays that
+//! codegen routes through a store queue ([`CompKind::StoreQueue`]) commit in
+//! *program order*, serialised by the queue's sequence stream. Incorrectly
+//! reordered circuits (the bicg bug of §6.2) therefore show up as wrong
+//! memory contents on the free-running path, not as a simulator error.
+//!
+//! [`CompKind::StoreQueue`]: graphiti_ir::CompKind::StoreQueue
 
 use graphiti_ir::Value;
 use std::collections::BTreeMap;
@@ -97,5 +100,30 @@ mod tests {
         assert_eq!(mem_read(&mem, "zz", &Value::Int(0)), Err(MemError::UnknownArray("zz".into())));
         assert_eq!(mem_read(&mem, "a", &Value::Int(5)), Err(MemError::OutOfBounds("a".into(), 5)));
         assert_eq!(mem_read(&mem, "a", &Value::Bool(true)), Err(MemError::BadAddress("a".into())));
+    }
+
+    #[test]
+    fn store_path_errors_match_the_load_path() {
+        let mut mem: Memory = [("a".to_string(), vec![Value::Int(0); 2])].into_iter().collect();
+        // A negative address wraps to a huge usize and must surface as
+        // out-of-bounds with the *signed* index, exactly like a read.
+        assert_eq!(
+            mem_write(&mut mem, "a", &Value::Int(-1), &Value::Int(7)),
+            Err(MemError::OutOfBounds("a".into(), -1))
+        );
+        assert_eq!(
+            mem_read(&mem, "a", &Value::Int(-1)),
+            Err(MemError::OutOfBounds("a".into(), -1))
+        );
+        assert_eq!(
+            mem_write(&mut mem, "zz", &Value::Int(0), &Value::Int(7)),
+            Err(MemError::UnknownArray("zz".into()))
+        );
+        assert_eq!(
+            mem_write(&mut mem, "a", &Value::Unit, &Value::Int(7)),
+            Err(MemError::BadAddress("a".into()))
+        );
+        // The failed writes left the array untouched.
+        assert_eq!(mem["a"], vec![Value::Int(0); 2]);
     }
 }

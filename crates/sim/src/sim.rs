@@ -14,9 +14,11 @@
 //!   only add capacity;
 //! * computation on tagged tokens is tag-transparent: operands must carry
 //!   the same tag, the result re-attaches it;
-//! * stores commit to memory in arrival order (which is how the bicg bug of
-//!   §6.2 manifests: an incorrectly reordered circuit produces wrong memory
-//!   contents, not a simulator error).
+//! * free-running Store ports commit to memory in arrival order (which is
+//!   how the bicg bug of §6.2 manifests: an incorrectly reordered circuit
+//!   produces wrong memory contents, not a simulator error), while arrays
+//!   behind a store queue commit in program order, serialised by the
+//!   queue's sequence stream.
 //!
 //! Within a cycle, components transact repeatedly until no one can fire;
 //! per-cycle firing caps make this terminate. Idle stretches (waiting for a
@@ -360,16 +362,115 @@ enum Unit {
     Mux,
     Branch,
     Merge,
-    Init { initial: bool, emitted: bool },
+    Init {
+        initial: bool,
+        emitted: bool,
+    },
     Sink,
     Constant(Value),
     Comb(Op),
-    Piped { op: Op, lat: u64, pipe: VecDeque<(Value, u64)> },
-    Pure { func: PureFn, lat: u64, pipe: VecDeque<(Value, u64)> },
-    Buffer { slots: usize, transparent: bool, q: VecDeque<(Value, u64)> },
-    Tagger { state: TaggerState },
-    Load { mem: String, lat: u64, pipe: VecDeque<(Value, u64)> },
-    Store { mem: String },
+    Piped {
+        op: Op,
+        lat: u64,
+        pipe: VecDeque<(Value, u64)>,
+    },
+    Pure {
+        func: PureFn,
+        lat: u64,
+        pipe: VecDeque<(Value, u64)>,
+    },
+    Buffer {
+        slots: usize,
+        transparent: bool,
+        q: VecDeque<(Value, u64)>,
+    },
+    Tagger {
+        state: TaggerState,
+    },
+    Load {
+        mem: String,
+        lat: u64,
+        pipe: VecDeque<(Value, u64)>,
+    },
+    Store {
+        mem: String,
+    },
+    Lsq {
+        mem: String,
+        /// Body-round accesses `(is_store, site)` in program order.
+        body: Vec<(bool, u32)>,
+        /// Epilogue-round accesses in program order.
+        epi: Vec<(bool, u32)>,
+        /// Store-site count (laddr/ldata ports start after the store ports).
+        n_stores: u32,
+        lat: u64,
+        /// Pending-entry capacity (see [`lsq_pending_cap`]).
+        cap: usize,
+        /// Allocated accesses not yet committed/issued, oldest first.
+        pending: VecDeque<(bool, u32)>,
+        /// Issued loads in flight: `(site, value, ready)`.
+        pipe: VecDeque<(u32, Value, u64)>,
+        /// `sim.lsq.{allocs,commits,issues}` tallies, flushed at finish.
+        stats: LsqStats,
+    },
+}
+
+/// Store-queue activity tallies, reported as the `sim.lsq.*` counters.
+/// Shared with the compiled backend so both finish paths flush the same
+/// shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct LsqStats {
+    /// Sequence tokens consumed (allocation rounds opened).
+    pub allocs: u64,
+    /// Stores committed to memory in program order.
+    pub commits: u64,
+    /// Loads issued to memory after disambiguation.
+    pub issues: u64,
+}
+
+impl LsqStats {
+    pub(crate) fn flush(&self) {
+        if self.allocs > 0 {
+            graphiti_obs::counter("sim.lsq.allocs").add(self.allocs);
+        }
+        if self.commits > 0 {
+            graphiti_obs::counter("sim.lsq.commits").add(self.commits);
+        }
+        if self.issues > 0 {
+            graphiti_obs::counter("sim.lsq.issues").add(self.issues);
+        }
+    }
+}
+
+/// Pending-entry capacity of a store queue: enough for several full
+/// allocation rounds so the sequence stream never throttles the loop.
+/// Shared with the compiled backend so all schedulers agree.
+pub(crate) fn lsq_pending_cap(body: &[bool], epi: &[bool]) -> usize {
+    4 * (body.len() + epi.len()).max(1)
+}
+
+/// One planned access: `(is_store, site)`, sites numbered globally per
+/// class (body first, then epilogue).
+pub(crate) type LsqPlan = Vec<(bool, u32)>;
+
+/// Splits a store queue's plans into `(is_store, site)` access lists with
+/// globally numbered sites (body first, then epilogue, per class). Shared
+/// with the compiled backend.
+pub(crate) fn lsq_rounds(body: &[bool], epi: &[bool]) -> (LsqPlan, LsqPlan) {
+    let (mut stores, mut loads) = (0u32, 0u32);
+    let mut number = |plan: &[bool]| {
+        plan.iter()
+            .map(|&is_store| {
+                let class = if is_store { &mut stores } else { &mut loads };
+                let site = *class;
+                *class += 1;
+                (is_store, site)
+            })
+            .collect::<Vec<_>>()
+    };
+    let b = number(body);
+    let e = number(epi);
+    (b, e)
 }
 
 /// Mutable per-run observation state (instrumented runs only).
@@ -475,6 +576,7 @@ impl SimObs {
                         | Unit::Pure { .. }
                         | Unit::Load { .. }
                         | Unit::Tagger { .. }
+                        | Unit::Lsq { .. }
                 );
                 queued.then(|| graphiti_obs::histogram(&format!("sim.buf_occupancy.{}", n.name)))
             })
@@ -726,6 +828,21 @@ impl Simulator {
                     Unit::Load { mem: mem.clone(), lat: cfg.load_latency, pipe: VecDeque::new() }
                 }
                 CompKind::Store { mem } => Unit::Store { mem: mem.clone() },
+                CompKind::StoreQueue { mem, body_plan, epi_plan } => {
+                    let (body, epi) = lsq_rounds(body_plan, epi_plan);
+                    let (n_stores, _) = graphiti_ir::lsq_site_counts(body_plan, epi_plan);
+                    Unit::Lsq {
+                        mem: mem.clone(),
+                        body,
+                        epi,
+                        n_stores: n_stores as u32,
+                        lat: cfg.load_latency,
+                        cap: lsq_pending_cap(body_plan, epi_plan),
+                        pending: VecDeque::new(),
+                        pipe: VecDeque::new(),
+                        stats: LsqStats::default(),
+                    }
+                }
             };
             nodes.push(Node {
                 name: name.clone(),
@@ -1188,6 +1305,107 @@ impl Simulator {
                     fired = true;
                 }
             }
+            Unit::Lsq { mem, body, epi, n_stores, lat, cap, pending, pipe, stats } => {
+                // Port layout: ins = [seq, (saddr, sdata) per store site,
+                // laddr per load site]; outs = [sdone per store site, ldata
+                // per load site].
+                let ns = *n_stores as usize;
+                // Emit one matured load result per cycle (mirrors Load).
+                if !emitted {
+                    if let Some((site, _, ready)) = pipe.front() {
+                        let (site, ready) = (*site, *ready);
+                        if ready <= now && space!(ns + site as usize) {
+                            let (_, v, _) = pipe.pop_front().expect("checked front");
+                            self.push(outs[ns + site as usize], v);
+                            emitted = true;
+                            fired = true;
+                        }
+                    }
+                }
+                // Allocate: one sequence token per cycle opens the next
+                // body round; `false` (loop exit) also opens the epilogue
+                // round. Program order is exactly the seq-token order.
+                if !accepted {
+                    if let Some(v) = self.chans[ins[0]].front() {
+                        let more = v.untag().1.as_bool().ok_or_else(|| {
+                            SimError::Eval(format!("lsq sequence token not boolean: {v}"))
+                        })?;
+                        let need = body.len() + if more { 0 } else { epi.len() };
+                        if pending.len() + need <= *cap {
+                            self.pop(ins[0]);
+                            pending.extend(body.iter().copied());
+                            if !more {
+                                pending.extend(epi.iter().copied());
+                            }
+                            stats.allocs += 1;
+                            accepted = true;
+                            fired = true;
+                        }
+                    }
+                }
+                // Commit the head access if it is a store with both
+                // operands present: stores leave the queue strictly in
+                // program order.
+                if let Some(&(true, site)) = pending.front() {
+                    let k = site as usize;
+                    let pair = [ins[1 + 2 * k], ins[2 + 2 * k]];
+                    if space!(k) && fronts_tag(&self.chans, &pair).is_some() {
+                        let addr = self.pop(pair[0]);
+                        let data = self.pop(pair[1]);
+                        mem_write(&mut self.memory, mem, &addr, &data)?;
+                        let tag = addr.untag().0;
+                        self.push(outs[k], retag(tag, Value::Unit));
+                        pending.pop_front();
+                        stats.commits += 1;
+                        fired = true;
+                    }
+                }
+                // Issue the oldest load whose address provably misses every
+                // older store (memory disambiguation): each store ahead
+                // must be the front of its own site — so its address token
+                // is the one at the channel head — and differ from the
+                // load's address. Issued loads leave the queue; stores
+                // behind them can then commit without breaking the
+                // load's program-order value (it already read memory).
+                if pipe.len() < (*lat as usize + 1) {
+                    'issue: for idx in 0..pending.len() {
+                        let (is_store, site) = pending[idx];
+                        if is_store {
+                            continue;
+                        }
+                        // Only the oldest entry of a load site owns the
+                        // site's front address token.
+                        if (0..idx).any(|j| pending[j] == (false, site)) {
+                            continue;
+                        }
+                        let k = site as usize;
+                        let laddr = ins[1 + 2 * ns + k];
+                        let Some(af) = self.chans[laddr].front() else { continue };
+                        let la = af.untag().1.clone();
+                        for j in 0..idx {
+                            let (s, ssite) = pending[j];
+                            if !s {
+                                continue;
+                            }
+                            if (0..j).any(|j2| pending[j2] == (true, ssite)) {
+                                continue 'issue;
+                            }
+                            match self.chans[ins[1 + 2 * ssite as usize]].front() {
+                                Some(sa) if *sa.untag().1 != la => {}
+                                _ => continue 'issue,
+                            }
+                        }
+                        let addr = self.pop(laddr);
+                        let tag = addr.untag().0;
+                        let v = mem_read(&self.memory, mem, &addr)?;
+                        pipe.push_back((site, retag(tag, v), now + *lat));
+                        pending.remove(idx);
+                        stats.issues += 1;
+                        fired = true;
+                        break;
+                    }
+                }
+            }
         }
 
         Ok((fired, accepted, emitted, traced_values))
@@ -1224,6 +1442,7 @@ impl Simulator {
                     | Unit::Load { pipe, .. } => pipe.len(),
                     Unit::Buffer { q, .. } => q.len(),
                     Unit::Tagger { state } => state.len(),
+                    Unit::Lsq { pipe, .. } => pipe.len(),
                     _ => 0,
                 };
                 h.record(len as u64);
@@ -1275,6 +1494,11 @@ impl Simulator {
                         consider(*t);
                     }
                 }
+                Unit::Lsq { pipe, .. } => {
+                    if let Some((_, _, t)) = pipe.front() {
+                        consider(*t);
+                    }
+                }
                 _ => {}
             }
         }
@@ -1288,6 +1512,7 @@ impl Simulator {
                 pipe.front().map(|&(_, t)| t)
             }
             Unit::Buffer { q, .. } => q.front().map(|&(_, t)| t),
+            Unit::Lsq { pipe, .. } => pipe.front().map(|&(_, _, t)| t),
             _ => None,
         }
     }
@@ -1325,6 +1550,7 @@ impl Simulator {
             let j = j as usize;
             match &self.nodes[j].unit {
                 Unit::Sink => return StallCause::BlockedBySink,
+                Unit::Lsq { .. } => return StallCause::LsqOrdering,
                 Unit::Store { .. } | Unit::Load { .. } => return StallCause::MemoryDependency,
                 Unit::Buffer { slots, q, .. } if q.len() >= *slots => {
                     return StallCause::BlockedByFullBuffer
@@ -1362,6 +1588,7 @@ impl Simulator {
             };
             let j = j as usize;
             match &self.nodes[j].unit {
+                Unit::Lsq { pipe, .. } if !pipe.is_empty() => return StallCause::LsqOrdering,
                 Unit::Load { pipe, .. } if !pipe.is_empty() => return StallCause::MemoryDependency,
                 Unit::Piped { pipe, .. } | Unit::Pure { pipe, .. } if !pipe.is_empty() => {
                     return StallCause::PipelineLatency
@@ -1397,6 +1624,7 @@ impl Simulator {
                     | Unit::Load { pipe, .. } => pipe.len(),
                     Unit::Buffer { q, .. } => q.len(),
                     Unit::Tagger { state } => state.len(),
+                    Unit::Lsq { pipe, .. } => pipe.len(),
                     _ => 0,
                 })
                 .sum::<usize>()
@@ -1819,6 +2047,11 @@ impl Simulator {
             for (i, &count) in st.firings_by_node.iter().enumerate() {
                 if count > 0 {
                     obs.fire_by_node[i].add(count);
+                }
+            }
+            for node in &self.nodes {
+                if let Unit::Lsq { stats, .. } = &node.unit {
+                    stats.flush();
                 }
             }
         }

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Why a node lost a cycle. The first four variants are back-pressure
+/// Why a node lost a cycle. The first five variants are back-pressure
 /// (stall) roots, the last three starvation roots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum StallCause {
@@ -34,6 +34,10 @@ pub enum StallCause {
     /// The chain ends at a memory port (Load/Store) — an address or
     /// commit queue is the bottleneck.
     MemoryDependency,
+    /// The chain ends at a store queue: the token is held back by
+    /// program-order memory serialisation (an older store not yet
+    /// committed, or a load awaiting disambiguation).
+    LsqOrdering,
     /// The chain cannot be followed further (cyclic back-pressure around
     /// a loop ring, per-cycle firing caps, or tag exhaustion).
     BlockedDownstream,
@@ -49,10 +53,11 @@ pub enum StallCause {
 }
 
 /// All causes, in report order.
-pub const STALL_CAUSES: [StallCause; 7] = [
+pub const STALL_CAUSES: [StallCause; 8] = [
     StallCause::BlockedBySink,
     StallCause::BlockedByFullBuffer,
     StallCause::MemoryDependency,
+    StallCause::LsqOrdering,
     StallCause::BlockedDownstream,
     StallCause::StarvedBySource,
     StallCause::PipelineLatency,
@@ -66,6 +71,7 @@ impl StallCause {
             StallCause::BlockedBySink => "blocked-by-sink",
             StallCause::BlockedByFullBuffer => "blocked-by-full-buffer",
             StallCause::MemoryDependency => "memory-dependency",
+            StallCause::LsqOrdering => "lsq-ordering",
             StallCause::BlockedDownstream => "blocked-downstream",
             StallCause::StarvedBySource => "starved-by-source",
             StallCause::PipelineLatency => "pipeline-latency",
@@ -81,6 +87,7 @@ impl StallCause {
             StallCause::BlockedBySink
                 | StallCause::BlockedByFullBuffer
                 | StallCause::MemoryDependency
+                | StallCause::LsqOrdering
                 | StallCause::BlockedDownstream
         )
     }

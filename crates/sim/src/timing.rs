@@ -99,6 +99,13 @@ pub fn elastic_timing(kind: &CompKind) -> NodeTiming {
         }
         CompKind::Load { .. } => Seq(1.9, 2.0),
         CompKind::Store { .. } => Seq(1.7, 0.6),
+        CompKind::StoreQueue { body_plan, epi_plan, .. } => {
+            // The disambiguation CAM compares a load address against every
+            // older store entry; wider windows are slower, like the
+            // tagger's associative reorder lookup.
+            let w = ((body_plan.len() + epi_plan.len()) as f64).max(1.0).log2().max(1.0);
+            Seq(2.6 + 0.45 * w, 2.4 + 0.45 * w)
+        }
     }
 }
 
